@@ -1,0 +1,60 @@
+"""Figure 2: epoch throughput of the 2D implementation across GPU counts.
+
+Two complementary reproductions:
+
+* **Full scale (modeled)** -- the analytic 2D epoch model at the published
+  Table VI sizes, printing epochs/second for exactly the GPU counts of the
+  paper's three panels.  Shape checks: throughput rises with GPU count on
+  every dataset, and Amazon's 16 -> 64 speedup lands near the paper's 1.8x.
+* **Executed (timed)** -- a real virtual-cluster epoch on a Reddit
+  stand-in, which is what the ``benchmark`` fixture times.
+"""
+
+from repro.analysis.figures import FIG2_GPU_COUNTS, figure2_throughput
+from repro.dist import make_algorithm
+from repro.graph import make_standin
+
+from benchmarks.helpers import attach, print_table
+
+
+def bench_fig2_epoch_throughput(benchmark):
+    points = figure2_throughput()
+    rows = [
+        (
+            pt.dataset, pt.gpus,
+            round(pt.epochs_per_second, 3),
+            round(pt.epoch_seconds, 3),
+            pt.dominant_category,
+        )
+        for pt in points
+    ]
+    print_table(
+        "Fig. 2 -- epoch throughput of the 2D algorithm (modeled, "
+        "published sizes, Summit profile)",
+        ("Dataset", "GPUs", "Epochs/s", "Sec/epoch", "Dominant"),
+        rows,
+    )
+
+    # Paper shape assertions (mirrors test_model2d, enforced here too so a
+    # bench run catches regressions in the reproduction).
+    by_ds = {}
+    for pt in points:
+        by_ds.setdefault(pt.dataset, []).append(pt.epochs_per_second)
+    for name, series in by_ds.items():
+        assert series == sorted(series), f"{name} throughput must rise"
+    amazon = {pt.gpus: pt for pt in points if pt.dataset == "amazon"}
+    speedup_16_64 = amazon[64].epochs_per_second / amazon[16].epochs_per_second
+    print(f"\namazon 16->64 epoch-throughput speedup: {speedup_16_64:.2f}x "
+          f"(paper: 1.8x)")
+    attach(
+        benchmark,
+        amazon_speedup_16_to_64=round(speedup_16_64, 3),
+        throughputs={pt.dataset + str(pt.gpus): round(pt.epochs_per_second, 3)
+                     for pt in points},
+    )
+
+    # Timed kernel: one executed 2D epoch on a scaled Reddit stand-in.
+    ds = make_standin("reddit", scale_divisor=512, seed=0)
+    algo = make_algorithm("2d", 16, ds, seed=0)
+    algo.setup(ds.features, ds.labels)
+    benchmark(algo.train_epoch)

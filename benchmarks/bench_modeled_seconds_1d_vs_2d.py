@@ -1,0 +1,90 @@
+"""Modeled epoch seconds: 1D vs 2D, and why the paper builds 2D anyway.
+
+The paper's crossover claim (Section VI-d) is about *words*; this bench
+puts the two implementable algorithms side by side in modeled *seconds*
+and *memory*, reproducing three of its arguments at the published protein
+size:
+
+1. **Memory** -- the broadcast/all-gather 1D algorithm needs the full
+   dense ``n x f`` activation on every rank, while 2D stores ``n f / P``
+   ("our 2D algorithm ... consumes optimal memory").  At Amazon/Protein
+   scale that is the difference between fitting a 16 GB V100 and not (the
+   paper: Amazon does not fit at p = 4).
+2. **Words** -- 2D moves ``O(sqrt(P))`` fewer words (both models' dcomm
+   byte ledgers show it).
+3. **Relative costs** -- "more optimized SpMM implementations are
+   equivalent from a relative cost perspective to running on clusters
+   with slower networks; both increase the relative cost of
+   communication, making our reduced-communication algorithms more
+   beneficial" (Section I).  On the Summit profile, the cuSPARSE-like
+   local-SpMM penalty of hypersparse 2D blocks keeps modeled-seconds
+   parity with 1D; on the slower COMMODITY network the 2D seconds
+   advantage emerges exactly as the paper predicts.
+"""
+
+from repro.analysis.model1d import Model1DEpoch
+from repro.analysis.model2d import Model2DEpoch
+from repro.config import COMMODITY, SUMMIT
+from repro.graph import published_spec
+
+from benchmarks.helpers import attach, print_table
+
+
+def bench_modeled_1d_vs_2d(benchmark):
+    spec = published_spec("protein")
+    n, f_in = spec.vertices, spec.features
+    fp32 = 4
+    rows = []
+    ratios = {}
+    for profile in (SUMMIT, COMMODITY):
+        for p in (16, 64, 256):
+            m1 = Model1DEpoch.for_published_dataset(
+                "protein", p, profile=profile
+            ).run()
+            m2 = Model2DEpoch.for_published_dataset(
+                "protein", p, profile=profile
+            ).run()
+            mem1 = n * f_in * fp32 / 2**30          # full H per rank
+            mem2 = n * f_in * fp32 / p / 2**30      # 2D block per rank
+            ratios[(profile.name, p)] = m2.total_seconds / m1.total_seconds
+            rows.append(
+                (
+                    profile.name, p,
+                    round(m1.total_seconds, 2), round(m2.total_seconds, 2),
+                    round(m2.total_seconds / m1.total_seconds, 2),
+                    f"{mem1:.1f}", f"{mem2:.2f}",
+                )
+            )
+    print_table(
+        "Modeled epoch seconds and per-rank dense memory, protein "
+        "(published size)",
+        ("profile", "P", "1D sec", "2D sec", "2D/1D",
+         "1D H0 GiB/rank", "2D GiB/rank"),
+        rows,
+    )
+    print(
+        "\n1D's all-gather keeps the FULL dense activation on every rank "
+        "(memory does\nnot scale); 2D memory scales 1/P.  On the slower "
+        "network, communication\ndominates and 2D's O(sqrt(P)) word saving "
+        "shows up in seconds -- the paper's\n'slower networks make our "
+        "reduced-communication algorithms more beneficial'."
+    )
+
+    # Memory: 1D per-rank dense footprint is P x the 2D one, by layout.
+    # Words: 2D moves fewer dense bytes per rank at P >= 64.
+    m1 = Model1DEpoch.for_published_dataset("protein", 64).run()
+    m2 = Model2DEpoch.for_published_dataset("protein", 64).run()
+    assert m2.bytes_by_category["dcomm"] < m1.bytes_by_category["dcomm"]
+    # Relative-cost claim: the 2D/1D seconds ratio improves (drops) on the
+    # slower network at every P.
+    for p in (16, 64, 256):
+        assert ratios[("commodity", p)] < ratios[("summit", p)]
+
+    benchmark(
+        lambda: Model2DEpoch.for_published_dataset("protein", 64).run()
+    )
+    attach(
+        benchmark,
+        ratio_summit_p64=round(ratios[("summit", 64)], 3),
+        ratio_commodity_p64=round(ratios[("commodity", 64)], 3),
+    )

@@ -1,0 +1,105 @@
+"""Section I motivation: the neighbourhood explosion.
+
+"After only a few layers, the chosen mini-batch ends up being dependent on
+the whole graph.  This phenomenon, known as the neighborhood explosion,
+completely nullifies the memory reduction goals [of mini-batching]."
+
+Measures the receptive field of random mini-batches hop by hop on the
+Reddit stand-in, plus the sampled-pyramid sizes that motivate sampling --
+and the gradient-variance price sampling pays (the "approximation errors"
+of Section I).
+"""
+
+import numpy as np
+
+from repro.graph import make_standin
+from repro.sampling import LayerSampler, neighborhood_explosion_stats
+
+from benchmarks.helpers import attach, print_table
+
+
+def bench_neighborhood_explosion(benchmark):
+    ds = make_standin("reddit", scale_divisor=256, seed=0)
+    n = ds.num_vertices
+    rows = []
+    fractions = {}
+    for batch in (8, 32, 128):
+        stats = neighborhood_explosion_stats(
+            ds.adjacency, batch_size=batch, hops=3, trials=3, seed=1
+        )
+        sizes = stats.mean_frontier_sizes
+        fractions[batch] = stats.final_fraction
+        rows.append(
+            (
+                batch,
+                *(int(s) for s in sizes),
+                f"{stats.final_fraction:.1%}",
+                round(stats.blowup, 1),
+            )
+        )
+    print_table(
+        f"Neighbourhood explosion on the reddit stand-in (n={n}, 3-layer "
+        f"receptive field)",
+        ("batch", "hop0", "hop1", "hop2", "hop3", "graph fraction",
+         "blow-up"),
+        rows,
+    )
+    print("\npaper (Section I): a mini-batch 'ends up being dependent on "
+          "the whole graph'\nafter a few layers -- hence full-batch "
+          "distributed training.")
+    # Even an 8-vertex batch must reach a large fraction of this dense
+    # stand-in within 3 hops.
+    assert fractions[8] > 0.5
+    assert fractions[128] > 0.9
+
+    # What sampling buys: pyramid edges with and without fanouts.
+    sampler_full = LayerSampler(ds.adjacency, 3, fanouts=None, seed=0)
+    sampler_s = LayerSampler(ds.adjacency, 3, fanouts=[5, 5, 5], seed=0)
+    batch = np.arange(32)
+    full_edges = sampler_full.sample(batch).total_edges()
+    samp_edges = sampler_s.sample(batch).total_edges()
+    print(f"\n32-vertex batch pyramid edges: full {full_edges}, "
+          f"fanout-5 sampled {samp_edges} "
+          f"({samp_edges / full_edges:.1%} of full)")
+    assert samp_edges < 0.3 * full_edges
+
+    benchmark(
+        neighborhood_explosion_stats,
+        ds.adjacency, 32, 3, 2, 0,
+    )
+    attach(benchmark, graph_fraction_batch8=round(fractions[8], 4))
+
+
+def bench_sampling_accuracy_tradeoff(benchmark):
+    """The ROC-derived claim: "sampling based methods can lead to lower
+    accuracy" -- full-neighbourhood training reaches a lower loss than
+    aggressively sampled training on the same budget."""
+    from repro.graph import make_synthetic
+    from repro.nn import SGD
+    from repro.sampling import MiniBatchGCN, MiniBatchTrainer
+
+    ds = make_synthetic(n=300, avg_degree=8, f=16, n_classes=4, seed=2)
+    widths = ds.layer_widths(hidden=16)
+    losses = {}
+    for label, fanouts in (("full", None), ("fanout-2", [2, 2, 2])):
+        model = MiniBatchGCN(widths, seed=0)
+        trainer = MiniBatchTrainer(
+            model, ds.adjacency, fanouts=fanouts, batch_size=60,
+            optimizer=SGD(lr=0.3), seed=1,
+        )
+        history = trainer.train(ds.features, ds.labels, epochs=12)
+        losses[label] = history[-1].mean_loss
+    print_table(
+        "Sampling vs full-neighbourhood mini-batch training (12 epochs)",
+        ("neighbourhood", "final mean loss"),
+        sorted(losses.items()),
+    )
+    assert losses["full"] <= losses["fanout-2"] + 0.05
+
+    model = MiniBatchGCN(widths, seed=0)
+    trainer = MiniBatchTrainer(
+        model, ds.adjacency, fanouts=[2, 2, 2], batch_size=60,
+        optimizer=SGD(lr=0.3), seed=1,
+    )
+    benchmark(trainer.train_epoch, ds.features, ds.labels)
+    attach(benchmark, final_losses={k: round(v, 4) for k, v in losses.items()})

@@ -1,0 +1,82 @@
+"""Headline claim: words moved by 1D vs 1.5D vs 2D vs 3D (Section IV).
+
+Two layers of evidence:
+
+* **Analytic** -- the paper's closed-form per-epoch word counts at the
+  protein dataset's published size, swept over P.  Checks the two
+  asymptotic claims: 2D moves ``O(sqrt(P))`` fewer words than 1D, and 3D
+  improves on 2D by another ``O(P^(1/6))``.
+* **Measured** -- per-rank communication bytes of the *executed*
+  algorithms on a shared synthetic graph at P = 16 and P = 64, confirming
+  the executed implementations track the analysis.
+"""
+
+import math
+
+from repro.analysis.formulas import words_15d, words_1d, words_2d, words_3d
+from repro.dist import make_algorithm
+from repro.graph import make_synthetic, published_spec
+
+from benchmarks.helpers import attach, print_table
+
+
+def bench_words_analytic_sweep(benchmark):
+    spec = published_spec("protein")
+    n, nnz, f, L = spec.vertices, spec.edges, 128.0, 3
+    rows = []
+    for p in (16, 64, 256, 1024, 4096):
+        w1 = words_1d(n, nnz, f, L, p).words
+        # Largest power-of-two replication not above the optimum sqrt(P/2)
+        # (and guaranteed to divide the power-of-two P).
+        c_star = 2 ** int(math.log2(max(math.sqrt(p / 2), 1)))
+        w15 = words_15d(n, nnz, f, L, p, c=c_star).words
+        w2 = words_2d(n, nnz, f, L, p).words
+        w3 = words_3d(n, nnz, f, L, p).words
+        rows.append(
+            (p, f"{w1:.3e}", f"{w15:.3e}", f"{w2:.3e}", f"{w3:.3e}",
+             round(w1 / w2, 2), round(w2 / w3, 2))
+        )
+    print_table(
+        "Per-process words per epoch (protein published size, analytic)",
+        ("P", "1D", "1.5D(c*)", "2D", "3D", "1D/2D", "2D/3D"),
+        rows,
+    )
+    # 1D/2D ratio grows ~ sqrt(P)/5; 2D/3D ~ (10/14) P^(1/6).
+    r_64 = words_1d(n, nnz, f, L, 64).words / words_2d(n, nnz, f, L, 64).words
+    r_4096 = (
+        words_1d(n, nnz, f, L, 4096).words / words_2d(n, nnz, f, L, 4096).words
+    )
+    assert r_4096 / r_64 > 6  # sqrt(4096/64) = 8, with slack
+    benchmark(words_2d, n, nnz, f, L, 1024)
+    attach(benchmark, ratio_1d_2d_at_4096=round(r_4096, 2))
+
+
+def bench_words_measured_execution(benchmark):
+    ds = make_synthetic(n=640, avg_degree=8, f=32, n_classes=4, seed=0)
+    results = {}
+    for name, p, kwargs in (
+        ("1d", 16, {}),
+        ("1.5d", 16, {"replication": 2}),
+        ("2d", 16, {}),
+        ("3d", 64, {}),
+        ("2d@64", 64, {}),
+        ("1d@64", 64, {}),
+    ):
+        algo = make_algorithm(name.split("@")[0], p, ds, hidden=16, seed=0,
+                              **kwargs)
+        algo.setup(ds.features, ds.labels)
+        st = algo.train_epoch(0)
+        results[name] = st.max_rank_comm_bytes
+    rows = [(k, v) for k, v in results.items()]
+    print_table(
+        "Measured per-rank comm bytes per epoch (synthetic n=640, d=8, f=32)",
+        ("algorithm@P", "max rank bytes"),
+        rows,
+    )
+    # Executed orderings mirror the analysis at P = 64: 3D < 2D < 1D.
+    assert results["3d"] < results["2d@64"] < results["1d@64"]
+
+    algo = make_algorithm("2d", 16, ds, hidden=16, seed=0)
+    algo.setup(ds.features, ds.labels)
+    benchmark(algo.train_epoch)
+    attach(benchmark, measured=results)

@@ -1,0 +1,89 @@
+"""Section VI-a: why local SpMM does not scale under 2D partitioning.
+
+Reproduces both mechanisms the paper cites:
+
+1. **Hypersparsity** -- 2D blocks have average degree ``d / sqrt(P)``; the
+   Yang-et-al calibration (degree 62 -> 8 costs 3x) is checked on the
+   performance model and the real local degree decay is measured on a
+   partitioned stand-in.
+2. **Skinny dense operands** -- the middle layer's dense block goes from
+   16 columns at p=1 to 2 at p=64 (the paper's example); the width factor
+   quantifies the penalty.
+
+The timed kernel is an actual CSR SpMM at amazon-like block shapes.
+"""
+
+import numpy as np
+
+from repro.comm.mesh import Mesh2D
+from repro.config import SUMMIT
+from repro.graph import make_standin
+from repro.sparse import (
+    SpmmPerfModel,
+    aggregate_block_stats,
+    density_factor,
+    distribute_sparse_2d,
+    spmm,
+    width_factor,
+)
+
+from benchmarks.helpers import attach, print_table
+
+
+def bench_spmm_degradation_model(benchmark):
+    model = SpmmPerfModel.from_profile(SUMMIT)
+    d_amazon = 24.0
+    rows = []
+    for p in (1, 4, 16, 36, 64):
+        s = np.sqrt(p)
+        d_local = d_amazon / s
+        w_local = 16.0 / s  # the paper's middle-layer example
+        rate = model.sustained_flops(d_local, max(w_local, 1e-9))
+        rows.append(
+            (
+                p, round(d_local, 2), round(w_local, 2),
+                round(density_factor(d_local), 3),
+                round(width_factor(w_local), 3),
+                f"{rate:.3e}",
+            )
+        )
+    print_table(
+        "SpMM sustained-rate degradation under 2D partitioning "
+        "(amazon d=24, middle layer f=16)",
+        ("P", "local degree", "local f cols", "density factor",
+         "width factor", "FLOP/s"),
+        rows,
+    )
+    ratio = model.speedup_vs(8.0, 62.0, 32)
+    print(f"\nYang et al. calibration: rate(d=62)/rate(d=8) = {ratio:.2f} "
+          f"(paper quotes 3x)")
+    assert abs(ratio - 3.0) < 1e-6
+
+    # Measured local-degree decay on a real partitioned stand-in.
+    ds = make_standin("amazon", scale_divisor=512, seed=0)
+    d_global = ds.adjacency.average_degree()
+    decay_rows = []
+    for p in (4, 16, 64):
+        mesh = Mesh2D.square(p)
+        stats = aggregate_block_stats(distribute_sparse_2d(ds.adjacency, mesh))
+        decay_rows.append(
+            (
+                p,
+                round(stats["mean_local_degree"], 2),
+                round(d_global / np.sqrt(p), 2),
+                round(stats["mean_empty_row_fraction"], 3),
+            )
+        )
+    print_table(
+        "Measured 2D block degree decay (amazon stand-in)",
+        ("P", "measured local degree", "d/sqrt(P)", "empty row fraction"),
+        decay_rows,
+    )
+    for _, measured, predicted, _ in decay_rows:
+        assert abs(measured - predicted) / predicted < 0.2
+
+    # Timed: an actual local SpMM at the p=16 block shape.
+    block = distribute_sparse_2d(ds.adjacency, Mesh2D.square(16))[0]
+    dense = np.random.default_rng(0).standard_normal((block.ncols, 4))
+    benchmark(spmm, block, dense)
+    attach(benchmark, yang_ratio=round(ratio, 3))

@@ -1,0 +1,72 @@
+"""Algorithm 2 ablation: the SUMMA blocking parameter ``b``.
+
+Algorithm 2 iterates in blocks of ``b`` inner indices.  Smaller ``b``
+means more, smaller broadcasts: byte totals stay fixed while message
+counts (latency exposure) grow -- the trade that makes Summit's
+latency-bound regime matter (Section VI).  We execute the 2D algorithm at
+several ``b`` and confirm identical numerics, identical bytes, growing
+message counts.
+"""
+
+import numpy as np
+
+from repro.dist import make_algorithm
+from repro.graph import make_synthetic
+
+from benchmarks.helpers import attach, print_table
+
+P = 16
+BLOCKS = (None, 64, 16, 4)
+
+
+def bench_summa_blocking_parameter(benchmark):
+    ds = make_synthetic(n=384, avg_degree=6, f=24, n_classes=4, seed=0)
+    rows = []
+    losses = {}
+    bytes_by_b = {}
+    msgs_by_b = {}
+    scomm_by_b = {}
+    for b in BLOCKS:
+        algo = make_algorithm("2d", P, ds, hidden=16, seed=0, summa_block=b)
+        algo.setup(ds.features, ds.labels)
+        st = algo.train_epoch(0)
+        total_msgs = algo.rt.tracker.total_messages()
+        losses[b] = st.loss
+        bytes_by_b[b] = st.dcomm_bytes
+        scomm_by_b[b] = st.scomm_bytes
+        msgs_by_b[b] = total_msgs
+        rows.append(
+            (
+                "full block" if b is None else b,
+                len(algo.stages), st.dcomm_bytes, st.scomm_bytes,
+                total_msgs, round(st.modeled_seconds * 1e3, 3),
+            )
+        )
+    print_table(
+        f"SUMMA blocking parameter b at P={P} (n=384, executed)",
+        ("b", "stages", "dcomm bytes", "scomm bytes", "messages",
+         "epoch ms"),
+        rows,
+    )
+    print(
+        "\ndense bytes are invariant in b; sparse bytes grow slightly as b "
+        "shrinks\n(every extra CSR piece ships its own row-pointer header); "
+        "message count --\nthe latency exposure -- grows steeply."
+    )
+
+    ref = losses[None]
+    for b, loss in losses.items():
+        assert np.isclose(loss, ref), "blocking must not change numerics"
+    # Dense payload bytes identical; CSR header overhead and message
+    # counts grow as b shrinks.
+    assert bytes_by_b[64] == bytes_by_b[4]
+    assert scomm_by_b[4] > scomm_by_b[64]
+    assert msgs_by_b[4] > msgs_by_b[64] > msgs_by_b[None]
+
+    algo = make_algorithm("2d", P, ds, hidden=16, seed=0, summa_block=16)
+    algo.setup(ds.features, ds.labels)
+    benchmark(algo.train_epoch)
+    attach(
+        benchmark,
+        messages={str(k): v for k, v in msgs_by_b.items()},
+    )

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/series it regenerates (run with ``-s`` to
+see it inline; the same numbers are attached to the pytest-benchmark
+report via ``extra_info``) and times a representative computation through
+the ``benchmark`` fixture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render and print a fixed-width table; returns the rendered text."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def attach(benchmark, **info) -> None:
+    """Attach key figures to the pytest-benchmark report."""
+    for k, v in info.items():
+        benchmark.extra_info[k] = v

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Profile one distributed training epoch step by step.
+
+The tracker tells you *what* an epoch cost per category (Fig. 3); the
+step tracer tells you *where*: which SUMMA stage, which all-gather, which
+local kernel.  This example traces a 2D epoch on an Amazon stand-in and
+prints the step timeline, the most expensive steps, and the straggler
+histogram (the load-balance diagnostic that motivates the paper's random
+vertex permutation).
+
+Run:  python examples/profile_epoch.py
+"""
+
+from repro import make_algorithm, make_standin
+from repro.comm import StepTracer
+
+P = 16
+
+
+def main() -> None:
+    ds = make_standin("amazon", scale_divisor=2048, seed=0)
+    print(f"dataset: {ds.name}  {ds.summary()}")
+
+    algo = make_algorithm("2d", P, ds, seed=0)
+    tracer = StepTracer(algo.rt.tracker).install()
+    algo.setup(ds.features, ds.labels)
+    stats = algo.train_epoch(0)
+    tracer.uninstall()
+
+    print(f"\nepoch: {stats.modeled_seconds * 1e3:.3f} ms modeled across "
+          f"{len(tracer.events)} bulk-synchronous steps")
+
+    print("\ntop 8 most expensive steps:")
+    for e in tracer.top_steps(8):
+        print(f"  step {e.index:4d}  {e.seconds * 1e6:9.1f} us  "
+              f"dominant={e.dominant_category}  slowest rank={e.slowest_rank}")
+
+    print("\nseconds by category (from the trace):")
+    by_cat = tracer.seconds_by_category()
+    for cat, secs in sorted(by_cat.items(), key=lambda kv: -kv[1]):
+        print(f"  {cat:7s} {secs * 1e6:10.1f} us")
+
+    counts = tracer.straggler_counts()
+    balanced = counts.pop(-1, 0)
+    print(f"\nbalanced steps (collectives pace all ranks equally): "
+          f"{balanced}/{len(tracer.events)}")
+    if counts:
+        print("straggler histogram (rank -> compute steps it was slowest):")
+        for rank in sorted(counts, key=lambda r: -counts[r])[:6]:
+            print(f"  rank {rank:3d}: {counts[rank]} steps")
+
+    print("\nfirst steps of the timeline:")
+    print(tracer.timeline(width=40, max_rows=12))
+
+
+if __name__ == "__main__":
+    main()

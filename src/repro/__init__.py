@@ -1,0 +1,99 @@
+"""repro: reproduction of "Reducing Communication in Graph Neural Network
+Training" (Tripathy, Yelick, Buluc -- CAGNET, SC 2020).
+
+The package implements the paper's full system on a virtual distributed
+runtime:
+
+* :mod:`repro.comm` -- the torch.distributed/NCCL stand-in: process
+  meshes, collectives that really move numpy blocks, alpha-beta cost
+  accounting under a Summit-like machine profile;
+* :mod:`repro.sparse` -- from-scratch CSR storage, SpMM kernels, block
+  distributions, the hypersparsity analysis, and the SpMM performance
+  model;
+* :mod:`repro.graph` -- graph generators (R-MAT, Erdos-Renyi, SBM), GCN
+  normalisation, random vertex permutation, and synthetic stand-ins for
+  the Reddit / Amazon / Protein datasets of Table VI;
+* :mod:`repro.partition` -- edge-cut metrics, random baselines, and a
+  multilevel (Metis-like) k-way partitioner;
+* :mod:`repro.nn` -- the serial GCN reference with the paper's explicit
+  forward/backward equations, loss, and optimisers;
+* :mod:`repro.dist` -- the paper's contribution: the 1D (three variants),
+  1.5D, 2D (SUMMA) and 3D (Split-SpMM) distributed training algorithms,
+  all verified bit-close against the serial reference;
+* :mod:`repro.analysis` -- the Section IV closed-form communication
+  costs and the Fig. 2 / Fig. 3 reproductions at published dataset sizes.
+
+Quickstart::
+
+    from repro import make_synthetic, make_algorithm
+
+    ds = make_synthetic(n=512, avg_degree=8, f=32, n_classes=4)
+    algo = make_algorithm("2d", p=16, dataset=ds)
+    history = algo.fit(ds.features, ds.labels, epochs=10)
+    print(history.final_loss, history.mean_breakdown())
+"""
+
+from repro.analysis import (
+    Model2DEpoch,
+    crossover_p_2d_vs_1d,
+    figure2_throughput,
+    figure3_breakdown,
+    words_1d,
+    words_2d,
+    words_3d,
+)
+from repro.comm import Category, VirtualRuntime
+from repro.config import COMMODITY, SUMMIT, MachineProfile, get_profile
+from repro.dist import (
+    ALGORITHMS,
+    DistGCN1D,
+    DistGCN2D,
+    DistGCN3D,
+    DistGCN15D,
+    make_algorithm,
+)
+from repro.graph import (
+    Dataset,
+    gcn_normalize,
+    make_standin,
+    make_synthetic,
+    published_spec,
+)
+from repro.nn import GCN, SGD, Adam, SerialTrainer
+from repro.sparse import CSRMatrix, spmm
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "VirtualRuntime",
+    "Category",
+    "MachineProfile",
+    "SUMMIT",
+    "COMMODITY",
+    "get_profile",
+    "CSRMatrix",
+    "spmm",
+    "Dataset",
+    "make_synthetic",
+    "make_standin",
+    "published_spec",
+    "gcn_normalize",
+    "GCN",
+    "SerialTrainer",
+    "SGD",
+    "Adam",
+    "ALGORITHMS",
+    "make_algorithm",
+    "DistGCN1D",
+    "DistGCN15D",
+    "DistGCN2D",
+    "DistGCN3D",
+    "Model2DEpoch",
+    "figure2_throughput",
+    "figure3_breakdown",
+    "words_1d",
+    "words_2d",
+    "words_3d",
+    "crossover_p_2d_vs_1d",
+]

@@ -1,0 +1,58 @@
+"""Analysis layer: the paper's cost formulas and figure reproductions."""
+
+from repro.analysis.figures import (
+    FIG2_GPU_COUNTS,
+    FigurePoint,
+    figure2_throughput,
+    figure3_breakdown,
+)
+from repro.analysis.formulas import (
+    CommEstimate,
+    comm_time,
+    crossover_p_2d_vs_1d,
+    ratio_1d_over_2d,
+    words_15d,
+    words_1d,
+    words_1d_symmetric,
+    words_1d_transpose,
+    words_2d,
+    words_3d,
+)
+from repro.analysis.memory import (
+    V100_BYTES,
+    MemoryEstimate,
+    feasibility_table,
+    memory_15d,
+    memory_1d,
+    memory_2d,
+    memory_3d,
+)
+from repro.analysis.model1d import Model1DEpoch
+from repro.analysis.model2d import EpochModelResult, Model2DEpoch
+
+__all__ = [
+    "CommEstimate",
+    "words_1d",
+    "words_1d_symmetric",
+    "words_1d_transpose",
+    "words_15d",
+    "words_2d",
+    "words_3d",
+    "comm_time",
+    "ratio_1d_over_2d",
+    "crossover_p_2d_vs_1d",
+    "Model2DEpoch",
+    "Model1DEpoch",
+    "EpochModelResult",
+    "FigurePoint",
+    "FIG2_GPU_COUNTS",
+    "figure2_throughput",
+    "figure3_breakdown",
+    "MemoryEstimate",
+    "V100_BYTES",
+    "memory_1d",
+    "memory_15d",
+    "memory_2d",
+    "memory_3d",
+    "feasibility_table",
+]

@@ -1,0 +1,100 @@
+"""Figure 2 and Figure 3 reproductions as data tables.
+
+Fig. 2 plots **epoch throughput** (epochs/second) of the 2D implementation
+for each dataset across GPU counts; Fig. 3 plots the matching **time
+breakdown** per epoch (misc / trpose / dcomm / scomm / spmm stacked bars).
+The GPU counts per panel follow the paper:
+
+* amazon : 16, 36, 64
+* reddit : 4, 16, 36, 64
+* protein: 36, 64, 100
+
+(Amazon at 4 and Protein at 4/16 are omitted because "the data does not
+fit in memory for those configurations" -- we honour the same omissions.)
+
+Data comes from :class:`repro.analysis.model2d.Model2DEpoch` evaluated at
+the full published Table VI sizes under the Summit-like machine profile.
+Each row also records which mechanism dominates, so the benchmark output
+can be checked against the paper's narrative (dense communication dominant
+on Amazon, SpMM dominant on Reddit, both significant on Protein).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.model2d import Model2DEpoch
+from repro.comm.tracker import Category
+from repro.config import MachineProfile
+
+__all__ = [
+    "FIG2_GPU_COUNTS",
+    "FigurePoint",
+    "figure2_throughput",
+    "figure3_breakdown",
+]
+
+#: GPU counts per dataset panel, as plotted in Figures 2 and 3.
+FIG2_GPU_COUNTS: Dict[str, Tuple[int, ...]] = {
+    "amazon": (16, 36, 64),
+    "reddit": (4, 16, 36, 64),
+    "protein": (36, 64, 100),
+}
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One bar of Fig. 2 / Fig. 3: a (dataset, GPU count) configuration."""
+
+    dataset: str
+    gpus: int
+    epoch_seconds: float
+    epochs_per_second: float
+    breakdown: Dict[str, float]
+
+    @property
+    def dominant_category(self) -> str:
+        return max(self.breakdown, key=lambda c: self.breakdown[c])
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(self.breakdown.get(c, 0.0) for c in Category.COMM)
+
+
+def _point(
+    dataset: str, gpus: int, profile: Optional[MachineProfile]
+) -> FigurePoint:
+    result = Model2DEpoch.for_published_dataset(
+        dataset, gpus, profile=profile
+    ).run()
+    return FigurePoint(
+        dataset=dataset,
+        gpus=gpus,
+        epoch_seconds=result.total_seconds,
+        epochs_per_second=result.epochs_per_second,
+        breakdown=result.breakdown(),
+    )
+
+
+def figure2_throughput(
+    datasets: Optional[List[str]] = None,
+    profile: Optional[MachineProfile] = None,
+) -> List[FigurePoint]:
+    """Epoch-throughput series of Fig. 2 at the published dataset sizes."""
+    datasets = list(FIG2_GPU_COUNTS) if datasets is None else datasets
+    points: List[FigurePoint] = []
+    for name in datasets:
+        for gpus in FIG2_GPU_COUNTS[name]:
+            points.append(_point(name, gpus, profile))
+    return points
+
+
+def figure3_breakdown(
+    datasets: Optional[List[str]] = None,
+    profile: Optional[MachineProfile] = None,
+) -> List[FigurePoint]:
+    """Per-epoch time-breakdown bars of Fig. 3 (same configurations)."""
+    # Figures 2 and 3 share configurations; the distinction is which of
+    # the point's fields gets plotted.
+    return figure2_throughput(datasets, profile)

@@ -1,0 +1,138 @@
+"""Analytic per-epoch time model of the 1D (symmetric) implementation.
+
+The 1D counterpart of :mod:`repro.analysis.model2d`: replays the exact
+charge pattern of :class:`repro.dist.algo_1d.DistGCN1D` (symmetric
+variant -- the one every GCN-normalised dataset uses) from the problem
+shape alone.  Together the two models put the paper's 1D-vs-2D trade in
+*seconds* rather than words: the 2D algorithm trades an ``O(sqrt(P))``
+bandwidth saving for an ``O(sqrt(P) / lg P)`` latency increase, so 1D
+stays ahead on small or latency-dominated problems (Section IV-C.5:
+2D "is not an appropriate method of large-scale parallel training on
+small graphs where latency is the dominant cost").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.comm import cost_model as cm
+from repro.comm.tracker import Category
+from repro.config import INDEX_BYTES, MachineProfile, SUMMIT
+from repro.sparse.perfmodel import SpmmPerfModel
+from repro.analysis.model2d import EpochModelResult
+
+__all__ = ["Model1DEpoch"]
+
+
+class Model1DEpoch:
+    """Shape-only replay of one 1D (symmetric-variant) training epoch."""
+
+    def __init__(
+        self,
+        n: int,
+        nnz: int,
+        widths: Sequence[int],
+        p: int,
+        profile: Optional[MachineProfile] = None,
+        dtype_bytes: int = 4,
+        perf: Optional[SpmmPerfModel] = None,
+    ):
+        if p < 1:
+            raise ValueError(f"P must be >= 1, got {p}")
+        self.n = int(n)
+        self.nnz = int(nnz)
+        self.widths = tuple(int(w) for w in widths)
+        self.p = p
+        self.profile = profile if profile is not None else SUMMIT
+        self.wb = int(dtype_bytes)
+        self.perf = (
+            perf if perf is not None else SpmmPerfModel.from_profile(self.profile)
+        )
+        self._sec: Dict[str, float] = {c: 0.0 for c in Category.ALL}
+        self._bytes: Dict[str, float] = {c: 0.0 for c in Category.ALL}
+        self.rows_per_rank = self.n / p
+        self.nnz_per_rank = self.nnz / p
+
+    # ------------------------------------------------------------------ #
+    def _charge(self, cat: str, seconds: float, nbytes: float = 0.0) -> None:
+        self._sec[cat] += seconds
+        self._bytes[cat] += nbytes
+
+    def _block_row_spmm(self, f: int) -> None:
+        """One all-gather of the dense matrix + one block-row SpMM.
+
+        Matches the executed implementation: Algorithm 1's broadcast loop
+        charged as a single all-gather (``alpha lg P + beta n f (P-1)/P``),
+        then a single local SpMM on the whole block row -- which retains
+        the full average degree ``d``, so 1D pays no hypersparsity penalty.
+        """
+        total = self.n * f * self.wb
+        cost = cm.allgather_cost(self.profile, int(total), self.p, span=self.p)
+        self._charge(Category.DCOMM, cost.seconds, cost.bytes_critical)
+        self._charge(
+            Category.SPMM,
+            self.perf.seconds(
+                int(self.nnz_per_rank), int(max(self.rows_per_rank, 1)), f
+            ),
+        )
+
+    def _gemm(self, flops: float) -> None:
+        self._charge(
+            Category.MISC,
+            flops / self.profile.gemm_flops + self.profile.kernel_launch_overhead,
+        )
+
+    def _elementwise(self, nbytes: float) -> None:
+        self._charge(
+            Category.MISC,
+            nbytes / self.profile.memory_bandwidth
+            + self.profile.kernel_launch_overhead,
+        )
+
+    def _allreduce(self, nbytes: float) -> None:
+        cost = cm.allreduce_cost(self.profile, int(nbytes), self.p, span=self.p)
+        self._charge(Category.DCOMM, cost.seconds, cost.bytes_critical)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> EpochModelResult:
+        """Model one full 1D training epoch (symmetric variant)."""
+        L = len(self.widths) - 1
+        # ---- forward ----
+        for l in range(L):
+            f_in, f_out = self.widths[l], self.widths[l + 1]
+            self._block_row_spmm(f_in)
+            self._gemm(2.0 * self.rows_per_rank * f_in * f_out)
+            # Activation: rows are complete locally, even log_softmax.
+            self._elementwise(2.0 * self.rows_per_rank * f_out * self.wb)
+        # ---- loss ----
+        self._allreduce(8)
+        # ---- backward ----
+        self._elementwise(3.0 * self.rows_per_rank * self.widths[-1] * self.wb)
+        for l in range(L - 1, -1, -1):
+            f_in, f_out = self.widths[l], self.widths[l + 1]
+            self._block_row_spmm(f_out)          # A G^l (symmetric trade)
+            self._gemm(2.0 * self.rows_per_rank * f_in * f_out)  # H^T (AG)
+            self._allreduce(f_in * f_out * self.wb)              # Y
+            if l > 0:
+                self._gemm(2.0 * self.rows_per_rank * f_out * f_in)
+                self._elementwise(3.0 * self.rows_per_rank * f_in * self.wb)
+        return EpochModelResult(
+            seconds_by_category=dict(self._sec),
+            bytes_by_category=dict(self._bytes),
+        )
+
+    @classmethod
+    def for_published_dataset(
+        cls,
+        name: str,
+        p: int,
+        hidden: int = 16,
+        layers: int = 3,
+        profile: Optional[MachineProfile] = None,
+    ) -> "Model1DEpoch":
+        from repro.graph.datasets import layer_widths, published_spec
+
+        spec = published_spec(name)
+        nnz = spec.edges + spec.vertices
+        widths = layer_widths(spec.features, spec.labels, hidden, layers)
+        return cls(spec.vertices, nnz, widths, p, profile=profile)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the paper's headline artefacts without writing
+code:
+
+* ``table6``      -- the dataset table (published + stand-in check);
+* ``figure2``     -- epoch throughput of the 2D algorithm, published sizes;
+* ``figure3``     -- the per-epoch time breakdown;
+* ``crossover``   -- the 1D-vs-2D words crossover per dataset;
+* ``train``       -- train a GCN on a synthetic graph or a Table VI
+  stand-in with any of the four algorithms and report loss, accuracy, and
+  the communication ledger;
+* ``explosion``   -- measure the neighbourhood explosion on a stand-in.
+
+Examples::
+
+    python -m repro figure2
+    python -m repro train --algorithm 2d --gpus 16 --dataset reddit
+    python -m repro train --algorithm 1.5d --gpus 8 --replication 2
+    python -m repro crossover
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _print_table(header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(header)
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_table6(_args: argparse.Namespace) -> int:
+    from repro.graph import PUBLISHED
+
+    rows = [
+        (s.name, f"{s.vertices:,}", f"{s.edges:,}", s.features, s.labels,
+         f"{s.avg_degree:.1f}")
+        for s in PUBLISHED.values()
+    ]
+    print("Table VI -- dataset characteristics (published):\n")
+    _print_table(
+        ("name", "vertices", "edges", "features", "labels", "avg degree"),
+        rows,
+    )
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import figure2_throughput
+
+    points = figure2_throughput(
+        [args.dataset] if args.dataset else None
+    )
+    print("Figure 2 -- 2D epoch throughput (modeled, published sizes):\n")
+    _print_table(
+        ("dataset", "GPUs", "epochs/s", "sec/epoch", "dominant"),
+        [
+            (pt.dataset, pt.gpus, f"{pt.epochs_per_second:.3f}",
+             f"{pt.epoch_seconds:.3f}", pt.dominant_category)
+            for pt in points
+        ],
+    )
+    return 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import figure3_breakdown
+
+    points = figure3_breakdown(
+        [args.dataset] if args.dataset else None
+    )
+    print("Figure 3 -- 2D per-epoch time breakdown (seconds, modeled):\n")
+    _print_table(
+        ("dataset", "GPUs", "spmm", "dcomm", "scomm", "trpose", "misc"),
+        [
+            (
+                pt.dataset, pt.gpus,
+                *(f"{pt.breakdown[c]:.4f}"
+                  for c in ("spmm", "dcomm", "scomm", "trpose", "misc")),
+            )
+            for pt in points
+        ],
+    )
+    return 0
+
+
+def cmd_crossover(_args: argparse.Namespace) -> int:
+    from repro.analysis.formulas import crossover_p_2d_vs_1d
+    from repro.graph import PUBLISHED
+
+    rows = []
+    for name, spec in PUBLISHED.items():
+        cross = crossover_p_2d_vs_1d(
+            spec.vertices, spec.edges, float(spec.features), 3
+        )
+        rows.append((name, cross))
+    print("1D-vs-2D words crossover (first square P where 2D wins):\n")
+    _print_table(("dataset", "crossover P"), rows)
+    print("\npaper: 2D is competitive once sqrt(P) >= 5 (P ~ 25).")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.dist import make_algorithm
+    from repro.graph import make_standin, make_synthetic
+    from repro.nn import SGD
+
+    if args.dataset:
+        ds = make_standin(args.dataset, scale_divisor=args.scale, seed=args.seed)
+    else:
+        ds = make_synthetic(
+            n=args.vertices, avg_degree=args.degree, f=args.features,
+            n_classes=args.classes, seed=args.seed,
+        )
+    kwargs = {}
+    if args.algorithm == "1.5d":
+        kwargs["replication"] = args.replication
+    algo = make_algorithm(
+        args.algorithm, args.gpus, ds, hidden=args.hidden, seed=args.seed,
+        optimizer=SGD(lr=args.lr), **kwargs,
+    )
+    print(f"dataset : {ds.name}  {ds.summary()}")
+    print(f"machine : {algo.rt.describe()}")
+    history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
+    print(f"\n{'epoch':>5s} {'loss':>9s} {'acc':>6s}")
+    step = max(1, args.epochs // 10)
+    for e in history.epochs[::step] + history.epochs[-1:]:
+        print(f"{e.epoch:5d} {e.loss:9.4f} {e.train_accuracy:6.3f}")
+    last = history.epochs[-1]
+    print(f"\nper-epoch communication: dcomm {last.dcomm_bytes} B, "
+          f"scomm {last.scomm_bytes} B, max/rank {last.max_rank_comm_bytes} B")
+    bd = history.mean_breakdown(skip_first=True)
+    total = sum(bd.values()) or 1.0
+    print("modeled epoch breakdown: " + ", ".join(
+        f"{k} {v / total:.0%}" for k, v in sorted(bd.items(), key=lambda kv: -kv[1])
+    ))
+    return 0
+
+
+def cmd_memory(_args: argparse.Namespace) -> int:
+    from repro.analysis.memory import feasibility_table, memory_2d
+    from repro.graph.datasets import layer_widths, published_spec
+
+    table = feasibility_table()
+    rows = []
+    for name, fits in table.items():
+        spec = published_spec(name)
+        widths = layer_widths(spec.features, spec.labels)
+        nnz = spec.edges + spec.vertices
+        for gpus, ok in fits.items():
+            est = memory_2d(spec.vertices, nnz, widths, gpus)
+            rows.append(
+                (name, gpus, f"{est.total_gib:.1f}",
+                 "fits" if ok else "OOM")
+            )
+    print("Section V-C memory feasibility (2D algorithm, 16 GB V100):\n")
+    _print_table(("dataset", "GPUs", "GiB/rank", "verdict"), rows)
+    print("\npaper: amazon omitted at 4 GPUs; protein omitted at 4 and 16.")
+    return 0
+
+
+def cmd_explosion(args: argparse.Namespace) -> int:
+    from repro.graph import make_standin
+    from repro.sampling import neighborhood_explosion_stats
+
+    ds = make_standin(args.dataset or "reddit", scale_divisor=args.scale,
+                      seed=args.seed)
+    print(f"dataset: {ds.name}  n={ds.num_vertices}\n")
+    rows = []
+    for batch in (8, 32, 128):
+        batch = min(batch, ds.num_vertices)
+        stats = neighborhood_explosion_stats(
+            ds.adjacency, batch_size=batch, hops=args.hops, trials=3,
+            seed=args.seed,
+        )
+        rows.append(
+            (batch, *(int(s) for s in stats.mean_frontier_sizes),
+             f"{stats.final_fraction:.1%}")
+        )
+    _print_table(
+        ("batch",) + tuple(f"hop{k}" for k in range(args.hops + 1))
+        + ("fraction",),
+        rows,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAGNET (SC 2020) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table6", help="Table VI dataset characteristics")
+
+    for name in ("figure2", "figure3"):
+        p = sub.add_parser(name, help=f"reproduce {name}")
+        p.add_argument("--dataset", choices=("reddit", "amazon", "protein"))
+
+    sub.add_parser("crossover", help="1D-vs-2D crossover per dataset")
+
+    sub.add_parser("memory", help="Section V-C memory feasibility table")
+
+    p = sub.add_parser("train", help="train a GCN on a virtual cluster")
+    p.add_argument("--algorithm", default="2d",
+                   choices=("1d", "1.5d", "2d", "3d"))
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--dataset", choices=("reddit", "amazon", "protein"),
+                   help="Table VI stand-in (default: synthetic)")
+    p.add_argument("--scale", type=int, default=1024,
+                   help="stand-in scale divisor")
+    p.add_argument("--vertices", type=int, default=512)
+    p.add_argument("--degree", type=float, default=8.0)
+    p.add_argument("--features", type=int, default=32)
+    p.add_argument("--classes", type=int, default=4)
+    p.add_argument("--hidden", type=int, default=16)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--lr", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replication", type=int, default=2,
+                   help="1.5D replication factor c")
+
+    p = sub.add_parser("explosion", help="neighbourhood explosion stats")
+    p.add_argument("--dataset", choices=("reddit", "amazon", "protein"))
+    p.add_argument("--scale", type=int, default=512)
+    p.add_argument("--hops", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+COMMANDS = {
+    "table6": cmd_table6,
+    "figure2": cmd_figure2,
+    "figure3": cmd_figure3,
+    "crossover": cmd_crossover,
+    "memory": cmd_memory,
+    "train": cmd_train,
+    "explosion": cmd_explosion,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

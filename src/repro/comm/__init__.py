@@ -1,0 +1,48 @@
+"""Communication substrate: meshes, collectives, cost model, accounting.
+
+This package is the stand-in for ``torch.distributed`` + NCCL on the Summit
+supercomputer.  See :mod:`repro.comm.runtime` for the entry point.
+"""
+
+from repro.comm.cost_model import (
+    CollectiveCost,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    broadcast_cost,
+    gather_cost,
+    p2p_cost,
+    reduce_cost,
+    reduce_scatter_cost,
+    scatter_cost,
+)
+from repro.comm.collectives import Collectives, payload_nbytes
+from repro.comm.mesh import Mesh1D, Mesh2D, Mesh3D, ProcessMesh
+from repro.comm.runtime import VirtualRuntime
+from repro.comm.trace import StepEvent, StepTracer
+from repro.comm.tracker import Category, CategoryTotals, CommTracker
+
+__all__ = [
+    "CollectiveCost",
+    "Collectives",
+    "Category",
+    "CategoryTotals",
+    "CommTracker",
+    "Mesh1D",
+    "Mesh2D",
+    "Mesh3D",
+    "ProcessMesh",
+    "VirtualRuntime",
+    "StepTracer",
+    "StepEvent",
+    "payload_nbytes",
+    "broadcast_cost",
+    "reduce_cost",
+    "allgather_cost",
+    "reduce_scatter_cost",
+    "allreduce_cost",
+    "alltoall_cost",
+    "gather_cost",
+    "scatter_cost",
+    "p2p_cost",
+]

@@ -1,0 +1,221 @@
+"""Alpha-beta cost formulas for point-to-point and collective operations.
+
+The paper analyses every algorithm in the alpha-beta model (Section III-A):
+sending a message of ``n`` words costs ``alpha + beta * n``.  Collectives
+follow the classical costs from Chan et al. [11] and Thakur et al. [28],
+which the paper cites for its ``alpha lg P + beta n f (P-1)/P`` bounds:
+
+===================  =============================================
+collective            cost charged (p ranks, m bytes per rank)
+===================  =============================================
+broadcast             ``lg p * alpha + beta * m``            (pipelined tree;
+                      SUMMA-style broadcasts drop the ``lg p`` latency factor
+                      via pipelining, which we expose as ``pipelined=True``)
+reduce                ``lg p * alpha + beta * m`` (+ gamma compute, ignored)
+all-gather            ``lg p * alpha + beta * m * (p-1)/p``  (ring/recursive
+                      doubling; ``m`` = total result bytes)
+reduce-scatter        ``lg p * alpha + beta * m * (p-1)/p``  (recursive halving)
+all-reduce            ``2 lg p * alpha + 2 beta * m * (p-1)/p``
+                      (reduce-scatter + all-gather)
+all-to-all            ``(p-1) * alpha + beta * m * (p-1)/p`` (pairwise)
+===================  =============================================
+
+These functions return **modeled seconds**; the actual data movement is
+performed (and byte counts recorded exactly) by
+:mod:`repro.comm.collectives`.  Keeping the two separate means the measured
+byte counts validate the analysis even if one disagrees with the time model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import MachineProfile
+
+__all__ = [
+    "CollectiveCost",
+    "p2p_cost",
+    "broadcast_cost",
+    "reduce_cost",
+    "allgather_cost",
+    "reduce_scatter_cost",
+    "allreduce_cost",
+    "alltoall_cost",
+    "gather_cost",
+    "scatter_cost",
+]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Cost of one collective: modeled time plus volume accounting.
+
+    ``bytes_on_wire`` is the total traffic the operation puts on the
+    network (summed over ranks); ``bytes_critical`` is the volume on the
+    critical path of a single rank -- this is the quantity the paper's
+    per-process ``T_comm`` formulas bound.  ``messages`` counts messages on
+    the critical path (the latency multiplier).
+    """
+
+    seconds: float
+    bytes_on_wire: int
+    bytes_critical: int
+    messages: int
+
+    def __add__(self, other: "CollectiveCost") -> "CollectiveCost":
+        return CollectiveCost(
+            self.seconds + other.seconds,
+            self.bytes_on_wire + other.bytes_on_wire,
+            self.bytes_critical + other.bytes_critical,
+            self.messages + other.messages,
+        )
+
+
+def _lg(p: int) -> float:
+    """``ceil(log2 p)`` with ``lg 1 = 0`` -- the latency multiplier."""
+    if p <= 1:
+        return 0.0
+    return float(math.ceil(math.log2(p)))
+
+
+def p2p_cost(profile: MachineProfile, nbytes: int,
+             span: Optional[int] = None) -> CollectiveCost:
+    """One point-to-point message of ``nbytes``.
+
+    ``span`` is the physical spread of the communicating job (usually the
+    world size); it selects the bandwidth tier.  Two ranks of a 64-rank
+    job talk over the inter-node network, not NVLink.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative message size: {nbytes}")
+    span = 2 if span is None else span
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    return CollectiveCost(alpha + beta * nbytes, nbytes, nbytes, 1)
+
+
+def broadcast_cost(
+    profile: MachineProfile, nbytes: int, nranks: int, pipelined: bool = False,
+    span: Optional[int] = None,
+) -> CollectiveCost:
+    """Broadcast ``nbytes`` from one root to ``nranks`` ranks.
+
+    ``pipelined=True`` models the SUMMA-style broadcast the paper invokes in
+    Section IV-C ("high-level algorithms such as SUMMA can avoid the lg P
+    factor in the latency term through pipelining"): latency is charged as a
+    single alpha and bandwidth once.
+    """
+    if nranks <= 1 or nbytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    span = nranks if span is None else max(span, nranks)
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    lat_factor = 1.0 if pipelined else _lg(nranks)
+    seconds = lat_factor * alpha + beta * nbytes
+    wire = nbytes * (nranks - 1)
+    return CollectiveCost(seconds, wire, nbytes, max(1, int(lat_factor)))
+
+
+def reduce_cost(profile: MachineProfile, nbytes: int, nranks: int,
+                span: Optional[int] = None) -> CollectiveCost:
+    """Tree reduction of per-rank buffers of ``nbytes`` down to one root."""
+    if nranks <= 1 or nbytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    span = nranks if span is None else max(span, nranks)
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    seconds = _lg(nranks) * alpha + beta * nbytes
+    wire = nbytes * (nranks - 1)
+    return CollectiveCost(seconds, wire, nbytes, int(_lg(nranks)))
+
+
+def allgather_cost(
+    profile: MachineProfile, total_bytes: int, nranks: int,
+    span: Optional[int] = None,
+) -> CollectiveCost:
+    """All-gather where the concatenated result has ``total_bytes``.
+
+    Ring/recursive-doubling bandwidth term ``beta * m * (p-1)/p`` from
+    Chan et al., which the paper rounds up to ``beta * m``.
+    """
+    if nranks <= 1 or total_bytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    span = nranks if span is None else max(span, nranks)
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    moved = total_bytes * (nranks - 1) / nranks
+    seconds = _lg(nranks) * alpha + beta * moved
+    wire = int(moved * nranks)
+    return CollectiveCost(seconds, wire, int(moved), int(_lg(nranks)))
+
+
+def reduce_scatter_cost(
+    profile: MachineProfile, total_bytes: int, nranks: int,
+    span: Optional[int] = None,
+) -> CollectiveCost:
+    """Reduce-scatter of per-rank buffers of ``total_bytes`` each.
+
+    Each rank ends with a reduced ``total_bytes / nranks`` shard; recursive
+    halving moves ``beta * m * (p-1)/p`` per rank -- exactly the
+    ``beta n f (P-1)/P`` term in the paper's 1D backpropagation analysis
+    (Section IV-A.3).
+    """
+    if nranks <= 1 or total_bytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    span = nranks if span is None else max(span, nranks)
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    moved = total_bytes * (nranks - 1) / nranks
+    seconds = _lg(nranks) * alpha + beta * moved
+    wire = int(moved * nranks)
+    return CollectiveCost(seconds, wire, int(moved), int(_lg(nranks)))
+
+
+def allreduce_cost(
+    profile: MachineProfile, nbytes: int, nranks: int,
+    span: Optional[int] = None,
+) -> CollectiveCost:
+    """All-reduce = reduce-scatter + all-gather (Thakur et al.)."""
+    if nranks <= 1 or nbytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    rs = reduce_scatter_cost(profile, nbytes, nranks, span)
+    ag = allgather_cost(profile, nbytes, nranks, span)
+    return rs + ag
+
+
+def alltoall_cost(
+    profile: MachineProfile, total_bytes: int, nranks: int,
+    span: Optional[int] = None,
+) -> CollectiveCost:
+    """Pairwise all-to-all: each rank holds ``total_bytes`` split p ways."""
+    if nranks <= 1 or total_bytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    span = nranks if span is None else max(span, nranks)
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    moved = total_bytes * (nranks - 1) / nranks
+    seconds = (nranks - 1) * alpha + beta * moved
+    wire = int(moved * nranks)
+    return CollectiveCost(seconds, wire, int(moved), nranks - 1)
+
+
+def gather_cost(profile: MachineProfile, total_bytes: int, nranks: int,
+                span: Optional[int] = None) -> CollectiveCost:
+    """Gather shards into one root (binomial tree, bandwidth ``~m``)."""
+    if nranks <= 1 or total_bytes == 0:
+        return CollectiveCost(0.0, 0, 0, 0)
+    span = nranks if span is None else max(span, nranks)
+    alpha = profile.alpha_for_span(span)
+    beta = profile.beta_for_span(span)
+    moved = total_bytes * (nranks - 1) / nranks
+    seconds = _lg(nranks) * alpha + beta * moved
+    wire = int(moved)
+    return CollectiveCost(seconds, wire, int(moved), int(_lg(nranks)))
+
+
+def scatter_cost(profile: MachineProfile, total_bytes: int, nranks: int,
+                 span: Optional[int] = None) -> CollectiveCost:
+    """Scatter from one root; mirror image of :func:`gather_cost`."""
+    return gather_cost(profile, total_bytes, nranks, span)

@@ -1,0 +1,263 @@
+"""Process meshes: 1D chains, 2D grids, and 3D meshes of virtual ranks.
+
+The paper organises processes three ways (Section IV):
+
+* **1D**: a chain of ``P`` ranks, each owning a block row (or column).
+* **2D**: a ``Pr x Pc`` grid (Algorithm 2, SUMMA); the square case
+  ``Pr = Pc = sqrt(P)`` is the one analysed and implemented by the authors,
+  but the rectangular case (Section IV-C.6) is also well-defined and we
+  support it.
+* **3D**: a ``p1 x p2 x p3`` mesh (Split-3D-SpMM, Section IV-D); each 2D
+  plane is a "layer" and the third dimension is the "fiber".
+
+A mesh knows how to map a linear rank to grid coordinates and back, and how
+to enumerate the *communication groups* (process rows, columns, fibers,
+layers) that collectives operate over.  Rank numbering is row-major, which
+matches how ``torch.distributed`` process groups would be built from a flat
+world.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "ProcessMesh",
+    "Mesh1D",
+    "Mesh2D",
+    "Mesh3D",
+    "is_perfect_square",
+    "is_perfect_cube",
+    "square_side",
+    "cube_side",
+]
+
+
+def is_perfect_square(p: int) -> bool:
+    """True when ``p`` is a perfect square (valid square 2D grid size)."""
+    if p < 1:
+        return False
+    r = math.isqrt(p)
+    return r * r == p
+
+
+def square_side(p: int) -> int:
+    """``sqrt(p)`` for perfect squares, raising otherwise."""
+    r = math.isqrt(p)
+    if r * r != p:
+        raise ValueError(f"P={p} is not a perfect square; need Pr=Pc=sqrt(P)")
+    return r
+
+
+def is_perfect_cube(p: int) -> bool:
+    """True when ``p`` is a perfect cube (valid cubic 3D mesh size)."""
+    if p < 1:
+        return False
+    r = round(p ** (1.0 / 3.0))
+    return r**3 == p or (r + 1) ** 3 == p or (r - 1) ** 3 == p and False
+
+
+def cube_side(p: int) -> int:
+    """``cbrt(p)`` for perfect cubes, raising otherwise."""
+    r = round(p ** (1.0 / 3.0))
+    for cand in (r - 1, r, r + 1):
+        if cand > 0 and cand**3 == p:
+            return cand
+    raise ValueError(f"P={p} is not a perfect cube; need a cbrt(P)^3 mesh")
+
+
+@dataclass(frozen=True)
+class ProcessMesh:
+    """Base class: a logical arrangement of ``size`` ranks.
+
+    Subclasses fix the dimensionality and provide coordinate mappings plus
+    group enumeration.  Groups are returned as tuples of linear ranks, in
+    coordinate order, so collectives can address them directly.
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"mesh needs at least one rank, got {self.size}")
+
+    @property
+    def ndim(self) -> int:
+        raise NotImplementedError
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a linear rank."""
+        raise NotImplementedError
+
+    def rank_of(self, *coords: int) -> int:
+        """Linear rank of grid coordinates (inverse of :meth:`coords`)."""
+        raise NotImplementedError
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range for mesh of size {self.size}")
+
+
+@dataclass(frozen=True)
+class Mesh1D(ProcessMesh):
+    """A chain of ``size`` ranks; rank i owns block row/column i."""
+
+    @property
+    def ndim(self) -> int:
+        return 1
+
+    def coords(self, rank: int) -> Tuple[int]:
+        self._check_rank(rank)
+        return (rank,)
+
+    def rank_of(self, i: int) -> int:  # type: ignore[override]
+        self._check_rank(i)
+        return i
+
+    def world_group(self) -> Tuple[int, ...]:
+        """All ranks, in order -- the only group a 1D mesh has."""
+        return tuple(range(self.size))
+
+
+@dataclass(frozen=True)
+class Mesh2D(ProcessMesh):
+    """A ``rows x cols`` grid; rank = i*cols + j for coordinates (i, j)."""
+
+    rows: int = 0
+    cols: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"invalid grid {self.rows}x{self.cols}")
+        if self.rows * self.cols != self.size:
+            raise ValueError(
+                f"grid {self.rows}x{self.cols} does not tile {self.size} ranks"
+            )
+
+    @classmethod
+    def square(cls, p: int) -> "Mesh2D":
+        """The ``sqrt(P) x sqrt(P)`` grid used by the paper's implementation."""
+        s = square_side(p)
+        return cls(size=p, rows=s, cols=s)
+
+    @classmethod
+    def rectangular(cls, rows: int, cols: int) -> "Mesh2D":
+        """An explicit ``Pr x Pc`` grid (Section IV-C.6)."""
+        return cls(size=rows * cols, rows=rows, cols=cols)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def is_square(self) -> bool:
+        return self.rows == self.cols
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        self._check_rank(rank)
+        return divmod(rank, self.cols)
+
+    def rank_of(self, i: int, j: int) -> int:  # type: ignore[override]
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(f"coords ({i},{j}) outside {self.rows}x{self.cols} grid")
+        return i * self.cols + j
+
+    def row_group(self, i: int) -> Tuple[int, ...]:
+        """Ranks of process row ``i``: P(i, :) in the paper's notation."""
+        return tuple(self.rank_of(i, j) for j in range(self.cols))
+
+    def col_group(self, j: int) -> Tuple[int, ...]:
+        """Ranks of process column ``j``: P(:, j)."""
+        return tuple(self.rank_of(i, j) for i in range(self.rows))
+
+    def row_groups(self) -> List[Tuple[int, ...]]:
+        return [self.row_group(i) for i in range(self.rows)]
+
+    def col_groups(self) -> List[Tuple[int, ...]]:
+        return [self.col_group(j) for j in range(self.cols)]
+
+
+@dataclass(frozen=True)
+class Mesh3D(ProcessMesh):
+    """A ``p1 x p2 x p3`` mesh; rank = (i*p2 + j)*p3 + k for (i, j, k).
+
+    Following Split-3D-SpGEMM terminology (Azad et al., cited as [3]):
+    fixing ``k`` gives a 2D **layer**; varying ``k`` with (i, j) fixed walks
+    a **fiber** -- the dimension along which partial products are
+    reduce-scattered.
+    """
+
+    p1: int = 0
+    p2: int = 0
+    p3: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if min(self.p1, self.p2, self.p3) < 1:
+            raise ValueError(f"invalid 3D mesh {self.p1}x{self.p2}x{self.p3}")
+        if self.p1 * self.p2 * self.p3 != self.size:
+            raise ValueError(
+                f"mesh {self.p1}x{self.p2}x{self.p3} does not tile {self.size} ranks"
+            )
+
+    @classmethod
+    def cubic(cls, p: int) -> "Mesh3D":
+        """The ``cbrt(P)^3`` mesh of Section IV-D."""
+        s = cube_side(p)
+        return cls(size=p, p1=s, p2=s, p3=s)
+
+    @property
+    def ndim(self) -> int:
+        return 3
+
+    def coords(self, rank: int) -> Tuple[int, int, int]:
+        self._check_rank(rank)
+        ij, k = divmod(rank, self.p3)
+        i, j = divmod(ij, self.p2)
+        return i, j, k
+
+    def rank_of(self, i: int, j: int, k: int) -> int:  # type: ignore[override]
+        if not (0 <= i < self.p1 and 0 <= j < self.p2 and 0 <= k < self.p3):
+            raise IndexError(
+                f"coords ({i},{j},{k}) outside {self.p1}x{self.p2}x{self.p3} mesh"
+            )
+        return (i * self.p2 + j) * self.p3 + k
+
+    def layer_group(self, k: int) -> Tuple[int, ...]:
+        """All ranks of layer ``k`` (a full 2D grid), row-major."""
+        return tuple(
+            self.rank_of(i, j, k) for i in range(self.p1) for j in range(self.p2)
+        )
+
+    def row_group(self, i: int, k: int) -> Tuple[int, ...]:
+        """Process row i within layer k: P(i, :, k)."""
+        return tuple(self.rank_of(i, j, k) for j in range(self.p2))
+
+    def col_group(self, j: int, k: int) -> Tuple[int, ...]:
+        """Process column j within layer k: P(:, j, k)."""
+        return tuple(self.rank_of(i, j, k) for i in range(self.p1))
+
+    def fiber_group(self, i: int, j: int) -> Tuple[int, ...]:
+        """The fiber P(i, j, :) across layers -- the reduction dimension."""
+        return tuple(self.rank_of(i, j, k) for k in range(self.p3))
+
+    def fiber_groups(self) -> List[Tuple[int, ...]]:
+        return [
+            self.fiber_group(i, j) for i in range(self.p1) for j in range(self.p2)
+        ]
+
+
+def validate_group(group: Sequence[int], size: int) -> Tuple[int, ...]:
+    """Validate a communication group: unique in-range ranks, order kept."""
+    g = tuple(int(r) for r in group)
+    if len(g) == 0:
+        raise ValueError("empty communication group")
+    if len(set(g)) != len(g):
+        raise ValueError(f"duplicate ranks in group {g}")
+    for r in g:
+        if not 0 <= r < size:
+            raise IndexError(f"rank {r} out of range for world of size {size}")
+    return g

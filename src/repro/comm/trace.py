@@ -1,0 +1,187 @@
+"""Step-level tracing of a virtual distributed run.
+
+The tracker aggregates; the tracer *itemises*.  Wrapping a
+:class:`~repro.comm.tracker.CommTracker` with :class:`StepTracer` records
+one event per bulk-synchronous step -- the per-category seconds of the
+slowest rank, which rank it was, and the step's total -- so a run can be
+profiled the way the paper profiles its Figure 3 bars, but at step
+granularity:
+
+* ``top_steps(k)`` -- where did the epoch actually go?  (e.g. "the 8
+  SUMMA dense broadcasts of layer 0 dominate");
+* ``straggler_counts()`` -- which rank sets the pace how often (the load
+  -balance diagnostic behind the random-permutation ablation);
+* ``timeline()`` -- a text Gantt of the epoch.
+
+Tracing is strictly additive: it observes ``step_scope`` exits without
+changing any charge, so traced and untraced runs are identical in every
+ledger number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.comm.tracker import CommTracker
+
+__all__ = ["StepEvent", "StepTracer"]
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One bulk-synchronous step, as experienced by the slowest rank.
+
+    ``slowest_rank`` is ``-1`` for balanced steps (the slowest rank is
+    within 1 % of the mean pace) -- collectives charge every participant
+    identically, so pure communication steps are balanced by
+    construction; genuine stragglers come from skewed local compute.
+    """
+
+    index: int
+    slowest_rank: int
+    seconds_by_category: Dict[str, float]
+
+    @property
+    def balanced(self) -> bool:
+        return self.slowest_rank < 0
+
+    @property
+    def seconds(self) -> float:
+        return sum(self.seconds_by_category.values())
+
+    @property
+    def dominant_category(self) -> str:
+        if not self.seconds_by_category:
+            return "idle"
+        return max(
+            self.seconds_by_category, key=lambda c: self.seconds_by_category[c]
+        )
+
+
+class StepTracer:
+    """Record per-step events by intercepting a tracker's step scopes."""
+
+    def __init__(self, tracker: CommTracker):
+        self.tracker = tracker
+        self.events: List[StepEvent] = []
+        self._original_scope = tracker.step_scope
+        self._installed = False
+
+    # ------------------------------------------------------------------ #
+    def install(self) -> "StepTracer":
+        """Start recording (idempotent)."""
+        if self._installed:
+            return self
+        tracker = self.tracker
+        tracer = self
+
+        import contextlib
+
+        # Wrap by snapshotting wall clocks and per-rank seconds around the
+        # original scope: tracing never alters any charge.
+        @contextlib.contextmanager
+        def traced_scope_robust():
+            if tracker._step is not None:
+                with tracer._original_scope():
+                    yield
+                return
+            wall_before = dict(tracker.wall)
+            rank_secs_before = [
+                {c: t.seconds for c, t in tracker.per_rank[r].items()}
+                for r in range(tracker.nranks)
+            ]
+            with tracer._original_scope():
+                yield
+            delta = {
+                c: tracker.wall.get(c, 0.0) - wall_before.get(c, 0.0)
+                for c in set(tracker.wall) | set(wall_before)
+            }
+            delta = {c: v for c, v in delta.items() if v > 0}
+            if not delta:
+                return
+            # Identify the slowest rank (largest per-rank seconds delta);
+            # report -1 when the step is balanced to fp noise.
+            totals = []
+            for r in range(tracker.nranks):
+                before = rank_secs_before[r]
+                totals.append(sum(
+                    t.seconds - before.get(c, 0.0)
+                    for c, t in tracker.per_rank[r].items()
+                ))
+            worst = max(totals)
+            slowest = totals.index(worst)
+            mean = sum(totals) / len(totals)
+            # Balanced: the slowest rank is within 1% of the mean pace
+            # (collectives charge every participant identically, so pure
+            # communication steps land here by construction).
+            if tracker.nranks > 1 and worst <= mean * 1.01:
+                slowest = -1
+            tracer.events.append(
+                StepEvent(
+                    index=len(tracer.events),
+                    slowest_rank=slowest,
+                    seconds_by_category=delta,
+                )
+            )
+
+        tracker.step_scope = traced_scope_robust  # type: ignore[assignment]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.tracker.step_scope = self._original_scope  # type: ignore
+            self._installed = False
+
+    def __enter__(self) -> "StepTracer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------ #
+    # reports
+    # ------------------------------------------------------------------ #
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    def top_steps(self, k: int = 10) -> List[StepEvent]:
+        """The k most expensive steps, slowest first."""
+        return sorted(self.events, key=lambda e: -e.seconds)[:k]
+
+    def straggler_counts(self) -> Dict[int, int]:
+        """How often each rank was the step's slowest -- load balance.
+
+        Key ``-1`` counts balanced steps (no straggler).
+        """
+        out: Dict[int, int] = {}
+        for e in self.events:
+            out[e.slowest_rank] = out.get(e.slowest_rank, 0) + 1
+        return out
+
+    def seconds_by_category(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for e in self.events:
+            for c, s in e.seconds_by_category.items():
+                out[c] = out.get(c, 0.0) + s
+        return out
+
+    def timeline(self, width: int = 60, max_rows: int = 40) -> str:
+        """A text Gantt chart of the recorded steps."""
+        if not self.events:
+            return "(no steps recorded)"
+        total = self.total_seconds()
+        lines = [f"timeline: {len(self.events)} steps, "
+                 f"{total * 1e3:.3f} ms total"]
+        shown = self.events[:max_rows]
+        peak = max(e.seconds for e in self.events) or 1.0
+        for e in shown:
+            bar = "#" * max(1, int(width * e.seconds / peak))
+            lines.append(
+                f"  step {e.index:4d} [{e.dominant_category:6s}] "
+                f"{e.seconds * 1e6:9.1f} us |{bar}"
+            )
+        if len(self.events) > max_rows:
+            lines.append(f"  ... {len(self.events) - max_rows} more steps")
+        return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Per-rank, per-category accounting of communication and compute.
+
+The paper's Figure 3 breaks epoch time into five categories::
+
+    scomm   communicating sparse matrices (adjacency blocks)
+    dcomm   communicating dense matrices (activations, gradients, partials)
+    trpose  computing/communicating matrix transposes
+    spmm    local sparse x dense multiplies
+    misc    everything else (local GEMM, elementwise ops, optimiser)
+
+The tracker records, for every virtual rank, modeled seconds plus exact
+byte/message counts in each category.  The distributed algorithms are bulk
+synchronous: an epoch is a sequence of *steps* (a collective or a local
+kernel applied across ranks) and the epoch's wall-clock is the sum over
+steps of the **maximum** per-rank time within that step.  The tracker
+supports that reduction via :meth:`CommTracker.step_scope`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+__all__ = ["Category", "CommTracker", "CategoryTotals"]
+
+
+class Category:
+    """Canonical category names (mirroring Fig. 3's legend)."""
+
+    SCOMM = "scomm"
+    DCOMM = "dcomm"
+    TRPOSE = "trpose"
+    SPMM = "spmm"
+    MISC = "misc"
+
+    ALL = (SCOMM, DCOMM, TRPOSE, SPMM, MISC)
+    #: Categories that represent network traffic (have byte counts).
+    COMM = (SCOMM, DCOMM, TRPOSE)
+
+
+@dataclass
+class CategoryTotals:
+    """Aggregated totals for one category."""
+
+    seconds: float = 0.0
+    bytes: int = 0
+    messages: int = 0
+    flops: int = 0
+
+    def add(self, seconds: float = 0.0, nbytes: int = 0, messages: int = 0,
+            flops: int = 0) -> None:
+        self.seconds += seconds
+        self.bytes += nbytes
+        self.messages += messages
+        self.flops += flops
+
+    def merged(self, other: "CategoryTotals") -> "CategoryTotals":
+        return CategoryTotals(
+            self.seconds + other.seconds,
+            self.bytes + other.bytes,
+            self.messages + other.messages,
+            self.flops + other.flops,
+        )
+
+
+class CommTracker:
+    """Accounting ledger for a virtual distributed run.
+
+    Two views are kept simultaneously:
+
+    * **per-rank totals** -- exact bytes/messages/flops each rank incurred,
+      used to validate the paper's per-process bounds and to study load
+      balance;
+    * **bulk-synchronous wall clock** -- within each step the slowest rank
+      sets the pace; ``wall_seconds`` accumulates those maxima, broken down
+      by category so Fig. 3 can be regenerated.
+
+    Steps are delimited with :meth:`step_scope`; charges recorded outside a
+    scope form an implicit single-charge step (max == the one charge).
+    """
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError(f"tracker needs >= 1 rank, got {nranks}")
+        self.nranks = nranks
+        self.per_rank: List[Dict[str, CategoryTotals]] = [
+            defaultdict(CategoryTotals) for _ in range(nranks)
+        ]
+        #: wall-clock seconds per category under the bulk-synchronous model
+        self.wall: Dict[str, float] = defaultdict(float)
+        self._step: Optional[List[Dict[str, float]]] = None
+        self._nsteps = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def charge(
+        self,
+        rank: int,
+        category: str,
+        seconds: float,
+        nbytes: int = 0,
+        messages: int = 0,
+        flops: int = 0,
+    ) -> None:
+        """Record work done by / traffic through one rank."""
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range (nranks={self.nranks})")
+        if category not in Category.ALL:
+            raise ValueError(f"unknown category {category!r}; use Category.*")
+        if seconds < 0 or nbytes < 0:
+            raise ValueError("negative charge")
+        self.per_rank[rank][category].add(seconds, nbytes, messages, flops)
+        if self._step is not None:
+            self._step[rank][category] = self._step[rank].get(category, 0.0) + seconds
+        else:
+            # Standalone charge: it is its own step; only this rank worked,
+            # so the step's max time is simply this charge.
+            self.wall[category] += seconds
+            self._nsteps += 1
+
+    @contextlib.contextmanager
+    def step_scope(self) -> Iterator[None]:
+        """Delimit one bulk-synchronous step.
+
+        All charges inside the scope happen "in parallel" across ranks; on
+        exit the per-category wall clock advances by the **maximum**
+        per-rank time in the step, attributed per category in proportion to
+        the slowest rank's own category split.
+        """
+        if self._step is not None:
+            # Nested scopes flatten into the outer step; this keeps call
+            # sites composable (an algorithm step may call a helper that
+            # also opens a scope).
+            yield
+            return
+        self._step = [dict() for _ in range(self.nranks)]
+        try:
+            yield
+        finally:
+            step, self._step = self._step, None
+            totals = [sum(cat.values()) for cat in step]
+            if any(t > 0 for t in totals):
+                slowest = max(range(self.nranks), key=lambda r: totals[r])
+                for category, secs in step[slowest].items():
+                    self.wall[category] += secs
+            self._nsteps += 1
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nsteps(self) -> int:
+        """Number of bulk-synchronous steps recorded."""
+        return self._nsteps
+
+    def wall_seconds(self, category: Optional[str] = None) -> float:
+        """Bulk-synchronous wall clock, total or for one category."""
+        if category is None:
+            return sum(self.wall.values())
+        return self.wall.get(category, 0.0)
+
+    def rank_totals(self, rank: int) -> Mapping[str, CategoryTotals]:
+        return self.per_rank[rank]
+
+    def total_bytes(self, category: Optional[str] = None) -> int:
+        """Exact bytes over all ranks (total, or for one category)."""
+        cats = Category.ALL if category is None else (category,)
+        return sum(
+            self.per_rank[r][c].bytes for r in range(self.nranks) for c in cats
+        )
+
+    def comm_bytes(self) -> int:
+        """Total network traffic (scomm + dcomm + trpose)."""
+        return sum(self.total_bytes(c) for c in Category.COMM)
+
+    def max_rank_bytes(self, category: Optional[str] = None) -> int:
+        """Largest per-rank byte count -- the paper's per-process metric."""
+        cats = Category.ALL if category is None else (category,)
+        return max(
+            sum(self.per_rank[r][c].bytes for c in cats)
+            for r in range(self.nranks)
+        )
+
+    def total_messages(self, category: Optional[str] = None) -> int:
+        cats = Category.ALL if category is None else (category,)
+        return sum(
+            self.per_rank[r][c].messages for r in range(self.nranks) for c in cats
+        )
+
+    def total_flops(self, category: Optional[str] = None) -> int:
+        cats = Category.ALL if category is None else (category,)
+        return sum(
+            self.per_rank[r][c].flops for r in range(self.nranks) for c in cats
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """Wall seconds per category -- one stacked bar of Fig. 3."""
+        return {c: self.wall.get(c, 0.0) for c in Category.ALL}
+
+    def snapshot(self) -> "CommTracker":
+        """Deep copy of the current ledger (for before/after deltas)."""
+        clone = CommTracker(self.nranks)
+        for r in range(self.nranks):
+            for c, t in self.per_rank[r].items():
+                clone.per_rank[r][c] = CategoryTotals(
+                    t.seconds, t.bytes, t.messages, t.flops
+                )
+        clone.wall = defaultdict(float, self.wall)
+        clone._nsteps = self._nsteps
+        return clone
+
+    def delta_since(self, before: "CommTracker") -> Dict[str, CategoryTotals]:
+        """Aggregate category totals accumulated since ``before``."""
+        out: Dict[str, CategoryTotals] = {}
+        for c in Category.ALL:
+            cur = CategoryTotals()
+            prev = CategoryTotals()
+            for r in range(self.nranks):
+                cur = cur.merged(self.per_rank[r][c])
+                prev = prev.merged(before.per_rank[r][c])
+            out[c] = CategoryTotals(
+                cur.seconds - prev.seconds,
+                cur.bytes - prev.bytes,
+                cur.messages - prev.messages,
+                cur.flops - prev.flops,
+            )
+        return out
+
+    def reset(self) -> None:
+        """Clear all accounting (keeps the rank count)."""
+        self.__init__(self.nranks)

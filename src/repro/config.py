@@ -1,0 +1,158 @@
+"""Global configuration: machine profiles, dtype sizes, defaults.
+
+The paper (CAGNET, SC 2020) runs on the Summit supercomputer at OLCF and
+analyses its algorithms under the alpha-beta communication model: a message
+of ``n`` words costs ``alpha + beta * n`` time, where ``alpha`` is the
+per-message latency and ``beta`` the reciprocal bandwidth (time per word).
+
+We reproduce the experiments on a *virtual* distributed runtime, so the
+machine is described by a :class:`MachineProfile` instead of real hardware.
+The default profile is calibrated to the Summit numbers the paper reports:
+
+* inter-node: dual-rail EDR InfiniBand, 23 GB/s per node pair;
+* intra-socket: NVLink 2.0, 100 GB/s total bidirectional per GPU;
+* cross-socket: IBM X-bus, 64 GB/s;
+* V100-class local compute rates for SpMM and GEMM.
+
+All rates are expressed in **seconds per byte** (beta) and **seconds per
+message** (alpha) so they plug directly into the cost formulas of
+:mod:`repro.comm.cost_model`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+#: Number of bytes per matrix element.  The paper trains in fp32.
+FP32_BYTES = 4
+FP64_BYTES = 8
+#: Bytes per sparse index entry (int32 indices, as cuSPARSE csrmm2 uses).
+INDEX_BYTES = 4
+
+#: Default element size used when charging communication for dense blocks.
+DEFAULT_WORD_BYTES = FP32_BYTES
+
+
+def _gbps_to_sec_per_byte(gigabytes_per_second: float) -> float:
+    """Convert a link bandwidth in GB/s to an inverse bandwidth (s/byte)."""
+    return 1.0 / (gigabytes_per_second * 1e9)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineProfile:
+    """Alpha-beta description of a (virtual) distributed machine.
+
+    Parameters mirror the quantities the paper uses in its analysis
+    (Section III-A, Table I): ``alpha`` is the per-message latency and
+    ``beta`` the per-word (here per-byte) transfer time.  Three bandwidth
+    tiers model Summit's NVLink / X-bus / InfiniBand hierarchy; the
+    collectives layer picks a tier from the number of ranks involved and
+    ``gpus_per_node``.
+
+    Compute-side rates parameterise the local-kernel time model:
+    ``gemm_flops`` is the dense-matmul rate; ``spmm_base_flops`` is the
+    sparse-times-tall-skinny-dense rate *before* the sparsity/skinny-operand
+    degradation modeled in :mod:`repro.sparse.perfmodel`.
+    """
+
+    name: str = "summit"
+    #: Per-message latency for inter-node messages (seconds).
+    alpha: float = 2.0e-6
+    #: Inverse bandwidth for inter-node messages (seconds per byte).
+    beta: float = _gbps_to_sec_per_byte(23.0)
+    #: Inverse bandwidth within a socket (NVLink 2.0 tier).
+    beta_intranode: float = _gbps_to_sec_per_byte(100.0)
+    #: Inverse bandwidth across sockets of one node (X-bus tier).
+    beta_intersocket: float = _gbps_to_sec_per_byte(64.0)
+    #: Latency for intra-node messages (seconds).
+    alpha_intranode: float = 5.0e-7
+    #: GPUs per node; ranks are folded onto nodes round-robin in blocks.
+    gpus_per_node: int = 6
+    #: GPUs per socket (Summit: 3 per POWER9 socket).
+    gpus_per_socket: int = 3
+    #: Dense matmul rate in FLOP/s (V100 fp32 is ~14 TFLOP/s; sustained less).
+    gemm_flops: float = 7.0e12
+    #: Base SpMM rate in FLOP/s before degradation factors.  Calibrated so
+    #: the modeled Fig. 2 epoch times land near the paper's absolute range:
+    #: cuSPARSE csrmm2 on V100 sustains ~60-120 GFLOP/s for GNN-shaped
+    #: operands (Yang et al. [33]) before the sparsity/width degradation
+    #: modeled in :mod:`repro.sparse.perfmodel`.
+    spmm_base_flops: float = 7.0e10
+    #: Fixed per-kernel launch overhead (seconds), charged per local kernel.
+    kernel_launch_overhead: float = 1.0e-5
+    #: Memory-bandwidth bound rate for elementwise ops (bytes/sec, HBM2).
+    memory_bandwidth: float = 800.0e9
+    #: Bytes per dense element for communication accounting.
+    word_bytes: int = DEFAULT_WORD_BYTES
+
+    def beta_for_span(self, nranks_spanned: int) -> float:
+        """Pick the bandwidth tier for a collective spanning ``nranks_spanned``.
+
+        A collective confined to one socket uses the NVLink tier, one node
+        uses the X-bus tier, anything wider the inter-node tier.  This is
+        deliberately coarse -- exactly as coarse as the paper's own analysis,
+        which treats Summit as a flat alpha-beta machine but reports the
+        tiered bandwidths in its system description.
+        """
+        if nranks_spanned <= self.gpus_per_socket:
+            return self.beta_intranode
+        if nranks_spanned <= self.gpus_per_node:
+            return self.beta_intersocket
+        return self.beta
+
+    def alpha_for_span(self, nranks_spanned: int) -> float:
+        """Latency tier matching :meth:`beta_for_span`."""
+        if nranks_spanned <= self.gpus_per_node:
+            return self.alpha_intranode
+        return self.alpha
+
+
+#: Summit-like default machine (the paper's testbed).
+SUMMIT = MachineProfile()
+
+#: A slower-network machine; the paper notes that faster local kernels are
+#: "equivalent from a relative cost perspective to running on clusters with
+#: slower networks", so this profile is useful for sensitivity studies.
+COMMODITY = MachineProfile(
+    name="commodity",
+    alpha=2.0e-5,
+    beta=_gbps_to_sec_per_byte(1.5),
+    beta_intranode=_gbps_to_sec_per_byte(12.0),
+    beta_intersocket=_gbps_to_sec_per_byte(8.0),
+    alpha_intranode=2.0e-6,
+    gpus_per_node=4,
+    gpus_per_socket=2,
+    gemm_flops=1.0e12,
+    spmm_base_flops=4.0e10,
+)
+
+#: A latency-free, infinite-bandwidth machine for pure-volume accounting.
+ZERO_COST = MachineProfile(
+    name="zero-cost",
+    alpha=0.0,
+    beta=0.0,
+    beta_intranode=0.0,
+    beta_intersocket=0.0,
+    alpha_intranode=0.0,
+    kernel_launch_overhead=0.0,
+)
+
+_PROFILES = {p.name: p for p in (SUMMIT, COMMODITY, ZERO_COST)}
+
+
+def get_profile(name: Optional[str]) -> MachineProfile:
+    """Look up a named machine profile (``None`` -> Summit default)."""
+    if name is None:
+        return SUMMIT
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None
+
+
+def register_profile(profile: MachineProfile) -> None:
+    """Register a custom profile so benchmarks can refer to it by name."""
+    _PROFILES[profile.name] = profile

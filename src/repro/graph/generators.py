@@ -1,0 +1,205 @@
+"""Graph generators: Erdos-Renyi, R-MAT/Kronecker, SBM, and toy graphs.
+
+The paper evaluates on Reddit, Amazon, and a protein-similarity network --
+all heavy-tailed real graphs we cannot ship.  Per the substitution rule,
+the stand-ins are generated:
+
+* :func:`rmat` (R-MAT / stochastic Kronecker) reproduces the skewed,
+  scale-free degree distributions of social/co-purchase/protein networks.
+  Skew is what makes load balance matter and what defeats graph
+  partitioning ("given the scale free nature of most graph datasets,
+  graph partitioning is unlikely to produce an asymptotic improvement",
+  Section IV-A.8).
+* :func:`erdos_renyi` matches the paper's own analytical model
+  ``G(n, d/n)`` used for the hypersparsity expectations (Section IV-A.3).
+* :func:`stochastic_block_model` produces community structure, the
+  favourable case for the Metis-style partitioner experiment.
+* ring / star / grid give deterministic shapes for unit tests.
+
+Every generator takes a ``seed`` and is deterministic given it; all return
+unweighted COO edge lists (possibly directed) that
+:func:`repro.graph.normalize.gcn_normalize` turns into the modified
+adjacency matrix ``A`` of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "stochastic_block_model",
+    "ring_graph",
+    "star_graph",
+    "grid_graph",
+    "edges_to_adjacency",
+]
+
+
+def edges_to_adjacency(
+    src: np.ndarray,
+    dst: np.ndarray,
+    n: int,
+    symmetrize: bool = True,
+    drop_self_loops: bool = True,
+) -> CSRMatrix:
+    """Build a 0/1 adjacency CSR from an edge list.
+
+    ``symmetrize=True`` adds the reverse edges (undirected graph); parallel
+    edges collapse to one (value clamped to 1); self loops are dropped here
+    because GCN normalisation re-adds exactly one per vertex.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if symmetrize:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    if drop_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    a = CSRMatrix.from_coo(src, dst, np.ones(src.size), (n, n))
+    # Collapse duplicate-summed entries back to 0/1.
+    a.data[:] = 1.0
+    return a
+
+
+def erdos_renyi(
+    n: int,
+    avg_degree: float,
+    seed: int = 0,
+    directed: bool = False,
+) -> CSRMatrix:
+    """``G(n, d/n)`` with expected average degree ``avg_degree``.
+
+    Samples ``m ~= n*d/2`` undirected (or ``n*d`` directed) edges by
+    rejection-free uniform pair draws; duplicates collapse, so the realised
+    degree is marginally below the target for dense regimes -- irrelevant
+    at GNN-dataset sparsities.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if avg_degree < 0 or avg_degree >= n:
+        raise ValueError(f"avg_degree {avg_degree} outside [0, n)")
+    rng = np.random.default_rng(seed)
+    m = int(round(n * avg_degree / (1 if directed else 2)))
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    return edges_to_adjacency(src, dst, n, symmetrize=not directed)
+
+
+def rmat(
+    scale: int,
+    edge_factor: float = 16.0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    n: Optional[int] = None,
+) -> CSRMatrix:
+    """R-MAT / stochastic-Kronecker graph with ``2**scale`` vertices.
+
+    Classic Graph500 parameters by default (a=0.57, b=c=0.19, d=0.05),
+    which give the power-law-ish degree distributions of web/social
+    graphs.  Each of the ``m = edge_factor * 2**scale`` edges picks its
+    endpoints one bit at a time by recursive quadrant choice -- vectorised
+    over all edges at once (one pass per bit, no Python-level recursion).
+
+    ``n`` truncates the vertex set below ``2**scale`` (vertices >= n are
+    re-drawn modulo n) so stand-in datasets can hit exact published vertex
+    counts.
+    """
+    if scale < 1 or scale > 30:
+        raise ValueError(f"scale {scale} out of sane range [1, 30]")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError(f"R-MAT probabilities must be nonnegative, d={d:.3f}")
+    nfull = 1 << scale
+    m = int(round(edge_factor * nfull))
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _bit in range(scale):
+        r = rng.random(m)
+        # Quadrant choice: (0,0) w.p. a; (0,1) w.p. b; (1,0) w.p. c; else (1,1).
+        go_right = (r >= a) & (r < a + b) | (r >= a + b + c)
+        go_down = r >= a + b
+        src = (src << 1) | go_down
+        dst = (dst << 1) | go_right
+    if n is not None:
+        if n < 1 or n > nfull:
+            raise ValueError(f"n={n} outside (0, 2**scale={nfull}]")
+        src %= n
+        dst %= n
+    else:
+        n = nfull
+    return edges_to_adjacency(src, dst, n, symmetrize=True)
+
+
+def stochastic_block_model(
+    block_sizes: Tuple[int, ...],
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> CSRMatrix:
+    """SBM: dense within blocks, sparse across -- the partitioner-friendly
+    case for the Metis-vs-random experiment."""
+    if not 0 <= p_out <= p_in <= 1:
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    n = int(sum(block_sizes))
+    labels = np.repeat(np.arange(len(block_sizes)), block_sizes)
+    rng = np.random.default_rng(seed)
+    # Sample edges by expected count per block pair (binomial thinning of
+    # uniform pair draws keeps this O(m) instead of O(n^2)).
+    srcs, dsts = [], []
+    starts = np.concatenate(([0], np.cumsum(block_sizes)))
+    for bi in range(len(block_sizes)):
+        for bj in range(bi, len(block_sizes)):
+            prob = p_in if bi == bj else p_out
+            if prob == 0:
+                continue
+            ni, nj = block_sizes[bi], block_sizes[bj]
+            pairs = ni * nj if bi != bj else ni * (ni - 1) // 2
+            m = rng.binomial(pairs, prob)
+            if m == 0:
+                continue
+            s = rng.integers(starts[bi], starts[bi + 1], size=m, dtype=np.int64)
+            t = rng.integers(starts[bj], starts[bj + 1], size=m, dtype=np.int64)
+            srcs.append(s)
+            dsts.append(t)
+    if not srcs:
+        return CSRMatrix.zeros((n, n))
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    adj = edges_to_adjacency(src, dst, n)
+    return adj
+
+
+def ring_graph(n: int) -> CSRMatrix:
+    """Cycle of ``n`` vertices (degree 2, perfectly balanced)."""
+    if n < 3:
+        raise ValueError(f"ring needs >= 3 vertices, got {n}")
+    idx = np.arange(n, dtype=np.int64)
+    return edges_to_adjacency(idx, (idx + 1) % n, n)
+
+
+def star_graph(n: int) -> CSRMatrix:
+    """Star: vertex 0 connected to all others (maximal degree skew)."""
+    if n < 2:
+        raise ValueError(f"star needs >= 2 vertices, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return edges_to_adjacency(np.zeros(n - 1, dtype=np.int64), leaves, n)
+
+
+def grid_graph(rows: int, cols: int) -> CSRMatrix:
+    """2D lattice -- the best case for contiguous block partitioning."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    n = rows * cols
+    ids = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    srcs = [ids[:, :-1].ravel(), ids[:-1, :].ravel()]
+    dsts = [ids[:, 1:].ravel(), ids[1:, :].ravel()]
+    return edges_to_adjacency(np.concatenate(srcs), np.concatenate(dsts), n)

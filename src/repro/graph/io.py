@@ -1,0 +1,141 @@
+"""Graph input/output: NetworkX interop and edge-list files.
+
+Downstream users arrive with graphs in standard containers; this module
+bridges them into the library's CSR world:
+
+* :func:`from_networkx` / :func:`to_networkx` -- lossless adjacency
+  round-trips with optional edge weights;
+* :func:`read_edge_list` / :func:`write_edge_list` -- the whitespace
+  ``src dst [weight]`` text format that SNAP-style datasets (including
+  the original Reddit/Amazon dumps) ship in.
+
+Everything funnels through :func:`repro.graph.generators.edges_to_adjacency`
+semantics, so loaded graphs are ready for
+:func:`repro.graph.normalize.gcn_normalize`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "from_networkx",
+    "to_networkx",
+    "read_edge_list",
+    "write_edge_list",
+]
+
+
+def from_networkx(graph, weight: Optional[str] = None) -> CSRMatrix:
+    """Convert a NetworkX (Di)Graph with integer-like nodes to CSR.
+
+    Nodes are relabelled to ``0..n-1`` in sorted order; ``weight`` names
+    an edge attribute to carry (default: 1.0).  Undirected graphs come
+    back symmetric.
+    """
+    import networkx as nx
+
+    nodes = sorted(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    rows, cols, vals = [], [], []
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get(weight, 1.0)) if weight else 1.0
+        rows.append(index[u])
+        cols.append(index[v])
+        vals.append(w)
+        if not graph.is_directed():
+            rows.append(index[v])
+            cols.append(index[u])
+            vals.append(w)
+    if not rows:
+        return CSRMatrix.zeros((n, n))
+    return CSRMatrix.from_coo(
+        np.array(rows), np.array(cols), np.array(vals), (n, n)
+    )
+
+
+def to_networkx(a: CSRMatrix, directed: bool = False):
+    """Convert a CSR adjacency to a NetworkX graph (weights preserved)."""
+    import networkx as nx
+
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    rows, cols, vals = a.to_coo()
+    for u, v, w in zip(rows, cols, vals):
+        if not directed and u > v:
+            continue  # undirected: add each pair once
+        g.add_edge(int(u), int(v), weight=float(w))
+    return g
+
+
+def read_edge_list(
+    path: Union[str, Path],
+    n: Optional[int] = None,
+    symmetrize: bool = True,
+    comments: str = "#",
+) -> CSRMatrix:
+    """Read a ``src dst [weight]`` text edge list into a CSR adjacency.
+
+    Lines starting with ``comments`` are skipped.  ``n`` overrides the
+    vertex count (default: ``max id + 1``).  Parallel edges sum their
+    weights; self loops are kept (GCN normalisation re-adds its own, so
+    strip them beforehand if needed).
+    """
+    srcs, dsts, ws = [], [], []
+    with open(Path(path)) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'src dst [weight]', "
+                    f"got {line!r}"
+                )
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    if not srcs:
+        return CSRMatrix.zeros((n or 0, n or 0))
+    src = np.array(srcs, dtype=np.int64)
+    dst = np.array(dsts, dtype=np.int64)
+    w = np.array(ws, dtype=np.float64)
+    n_detected = int(max(src.max(), dst.max())) + 1
+    if n is None:
+        n = n_detected
+    elif n < n_detected:
+        raise ValueError(
+            f"n={n} smaller than largest vertex id {n_detected - 1}"
+        )
+    if symmetrize:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        w = np.concatenate([w, w])
+    return CSRMatrix.from_coo(src, dst, w, (n, n))
+
+
+def write_edge_list(
+    path: Union[str, Path],
+    a: CSRMatrix,
+    directed: bool = True,
+    header: Optional[str] = None,
+) -> None:
+    """Write a CSR adjacency as a ``src dst weight`` text edge list.
+
+    ``directed=False`` writes each symmetric pair once (upper triangle).
+    """
+    rows, cols, vals = a.to_coo()
+    with open(Path(path), "w") as fh:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        for u, v, w in zip(rows, cols, vals):
+            if not directed and u > v:
+                continue
+            fh.write(f"{int(u)} {int(v)} {w:.17g}\n")

@@ -1,0 +1,83 @@
+"""Random vertex permutation for load balance.
+
+Section I: "the 2D and 3D algorithms [...] automatically address load
+balance through a combination of random vertex permutations and the
+implicit partitioning of the adjacencies of high-degree vertices."
+
+A random relabelling of vertices destroys any locality correlation between
+vertex id and degree, so contiguous block splits receive statistically
+equal nnz -- this module provides the permutation and the imbalance
+metrics used to quantify its effect (ablation E-perm in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "random_permutation",
+    "apply_random_permutation",
+    "identity_permutation",
+    "invert_permutation",
+    "block_nnz_imbalance",
+]
+
+
+def random_permutation(n: int, seed: int = 0) -> np.ndarray:
+    """A uniform random permutation of ``0..n-1`` (``perm[i]`` = new id)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[perm[i]] == i``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def apply_random_permutation(
+    a: CSRMatrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    seed: int = 0,
+) -> Tuple[CSRMatrix, np.ndarray, np.ndarray, np.ndarray]:
+    """Relabel a dataset's vertices with one shared random permutation.
+
+    Returns ``(A', H0', y', perm)``: the permuted adjacency
+    ``P A P^T``, features and labels rows reordered consistently, and the
+    permutation itself (so embeddings can be mapped back via
+    :func:`invert_permutation`).
+    """
+    n = a.nrows
+    if features.shape[0] != n or labels.shape[0] != n:
+        raise ValueError(
+            f"features/labels rows ({features.shape[0]}/{labels.shape[0]}) "
+            f"must match vertex count {n}"
+        )
+    perm = random_permutation(n, seed)
+    inv = invert_permutation(perm)
+    # Row i of the permuted feature matrix is the old row inv[i].
+    return a.permute(perm), features[inv], labels[inv], perm
+
+
+def block_nnz_imbalance(blocks: Mapping[int, CSRMatrix]) -> float:
+    """Max-over-mean block nnz: 1.0 is perfect balance.
+
+    Bulk-synchronous epochs run at the pace of the heaviest block, so this
+    ratio is a direct multiplier on SpMM wall-clock.
+    """
+    nnzs = np.array([b.nnz for b in blocks.values()], dtype=np.float64)
+    mean = nnzs.mean()
+    if mean == 0:
+        return 1.0
+    return float(nnzs.max() / mean)

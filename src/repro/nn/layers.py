@@ -1,0 +1,95 @@
+"""GCN layer: the paper's forward and backward equations, serially.
+
+Forward (Section III-C)::
+
+    Z^l = A^T H^{l-1} W^l
+    H^l = sigma(Z^l)
+
+Backward (Section III-D)::
+
+    G^L     = grad_{H^L} L  (.)  sigma'(Z^L)                (Equation 1)
+    G^{l-1} = A G^l (W^l)^T  (.)  sigma'(Z^{l-1})           (Equation 2)
+    Y^l     = (A^T H^{l-1})^T G^l = (H^{l-1})^T (A G^l)     (Equation 3)
+
+The layer caches ``Z`` and the SpMM result ``A^T H^{l-1}`` during forward,
+and reuses the ``A G^l`` intermediate between Equations 2 and 3 exactly as
+the paper's algorithms do ("we can reuse the intermediate product AG^l
+that we computed in the previous equation at the expense of increasing the
+memory footprint slightly").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import Activation, ReLU
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmm import spmm
+
+__all__ = ["GCNLayer", "LayerCache"]
+
+
+@dataclass
+class LayerCache:
+    """Intermediates one layer keeps from forward for use in backward."""
+
+    h_in: np.ndarray       # H^{l-1}
+    z: np.ndarray          # Z^l = A^T H^{l-1} W^l
+    t: np.ndarray          # T = A^T H^{l-1} (reused in Equation 3)
+
+
+class GCNLayer:
+    """One graph-convolution layer with explicit gradients.
+
+    Holds the trainable ``W`` (``f_in x f_out``) and the activation.  The
+    adjacency operands are passed per call so the same layer object works
+    for directed (distinct ``A``, ``A^T``) and undirected graphs.
+    """
+
+    def __init__(self, weight: np.ndarray, activation: Optional[Activation] = None):
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2D, got shape {weight.shape}")
+        self.weight = weight
+        self.activation = activation if activation is not None else ReLU()
+
+    @property
+    def f_in(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def f_out(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(
+        self, a_t: CSRMatrix, h_in: np.ndarray
+    ) -> Tuple[np.ndarray, LayerCache]:
+        """``H^l = sigma(A^T H^{l-1} W^l)``; returns activations + cache."""
+        if h_in.shape[1] != self.f_in:
+            raise ValueError(
+                f"input width {h_in.shape[1]} != layer f_in {self.f_in}"
+            )
+        t = spmm(a_t, h_in)        # A^T H^{l-1}  (the SpMM)
+        z = t @ self.weight        # (A^T H^{l-1}) W^l  (the GEMM)
+        h_out = self.activation.forward(z)
+        return h_out, LayerCache(h_in=h_in, z=z, t=t)
+
+    def backward(
+        self, a: CSRMatrix, cache: LayerCache, grad_h: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Equations 1-3 for this layer.
+
+        Given ``dL/dH^l``, returns ``(grad_h_in, grad_w, g)`` where
+        ``grad_h_in = dL/dH^{l-1}`` (the upstream gradient for the next
+        layer down), ``grad_w = Y^l = dL/dW^l``, and ``g = G^l = dL/dZ^l``.
+        """
+        g = self.activation.backward(cache.z, grad_h)      # G^l (Eq. 1 shape)
+        ag = spmm(a, g)                                    # A G^l (reused)
+        grad_w = cache.t.T @ g                             # Y^l (Eq. 3)
+        grad_h_in = ag @ self.weight.T                     # A G^l (W^l)^T (Eq. 2,
+        #                                 before the sigma'(Z^{l-1}) Hadamard,
+        #                                 which the *previous* layer applies)
+        return grad_h_in, grad_w, g

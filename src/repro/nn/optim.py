@@ -1,0 +1,106 @@
+"""Optimisers: SGD (with momentum) and Adam.
+
+The paper's update is plain full-batch gradient descent
+(``W^{l} = W^{l} - Y^{l}``, Section III-D, with the learning rate folded
+into ``Y``); "This step does not require communication" because ``W`` and
+``Y`` are replicated on every process.  The optimisers below therefore run
+identically (and redundantly) on every virtual rank in the distributed
+algorithms -- which is also how the real implementation behaves.
+
+Optimisers mutate the weight arrays **in place** so replicated copies on
+virtual ranks that share the serial weights object stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Interface: apply one step given parameters and their gradients."""
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError(
+                f"{len(params)} params but {len(grads)} grads"
+            )
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if p.shape != g.shape:
+                raise ValueError(
+                    f"param {i} shape {p.shape} != grad shape {g.shape}"
+                )
+
+
+class SGD(Optimizer):
+    """Full-batch gradient descent, optionally with classical momentum.
+
+    With ``momentum=0`` this is exactly the paper's update rule.
+    """
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.lr * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for v, p, g in zip(self._velocity, params, grads):
+            v *= self.momentum
+            v += g
+            p -= self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction -- the PyG default."""
+
+    def __init__(
+        self,
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Optional[List[np.ndarray]] = None
+        self._v: Optional[List[np.ndarray]] = None
+        self._t = 0
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        self._check(params, grads)
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for m, v, p, g in zip(self._m, self._v, params, grads):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,31 @@
+"""Vertex partitioning: edge-cut metrics, baselines, multilevel k-way."""
+
+from repro.partition.edgecut import (
+    CutStats,
+    edge_cut_stats,
+    edgecut_metric,
+    ghost_rows_per_part,
+)
+from repro.partition.multilevel import (
+    MultilevelPartitioner,
+    PartitionResult,
+    multilevel_partition,
+)
+from repro.partition.random_part import (
+    block_partition,
+    partition_sizes,
+    random_partition,
+)
+
+__all__ = [
+    "CutStats",
+    "edge_cut_stats",
+    "edgecut_metric",
+    "ghost_rows_per_part",
+    "MultilevelPartitioner",
+    "PartitionResult",
+    "multilevel_partition",
+    "block_partition",
+    "random_partition",
+    "partition_sizes",
+]

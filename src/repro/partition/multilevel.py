@@ -1,0 +1,370 @@
+"""A from-scratch multilevel k-way graph partitioner (Metis stand-in).
+
+The paper runs Metis on Reddit (Section IV-A.8) to test whether graph
+partitioning helps the 1D algorithm.  Metis is not available offline, so
+this module implements the same classic multilevel recipe Metis uses:
+
+1. **Coarsening** by heavy-edge matching: every vertex points at its
+   heaviest neighbour; mutually-pointing pairs contract.  The matching is
+   fully vectorised (one lexsort + one pointer check per level), which
+   matters because the fine graph of a Reddit-scale stand-in has millions
+   of nonzeros.
+2. **Initial partitioning** of the coarsest graph by BFS-order chopping
+   into weight-balanced chunks.
+3. **Uncoarsening with boundary refinement**: at every level the coarse
+   assignment is projected down and improved by greedy Kernighan-Lin-style
+   moves of boundary vertices (highest gain first, balance-constrained).
+
+The output is a balanced k-way vertex assignment whose *total* edge cut is
+far below random partitioning on community-structured graphs, while the
+*maximum per-process* cut improves much less on scale-free graphs -- the
+gap that motivates the paper's preference for 2D/3D algorithms over
+partitioning-based 1D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.partition.random_part import block_partition
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["MultilevelPartitioner", "PartitionResult", "multilevel_partition"]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of a multilevel partition run."""
+
+    assignment: np.ndarray
+    nparts: int
+    levels: int
+    coarsest_size: int
+    refinement_moves: int
+
+
+@dataclass
+class _Level:
+    """One graph in the coarsening hierarchy."""
+
+    adj: CSRMatrix            # weighted adjacency (no self loops)
+    vwgt: np.ndarray          # vertex weights (fine-vertex counts)
+    fine_to_coarse: Optional[np.ndarray] = None  # map of the NEXT level
+
+
+def _heavy_edge_matching(adj: CSRMatrix, rng: np.random.Generator) -> np.ndarray:
+    """Sequential greedy heavy-edge matching (the classic Metis HEM).
+
+    Vertices are visited in random order; an unmatched vertex matches its
+    heaviest still-unmatched neighbour.  This matches a large fraction of
+    vertices per level even with uniform edge weights (where vectorised
+    mutual-pointer matching stalls at a few percent).  O(nnz) per level.
+
+    Returns ``coarse_id`` per vertex: matched pairs share an id, singletons
+    get their own.  Ids are compacted to ``0..n_coarse-1``.
+    """
+    n = adj.nrows
+    match = np.full(n, -1, dtype=np.int64)
+    indptr, indices, data = adj.indptr, adj.indices, adj.data
+    for v in rng.permutation(n):
+        v = int(v)
+        if match[v] >= 0:
+            continue
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        nbrs = indices[lo:hi]
+        if nbrs.size == 0:
+            match[v] = v
+            continue
+        free = match[nbrs] < 0
+        free &= nbrs != v
+        if not free.any():
+            match[v] = v
+            continue
+        cand = nbrs[free]
+        u = int(cand[np.argmax(data[lo:hi][free])])
+        match[v] = u
+        match[u] = v
+    # Pair leader is the smaller id; both members take the leader's id.
+    ids = np.arange(n, dtype=np.int64)
+    coarse = np.minimum(ids, match)
+    uniq, compact = np.unique(coarse, return_inverse=True)
+    return compact.astype(np.int64)
+
+
+def _contract(level: _Level, coarse_id: np.ndarray) -> _Level:
+    """Build the coarse graph induced by a matching."""
+    n_coarse = int(coarse_id.max()) + 1 if coarse_id.size else 0
+    rows, cols, w = level.adj.to_coo()
+    crows = coarse_id[rows]
+    ccols = coarse_id[cols]
+    keep = crows != ccols  # contracted pairs' internal edges vanish
+    coarse_adj = CSRMatrix.from_coo(
+        crows[keep], ccols[keep], w[keep], (n_coarse, n_coarse)
+    )
+    vwgt = np.zeros(n_coarse, dtype=np.int64)
+    np.add.at(vwgt, coarse_id, level.vwgt)
+    return _Level(adj=coarse_adj, vwgt=vwgt)
+
+
+def _bfs_order(adj: CSRMatrix, rng: np.random.Generator) -> np.ndarray:
+    """Heaviest-edge-first (Prim-style) visitation order.
+
+    After coarsening, intra-cluster edges carry large contracted weights
+    and inter-cluster edges stay light; expanding along the heaviest
+    frontier edge keeps natural clusters contiguous in the order, so
+    chopping the order into weight-balanced chunks respects them.  Plain
+    BFS (which this replaces) walks light cross-cluster edges as readily
+    as heavy ones and splits clusters across chunk boundaries.
+    """
+    import heapq
+
+    n = adj.nrows
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    out = 0
+    start_candidates = rng.permutation(n)
+    ptr = 0
+    heap: List[tuple] = []  # (-weight, tiebreak, vertex)
+    tiebreak = 0
+    while out < n:
+        if not heap:
+            while ptr < n and visited[start_candidates[ptr]]:
+                ptr += 1
+            if ptr >= n:
+                break
+            root = int(start_candidates[ptr])
+            visited[root] = True
+            heap = [(0.0, tiebreak, root)]
+            tiebreak += 1
+        _, _, v = heapq.heappop(heap)
+        order[out] = v
+        out += 1
+        lo, hi = int(adj.indptr[v]), int(adj.indptr[v + 1])
+        for u, w in zip(adj.indices[lo:hi], adj.data[lo:hi]):
+            u = int(u)
+            if not visited[u]:
+                visited[u] = True
+                heapq.heappush(heap, (-float(w), tiebreak, u))
+                tiebreak += 1
+    return order[:out]
+
+
+def _initial_partition(
+    level: _Level, nparts: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Chop the BFS order into ``nparts`` weight-balanced chunks."""
+    n = level.adj.nrows
+    if n <= nparts:
+        return np.arange(n, dtype=np.int64) % nparts
+    order = _bfs_order(level.adj, rng)
+    total = int(level.vwgt.sum())
+    target = total / nparts
+    assignment = np.zeros(n, dtype=np.int64)
+    part = 0
+    acc = 0
+    for v in order:
+        if part < nparts - 1 and acc >= target:
+            part += 1
+            acc = 0
+        assignment[v] = part
+        acc += int(level.vwgt[v])
+    return assignment
+
+
+def _refine(
+    level: _Level,
+    assignment: np.ndarray,
+    nparts: int,
+    max_passes: int,
+    imbalance_tol: float,
+) -> int:
+    """Greedy boundary refinement (KL-style); returns moves applied.
+
+    Each pass computes, for every vertex, its total edge weight to every
+    part (one vectorised scatter-add), then moves positive-gain boundary
+    vertices best-first under the balance constraint, updating the
+    part-weight table incrementally.  A rebalancing pass (plus one gain
+    polish) runs at the end, since gain moves alone never repair an
+    overweight part.
+    """
+    n = level.adj.nrows
+    if n == 0 or nparts <= 1:
+        return 0
+    rows, cols, w = level.adj.to_coo()
+    part_weights = np.zeros(nparts, dtype=np.float64)
+    np.add.at(part_weights, assignment, level.vwgt.astype(np.float64))
+    max_weight = part_weights.sum() / nparts * (1.0 + imbalance_tol)
+    def gain_passes(npasses: int) -> int:
+        applied = 0
+        for _ in range(npasses):
+            # conn[v, p] = total edge weight between v and part p.
+            conn = np.zeros((n, nparts), dtype=np.float64)
+            np.add.at(conn, (rows, assignment[cols]), w)
+            cur = conn[np.arange(n), assignment]
+            best_part = np.argmax(conn, axis=1)
+            best = conn[np.arange(n), best_part]
+            gains = best - cur
+            candidates = np.flatnonzero(
+                (gains > 1e-12) & (best_part != assignment)
+            )
+            if candidates.size == 0:
+                break
+            # Best-first, applied sequentially with a stale-gain tolerance:
+            # moves that became invalid (balance, part changed) are skipped.
+            order = candidates[np.argsort(-gains[candidates])]
+            moves = 0
+            for v in order:
+                src = int(assignment[v])
+                dst = int(best_part[v])
+                if dst == src:
+                    continue
+                wv = float(level.vwgt[v])
+                if part_weights[dst] + wv > max_weight:
+                    continue
+                if part_weights[src] - wv < 0:
+                    continue
+                assignment[v] = dst
+                part_weights[src] -= wv
+                part_weights[dst] += wv
+                moves += 1
+            applied += moves
+            if moves == 0:
+                break
+        return applied
+
+    total_moves = gain_passes(max_passes)
+    total_moves += _rebalance(
+        level, assignment, nparts, rows, cols, w, part_weights, max_weight
+    )
+    # One polish round: rebalancing may have parked vertices badly.
+    total_moves += gain_passes(1)
+    return total_moves
+
+
+def _rebalance(
+    level: _Level,
+    assignment: np.ndarray,
+    nparts: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    w: np.ndarray,
+    part_weights: np.ndarray,
+    max_weight: float,
+) -> int:
+    """Force overweight parts back under the cap.
+
+    Gain-driven refinement never repairs balance (a move that helps the
+    cut but violates the cap is skipped, and an overweight part may have
+    no positive-gain departures).  This pass evicts the cheapest-to-move
+    vertices of each overweight part into the lightest parts, preferring
+    destinations the vertex is already connected to.
+    """
+    n = level.adj.nrows
+    target = part_weights.sum() / nparts
+    over = np.flatnonzero(part_weights > max_weight)
+    if over.size == 0:
+        return 0
+    conn = np.zeros((n, nparts), dtype=np.float64)
+    np.add.at(conn, (rows, assignment[cols]), w)
+    moves = 0
+    for part in over:
+        members = np.flatnonzero(assignment == part)
+        # Cheapest first: least attached to their current part.
+        members = members[np.argsort(conn[members, part])]
+        for v in members:
+            if part_weights[part] <= max_weight:
+                break
+            # Prefer a connected underweight part; fall back to lightest.
+            candidates = np.flatnonzero(part_weights < target)
+            if candidates.size == 0:
+                break
+            best = candidates[np.argmax(conn[v, candidates])]
+            if conn[v, candidates].max() == 0:
+                best = candidates[np.argmin(part_weights[candidates])]
+            wv = float(level.vwgt[v])
+            assignment[v] = best
+            part_weights[part] -= wv
+            part_weights[best] += wv
+            moves += 1
+    return moves
+
+
+@dataclass
+class MultilevelPartitioner:
+    """Configurable multilevel k-way partitioner.
+
+    ``coarsen_until`` stops coarsening once the graph is small enough
+    (default: ``max(100, 8 * nparts)`` vertices); ``imbalance_tol`` is the
+    allowed part-weight slack (Metis default ~3 %).
+    """
+
+    nparts: int
+    seed: int = 0
+    coarsen_until: Optional[int] = None
+    max_levels: int = 20
+    refine_passes: int = 4
+    imbalance_tol: float = 0.05
+
+    def partition(self, adj: CSRMatrix) -> PartitionResult:
+        if adj.nrows != adj.ncols:
+            raise ValueError("partitioner needs a square adjacency")
+        if self.nparts < 1:
+            raise ValueError(f"nparts must be >= 1, got {self.nparts}")
+        n = adj.nrows
+        if self.nparts == 1:
+            return PartitionResult(np.zeros(n, dtype=np.int64), 1, 0, n, 0)
+        if n <= self.nparts:
+            return PartitionResult(
+                np.arange(n, dtype=np.int64) % self.nparts, self.nparts, 0, n, 0
+            )
+        rng = np.random.default_rng(self.seed)
+        stop_at = self.coarsen_until or max(100, 8 * self.nparts)
+
+        # -------------------------- coarsening ------------------------- #
+        levels: List[_Level] = [
+            _Level(adj=adj, vwgt=np.ones(n, dtype=np.int64))
+        ]
+        while (
+            levels[-1].adj.nrows > stop_at and len(levels) <= self.max_levels
+        ):
+            cur = levels[-1]
+            coarse_id = _heavy_edge_matching(cur.adj, rng)
+            n_coarse = int(coarse_id.max()) + 1
+            if n_coarse >= cur.adj.nrows * 0.98:
+                break  # matching stalled; coarsest graph reached
+            cur.fine_to_coarse = coarse_id
+            levels.append(_contract(cur, coarse_id))
+
+        # ---------------------- initial partition ---------------------- #
+        assignment = _initial_partition(levels[-1], self.nparts, rng)
+        moves = _refine(
+            levels[-1], assignment, self.nparts,
+            self.refine_passes, self.imbalance_tol,
+        )
+
+        # ---------------------- uncoarsen + refine --------------------- #
+        for level in reversed(levels[:-1]):
+            assert level.fine_to_coarse is not None
+            assignment = assignment[level.fine_to_coarse]
+            moves += _refine(
+                level, assignment, self.nparts,
+                self.refine_passes, self.imbalance_tol,
+            )
+
+        return PartitionResult(
+            assignment=assignment,
+            nparts=self.nparts,
+            levels=len(levels),
+            coarsest_size=levels[-1].adj.nrows,
+            refinement_moves=moves,
+        )
+
+
+def multilevel_partition(
+    adj: CSRMatrix, nparts: int, seed: int = 0
+) -> np.ndarray:
+    """Convenience wrapper returning just the assignment vector."""
+    return MultilevelPartitioner(nparts=nparts, seed=seed).partition(adj).assignment

@@ -1,0 +1,45 @@
+"""Baseline vertex partitioners: contiguous blocks and random assignment.
+
+The 1D algorithm's default distribution is "each process receives n/p
+consecutive rows" (Section IV-A) -- :func:`block_partition`.  The paper's
+edge-cut bound ``edgecut_P(A) <= n(P-1)/P`` "can be achieved by a random
+partitioning" -- :func:`random_partition` (uniform part sizes kept exactly
+balanced).  These are the baselines the multilevel partitioner is compared
+against in the Section IV-A.8 reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.distribute import block_ranges
+
+__all__ = ["block_partition", "random_partition", "partition_sizes"]
+
+
+def block_partition(n: int, nparts: int) -> np.ndarray:
+    """Contiguous near-equal blocks: vertex v -> its block index."""
+    assignment = np.empty(n, dtype=np.int64)
+    for part, (lo, hi) in enumerate(block_ranges(n, nparts)):
+        assignment[lo:hi] = part
+    return assignment
+
+
+def random_partition(n: int, nparts: int, seed: int = 0) -> np.ndarray:
+    """Balanced random partition: a random permutation of the block one.
+
+    Part sizes differ by at most one vertex, matching the load-balance
+    guarantee the random vertex permutation gives the 1D algorithm.
+    """
+    rng = np.random.default_rng(seed)
+    assignment = block_partition(n, nparts)
+    rng.shuffle(assignment)
+    return assignment
+
+
+def partition_sizes(assignment: np.ndarray, nparts: int) -> np.ndarray:
+    """Vertices per part (for balance assertions)."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    sizes = np.zeros(nparts, dtype=np.int64)
+    np.add.at(sizes, assignment, 1)
+    return sizes

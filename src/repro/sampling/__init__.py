@@ -1,0 +1,27 @@
+"""Sampling substrate: k-hop analysis, layer sampling, mini-batch training.
+
+The paper's Section VII future work ("our distributed training algorithms
+... carefully combined with sophisticated sampling based methods") and the
+Section I neighbourhood-explosion motivation, implemented.
+"""
+
+from repro.sampling.khop import (
+    ExplosionStats,
+    khop_frontiers,
+    neighborhood_explosion_stats,
+    receptive_field,
+)
+from repro.sampling.minibatch import MiniBatchEpoch, MiniBatchGCN, MiniBatchTrainer
+from repro.sampling.sampler import LayerSampler, SampledSubgraph
+
+__all__ = [
+    "khop_frontiers",
+    "receptive_field",
+    "ExplosionStats",
+    "neighborhood_explosion_stats",
+    "LayerSampler",
+    "SampledSubgraph",
+    "MiniBatchGCN",
+    "MiniBatchEpoch",
+    "MiniBatchTrainer",
+]

@@ -1,0 +1,144 @@
+"""Hypersparsity analysis: what partitioning does to local block density.
+
+Two analyses from the paper live here:
+
+* **Expected non-empty rows of a 1D column block** (Section IV-A.3, citing
+  Ballard et al. [5] Section 4.1.2): for an Erdos-Renyi graph
+  ``G(n, d/n)``, each ``n x n/P`` column block ``A_i`` has
+  ``n * (1 - (1 - d/n)^(n/P)) ~= n(1 - e^{-d/P}) ~= dn/P`` non-empty rows
+  for large ``P > d``.  This is what justifies a *sparse* representation
+  of the 1D backward pass's intermediate ``A_i G_i`` products: storing
+  them sparsely costs ``O(dnf/P)`` versus ``O(nf)`` dense.
+
+* **Hypersparsity of 2D blocks** (Section VI-a, citing Buluc & Gilbert
+  [8]): 2D partitioning over ``sqrt(P) x sqrt(P)`` cuts each block's
+  average degree by a factor of ``sqrt(P)``, pushing local SpMM into the
+  regime where sustained rates collapse (:mod:`repro.sparse.perfmodel`).
+
+Empirical counters measure the same quantities on real CSR blocks so the
+closed forms can be validated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "expected_nonempty_rows",
+    "expected_nonempty_rows_asymptotic",
+    "BlockSparsityStats",
+    "block_sparsity_stats",
+    "aggregate_block_stats",
+    "sparse_vs_dense_intermediate_words",
+]
+
+
+def expected_nonempty_rows(n: int, d: float, p: int) -> float:
+    """Exact expectation of non-empty rows in an ``n x n/p`` ER block.
+
+    Each of the ``n`` rows is empty iff all ``n/p`` Bernoulli(d/n) entries
+    are zero, so ``E[nonempty] = n * (1 - (1 - d/n)^(n/p))``.
+    """
+    if n <= 0 or p <= 0:
+        raise ValueError("n and p must be positive")
+    if d < 0 or d > n:
+        raise ValueError(f"average degree {d} outside [0, {n}]")
+    cols = n / p
+    if d == n:
+        return float(n)
+    return n * (1.0 - (1.0 - d / n) ** cols)
+
+
+def expected_nonempty_rows_asymptotic(n: int, d: float, p: int) -> float:
+    """The paper's large-``P`` simplification: ``dn/P`` (valid for P > d)."""
+    return d * n / p
+
+
+@dataclass(frozen=True)
+class BlockSparsityStats:
+    """Density statistics of one local block."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    nonempty_rows: int
+    avg_degree: float
+    max_row_nnz: int
+
+    @property
+    def empty_row_fraction(self) -> float:
+        return 1.0 - self.nonempty_rows / self.nrows if self.nrows else 0.0
+
+    @property
+    def is_hypersparse(self) -> bool:
+        """Hypersparse per Buluc & Gilbert: nnz < nrows (avg degree < 1)."""
+        return self.nnz < self.nrows
+
+
+def block_sparsity_stats(block: CSRMatrix) -> BlockSparsityStats:
+    """Measure the sparsity statistics of one CSR block."""
+    degrees = block.row_degrees()
+    return BlockSparsityStats(
+        nrows=block.nrows,
+        ncols=block.ncols,
+        nnz=block.nnz,
+        nonempty_rows=int(np.count_nonzero(degrees)),
+        avg_degree=block.average_degree(),
+        max_row_nnz=int(degrees.max()) if degrees.size else 0,
+    )
+
+
+def aggregate_block_stats(
+    blocks: Mapping[int, CSRMatrix]
+) -> Dict[str, float]:
+    """Summary over a distribution's blocks: degree decay and imbalance.
+
+    ``nnz_imbalance`` is max-block-nnz over mean-block-nnz -- the load
+    balance metric that the random vertex permutation is meant to keep
+    near 1 for the 2D/3D algorithms.
+    """
+    if not blocks:
+        raise ValueError("no blocks to aggregate")
+    nnzs = np.array([b.nnz for b in blocks.values()], dtype=np.float64)
+    degrees = np.array([b.average_degree() for b in blocks.values()])
+    empties = np.array(
+        [block_sparsity_stats(b).empty_row_fraction for b in blocks.values()]
+    )
+    mean_nnz = float(nnzs.mean())
+    return {
+        "nblocks": float(len(blocks)),
+        "total_nnz": float(nnzs.sum()),
+        "mean_block_nnz": mean_nnz,
+        "max_block_nnz": float(nnzs.max()),
+        "nnz_imbalance": float(nnzs.max() / mean_nnz) if mean_nnz else math.inf,
+        "mean_local_degree": float(degrees.mean()),
+        "mean_empty_row_fraction": float(empties.mean()),
+    }
+
+
+def sparse_vs_dense_intermediate_words(n: int, d: float, f: int, p: int) -> Dict[str, float]:
+    """Storage of the 1D backward intermediate ``A_i G_i`` per process.
+
+    Section IV-A.3: dense storage is ``O(nf)`` words per process; sparse
+    (rows only where ``A_i`` has a nonzero) is ``O(dnf/P)`` expected words
+    in the paper's large-``P`` bound.  ``sparse_wins`` follows that
+    asymptotic comparison (crossover at ``P = d``, the paper's "at large
+    scale (i.e. when P > d)"); ``exact_sparse_words`` reports the exact
+    finite-``P`` expectation, which is always at most ``nf``.
+    """
+    dense = float(n) * f
+    sparse = expected_nonempty_rows_asymptotic(n, d, p) * f
+    exact = expected_nonempty_rows(n, d, p) * f
+    return {
+        "dense_words": dense,
+        "sparse_words": sparse,
+        "exact_sparse_words": exact,
+        "sparse_wins": sparse < dense,
+        "crossover_p": d,  # sparse ~ dn f/P < nf  iff  P > d
+    }

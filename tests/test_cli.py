@@ -1,0 +1,85 @@
+"""Command-line interface smoke and behaviour tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        # argparse stores subparser choices on the last action.
+        sub = next(
+            a for a in parser._actions
+            if hasattr(a, "choices") and a.choices
+        )
+        assert set(sub.choices) >= {
+            "table6", "figure2", "figure3", "crossover", "train", "explosion",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--algorithm", "4d"])
+
+
+class TestCommands:
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "232,965" in out          # Reddit's published vertex count
+        assert "protein" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover"]) == 0
+        out = capsys.readouterr().out
+        assert "reddit" in out and "crossover" in out.lower()
+
+    def test_figure2_single_dataset(self, capsys):
+        assert main(["figure2", "--dataset", "reddit"]) == 0
+        out = capsys.readouterr().out
+        assert "reddit" in out
+        assert "amazon" not in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3", "--dataset", "amazon"]) == 0
+        out = capsys.readouterr().out
+        assert "dcomm" in out
+
+    def test_train_synthetic(self, capsys):
+        rc = main([
+            "train", "--algorithm", "2d", "--gpus", "4",
+            "--vertices", "96", "--features", "8", "--hidden", "8",
+            "--epochs", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loss" in out
+        assert "communication" in out
+
+    def test_train_15d_replication(self, capsys):
+        rc = main([
+            "train", "--algorithm", "1.5d", "--gpus", "4",
+            "--replication", "2", "--vertices", "80", "--features", "8",
+            "--hidden", "8", "--epochs", "2",
+        ])
+        assert rc == 0
+
+    def test_train_standin(self, capsys):
+        rc = main([
+            "train", "--algorithm", "1d", "--gpus", "2",
+            "--dataset", "reddit", "--scale", "4096", "--epochs", "2",
+            "--hidden", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reddit-standin" in out
+
+    def test_explosion(self, capsys):
+        rc = main(["explosion", "--scale", "2048", "--hops", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hop2" in out

@@ -1,0 +1,229 @@
+"""Simulated collectives: data movement semantics + cost charging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.comm import VirtualRuntime
+from repro.comm.collectives import payload_nbytes
+from repro.comm.tracker import Category
+from repro.config import ZERO_COST
+from repro.sparse.csr import CSRMatrix
+
+
+def make_coll(p=4):
+    rt = VirtualRuntime.make_1d(p)
+    return rt, rt.coll
+
+
+class TestPayloadSizing:
+    def test_dense_payload(self):
+        arr = np.zeros((10, 4))
+        assert payload_nbytes(arr) == arr.nbytes
+
+    def test_sparse_payload(self):
+        m = CSRMatrix.eye(8)
+        assert payload_nbytes(m) == m.nbytes_on_wire
+
+    def test_none_is_free(self):
+        assert payload_nbytes(None) == 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_nbytes("not a payload")
+
+
+class TestBroadcast:
+    def test_everyone_receives_copy(self):
+        rt, coll = make_coll()
+        value = np.arange(12.0).reshape(3, 4)
+        out = coll.broadcast([0, 1, 2, 3], root=1, value=value)
+        for r in range(4):
+            np.testing.assert_array_equal(out[r], value)
+        assert out[1] is value          # root keeps its buffer
+        assert out[0] is not value      # others get copies
+
+    def test_copies_are_independent(self):
+        rt, coll = make_coll()
+        value = np.ones((2, 2))
+        out = coll.broadcast([0, 1], root=0, value=value)
+        out[1][0, 0] = 99.0
+        assert value[0, 0] == 1.0
+
+    def test_root_must_be_member(self):
+        rt, coll = make_coll()
+        with pytest.raises(ValueError, match="root"):
+            coll.broadcast([0, 1], root=3, value=np.ones(2))
+
+    def test_bytes_charged_per_rank(self):
+        rt, coll = make_coll()
+        value = np.ones((8, 8))
+        coll.broadcast([0, 1, 2], root=0, value=value)
+        for r in range(3):
+            assert rt.tracker.per_rank[r][Category.DCOMM].bytes == value.nbytes
+        assert rt.tracker.per_rank[3][Category.DCOMM].bytes == 0
+
+    def test_sparse_broadcast_charges_scomm(self):
+        rt, coll = make_coll()
+        block = CSRMatrix.eye(16)
+        coll.broadcast([0, 1], root=0, value=block, category=Category.SCOMM)
+        assert rt.tracker.total_bytes(Category.SCOMM) > 0
+        assert rt.tracker.total_bytes(Category.DCOMM) == 0
+
+
+class TestAllgather:
+    def test_all_ranks_get_all_values(self):
+        rt, coll = make_coll()
+        values = {r: np.full((2,), float(r)) for r in range(4)}
+        out = coll.allgather(range(4), values)
+        for r in range(4):
+            gathered = np.concatenate(out[r])
+            np.testing.assert_array_equal(
+                gathered, [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+            )
+
+    def test_missing_contribution_rejected(self):
+        rt, coll = make_coll()
+        with pytest.raises(KeyError, match="missing contributions"):
+            coll.allgather([0, 1], {0: np.ones(2)})
+
+
+class TestReduceScatter:
+    def test_sum_and_shard(self):
+        rt, coll = make_coll()
+        # Each rank holds a full 8x2 partial; result is the sum, sharded
+        # in 2-row blocks.
+        values = {r: np.full((8, 2), float(r + 1)) for r in range(4)}
+        out = coll.reduce_scatter(range(4), values, axis=0)
+        expected_total = 1.0 + 2.0 + 3.0 + 4.0
+        for r in range(4):
+            assert out[r].shape == (2, 2)
+            np.testing.assert_allclose(out[r], expected_total)
+
+    def test_uneven_shards_follow_array_split(self):
+        rt, coll = make_coll(3)
+        values = {r: np.ones((7, 1)) for r in range(3)}
+        out = coll.reduce_scatter(range(3), values, axis=0)
+        assert [out[r].shape[0] for r in range(3)] == [3, 2, 2]
+
+    def test_shape_mismatch_rejected(self):
+        rt, coll = make_coll(2)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            coll.reduce_scatter(
+                [0, 1], {0: np.ones((2, 2)), 1: np.ones((3, 2))}
+            )
+
+    @given(
+        arrs=st.integers(min_value=2, max_value=6).flatmap(
+            lambda p: st.lists(
+                hnp.arrays(
+                    np.float64,
+                    (12, 3),
+                    elements=st.floats(-100, 100, allow_nan=False),
+                ),
+                min_size=p, max_size=p,
+            )
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_reduce_scatter_preserves_sum(self, arrs):
+        p = len(arrs)
+        rt = VirtualRuntime.make_1d(p, ZERO_COST)
+        values = {r: arrs[r] for r in range(p)}
+        out = rt.coll.reduce_scatter(range(p), values, axis=0)
+        reassembled = np.concatenate([out[r] for r in range(p)], axis=0)
+        np.testing.assert_allclose(
+            reassembled, np.sum(arrs, axis=0), rtol=1e-10, atol=1e-10
+        )
+
+
+class TestAllreduceAndReduce:
+    def test_allreduce_sum(self):
+        rt, coll = make_coll()
+        values = {r: np.full((3, 3), float(r)) for r in range(4)}
+        out = coll.allreduce(range(4), values)
+        for r in range(4):
+            np.testing.assert_allclose(out[r], 6.0)
+
+    def test_allreduce_custom_op(self):
+        rt, coll = make_coll(2)
+        values = {0: np.array([1.0, 5.0]), 1: np.array([3.0, 2.0])}
+        out = coll.allreduce([0, 1], values, op=np.maximum)
+        np.testing.assert_array_equal(out[0], [3.0, 5.0])
+
+    def test_reduce_to_root(self):
+        rt, coll = make_coll()
+        values = {r: np.ones(4) for r in range(4)}
+        acc = coll.reduce(range(4), values, root=2)
+        np.testing.assert_allclose(acc, 4.0)
+
+
+class TestScatterGatherAlltoall:
+    def test_scatter(self):
+        rt, coll = make_coll(3)
+        shards = [np.full(2, float(i)) for i in range(3)]
+        out = coll.scatter([0, 1, 2], shards, root=0)
+        for r in range(3):
+            np.testing.assert_array_equal(out[r], [float(r)] * 2)
+
+    def test_scatter_shard_count_mismatch(self):
+        rt, coll = make_coll(3)
+        with pytest.raises(ValueError, match="shards"):
+            coll.scatter([0, 1, 2], [np.ones(1)], root=0)
+
+    def test_gather(self):
+        rt, coll = make_coll(3)
+        values = {r: np.full(1, float(r)) for r in range(3)}
+        out = coll.gather([0, 1, 2], values, root=1)
+        np.testing.assert_array_equal(np.concatenate(out), [0.0, 1.0, 2.0])
+
+    def test_alltoall_transposes_buckets(self):
+        rt, coll = make_coll(3)
+        buckets = {
+            r: [np.array([float(10 * r + j)]) for j in range(3)]
+            for r in range(3)
+        }
+        out = coll.alltoall(range(3), buckets)
+        # Receiver j gets [bucket[0][j], bucket[1][j], bucket[2][j]].
+        for j in range(3):
+            got = np.concatenate(out[j])
+            np.testing.assert_array_equal(got, [j, 10 + j, 20 + j])
+
+    def test_alltoall_wrong_bucket_count(self):
+        rt, coll = make_coll(2)
+        with pytest.raises(ValueError, match="buckets"):
+            coll.alltoall([0, 1], {0: [np.ones(1)], 1: [np.ones(1)] * 2})
+
+
+class TestSendrecvAndBarrier:
+    def test_sendrecv_returns_copy(self):
+        rt, coll = make_coll(2)
+        v = np.ones(4)
+        got = coll.sendrecv(0, 1, v)
+        np.testing.assert_array_equal(got, v)
+        assert got is not v
+
+    def test_sendrecv_same_rank_noop(self):
+        rt, coll = make_coll(2)
+        v = np.ones(4)
+        assert coll.sendrecv(0, 0, v) is v
+        assert rt.tracker.total_bytes() == 0
+
+    def test_sendrecv_charges_receiver_only(self):
+        rt, coll = make_coll(2)
+        coll.sendrecv(0, 1, np.ones(4))
+        assert rt.tracker.per_rank[0][Category.DCOMM].bytes == 0
+        assert rt.tracker.per_rank[1][Category.DCOMM].bytes == 32
+
+    def test_barrier_charges_latency_only(self):
+        rt, coll = make_coll(4)
+        coll.barrier(range(4))
+        assert rt.tracker.total_bytes() == 0
+        assert rt.tracker.wall_seconds() > 0
+
+    def test_barrier_single_rank_free(self):
+        rt, coll = make_coll(2)
+        coll.barrier([0])
+        assert rt.tracker.wall_seconds() == 0.0

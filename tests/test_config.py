@@ -1,0 +1,64 @@
+"""Machine profiles and bandwidth-tier selection."""
+
+import pytest
+
+from repro.config import (
+    COMMODITY,
+    SUMMIT,
+    ZERO_COST,
+    MachineProfile,
+    get_profile,
+    register_profile,
+)
+
+
+class TestProfiles:
+    def test_summit_is_default(self):
+        assert get_profile(None) is SUMMIT
+
+    def test_lookup_by_name(self):
+        assert get_profile("summit") is SUMMIT
+        assert get_profile("commodity") is COMMODITY
+        assert get_profile("zero-cost") is ZERO_COST
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError, match="unknown machine profile"):
+            get_profile("does-not-exist")
+
+    def test_register_custom_profile(self):
+        custom = MachineProfile(name="custom-test", alpha=1e-6)
+        register_profile(custom)
+        assert get_profile("custom-test") is custom
+
+    def test_zero_cost_profile_is_free(self):
+        assert ZERO_COST.alpha == 0.0
+        assert ZERO_COST.beta == 0.0
+        assert ZERO_COST.kernel_launch_overhead == 0.0
+
+
+class TestBandwidthTiers:
+    def test_intrasocket_span_uses_nvlink(self):
+        # 3 GPUs fit one Summit socket -> NVLink tier (fastest).
+        assert SUMMIT.beta_for_span(3) == SUMMIT.beta_intranode
+
+    def test_intranode_span_uses_xbus(self):
+        assert SUMMIT.beta_for_span(6) == SUMMIT.beta_intersocket
+
+    def test_internode_span_uses_ib(self):
+        assert SUMMIT.beta_for_span(7) == SUMMIT.beta
+        assert SUMMIT.beta_for_span(100) == SUMMIT.beta
+
+    def test_tiers_are_ordered(self):
+        # NVLink faster than X-bus faster than InfiniBand.
+        assert SUMMIT.beta_intranode < SUMMIT.beta_intersocket < SUMMIT.beta
+
+    def test_alpha_tiers(self):
+        assert SUMMIT.alpha_for_span(4) == SUMMIT.alpha_intranode
+        assert SUMMIT.alpha_for_span(64) == SUMMIT.alpha
+        assert SUMMIT.alpha_intranode < SUMMIT.alpha
+
+    def test_summit_published_bandwidths(self):
+        # Section V-B: 23 GB/s inter-node, 100 GB/s NVLink, 64 GB/s X-bus.
+        assert SUMMIT.beta == pytest.approx(1.0 / 23e9)
+        assert SUMMIT.beta_intranode == pytest.approx(1.0 / 100e9)
+        assert SUMMIT.beta_intersocket == pytest.approx(1.0 / 64e9)

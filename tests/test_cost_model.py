@@ -1,0 +1,140 @@
+"""Alpha-beta collective cost formulas."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import cost_model as cm
+from repro.config import SUMMIT, ZERO_COST, MachineProfile
+
+FLAT = MachineProfile(
+    name="flat",
+    alpha=1e-6,
+    beta=1e-9,
+    beta_intranode=1e-9,
+    beta_intersocket=1e-9,
+    alpha_intranode=1e-6,
+)
+
+
+class TestP2P:
+    def test_alpha_beta_formula(self):
+        cost = cm.p2p_cost(FLAT, 1000, span=64)
+        assert cost.seconds == pytest.approx(1e-6 + 1e-9 * 1000)
+        assert cost.bytes_critical == 1000
+        assert cost.messages == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            cm.p2p_cost(FLAT, -1)
+
+
+class TestBroadcast:
+    def test_tree_latency_factor(self):
+        cost = cm.broadcast_cost(FLAT, 1 << 20, 8)
+        # lg 8 = 3 alpha terms, one bandwidth term.
+        assert cost.seconds == pytest.approx(3 * 1e-6 + 1e-9 * (1 << 20))
+        assert cost.messages == 3
+
+    def test_pipelined_drops_lg_factor(self):
+        plain = cm.broadcast_cost(FLAT, 1 << 20, 16)
+        piped = cm.broadcast_cost(FLAT, 1 << 20, 16, pipelined=True)
+        assert piped.messages == 1
+        assert piped.seconds < plain.seconds
+
+    def test_single_rank_is_free(self):
+        assert cm.broadcast_cost(FLAT, 100, 1).seconds == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert cm.broadcast_cost(FLAT, 0, 8).seconds == 0.0
+
+    def test_wire_traffic_counts_all_receivers(self):
+        cost = cm.broadcast_cost(FLAT, 100, 5)
+        assert cost.bytes_on_wire == 100 * 4  # 4 receivers
+
+    def test_span_selects_internode_tier(self):
+        # A 4-rank group inside a 64-rank job crosses node boundaries.
+        small_span = cm.broadcast_cost(SUMMIT, 1 << 20, 4)
+        big_span = cm.broadcast_cost(SUMMIT, 1 << 20, 4, span=64)
+        assert big_span.seconds > small_span.seconds
+
+
+class TestReductions:
+    def test_allgather_bandwidth_term(self):
+        p, m = 8, 1 << 20
+        cost = cm.allgather_cost(FLAT, m, p)
+        assert cost.seconds == pytest.approx(3 * 1e-6 + 1e-9 * m * (p - 1) / p)
+
+    def test_reduce_scatter_matches_allgather_bandwidth(self):
+        p, m = 16, 1 << 18
+        ag = cm.allgather_cost(FLAT, m, p)
+        rs = cm.reduce_scatter_cost(FLAT, m, p)
+        assert rs.seconds == pytest.approx(ag.seconds)
+
+    def test_allreduce_is_rs_plus_ag(self):
+        p, m = 8, 4096
+        ar = cm.allreduce_cost(FLAT, m, p)
+        rs = cm.reduce_scatter_cost(FLAT, m, p)
+        ag = cm.allgather_cost(FLAT, m, p)
+        assert ar.seconds == pytest.approx(rs.seconds + ag.seconds)
+        assert ar.messages == rs.messages + ag.messages
+
+    def test_reduce_tree(self):
+        cost = cm.reduce_cost(FLAT, 1024, 4)
+        assert cost.seconds == pytest.approx(2 * 1e-6 + 1e-9 * 1024)
+
+    def test_alltoall_pairwise_latency(self):
+        cost = cm.alltoall_cost(FLAT, 1 << 20, 8)
+        assert cost.messages == 7
+
+    def test_gather_scatter_symmetry(self):
+        g = cm.gather_cost(FLAT, 1 << 16, 8)
+        s = cm.scatter_cost(FLAT, 1 << 16, 8)
+        assert g.seconds == pytest.approx(s.seconds)
+
+
+class TestCostAlgebra:
+    def test_cost_addition(self):
+        a = cm.CollectiveCost(1.0, 10, 5, 1)
+        b = cm.CollectiveCost(2.0, 20, 10, 2)
+        c = a + b
+        assert (c.seconds, c.bytes_on_wire, c.bytes_critical, c.messages) == (
+            3.0, 30, 15, 3,
+        )
+
+    def test_zero_cost_profile_all_free(self):
+        for fn in (cm.broadcast_cost, cm.reduce_cost):
+            assert fn(ZERO_COST, 1 << 20, 16).seconds == 0.0
+        assert cm.allreduce_cost(ZERO_COST, 1 << 20, 16).seconds == 0.0
+
+
+class TestCostProperties:
+    @given(
+        nbytes=st.integers(min_value=1, max_value=1 << 26),
+        p=st.integers(min_value=2, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_costs_positive_and_monotone_in_bytes(self, nbytes, p):
+        c1 = cm.broadcast_cost(FLAT, nbytes, p)
+        c2 = cm.broadcast_cost(FLAT, nbytes + 1024, p)
+        assert c1.seconds > 0
+        assert c2.seconds >= c1.seconds
+
+    @given(
+        nbytes=st.integers(min_value=1024, max_value=1 << 24),
+        p=st.integers(min_value=2, max_value=256),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_latency_grows_logarithmically(self, nbytes, p):
+        cost = cm.broadcast_cost(FLAT, nbytes, p)
+        assert cost.messages == math.ceil(math.log2(p))
+
+    @given(p=st.integers(min_value=2, max_value=128))
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_double_of_reduce_scatter_bandwidth(self, p):
+        m = 1 << 20
+        ar = cm.allreduce_cost(FLAT, m, p)
+        rs = cm.reduce_scatter_cost(FLAT, m, p)
+        assert ar.bytes_critical == 2 * rs.bytes_critical

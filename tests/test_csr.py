@@ -1,0 +1,249 @@
+"""From-scratch CSR matrix: construction, structure ops, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix, coo_to_csr_arrays
+
+
+def random_dense(shape, density, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal(shape)
+    d[rng.random(shape) > density] = 0.0
+    return d
+
+
+@st.composite
+def coo_matrices(draw):
+    m = draw(st.integers(min_value=1, max_value=12))
+    n = draw(st.integers(min_value=1, max_value=12))
+    nnz = draw(st.integers(min_value=0, max_value=30))
+    rows = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=nnz, max_size=nnz
+        )
+    )
+    return np.array(rows), np.array(cols), np.array(vals), (m, n)
+
+
+class TestConstruction:
+    def test_from_coo_simple(self):
+        m = CSRMatrix.from_coo([0, 1, 2], [1, 0, 2], [1.0, 2.0, 3.0], (3, 3))
+        dense = m.to_dense()
+        expected = np.array([[0, 1, 0], [2, 0, 0], [0, 0, 3.0]])
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_duplicates_summed(self):
+        m = CSRMatrix.from_coo([0, 0], [1, 1], [2.0, 3.0], (2, 2))
+        assert m.nnz == 1
+        assert m.to_dense()[0, 1] == 5.0
+
+    def test_duplicates_rejected_when_disallowed(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CSRMatrix.from_coo(
+                [0, 0], [1, 1], [2.0, 3.0], (2, 2), sum_duplicates=False
+            )
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError, match="row index"):
+            coo_to_csr_arrays(
+                np.array([5]), np.array([0]), np.array([1.0]), (3, 3)
+            )
+        with pytest.raises(ValueError, match="col index"):
+            coo_to_csr_arrays(
+                np.array([0]), np.array([9]), np.array([1.0]), (3, 3)
+            )
+
+    def test_from_dense_roundtrip(self):
+        d = random_dense((7, 5), 0.4, 0)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(m.to_dense(), d)
+
+    def test_eye(self):
+        m = CSRMatrix.eye(4, value=2.0)
+        np.testing.assert_array_equal(m.to_dense(), 2.0 * np.eye(4))
+
+    def test_zeros(self):
+        m = CSRMatrix.zeros((3, 5))
+        assert m.nnz == 0
+        assert m.shape == (3, 5)
+
+    def test_validation_catches_bad_indptr(self):
+        with pytest.raises(ValueError, match="nondecreasing"):
+            CSRMatrix(
+                np.array([0, 2, 1]), np.array([0, 0]), np.array([1.0, 1.0]),
+                (2, 2),
+            )
+
+    def test_validation_catches_bad_lengths(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            CSRMatrix(
+                np.array([0, 1, 2]), np.array([0]), np.array([1.0]), (2, 2)
+            )
+
+
+class TestProperties:
+    def test_degrees(self):
+        m = CSRMatrix.from_dense(
+            np.array([[1.0, 1, 0], [0, 0, 0], [1, 1, 1]])
+        )
+        np.testing.assert_array_equal(m.row_degrees(), [2, 0, 3])
+        np.testing.assert_array_equal(m.col_degrees(), [2, 2, 1])
+        assert m.average_degree() == pytest.approx(5 / 3)
+        assert m.empty_row_count() == 1
+
+    def test_density(self):
+        m = CSRMatrix.eye(4)
+        assert m.density == pytest.approx(0.25)
+
+    def test_wire_bytes(self):
+        m = CSRMatrix.eye(10)
+        # 10 fp64 values + 10 int32 indices + 11 int32 indptr entries.
+        assert m.nbytes_on_wire == 10 * 8 + 10 * 4 + 11 * 4
+
+    def test_to_coo_roundtrip(self):
+        d = random_dense((6, 6), 0.5, 3)
+        m = CSRMatrix.from_dense(d)
+        r, c, v = m.to_coo()
+        m2 = CSRMatrix.from_coo(r, c, v, m.shape)
+        assert m.allclose(m2)
+
+
+class TestTranspose:
+    def test_transpose_matches_dense(self):
+        d = random_dense((5, 8), 0.4, 1)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(m.transpose().to_dense(), d.T)
+
+    def test_transpose_involution(self):
+        d = random_dense((6, 4), 0.5, 2)
+        m = CSRMatrix.from_dense(d)
+        assert m.transpose().transpose().allclose(m)
+
+    def test_empty_transpose(self):
+        m = CSRMatrix.zeros((3, 5))
+        t = m.transpose()
+        assert t.shape == (5, 3)
+        assert t.nnz == 0
+
+    @given(coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_property(self, coo):
+        rows, cols, vals, shape = coo
+        m = CSRMatrix.from_coo(rows, cols, vals, shape)
+        np.testing.assert_allclose(
+            m.transpose().to_dense(), m.to_dense().T, atol=1e-12
+        )
+
+
+class TestSlicing:
+    def test_row_slice(self):
+        d = random_dense((8, 5), 0.5, 4)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(m.row_slice(2, 6).to_dense(), d[2:6])
+
+    def test_row_slice_bounds(self):
+        m = CSRMatrix.eye(4)
+        with pytest.raises(IndexError):
+            m.row_slice(2, 6)
+
+    def test_block_extraction(self):
+        d = random_dense((8, 8), 0.6, 5)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(
+            m.block(1, 5, 2, 7).to_dense(), d[1:5, 2:7]
+        )
+
+    def test_block_full_matrix(self):
+        d = random_dense((4, 4), 0.8, 6)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(m.block(0, 4, 0, 4).to_dense(), d)
+
+    def test_empty_block(self):
+        m = CSRMatrix.eye(4)
+        b = m.block(1, 1, 0, 4)
+        assert b.shape == (0, 4)
+        assert b.nnz == 0
+
+    @given(coo_matrices(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_block_property(self, coo, data):
+        rows, cols, vals, shape = coo
+        m = CSRMatrix.from_coo(rows, cols, vals, shape)
+        r0 = data.draw(st.integers(0, shape[0]))
+        r1 = data.draw(st.integers(r0, shape[0]))
+        c0 = data.draw(st.integers(0, shape[1]))
+        c1 = data.draw(st.integers(c0, shape[1]))
+        np.testing.assert_allclose(
+            m.block(r0, r1, c0, c1).to_dense(),
+            m.to_dense()[r0:r1, c0:c1],
+            atol=1e-12,
+        )
+
+
+class TestScaling:
+    def test_scale_rows(self):
+        d = random_dense((4, 4), 0.7, 7)
+        m = CSRMatrix.from_dense(d)
+        s = np.array([1.0, 2.0, 0.5, 0.0])
+        np.testing.assert_allclose(
+            m.scale_rows(s).to_dense(), np.diag(s) @ d
+        )
+
+    def test_scale_cols(self):
+        d = random_dense((4, 4), 0.7, 8)
+        m = CSRMatrix.from_dense(d)
+        s = np.array([1.0, 2.0, 0.5, 3.0])
+        np.testing.assert_allclose(
+            m.scale_cols(s).to_dense(), d @ np.diag(s)
+        )
+
+    def test_scale_shape_mismatch(self):
+        m = CSRMatrix.eye(4)
+        with pytest.raises(ValueError):
+            m.scale_rows(np.ones(3))
+        with pytest.raises(ValueError):
+            m.scale_cols(np.ones(5))
+
+
+class TestPermutation:
+    def test_symmetric_permutation(self):
+        d = random_dense((5, 5), 0.5, 9)
+        m = CSRMatrix.from_dense(d)
+        perm = np.array([2, 0, 4, 1, 3])
+        permuted = m.permute(perm).to_dense()
+        expected = np.zeros_like(d)
+        for i in range(5):
+            for j in range(5):
+                expected[perm[i], perm[j]] = d[i, j]
+        np.testing.assert_allclose(permuted, expected)
+
+    def test_identity_permutation_is_noop(self):
+        d = random_dense((6, 6), 0.5, 10)
+        m = CSRMatrix.from_dense(d)
+        assert m.permute(np.arange(6)).allclose(m)
+
+    def test_invalid_permutation_rejected(self):
+        m = CSRMatrix.eye(3)
+        with pytest.raises(ValueError, match="not a permutation"):
+            m.permute(np.array([0, 0, 1]))
+
+    def test_nonsquare_rejected(self):
+        m = CSRMatrix.zeros((2, 3))
+        with pytest.raises(ValueError, match="square"):
+            m.permute(np.array([0, 1]))
+
+    def test_permutation_preserves_degree_multiset(self):
+        d = random_dense((8, 8), 0.4, 11)
+        m = CSRMatrix.from_dense(d)
+        perm = np.random.default_rng(0).permutation(8)
+        p = m.permute(perm)
+        assert sorted(m.row_degrees()) == sorted(p.row_degrees())

@@ -1,0 +1,128 @@
+"""Dataset registry (Table VI) and synthetic stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    GNN_LAYERS,
+    HIDDEN_WIDTH,
+    PUBLISHED,
+    layer_widths,
+    make_standin,
+    make_synthetic,
+    published_spec,
+)
+
+
+class TestPublishedSpecs:
+    def test_table6_values(self):
+        """The registry must carry the exact Table VI numbers."""
+        reddit = published_spec("reddit")
+        assert reddit.vertices == 232_965
+        assert reddit.edges == 114_848_857
+        assert reddit.features == 602
+        assert reddit.labels == 41
+
+        amazon = published_spec("amazon")
+        assert amazon.vertices == 9_430_088
+        assert amazon.edges == 231_594_310
+        assert amazon.features == 300
+        assert amazon.labels == 24
+
+        protein = published_spec("protein")
+        assert protein.vertices == 8_745_542
+        assert protein.edges == 1_058_120_062
+        assert protein.features == 128
+        assert protein.labels == 256
+
+    def test_average_degrees(self):
+        # The degrees the paper quotes: amazon ~24, protein degree such
+        # that nnz/n ~ 121; reddit is very dense (~493).
+        assert published_spec("amazon").avg_degree == pytest.approx(24.6, abs=0.5)
+        assert published_spec("protein").avg_degree == pytest.approx(121.0, abs=1.0)
+        assert published_spec("reddit").avg_degree == pytest.approx(493.0, abs=2.0)
+
+    def test_case_insensitive_lookup(self):
+        assert published_spec("Reddit") is PUBLISHED["reddit"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            published_spec("citeseer")
+
+
+class TestLayerWidths:
+    def test_three_layer_architecture(self):
+        """The paper's 3-layer GCN with a 16-wide hidden layer."""
+        w = layer_widths(602, 41)
+        assert w == (602, HIDDEN_WIDTH, HIDDEN_WIDTH, 41)
+        assert len(w) == GNN_LAYERS + 1
+
+    def test_single_layer(self):
+        assert layer_widths(10, 3, layers=1) == (10, 3)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            layer_widths(10, 3, layers=0)
+
+
+class TestStandins:
+    def test_standin_preserves_feature_and_label_widths(self):
+        ds = make_standin("reddit", scale_divisor=2048, seed=0)
+        assert ds.feature_width == 602
+        assert ds.num_classes == 41
+        assert ds.spec is PUBLISHED["reddit"]
+
+    def test_standin_scales_vertices(self):
+        ds = make_standin("amazon", scale_divisor=4096, seed=0)
+        expected = PUBLISHED["amazon"].vertices // 4096
+        assert ds.num_vertices == max(64, expected)
+
+    def test_standin_degree_tracks_published(self):
+        ds = make_standin("amazon", scale_divisor=1024, seed=0)
+        target = PUBLISHED["amazon"].avg_degree
+        # Normalised adjacency has +1 self loop per vertex.
+        realised = ds.num_edges / ds.num_vertices - 1
+        assert realised == pytest.approx(target, rel=0.35)
+
+    def test_standin_deterministic(self):
+        a = make_standin("protein", scale_divisor=4096, seed=1)
+        b = make_standin("protein", scale_divisor=4096, seed=1)
+        assert a.adjacency.allclose(b.adjacency)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_standin_whole_graph_training_mask(self):
+        ds = make_standin("reddit", scale_divisor=4096)
+        assert ds.train_mask.all()
+
+    def test_standin_adjacency_is_normalized(self):
+        ds = make_standin("amazon", scale_divisor=4096)
+        # Symmetric with spectral radius <= 1.
+        assert ds.adjacency.allclose(ds.adjacency.transpose())
+        d = ds.adjacency.to_dense()
+        assert np.abs(np.linalg.eigvalsh(d)).max() <= 1 + 1e-9
+
+
+class TestSynthetic:
+    def test_shapes(self):
+        ds = make_synthetic(n=100, avg_degree=5, f=16, n_classes=7, seed=0)
+        assert ds.features.shape == (100, 16)
+        assert ds.labels.shape == (100,)
+        assert ds.labels.max() < 7
+        assert ds.num_vertices == 100
+
+    def test_generators(self):
+        a = make_synthetic(n=80, generator="rmat", seed=1)
+        b = make_synthetic(n=80, generator="erdos_renyi", seed=1)
+        assert a.num_vertices == b.num_vertices == 80
+        with pytest.raises(ValueError, match="generator"):
+            make_synthetic(n=10, generator="barabasi")
+
+    def test_summary(self):
+        ds = make_synthetic(n=64, avg_degree=4, f=8, n_classes=3)
+        s = ds.summary()
+        assert s["vertices"] == 64
+        assert s["features"] == 8
+
+    def test_layer_widths_helper(self):
+        ds = make_synthetic(n=64, f=20, n_classes=5)
+        assert ds.layer_widths(hidden=8, layers=2) == (20, 8, 5)

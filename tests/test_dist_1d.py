@@ -1,0 +1,150 @@
+"""The 1D block-row algorithm (Algorithm 1) and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Category, VirtualRuntime
+from repro.dist.algo_1d import DistGCN1D
+from repro.graph import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=90, avg_degree=5, f=10, n_classes=4, seed=13)
+
+
+WIDTHS = (10, 8, 4)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("variant", ["symmetric", "outer", "transpose"])
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_matches_serial(self, ds, variant, p):
+        """The paper's correctness claim: identical embeddings/weights up
+        to floating-point accumulation error."""
+        rt = VirtualRuntime.make_1d(p)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS, seed=1, variant=variant)
+        diff = algo.verify_against_serial(ds.features, ds.labels, epochs=3, seed=1)
+        assert diff < 1e-10
+
+    def test_p1_degenerate_case(self, ds):
+        rt = VirtualRuntime.make_1d(1)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS, seed=2)
+        diff = algo.verify_against_serial(ds.features, ds.labels, epochs=2, seed=2)
+        assert diff < 1e-12
+
+    def test_uneven_rows(self):
+        """n not divisible by p exercises the remainder block paths."""
+        ds2 = make_synthetic(n=97, avg_degree=4, f=7, n_classes=3, seed=3)
+        rt = VirtualRuntime.make_1d(6)
+        algo = DistGCN1D(rt, ds2.adjacency, (7, 5, 3), seed=0)
+        diff = algo.verify_against_serial(ds2.features, ds2.labels, epochs=2, seed=0)
+        assert diff < 1e-10
+
+    def test_auto_variant_picks_symmetric(self, ds):
+        rt = VirtualRuntime.make_1d(4)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS, variant="auto")
+        assert algo.variant == "symmetric"
+
+    def test_symmetric_requires_symmetric_matrix(self):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.normalize import add_self_loops, row_normalize
+
+        directed = row_normalize(
+            add_self_loops(erdos_renyi(40, 4.0, seed=1, directed=True))
+        )
+        rt = VirtualRuntime.make_1d(4)
+        with pytest.raises(ValueError, match="symmetric"):
+            DistGCN1D(rt, directed, (8, 4, 2), variant="symmetric")
+
+    def test_directed_graph_outer_variant(self):
+        """The general (directed) case uses the outer-product backward."""
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.normalize import add_self_loops, row_normalize
+
+        directed = row_normalize(
+            add_self_loops(erdos_renyi(50, 4.0, seed=2, directed=True))
+        )
+        rng = np.random.default_rng(0)
+        feats = rng.standard_normal((50, 8))
+        labels = rng.integers(0, 3, 50)
+        rt = VirtualRuntime.make_1d(4)
+        algo = DistGCN1D(rt, directed, (8, 6, 3), seed=4, variant="auto")
+        assert algo.variant == "outer"
+        diff = algo.verify_against_serial(feats, labels, epochs=3, seed=4)
+        assert diff < 1e-10
+
+    def test_unknown_variant(self, ds):
+        rt = VirtualRuntime.make_1d(2)
+        with pytest.raises(ValueError, match="variant"):
+            DistGCN1D(rt, ds.adjacency, WIDTHS, variant="4d")
+
+
+class TestCommunicationAccounting:
+    def _epoch_stats(self, ds, variant, p=4):
+        rt = VirtualRuntime.make_1d(p)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS, seed=0, variant=variant)
+        algo.setup(ds.features, ds.labels)
+        return algo.train_epoch(0)
+
+    def test_dense_comm_only(self, ds):
+        """1D moves only dense blocks (H broadcasts, reductions)."""
+        st = self._epoch_stats(ds, "symmetric")
+        assert st.dcomm_bytes > 0
+        assert st.scomm_bytes == 0
+
+    def test_transpose_variant_charges_trpose(self, ds):
+        st = self._epoch_stats(ds, "transpose")
+        assert st.bytes_by_category[Category.TRPOSE] > 0
+
+    def test_outer_vs_symmetric_volume(self, ds):
+        """Backward via outer product reduce-scatters n*f partials; the
+        symmetric trade re-broadcasts instead.  Both must be within the
+        paper's bounds; outer must include the reduce-scatter term."""
+        sym = self._epoch_stats(ds, "symmetric")
+        outer = self._epoch_stats(ds, "outer")
+        assert sym.dcomm_bytes > 0 and outer.dcomm_bytes > 0
+
+    def test_max_rank_bound(self, ds):
+        """Per-process dense traffic stays within the broadcast-based 1D
+        bound: roughly L * (n f_in + n f_mid + reductions)."""
+        st = self._epoch_stats(ds, "symmetric", p=4)
+        n = ds.num_vertices
+        wb = 8  # float64
+        # Very loose upper bound: 3 layers x 2 passes x full H + slack.
+        bound = 3 * 2 * n * max(WIDTHS) * wb * 2
+        assert st.max_rank_comm_bytes < bound
+
+    def test_epoch_is_deterministic(self, ds):
+        s1 = self._epoch_stats(ds, "symmetric")
+        s2 = self._epoch_stats(ds, "symmetric")
+        assert s1.dcomm_bytes == s2.dcomm_bytes
+        assert s1.loss == pytest.approx(s2.loss)
+
+
+class TestTrainingBehaviour:
+    def test_loss_decreases(self, ds):
+        rt = VirtualRuntime.make_1d(4)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS, seed=5)
+        hist = algo.fit(ds.features, ds.labels, epochs=15)
+        assert hist.final_loss < hist.losses[0]
+
+    def test_train_before_setup_rejected(self, ds):
+        rt = VirtualRuntime.make_1d(2)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS)
+        with pytest.raises(RuntimeError, match="setup"):
+            algo.train_epoch()
+
+    def test_bad_feature_shape_rejected(self, ds):
+        rt = VirtualRuntime.make_1d(2)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS)
+        with pytest.raises(ValueError, match="features"):
+            algo.setup(np.zeros((10, 10)), ds.labels)
+
+    def test_history_breakdown(self, ds):
+        rt = VirtualRuntime.make_1d(4)
+        algo = DistGCN1D(rt, ds.adjacency, WIDTHS, seed=6)
+        hist = algo.fit(ds.features, ds.labels, epochs=3)
+        bd = hist.mean_breakdown()
+        assert set(bd) == set(Category.ALL)
+        assert hist.mean_epoch_seconds() > 0

@@ -1,0 +1,163 @@
+"""The 2D SUMMA algorithm (Algorithm 2): the paper's implementation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Category, VirtualRuntime
+from repro.dist.algo_2d import DistGCN2D, summa_stage_ranges
+from repro.graph import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=110, avg_degree=5, f=12, n_classes=4, seed=23)
+
+
+WIDTHS = (12, 8, 4)
+
+
+class TestStageRanges:
+    def test_square_grid_stages(self):
+        stages = summa_stage_ranges(12, 3, 3)
+        assert len(stages) == 3
+        assert [(lo, hi) for lo, hi, _, _ in stages] == [(0, 4), (4, 8), (8, 12)]
+        # Owners follow the block index.
+        assert [ro for _, _, ro, _ in stages] == [0, 1, 2]
+        assert [co for _, _, _, co in stages] == [0, 1, 2]
+
+    def test_rectangular_refinement(self):
+        stages = summa_stage_ranges(12, 2, 3)
+        # Boundaries at 0,4,6,8,12 -> 4 stages.
+        assert [(lo, hi) for lo, hi, _, _ in stages] == [
+            (0, 4), (4, 6), (6, 8), (8, 12),
+        ]
+        # Each stage sits in exactly one row range and one col range.
+        for lo, hi, ro, co in stages:
+            assert 6 * ro <= lo < hi <= 6 * (ro + 1)
+            assert 4 * co <= lo < hi <= 4 * (co + 1)
+
+    def test_blocking_parameter_subdivides(self):
+        plain = summa_stage_ranges(16, 2, 2)
+        blocked = summa_stage_ranges(16, 2, 2, block=4)
+        assert len(blocked) == 2 * len(plain)
+        # Byte totals preserved: union of ranges identical.
+        assert sum(hi - lo for lo, hi, _, _ in blocked) == 16
+
+    def test_uneven_division(self):
+        stages = summa_stage_ranges(10, 3, 3)
+        assert sum(hi - lo for lo, hi, _, _ in stages) == 10
+
+
+class TestVerification:
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_square_grids_match_serial(self, ds, p):
+        rt = VirtualRuntime.make_2d(p)
+        algo = DistGCN2D(rt, ds.adjacency, WIDTHS, seed=1)
+        diff = algo.verify_against_serial(ds.features, ds.labels, epochs=3, seed=1)
+        assert diff < 1e-10
+
+    @pytest.mark.parametrize("rows,cols", [(1, 4), (4, 1), (2, 3), (3, 2)])
+    def test_rectangular_grids_match_serial(self, ds, rows, cols):
+        """Section IV-C.6: the rectangular case is well-defined."""
+        rt = VirtualRuntime.make_2d_rect(rows, cols)
+        algo = DistGCN2D(rt, ds.adjacency, WIDTHS, seed=2)
+        diff = algo.verify_against_serial(ds.features, ds.labels, epochs=2, seed=2)
+        assert diff < 1e-10
+
+    @pytest.mark.parametrize("block", [1, 8, 64])
+    def test_blocking_parameter_preserves_results(self, ds, block):
+        """Algorithm 2's blocking parameter b must not change numerics."""
+        rt = VirtualRuntime.make_2d(4)
+        algo = DistGCN2D(rt, ds.adjacency, WIDTHS, seed=3, summa_block=block)
+        diff = algo.verify_against_serial(ds.features, ds.labels, epochs=2, seed=3)
+        assert diff < 1e-10
+
+    def test_narrow_features_fewer_than_grid(self):
+        """f < sqrt(P) produces empty feature blocks on some columns --
+        the hypersparse/skinny regime of Section VI-a."""
+        ds2 = make_synthetic(n=80, avg_degree=4, f=2, n_classes=2, seed=4)
+        rt = VirtualRuntime.make_2d(16)
+        algo = DistGCN2D(rt, ds2.adjacency, (2, 3, 2), seed=4)
+        diff = algo.verify_against_serial(ds2.features, ds2.labels, epochs=2, seed=4)
+        assert diff < 1e-10
+
+    def test_directed_adjacency(self):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.normalize import add_self_loops, row_normalize
+
+        directed = row_normalize(
+            add_self_loops(erdos_renyi(60, 4.0, seed=5, directed=True))
+        )
+        rng = np.random.default_rng(1)
+        feats = rng.standard_normal((60, 8))
+        labels = rng.integers(0, 3, 60)
+        rt = VirtualRuntime.make_2d(4)
+        algo = DistGCN2D(rt, directed, (8, 6, 3), seed=5)
+        diff = algo.verify_against_serial(feats, labels, epochs=3, seed=5)
+        assert diff < 1e-10
+
+
+class TestCommunicationAccounting:
+    def _epoch(self, ds, p, widths=WIDTHS):
+        rt = VirtualRuntime.make_2d(p)
+        algo = DistGCN2D(rt, ds.adjacency, widths, seed=0)
+        algo.setup(ds.features, ds.labels)
+        return algo.train_epoch(0)
+
+    def test_all_three_comm_categories_present(self, ds):
+        """2D moves sparse blocks (scomm), dense blocks (dcomm) and pays
+        the per-epoch transpose (trpose) -- Fig. 3's stack."""
+        st = self._epoch(ds, 4)
+        assert st.scomm_bytes > 0
+        assert st.dcomm_bytes > 0
+        assert st.bytes_by_category[Category.TRPOSE] > 0
+
+    def test_per_rank_comm_shrinks_with_sqrt_p(self):
+        """The headline claim: per-process words scale as 1/sqrt(P).
+
+        Doubling sqrt(P) (P: 4 -> 16) must cut per-rank dense bytes by
+        roughly half (allowing generous slack for the f^2 and remainder
+        terms on a small graph)."""
+        big = make_synthetic(n=600, avg_degree=6, f=32, n_classes=4, seed=6)
+        w = (32, 16, 4)
+        st4 = self._epoch(big, 4, w)
+        st16 = self._epoch(big, 16, w)
+        ratio = st4.max_rank_comm_bytes / st16.max_rank_comm_bytes
+        assert 1.5 < ratio < 3.0  # ideal 2.0
+
+    def test_total_sparse_bytes_grow_with_sqrt_p(self):
+        """Aggregate sparse traffic is nnz * sqrt(P) words: each stage
+        broadcasts nnz/P to sqrt(P)-1 receivers, P stages per SpMM."""
+        big = make_synthetic(n=600, avg_degree=6, f=32, n_classes=4, seed=6)
+        w = (32, 16, 4)
+        st4 = self._epoch(big, 4, w)
+        st16 = self._epoch(big, 16, w)
+        # Per-rank scomm should be roughly flat-to-halving; totals grow.
+        assert st16.scomm_bytes > st4.scomm_bytes
+
+    def test_epoch_deterministic(self, ds):
+        s1 = self._epoch(ds, 9)
+        s2 = self._epoch(ds, 9)
+        assert s1.dcomm_bytes == s2.dcomm_bytes
+        assert s1.scomm_bytes == s2.scomm_bytes
+
+
+class TestTrainingBehaviour:
+    def test_loss_decreases(self, ds):
+        rt = VirtualRuntime.make_2d(9)
+        algo = DistGCN2D(rt, ds.adjacency, WIDTHS, seed=7)
+        hist = algo.fit(ds.features, ds.labels, epochs=15)
+        assert hist.final_loss < hist.losses[0]
+
+    def test_wrong_mesh_rejected(self, ds):
+        rt = VirtualRuntime.make_1d(4)
+        with pytest.raises(TypeError, match="2D mesh"):
+            DistGCN2D(rt, ds.adjacency, WIDTHS)
+
+    def test_gather_log_probs_shape(self, ds):
+        rt = VirtualRuntime.make_2d(4)
+        algo = DistGCN2D(rt, ds.adjacency, WIDTHS, seed=8)
+        algo.fit(ds.features, ds.labels, epochs=1)
+        lp = algo.gather_log_probs()
+        assert lp.shape == (ds.num_vertices, WIDTHS[-1])
+        np.testing.assert_allclose(np.exp(lp).sum(axis=1), 1.0, atol=1e-9)

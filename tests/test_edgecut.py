@@ -1,0 +1,104 @@
+"""Edge-cut metrics (Section IV-A's edgecut_P and the Metis-experiment
+counters)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, grid_graph, ring_graph
+from repro.partition.edgecut import edge_cut_stats, edgecut_metric, ghost_rows_per_part
+from repro.partition.random_part import (
+    block_partition,
+    partition_sizes,
+    random_partition,
+)
+
+
+class TestBaselines:
+    def test_block_partition_contiguous(self):
+        a = block_partition(10, 3)
+        np.testing.assert_array_equal(a, [0, 0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+    def test_random_partition_balanced(self):
+        a = random_partition(103, 8, seed=0)
+        sizes = partition_sizes(a, 8)
+        assert sizes.max() - sizes.min() <= 1
+
+    @given(n=st.integers(1, 300), p=st.integers(1, 16), seed=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_every_vertex_assigned_once(self, n, p, seed):
+        a = random_partition(n, p, seed)
+        assert a.shape == (n,)
+        assert partition_sizes(a, p).sum() == n
+
+
+class TestCutStats:
+    def test_ring_block_partition_cuts_boundary_edges(self):
+        """Contiguous blocks of a ring cut exactly one undirected edge per
+        block boundary: 4 boundaries -> 4 undirected = 8 directed nnz."""
+        a = ring_graph(12)
+        stats = edge_cut_stats(a, block_partition(12, 4), 4)
+        assert stats.total_cut_edges == 8
+        assert stats.undirected_cut_edges == 4
+        # Each part originates one cut edge at each of its two ends.
+        assert stats.max_part_cut_edges == 2
+        assert stats.per_part_cut_edges == (2, 2, 2, 2)
+
+    def test_ghost_rows_on_ring(self):
+        a = ring_graph(12)
+        stats = edge_cut_stats(a, block_partition(12, 4), 4)
+        # Each part needs its 2 neighbouring remote vertices.
+        assert stats.per_part_ghost_rows == (2, 2, 2, 2)
+        assert stats.edgecut_metric == 2
+
+    def test_single_part_no_cut(self):
+        a = ring_graph(8)
+        stats = edge_cut_stats(a, np.zeros(8, dtype=np.int64), 1)
+        assert stats.total_cut_edges == 0
+        assert stats.max_ghost_rows == 0
+
+    def test_grid_block_partition(self):
+        """Row-blocks of a grid cut exactly the vertical edges between
+        block boundaries."""
+        a = grid_graph(4, 5)  # vertices row-major
+        assignment = block_partition(20, 2)  # rows 0-1 vs rows 2-3
+        stats = edge_cut_stats(a, assignment, 2)
+        # 5 vertical edges cross the boundary, both directions.
+        assert stats.total_cut_edges == 10
+        assert stats.per_part_ghost_rows == (5, 5)
+
+    def test_assignment_validation(self):
+        a = ring_graph(6)
+        with pytest.raises(ValueError, match="covers"):
+            edge_cut_stats(a, np.zeros(5, dtype=np.int64), 2)
+        with pytest.raises(ValueError, match="part ids"):
+            edge_cut_stats(a, np.full(6, 9, dtype=np.int64), 2)
+
+
+class TestBounds:
+    def test_random_partition_bound(self):
+        """Non-adversarial edgecut_P(A) <= n(P-1)/P (Section IV-A.1)."""
+        n, p = 600, 8
+        a = erdos_renyi(n, 12.0, seed=0)
+        for seed in range(3):
+            ec = edgecut_metric(a, random_partition(n, p, seed), p)
+            assert ec <= n * (p - 1) / p
+
+    def test_ghost_rows_vector_matches_stats(self):
+        a = erdos_renyi(200, 6.0, seed=1)
+        assignment = random_partition(200, 4, seed=2)
+        v = ghost_rows_per_part(a, assignment, 4)
+        stats = edge_cut_stats(a, assignment, 4)
+        np.testing.assert_array_equal(v, stats.per_part_ghost_rows)
+        assert v.max() == stats.edgecut_metric
+
+    def test_ghost_rows_at_most_cut_edges(self):
+        """Distinct remote neighbours never exceed cut edge count."""
+        a = erdos_renyi(300, 8.0, seed=3)
+        assignment = random_partition(300, 6, seed=4)
+        stats = edge_cut_stats(a, assignment, 6)
+        for ghosts, cuts in zip(
+            stats.per_part_ghost_rows, stats.per_part_cut_edges
+        ):
+            assert ghosts <= cuts

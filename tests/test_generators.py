@@ -1,0 +1,171 @@
+"""Graph generators: determinism, shape, degree statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    edges_to_adjacency,
+    erdos_renyi,
+    grid_graph,
+    ring_graph,
+    rmat,
+    star_graph,
+    stochastic_block_model,
+)
+
+
+class TestEdgesToAdjacency:
+    def test_symmetrize(self):
+        a = edges_to_adjacency(np.array([0]), np.array([1]), 3)
+        d = a.to_dense()
+        assert d[0, 1] == 1.0 and d[1, 0] == 1.0
+
+    def test_directed(self):
+        a = edges_to_adjacency(np.array([0]), np.array([1]), 3, symmetrize=False)
+        d = a.to_dense()
+        assert d[0, 1] == 1.0 and d[1, 0] == 0.0
+
+    def test_self_loops_dropped(self):
+        a = edges_to_adjacency(np.array([1, 0]), np.array([1, 2]), 3)
+        assert a.to_dense()[1, 1] == 0.0
+
+    def test_parallel_edges_collapse_to_one(self):
+        a = edges_to_adjacency(
+            np.array([0, 0, 0]), np.array([1, 1, 1]), 2
+        )
+        assert a.nnz == 2  # (0,1) and (1,0)
+        assert np.all(a.data == 1.0)
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        a = erdos_renyi(200, 6.0, seed=42)
+        b = erdos_renyi(200, 6.0, seed=42)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(200, 6.0, seed=1)
+        b = erdos_renyi(200, 6.0, seed=2)
+        assert not a.allclose(b)
+
+    def test_average_degree_near_target(self):
+        a = erdos_renyi(5000, 10.0, seed=0)
+        assert a.average_degree() == pytest.approx(10.0, rel=0.1)
+
+    def test_symmetric(self):
+        a = erdos_renyi(100, 5.0, seed=3)
+        assert a.allclose(a.transpose())
+
+    def test_directed_not_symmetric(self):
+        a = erdos_renyi(300, 8.0, seed=4, directed=True)
+        assert not a.allclose(a.transpose())
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 1.0)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 10.0)
+
+
+class TestRmat:
+    def test_deterministic(self):
+        a = rmat(scale=8, edge_factor=4, seed=7)
+        b = rmat(scale=8, edge_factor=4, seed=7)
+        assert a.allclose(b)
+
+    def test_vertex_count(self):
+        a = rmat(scale=7, edge_factor=4, seed=0)
+        assert a.nrows == 128
+
+    def test_truncation_to_n(self):
+        a = rmat(scale=7, edge_factor=4, seed=0, n=100)
+        assert a.nrows == 100
+
+    def test_skewed_degrees(self):
+        """R-MAT with Graph500 params produces heavy degree skew (the
+        scale-free property the paper's load-balance argument needs)."""
+        a = rmat(scale=11, edge_factor=8, seed=1)
+        deg = a.row_degrees()
+        nonzero = deg[deg > 0]
+        assert deg.max() > 8 * np.median(nonzero)
+
+    def test_uniform_rmat_is_not_skewed(self):
+        # a=b=c=d=0.25 degenerates to (near) Erdos-Renyi.
+        a = rmat(scale=11, edge_factor=8, a=0.25, b=0.25, c=0.25, seed=1)
+        deg = a.row_degrees()
+        assert deg.max() < 5 * np.median(deg[deg > 0])
+
+    def test_symmetric(self):
+        a = rmat(scale=6, edge_factor=4, seed=2)
+        assert a.allclose(a.transpose())
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            rmat(scale=5, a=0.6, b=0.3, c=0.3)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat(scale=0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            rmat(scale=5, n=100)
+
+
+class TestSBM:
+    def test_community_structure(self):
+        sizes = (50, 50, 50)
+        a = stochastic_block_model(sizes, p_in=0.3, p_out=0.01, seed=0)
+        d = a.to_dense()
+        labels = np.repeat(np.arange(3), 50)
+        same = d[labels[:, None] == labels[None, :]].sum()
+        cross = d[labels[:, None] != labels[None, :]].sum()
+        assert same > 5 * cross
+
+    def test_zero_out_probability(self):
+        a = stochastic_block_model((30, 30), p_in=0.2, p_out=0.0, seed=1)
+        d = a.to_dense()
+        assert d[:30, 30:].sum() == 0.0
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model((10, 10), p_in=0.1, p_out=0.5)
+
+
+class TestToyGraphs:
+    def test_ring_degrees(self):
+        a = ring_graph(10)
+        assert np.all(a.row_degrees() == 2)
+        assert a.nnz == 20
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_star_degrees(self):
+        a = star_graph(8)
+        deg = a.row_degrees()
+        assert deg[0] == 7
+        assert np.all(deg[1:] == 1)
+
+    def test_grid_structure(self):
+        a = grid_graph(3, 4)
+        assert a.nrows == 12
+        deg = a.row_degrees()
+        # Corners have degree 2, edges 3, interior 4.
+        assert deg.min() == 2 and deg.max() == 4
+
+    def test_grid_edge_count(self):
+        r, c = 5, 7
+        a = grid_graph(r, c)
+        undirected = r * (c - 1) + c * (r - 1)
+        assert a.nnz == 2 * undirected
+
+    @given(n=st.integers(3, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_always_regular(self, n):
+        a = ring_graph(n)
+        assert np.all(a.row_degrees() == 2)
+        assert a.allclose(a.transpose())

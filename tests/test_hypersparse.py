@@ -1,0 +1,102 @@
+"""Hypersparsity analysis vs the paper's expectations (Section IV-A.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi
+from repro.sparse.distribute import distribute_sparse_1d_cols, distribute_sparse_2d
+from repro.comm.mesh import Mesh2D
+from repro.sparse.hypersparse import (
+    aggregate_block_stats,
+    block_sparsity_stats,
+    expected_nonempty_rows,
+    expected_nonempty_rows_asymptotic,
+    sparse_vs_dense_intermediate_words,
+)
+
+
+class TestExpectations:
+    def test_exact_formula_monotone_in_p(self):
+        vals = [expected_nonempty_rows(10_000, 16.0, p) for p in (2, 8, 32, 128)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_asymptotic_matches_exact_for_large_p(self):
+        """The paper's dn/P simplification holds when P >> d."""
+        n, d = 100_000, 8.0
+        for p in (64, 256):
+            exact = expected_nonempty_rows(n, d, p)
+            asym = expected_nonempty_rows_asymptotic(n, d, p)
+            assert asym == pytest.approx(exact, rel=0.08)
+
+    def test_asymptotic_overestimates_small_p(self):
+        # With P < d, nearly all rows are nonempty: dn/P exceeds n.
+        n, d = 1000, 50.0
+        assert expected_nonempty_rows_asymptotic(n, d, 4) > n
+        assert expected_nonempty_rows(n, d, 4) <= n
+
+    def test_empirical_er_graph_matches_expectation(self):
+        n, d, p = 4000, 10.0, 16
+        a = erdos_renyi(n, d, seed=3)
+        d_actual = a.nnz / n
+        blocks = distribute_sparse_1d_cols(a, p)
+        measured = np.mean(
+            [block_sparsity_stats(b).nonempty_rows for b in blocks.values()]
+        )
+        expected = expected_nonempty_rows(n, d_actual, p)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            expected_nonempty_rows(0, 5.0, 4)
+        with pytest.raises(ValueError):
+            expected_nonempty_rows(100, -1.0, 4)
+        with pytest.raises(ValueError):
+            expected_nonempty_rows(100, 200.0, 4)
+
+
+class TestBlockStats:
+    def test_stats_fields(self):
+        a = erdos_renyi(500, 6.0, seed=1)
+        stats = block_sparsity_stats(a)
+        assert stats.nrows == 500
+        assert stats.nnz == a.nnz
+        assert stats.avg_degree == pytest.approx(a.nnz / 500)
+        assert 0 <= stats.empty_row_fraction < 1
+
+    def test_hypersparse_flag(self):
+        """Buluc & Gilbert: hypersparse iff nnz < nrows."""
+        a = erdos_renyi(2000, 4.0, seed=2)
+        mesh = Mesh2D.square(64)
+        blocks = distribute_sparse_2d(a, mesh)
+        flags = [block_sparsity_stats(b).is_hypersparse for b in blocks.values()]
+        # d/sqrt(P) = 4/8 = 0.5 < 1: 2D blocks go hypersparse.
+        assert np.mean(flags) > 0.9
+
+    def test_2d_partitioning_divides_degree_by_sqrt_p(self):
+        """Section VI-a: local average degree falls by sqrt(P)."""
+        a = erdos_renyi(3000, 12.0, seed=4)
+        d_global = a.average_degree()
+        mesh = Mesh2D.square(16)
+        stats = aggregate_block_stats(distribute_sparse_2d(a, mesh))
+        assert stats["mean_local_degree"] == pytest.approx(
+            d_global / 4, rel=0.1
+        )
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_block_stats({})
+
+
+class TestSparseVsDenseIntermediate:
+    def test_crossover_at_p_equals_d(self):
+        """Sparse intermediates win exactly when P > d (Section IV-A.3)."""
+        n, d, f = 100_000, 16.0, 64
+        below = sparse_vs_dense_intermediate_words(n, d, f, 8)
+        above = sparse_vs_dense_intermediate_words(n, d, f, 64)
+        assert not below["sparse_wins"]
+        assert above["sparse_wins"]
+        assert below["crossover_p"] == d
+
+    def test_dense_cost_is_nf(self):
+        out = sparse_vs_dense_intermediate_words(1000, 8.0, 32, 16)
+        assert out["dense_words"] == 1000 * 32

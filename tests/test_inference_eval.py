@@ -1,0 +1,122 @@
+"""Distributed inference and held-out evaluation.
+
+Section I: "while our focus is on GNN training, all of our algorithms are
+applicable to GNN inference."
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Category, VirtualRuntime
+from repro.dist import DistGCN2D, make_algorithm
+from repro.graph import make_synthetic, split_masks
+from repro.nn import GCN, SGD
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=130, avg_degree=5, f=12, n_classes=4, seed=47)
+
+
+class TestDistributedInference:
+    @pytest.mark.parametrize("name,p,kwargs", [
+        ("1d", 4, {}),
+        ("1.5d", 4, {"replication": 2}),
+        ("2d", 4, {}),
+        ("3d", 8, {}),
+    ])
+    def test_inference_matches_serial(self, ds, name, p, kwargs):
+        widths = ds.layer_widths(hidden=8)
+        serial = GCN(widths, seed=11)
+        expected = serial.predict(ds.adjacency, ds.features)
+        algo = make_algorithm(name, p, ds, hidden=8, seed=11, **kwargs)
+        got = algo.predict(ds.features)
+        np.testing.assert_allclose(got, expected, atol=1e-10)
+
+    def test_inference_cheaper_than_training_epoch(self, ds):
+        """Inference pays only the forward pass's communication."""
+        widths = ds.layer_widths(hidden=8)
+        rt = VirtualRuntime.make_2d(4)
+        algo = DistGCN2D(rt, ds.adjacency, widths, seed=0)
+        algo.setup(ds.features, ds.labels)
+        before = rt.tracker.comm_bytes()
+        algo.predict()
+        inference_bytes = rt.tracker.comm_bytes() - before
+        before = rt.tracker.comm_bytes()
+        algo.train_epoch(0)
+        epoch_bytes = rt.tracker.comm_bytes() - before
+        assert 0 < inference_bytes < 0.7 * epoch_bytes
+
+    def test_predict_without_setup_rejected(self, ds):
+        algo = make_algorithm("2d", 4, ds, hidden=8)
+        with pytest.raises(RuntimeError, match="setup"):
+            algo.predict()
+
+    def test_predict_after_fit_uses_trained_weights(self, ds):
+        algo = make_algorithm("2d", 4, ds, hidden=8, seed=1,
+                              optimizer=SGD(lr=0.3))
+        algo.fit(ds.features, ds.labels, epochs=10)
+        lp = algo.predict()
+        from repro.nn.loss import nll_loss
+
+        loss, _ = nll_loss(lp, ds.labels)
+        fresh = make_algorithm("2d", 4, ds, hidden=8, seed=1)
+        lp0 = fresh.predict(ds.features)
+        loss0, _ = nll_loss(lp0, ds.labels)
+        assert loss < loss0  # training helped
+
+
+class TestSplitsAndEvaluation:
+    def test_split_masks_partition(self):
+        train, val, test = split_masks(100, 0.6, 0.2, seed=0)
+        total = train.astype(int) + val.astype(int) + test.astype(int)
+        assert np.all(total == 1)
+        assert train.sum() == 60 and val.sum() == 20 and test.sum() == 20
+
+    def test_split_masks_validation(self):
+        with pytest.raises(ValueError):
+            split_masks(10, 0.0, 0.2)
+        with pytest.raises(ValueError):
+            split_masks(10, 0.8, 0.3)
+
+    def test_dataset_with_split(self, ds):
+        split = ds.with_split(0.5, 0.25, seed=1)
+        assert split.val_mask is not None and split.test_mask is not None
+        assert split.train_mask.sum() == round(0.5 * ds.num_vertices)
+        # Original dataset untouched.
+        assert ds.val_mask is None
+        assert ds.train_mask.all()
+
+    def test_masked_training_and_heldout_eval(self, ds):
+        """Train on the train split only; evaluate on the test split."""
+        split = ds.with_split(0.6, 0.2, seed=2)
+        algo = make_algorithm("2d", 4, split, hidden=8, seed=3,
+                              optimizer=SGD(lr=0.3))
+        history = algo.fit(
+            split.features, split.labels, epochs=10, mask=split.train_mask
+        )
+        assert history.final_loss < history.losses[0]
+        test_loss, test_acc = algo.evaluate(split.labels, split.test_mask)
+        assert np.isfinite(test_loss)
+        assert 0.0 <= test_acc <= 1.0
+
+    def test_masked_distributed_matches_masked_serial(self, ds):
+        """Masked full-batch loss: distributed == serial (the mini-batch
+        mode the paper says its algorithms 'can be easily modified' to)."""
+        from repro.nn import SerialTrainer
+
+        split = ds.with_split(0.5, 0.2, seed=4)
+        serial = SerialTrainer.for_dataset(
+            ds, hidden=8, seed=5, optimizer=SGD(lr=0.2)
+        )
+        s_hist = serial.train(
+            split.features, split.labels, epochs=5, mask=split.train_mask
+        )
+        algo = make_algorithm("2d", 9, split, hidden=8, seed=5,
+                              optimizer=SGD(lr=0.2))
+        d_hist = algo.fit(
+            split.features, split.labels, epochs=5, mask=split.train_mask
+        )
+        np.testing.assert_allclose(
+            d_hist.losses, [e.loss for e in s_hist.epochs], rtol=1e-9
+        )

@@ -1,0 +1,169 @@
+"""Masked NLL loss, accuracy, and the optimisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import LogSoftmax
+from repro.nn.init import init_gcn_weights, xavier_uniform
+from repro.nn.loss import accuracy, nll_loss, one_hot
+from repro.nn.optim import SGD, Adam
+
+
+class TestNllLoss:
+    def test_perfect_prediction_low_loss(self):
+        lp = np.log(np.array([[0.999, 0.0005, 0.0005]]))
+        loss, _ = nll_loss(lp, np.array([0]))
+        assert loss < 0.01
+
+    def test_uniform_prediction_log_k(self):
+        k = 4
+        lp = np.full((3, k), np.log(1.0 / k))
+        loss, _ = nll_loss(lp, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(k))
+
+    def test_gradient_values(self):
+        lp = np.log(np.full((2, 2), 0.5))
+        _, grad = nll_loss(lp, np.array([0, 1]))
+        np.testing.assert_allclose(
+            grad, [[-0.5, 0.0], [0.0, -0.5]]
+        )
+
+    def test_mask_restricts_rows(self):
+        lp = np.log(np.full((4, 2), 0.5))
+        mask = np.array([True, False, True, False])
+        loss, grad = nll_loss(lp, np.zeros(4, dtype=np.int64), mask)
+        assert loss == pytest.approx(np.log(2))
+        assert np.all(grad[1] == 0) and np.all(grad[3] == 0)
+        assert grad[0, 0] == pytest.approx(-0.5)
+
+    def test_empty_mask_rejected(self):
+        lp = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="empty training mask"):
+            nll_loss(lp, np.zeros(2, dtype=np.int64), np.zeros(2, dtype=bool))
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nll_loss(np.zeros((3, 2)), np.zeros(2, dtype=np.int64))
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_gradient_matches_finite_difference(self, seed):
+        """End-to-end: d(NLL o log_softmax)/dZ via the composed backward
+        equals the classic softmax-minus-onehot formula."""
+        rng = np.random.default_rng(seed)
+        n, k = 5, 4
+        z = rng.standard_normal((n, k))
+        y = rng.integers(0, k, n)
+        act = LogSoftmax()
+        lp = act.forward(z)
+        _, grad_lp = nll_loss(lp, y)
+        grad_z = act.backward(z, grad_lp)
+        expected = (np.exp(lp) - one_hot(y, k)) / n
+        np.testing.assert_allclose(grad_z, expected, atol=1e-10)
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        lp = np.log(np.array([[0.9, 0.1], [0.2, 0.8]]))
+        assert accuracy(lp, np.array([0, 1])) == 1.0
+
+    def test_masked_accuracy(self):
+        lp = np.log(np.array([[0.9, 0.1], [0.9, 0.1], [0.2, 0.8]]))
+        y = np.array([0, 1, 1])
+        mask = np.array([True, True, False])
+        assert accuracy(lp, y, mask) == pytest.approx(0.5)
+
+
+class TestOneHot:
+    def test_values(self):
+        oh = one_hot(np.array([1, 0, 2]), 3)
+        np.testing.assert_array_equal(
+            oh, [[0, 1, 0], [1, 0, 0], [0, 0, 1]]
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(100, 50, rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+        assert w.shape == (100, 50)
+
+    def test_gcn_weights_deterministic(self):
+        a = init_gcn_weights([10, 8, 4], seed=3)
+        b = init_gcn_weights([10, 8, 4], seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_gcn_weights_shapes(self):
+        ws = init_gcn_weights([10, 16, 16, 5], seed=0)
+        assert [w.shape for w in ws] == [(10, 16), (16, 16), (16, 5)]
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            init_gcn_weights([10], seed=0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            xavier_uniform(0, 5, rng)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = [np.array([1.0, 2.0])]
+        g = [np.array([0.5, -1.0])]
+        SGD(lr=0.1).step(p, g)
+        np.testing.assert_allclose(p[0], [0.95, 2.1])
+
+    def test_updates_in_place(self):
+        arr = np.array([1.0])
+        SGD(lr=1.0).step([arr], [np.array([1.0])])
+        assert arr[0] == 0.0  # the same buffer was mutated
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=1.0, momentum=0.5)
+        p = [np.zeros(1)]
+        g = [np.ones(1)]
+        opt.step(p, g)     # v=1, p=-1
+        opt.step(p, g)     # v=1.5, p=-2.5
+        np.testing.assert_allclose(p[0], [-2.5])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SGD().step([np.zeros(2)], [np.zeros(3)])
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |step 1| == lr for any gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            opt = Adam(lr=0.01)
+            p = [np.zeros(1)]
+            opt.step(p, [np.full(1, scale)])
+            # |step| = lr * |g| / (|g| + eps): within eps/|g| of lr.
+            np.testing.assert_allclose(np.abs(p[0]), 0.01, rtol=1e-4)
+
+    def test_descends_quadratic(self):
+        opt = Adam(lr=0.1)
+        p = [np.array([5.0])]
+        for _ in range(200):
+            opt.step(p, [2.0 * p[0]])  # grad of x^2
+        assert abs(p[0][0]) < 0.5
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)

@@ -1,0 +1,94 @@
+"""Per-rank memory models and the paper's Section V-C feasibility table."""
+
+import pytest
+
+from repro.analysis.memory import (
+    V100_BYTES,
+    feasibility_table,
+    memory_15d,
+    memory_1d,
+    memory_2d,
+    memory_3d,
+)
+
+N, NNZ = 1_000_000, 16_000_000
+WIDTHS = (128, 16, 16, 32)
+
+
+class TestFeasibilityTable:
+    def test_paper_oom_pattern(self):
+        """Section V-C: 'We do not report numbers for Amazon on 4 devices
+        or numbers for Protein on 4 or 16 devices as the data does not
+        fit in memory for those configurations.'"""
+        table = feasibility_table()
+        assert table["reddit"][4] is True
+        assert table["amazon"][4] is False
+        assert table["amazon"][16] is True
+        assert table["protein"][4] is False
+        assert table["protein"][16] is False
+        assert table["protein"][36] is True
+        assert table["protein"][64] is True
+        assert table["protein"][100] is True
+
+    def test_reddit_fits_everywhere(self):
+        table = feasibility_table()
+        assert all(table["reddit"].values())
+
+
+class TestScalingBehaviour:
+    def test_2d_memory_scales_inverse_p(self):
+        m4 = memory_2d(N, NNZ, WIDTHS, 4)
+        m64 = memory_2d(N, NNZ, WIDTHS, 64)
+        # Near-perfect 1/P scaling ("consumes optimal memory").
+        assert m4.total_bytes / m64.total_bytes == pytest.approx(16, rel=0.3)
+
+    def test_1d_memory_floor_is_full_dense_matrix(self):
+        """The gathered H never shrinks: 1D memory plateaus."""
+        m4 = memory_1d(N, NNZ, WIDTHS, 4)
+        m256 = memory_1d(N, NNZ, WIDTHS, 256)
+        assert m256.buffer_bytes == m4.buffer_bytes
+        assert m256.total_bytes > 0.3 * m4.total_bytes
+
+    def test_15d_memory_grows_with_replication(self):
+        """Section IV-B: the c-fold dense replication."""
+        p = 64
+        m1 = memory_15d(N, NNZ, WIDTHS, p, 1)
+        m4 = memory_15d(N, NNZ, WIDTHS, p, 4)
+        m16 = memory_15d(N, NNZ, WIDTHS, p, 16)
+        assert m1.dense_bytes < m4.dense_bytes < m16.dense_bytes
+
+    def test_3d_partial_replication(self):
+        """Section IV-D: partials replicate P^(1/3)-fold relative to the
+        owned share."""
+        p = 64  # s = 4
+        m = memory_3d(N, NNZ, WIDTHS, p)
+        owned_share = 4 * (N / 16) * (max(WIDTHS) / 4)  # fp32 n/s^2 x f/s
+        assert m.buffer_bytes == pytest.approx(4 * owned_share)
+
+    def test_2d_beats_1d_at_scale(self):
+        m1 = memory_1d(N, NNZ, WIDTHS, 64)
+        m2 = memory_2d(N, NNZ, WIDTHS, 64)
+        assert m2.total_bytes < m1.total_bytes
+
+
+class TestValidation:
+    def test_2d_requires_square(self):
+        with pytest.raises(ValueError, match="square"):
+            memory_2d(N, NNZ, WIDTHS, 10)
+
+    def test_3d_requires_cube(self):
+        with pytest.raises(ValueError, match="cube"):
+            memory_3d(N, NNZ, WIDTHS, 16)
+
+    def test_15d_replication_divides(self):
+        with pytest.raises(ValueError, match="divide"):
+            memory_15d(N, NNZ, WIDTHS, 8, 3)
+
+    def test_estimate_fields(self):
+        m = memory_2d(N, NNZ, WIDTHS, 16)
+        assert m.total_gib > 0
+        assert m.total_bytes == pytest.approx(
+            (m.sparse_bytes + m.dense_bytes + m.buffer_bytes)
+            * m.overhead_factor
+        )
+        assert m.fits(capacity_bytes=float("inf"))

@@ -1,0 +1,147 @@
+"""Process meshes: coordinate bijections and group enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.mesh import (
+    Mesh1D,
+    Mesh2D,
+    Mesh3D,
+    cube_side,
+    is_perfect_square,
+    square_side,
+    validate_group,
+)
+
+
+class TestMesh1D:
+    def test_world_group(self):
+        mesh = Mesh1D(size=5)
+        assert mesh.world_group() == (0, 1, 2, 3, 4)
+
+    def test_coords_roundtrip(self):
+        mesh = Mesh1D(size=7)
+        for r in range(7):
+            assert mesh.rank_of(*mesh.coords(r)) == r
+
+    def test_out_of_range(self):
+        mesh = Mesh1D(size=3)
+        with pytest.raises(IndexError):
+            mesh.coords(3)
+
+    def test_empty_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh1D(size=0)
+
+
+class TestMesh2D:
+    def test_square_construction(self):
+        mesh = Mesh2D.square(16)
+        assert (mesh.rows, mesh.cols) == (4, 4)
+        assert mesh.is_square
+
+    def test_square_requires_perfect_square(self):
+        with pytest.raises(ValueError, match="not a perfect square"):
+            Mesh2D.square(10)
+
+    def test_rectangular(self):
+        mesh = Mesh2D.rectangular(2, 3)
+        assert mesh.size == 6
+        assert not mesh.is_square
+
+    def test_row_major_rank_layout(self):
+        mesh = Mesh2D.rectangular(2, 3)
+        assert mesh.rank_of(0, 0) == 0
+        assert mesh.rank_of(0, 2) == 2
+        assert mesh.rank_of(1, 0) == 3
+
+    def test_row_and_col_groups(self):
+        mesh = Mesh2D.square(9)
+        assert mesh.row_group(1) == (3, 4, 5)
+        assert mesh.col_group(2) == (2, 5, 8)
+        assert len(mesh.row_groups()) == 3
+        assert len(mesh.col_groups()) == 3
+
+    def test_groups_partition_the_world(self):
+        mesh = Mesh2D.rectangular(3, 4)
+        seen = sorted(r for g in mesh.row_groups() for r in g)
+        assert seen == list(range(12))
+        seen = sorted(r for g in mesh.col_groups() for r in g)
+        assert seen == list(range(12))
+
+    @given(
+        rows=st.integers(min_value=1, max_value=12),
+        cols=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coords_bijection(self, rows, cols):
+        mesh = Mesh2D.rectangular(rows, cols)
+        coords = {mesh.coords(r) for r in range(mesh.size)}
+        assert len(coords) == mesh.size
+        for r in range(mesh.size):
+            assert mesh.rank_of(*mesh.coords(r)) == r
+
+
+class TestMesh3D:
+    def test_cubic_construction(self):
+        mesh = Mesh3D.cubic(27)
+        assert (mesh.p1, mesh.p2, mesh.p3) == (3, 3, 3)
+
+    def test_cubic_requires_perfect_cube(self):
+        with pytest.raises(ValueError, match="not a perfect cube"):
+            Mesh3D.cubic(9)
+
+    def test_layer_group_is_full_grid(self):
+        mesh = Mesh3D.cubic(8)
+        layer = mesh.layer_group(0)
+        assert len(layer) == 4
+        assert all(mesh.coords(r)[2] == 0 for r in layer)
+
+    def test_fiber_groups_cover_world(self):
+        mesh = Mesh3D.cubic(8)
+        seen = sorted(r for g in mesh.fiber_groups() for r in g)
+        assert seen == list(range(8))
+
+    def test_row_col_groups_within_layer(self):
+        mesh = Mesh3D.cubic(27)
+        row = mesh.row_group(1, 2)
+        assert all(mesh.coords(r)[0] == 1 and mesh.coords(r)[2] == 2 for r in row)
+        col = mesh.col_group(0, 1)
+        assert all(mesh.coords(r)[1] == 0 and mesh.coords(r)[2] == 1 for r in col)
+
+    @given(p=st.sampled_from([1, 2, 3, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_coords_bijection(self, p):
+        mesh = Mesh3D.cubic(p**3)
+        coords = {mesh.coords(r) for r in range(mesh.size)}
+        assert len(coords) == mesh.size
+        for r in range(mesh.size):
+            assert mesh.rank_of(*mesh.coords(r)) == r
+
+
+class TestHelpers:
+    def test_square_side(self):
+        assert square_side(64) == 8
+        with pytest.raises(ValueError):
+            square_side(50)
+
+    def test_is_perfect_square(self):
+        assert is_perfect_square(36)
+        assert not is_perfect_square(35)
+        assert not is_perfect_square(0)
+
+    def test_cube_side(self):
+        assert cube_side(64) == 4
+        assert cube_side(1000) == 10
+        with pytest.raises(ValueError):
+            cube_side(100)
+
+    def test_validate_group(self):
+        assert validate_group([2, 0, 1], 4) == (2, 0, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_group([1, 1], 4)
+        with pytest.raises(IndexError):
+            validate_group([5], 4)
+        with pytest.raises(ValueError, match="empty"):
+            validate_group([], 4)

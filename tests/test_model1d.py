@@ -1,0 +1,107 @@
+"""Analytic 1D epoch model vs measured execution, and 1D-vs-2D stories."""
+
+import pytest
+
+from repro.analysis.model1d import Model1DEpoch
+from repro.analysis.model2d import Model2DEpoch
+from repro.comm import VirtualRuntime
+from repro.comm.tracker import Category
+from repro.config import COMMODITY, SUMMIT
+from repro.dist.algo_1d import DistGCN1D
+
+
+class TestModelVsExecution:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_categories_match_measured(self, uniform_dataset, p):
+        ds = uniform_dataset
+        widths = ds.layer_widths(hidden=16)
+        rt = VirtualRuntime.make_1d(p)
+        algo = DistGCN1D(rt, ds.adjacency, widths, seed=0, variant="symmetric")
+        algo.setup(ds.features, ds.labels)
+        measured = algo.train_epoch(0)
+        modeled = Model1DEpoch(
+            ds.num_vertices, ds.adjacency.nnz, widths, p, dtype_bytes=8
+        ).run()
+        for cat in (Category.DCOMM, Category.SPMM, Category.MISC):
+            m = modeled.seconds_by_category[cat]
+            e = measured.seconds_by_category[cat]
+            assert m == pytest.approx(e, rel=0.1), cat
+
+    def test_dcomm_bytes_match_measured(self, uniform_dataset):
+        ds = uniform_dataset
+        widths = ds.layer_widths(hidden=16)
+        rt = VirtualRuntime.make_1d(8)
+        algo = DistGCN1D(rt, ds.adjacency, widths, seed=0, variant="symmetric")
+        algo.setup(ds.features, ds.labels)
+        measured = algo.train_epoch(0)
+        modeled = Model1DEpoch(
+            ds.num_vertices, ds.adjacency.nnz, widths, 8, dtype_bytes=8
+        ).run()
+        # Per-rank critical bytes: modeled tracks a single rank, measured
+        # sums all ranks -> divide by P.
+        assert modeled.bytes_by_category[Category.DCOMM] == pytest.approx(
+            measured.bytes_by_category[Category.DCOMM] / 8, rel=0.02
+        )
+
+
+class TestPaperStories:
+    """The memory/words/relative-cost triangle of the 1D-vs-2D choice."""
+
+    def test_2d_moves_fewer_dense_bytes(self):
+        m1 = Model1DEpoch.for_published_dataset("protein", 64).run()
+        m2 = Model2DEpoch.for_published_dataset("protein", 64).run()
+        assert (
+            m2.bytes_by_category[Category.DCOMM]
+            < m1.bytes_by_category[Category.DCOMM]
+        )
+
+    def test_1d_dense_bytes_do_not_scale_with_p(self):
+        """The all-gather's per-rank volume is ~n f regardless of P."""
+        b16 = Model1DEpoch.for_published_dataset("protein", 16).run()
+        b256 = Model1DEpoch.for_published_dataset("protein", 256).run()
+        ratio = (
+            b16.bytes_by_category[Category.DCOMM]
+            / b256.bytes_by_category[Category.DCOMM]
+        )
+        assert ratio == pytest.approx(1.0, rel=0.1)
+
+    def test_2d_dense_bytes_scale_with_sqrt_p(self):
+        b16 = Model2DEpoch.for_published_dataset("protein", 16).run()
+        b256 = Model2DEpoch.for_published_dataset("protein", 256).run()
+        ratio = (
+            b16.bytes_by_category[Category.DCOMM]
+            / b256.bytes_by_category[Category.DCOMM]
+        )
+        assert ratio == pytest.approx(4.0, rel=0.15)  # sqrt(256/16)
+
+    def test_slow_network_favours_2d(self):
+        """Section I: slower networks 'increase the relative cost of
+        communication, making our reduced-communication algorithms more
+        beneficial'."""
+        for p in (64, 256):
+            fast = (
+                Model2DEpoch.for_published_dataset("protein", p, profile=SUMMIT)
+                .run().total_seconds
+                / Model1DEpoch.for_published_dataset("protein", p, profile=SUMMIT)
+                .run().total_seconds
+            )
+            slow = (
+                Model2DEpoch.for_published_dataset("protein", p, profile=COMMODITY)
+                .run().total_seconds
+                / Model1DEpoch.for_published_dataset("protein", p, profile=COMMODITY)
+                .run().total_seconds
+            )
+            assert slow < fast
+
+    def test_2d_wins_seconds_on_slow_network_at_scale(self):
+        m1 = Model1DEpoch.for_published_dataset(
+            "protein", 256, profile=COMMODITY
+        ).run()
+        m2 = Model2DEpoch.for_published_dataset(
+            "protein", 256, profile=COMMODITY
+        ).run()
+        assert m2.total_seconds < m1.total_seconds
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Model1DEpoch(10, 100, (4, 2), 0)

@@ -1,0 +1,139 @@
+"""Analytic 2D epoch model vs measured execution, and full-scale shapes."""
+
+import pytest
+
+from repro.analysis.model2d import Model2DEpoch
+from repro.comm import VirtualRuntime
+from repro.comm.tracker import Category
+from repro.dist.algo_2d import DistGCN2D
+from repro.graph import make_synthetic, published_spec
+
+
+class TestModelVsExecution:
+    """The model replays the executed charge pattern: on a uniform graph
+    every category must agree closely with the measured accounting."""
+
+    @pytest.mark.parametrize("p", [4, 9, 16])
+    def test_categories_match_measured(self, uniform_dataset, p):
+        ds = uniform_dataset
+        widths = ds.layer_widths(hidden=16)
+        rt = VirtualRuntime.make_2d(p)
+        algo = DistGCN2D(rt, ds.adjacency, widths, seed=0)
+        algo.setup(ds.features, ds.labels)
+        measured = algo.train_epoch(0)
+        modeled = Model2DEpoch(
+            ds.num_vertices, ds.adjacency.nnz, widths, p, dtype_bytes=8
+        ).run()
+        for cat in Category.ALL:
+            m = modeled.seconds_by_category[cat]
+            e = measured.seconds_by_category[cat]
+            assert m == pytest.approx(e, rel=0.15), cat
+
+    def test_total_close(self, uniform_dataset):
+        ds = uniform_dataset
+        widths = ds.layer_widths(hidden=16)
+        rt = VirtualRuntime.make_2d(9)
+        algo = DistGCN2D(rt, ds.adjacency, widths, seed=0)
+        algo.setup(ds.features, ds.labels)
+        measured = algo.train_epoch(0)
+        modeled = Model2DEpoch(
+            ds.num_vertices, ds.adjacency.nnz, widths, 9, dtype_bytes=8
+        ).run()
+        assert modeled.total_seconds == pytest.approx(
+            measured.modeled_seconds, rel=0.1
+        )
+
+
+class TestFullScaleShapes:
+    """Shape checks at the published Table VI sizes (Section VI)."""
+
+    def test_square_p_required(self):
+        with pytest.raises(ValueError, match="square"):
+            Model2DEpoch(100, 1000, (8, 4), 10)
+
+    def test_amazon_dense_comm_dominates_sparse(self):
+        """Section VI-a: 'the most costly operation in training on the
+        Amazon dataset is the communication of dense matrices' -- dcomm
+        words exceed scomm by more than 2x."""
+        for p in (16, 36, 64):
+            r = Model2DEpoch.for_published_dataset("amazon", p).run()
+            assert r.bytes_by_category[Category.DCOMM] > (
+                2 * r.bytes_by_category[Category.SCOMM]
+            )
+
+    def test_amazon_dcomm_halves_with_4x_devices(self):
+        """'time spent communicating dense matrices goes down by 2x given
+        4x more devices' (16 -> 64)."""
+        r16 = Model2DEpoch.for_published_dataset("amazon", 16).run()
+        r64 = Model2DEpoch.for_published_dataset("amazon", 64).run()
+        ratio = (
+            r16.seconds_by_category[Category.DCOMM]
+            / r64.seconds_by_category[Category.DCOMM]
+        )
+        assert ratio == pytest.approx(2.0, rel=0.2)
+
+    def test_amazon_overall_speedup_16_to_64(self):
+        """'we still see an overall speedup 1.8x when going from 16 to 64
+        processes in epoch throughput.'"""
+        r16 = Model2DEpoch.for_published_dataset("amazon", 16).run()
+        r64 = Model2DEpoch.for_published_dataset("amazon", 64).run()
+        speedup = r16.total_seconds / r64.total_seconds
+        assert speedup == pytest.approx(1.8, rel=0.25)
+
+    def test_protein_comm_scales_1p65x_36_to_100(self):
+        """'from 36 to 100 processes, the total communication goes down by
+        roughly 1.65x ... consistent with sqrt(P) = 10/6.'"""
+        r36 = Model2DEpoch.for_published_dataset("protein", 36).run()
+        r100 = Model2DEpoch.for_published_dataset("protein", 100).run()
+        comm36 = sum(r36.seconds_by_category[c] for c in Category.COMM)
+        comm100 = sum(r100.seconds_by_category[c] for c in Category.COMM)
+        assert comm36 / comm100 == pytest.approx(10 / 6, rel=0.15)
+
+    def test_protein_spmm_speedup_limited(self):
+        """'the SpMM time goes down by roughly 1.33x from 36 to 100' --
+        sublinear because hypersparsity degrades the local rate.  We allow
+        a window around the paper's figure but require it to be far below
+        the ideal 100/36 = 2.78x."""
+        r36 = Model2DEpoch.for_published_dataset("protein", 36).run()
+        r100 = Model2DEpoch.for_published_dataset("protein", 100).run()
+        speedup = (
+            r36.seconds_by_category[Category.SPMM]
+            / r100.seconds_by_category[Category.SPMM]
+        )
+        assert 1.1 < speedup < 2.0
+
+    def test_reddit_spmm_dominates(self):
+        """Reddit is dense (d ~ 493): local SpMM dominates its epochs and
+        scales well (5.23x from 4 to 64 in the paper)."""
+        r4 = Model2DEpoch.for_published_dataset("reddit", 4).run()
+        assert (
+            r4.seconds_by_category[Category.SPMM]
+            > r4.seconds_by_category[Category.DCOMM]
+        )
+        r64 = Model2DEpoch.for_published_dataset("reddit", 64).run()
+        spmm_speedup = (
+            r4.seconds_by_category[Category.SPMM]
+            / r64.seconds_by_category[Category.SPMM]
+        )
+        assert 3.0 < spmm_speedup < 16.0
+
+    def test_throughput_increases_with_gpus_on_all_datasets(self):
+        """Fig. 2's headline: epoch throughput rises with device count on
+        every dataset."""
+        for name, counts in (
+            ("reddit", (4, 16, 36, 64)),
+            ("amazon", (16, 36, 64)),
+            ("protein", (36, 64, 100)),
+        ):
+            eps = [
+                Model2DEpoch.for_published_dataset(name, p).run().epochs_per_second
+                for p in counts
+            ]
+            assert eps == sorted(eps), name
+
+    def test_published_spec_wiring(self):
+        spec = published_spec("protein")
+        model = Model2DEpoch.for_published_dataset("protein", 36)
+        assert model.n == spec.vertices
+        assert model.nnz == spec.edges + spec.vertices  # self loops
+        assert model.widths == (128, 16, 16, 256)

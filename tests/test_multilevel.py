@@ -1,0 +1,100 @@
+"""Multilevel (Metis-like) partitioner: balance and cut quality."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    erdos_renyi,
+    grid_graph,
+    rmat,
+    stochastic_block_model,
+)
+from repro.partition.edgecut import edge_cut_stats
+from repro.partition.multilevel import MultilevelPartitioner, multilevel_partition
+from repro.partition.random_part import partition_sizes, random_partition
+
+
+class TestBasics:
+    def test_every_vertex_assigned(self):
+        a = erdos_renyi(200, 6.0, seed=0)
+        assignment = multilevel_partition(a, 4, seed=0)
+        assert assignment.shape == (200,)
+        assert set(np.unique(assignment)) <= set(range(4))
+
+    def test_balance_within_tolerance(self):
+        a = erdos_renyi(400, 8.0, seed=1)
+        part = MultilevelPartitioner(nparts=8, seed=1, imbalance_tol=0.05)
+        result = part.partition(a)
+        sizes = partition_sizes(result.assignment, 8)
+        assert sizes.max() <= (400 / 8) * 1.15  # tolerance + rounding slack
+
+    def test_deterministic(self):
+        a = erdos_renyi(200, 5.0, seed=2)
+        a1 = multilevel_partition(a, 4, seed=7)
+        a2 = multilevel_partition(a, 4, seed=7)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_single_part(self):
+        a = erdos_renyi(50, 4.0, seed=3)
+        assignment = multilevel_partition(a, 1)
+        assert np.all(assignment == 0)
+
+    def test_tiny_graph_more_parts_than_vertices(self):
+        a = erdos_renyi(3, 1.0, seed=4)
+        assignment = multilevel_partition(a, 8)
+        assert assignment.shape == (3,)
+
+    def test_nonsquare_rejected(self):
+        from repro.sparse.csr import CSRMatrix
+
+        with pytest.raises(ValueError, match="square"):
+            MultilevelPartitioner(nparts=2).partition(CSRMatrix.zeros((2, 3)))
+
+    def test_invalid_nparts(self):
+        a = erdos_renyi(20, 3.0, seed=5)
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(nparts=0).partition(a)
+
+
+class TestQuality:
+    def test_beats_random_on_sbm(self):
+        """On a community graph the multilevel cut must crush random --
+        this is the structured case where partitioning shines."""
+        a = stochastic_block_model((80, 80, 80, 80), p_in=0.15, p_out=0.005, seed=0)
+        n = a.nrows
+        ml = edge_cut_stats(a, multilevel_partition(a, 4, seed=0), 4)
+        rnd = edge_cut_stats(a, random_partition(n, 4, seed=0), 4)
+        assert ml.total_cut_edges < 0.5 * rnd.total_cut_edges
+
+    def test_beats_random_on_grid(self):
+        a = grid_graph(20, 20)
+        ml = edge_cut_stats(a, multilevel_partition(a, 4, seed=1), 4)
+        rnd = edge_cut_stats(a, random_partition(400, 4, seed=1), 4)
+        assert ml.total_cut_edges < 0.5 * rnd.total_cut_edges
+
+    def test_total_vs_max_gap_on_scale_free(self):
+        """Section IV-A.8's observation: on a scale-free graph the TOTAL
+        cut improves far more than the MAX per-process cut (the quantity
+        that actually bounds bulk-synchronous runtime)."""
+        a = rmat(scale=10, edge_factor=10, seed=0)
+        n = a.nrows
+        p = 8
+        ml = edge_cut_stats(a, multilevel_partition(a, p, seed=0), p)
+        rnd = edge_cut_stats(a, random_partition(n, p, seed=0), p)
+        total_reduction = 1 - ml.total_cut_edges / rnd.total_cut_edges
+        max_reduction = 1 - ml.max_part_cut_edges / rnd.max_part_cut_edges
+        # Partitioning helps totals...
+        assert total_reduction > 0
+        # ...but helps the bulk-synchronous bottleneck strictly less.
+        assert max_reduction < total_reduction
+
+    def test_coarsening_reduces_levels(self):
+        a = erdos_renyi(2000, 8.0, seed=6)
+        result = MultilevelPartitioner(nparts=4, seed=0).partition(a)
+        assert result.levels > 1
+        assert result.coarsest_size < 2000
+
+    def test_refinement_moves_happen(self):
+        a = stochastic_block_model((60, 60), p_in=0.2, p_out=0.02, seed=2)
+        result = MultilevelPartitioner(nparts=2, seed=0).partition(a)
+        assert result.refinement_moves > 0

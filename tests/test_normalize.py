@@ -1,0 +1,81 @@
+"""GCN adjacency normalisation (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi, ring_graph, star_graph
+from repro.graph.normalize import add_self_loops, gcn_normalize, row_normalize
+from repro.sparse.csr import CSRMatrix
+
+
+class TestSelfLoops:
+    def test_adds_diagonal(self):
+        a = ring_graph(5)
+        b = add_self_loops(a)
+        d = b.to_dense()
+        assert np.all(np.diag(d) == 1.0)
+        assert b.nnz == a.nnz + 5
+
+    def test_existing_diagonal_summed(self):
+        a = CSRMatrix.from_dense(np.array([[2.0, 0], [0, 0]]))
+        b = add_self_loops(a)
+        assert b.to_dense()[0, 0] == 3.0
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            add_self_loops(CSRMatrix.zeros((2, 3)))
+
+
+class TestGcnNormalize:
+    def test_matches_dense_formula(self):
+        a = erdos_renyi(40, 4.0, seed=0)
+        norm = gcn_normalize(a).to_dense()
+        dense = a.to_dense() + np.eye(40)
+        deg = dense.sum(axis=1)
+        expected = dense / np.sqrt(deg[:, None]) / np.sqrt(deg[None, :])
+        np.testing.assert_allclose(norm, expected, atol=1e-12)
+
+    def test_symmetric_input_gives_symmetric_output(self):
+        a = erdos_renyi(60, 5.0, seed=1)
+        norm = gcn_normalize(a)
+        assert norm.allclose(norm.transpose())
+
+    def test_spectral_radius_at_most_one(self):
+        """D^{-1/2}(A+I)D^{-1/2} has eigenvalues in [-1, 1] -- the
+        'favorable spectral properties' the paper cites."""
+        a = erdos_renyi(50, 4.0, seed=2)
+        norm = gcn_normalize(a).to_dense()
+        eigs = np.linalg.eigvalsh(norm)
+        assert eigs.max() <= 1.0 + 1e-9
+        assert eigs.min() >= -1.0 - 1e-9
+
+    def test_ring_normalization_values(self):
+        # Every ring vertex has modified degree 3: entries are all 1/3.
+        norm = gcn_normalize(ring_graph(6)).to_dense()
+        nonzero = norm[norm > 0]
+        np.testing.assert_allclose(nonzero, 1.0 / 3.0)
+
+    def test_isolated_vertex_safe(self):
+        a = CSRMatrix.zeros((3, 3))
+        norm = gcn_normalize(a, add_loops=False)
+        assert norm.nnz == 0  # no division blow-up
+
+    def test_star_hub_downweighted(self):
+        """Normalisation shrinks high-degree (hub) edges -- the implicit
+        high-degree handling the 2D algorithms rely on."""
+        norm = gcn_normalize(star_graph(10)).to_dense()
+        hub_edge = norm[0, 1]
+        leaf_self = norm[1, 1]
+        assert hub_edge < leaf_self
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        a = add_self_loops(erdos_renyi(30, 4.0, seed=3))
+        rn = row_normalize(a).to_dense()
+        np.testing.assert_allclose(rn.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_empty_rows_stay_zero(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1], [0, 0]]))
+        rn = row_normalize(a).to_dense()
+        assert rn[1].sum() == 0.0

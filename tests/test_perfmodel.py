@@ -1,0 +1,88 @@
+"""SpMM performance model: calibration and monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SUMMIT
+from repro.sparse.perfmodel import (
+    D_HALF,
+    SpmmPerfModel,
+    density_factor,
+    width_factor,
+)
+
+
+class TestCalibration:
+    def test_yang_et_al_degree_drop(self):
+        """Degree 62 -> 8 cuts the sustained rate by exactly 3x.
+
+        This is the calibration point the paper quotes from Yang et al.
+        [33] for cuSPARSE csrmm2 (Section VI-a).
+        """
+        ratio = density_factor(62.0) / density_factor(8.0)
+        assert ratio == pytest.approx(3.0, rel=1e-9)
+
+    def test_d_half_value(self):
+        assert D_HALF == pytest.approx(992.0 / 38.0)
+
+    def test_model_speedup_helper(self):
+        model = SpmmPerfModel.from_profile(SUMMIT)
+        assert model.speedup_vs(8.0, 62.0, 32) == pytest.approx(3.0)
+
+
+class TestFactors:
+    def test_density_factor_bounds(self):
+        assert density_factor(0.0) == 0.0
+        assert 0 < density_factor(1.0) < 1
+        assert density_factor(1e9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_width_factor_bounds(self):
+        assert width_factor(0.0) == 0.0
+        assert 0 < width_factor(2.0) < width_factor(128.0) < 1
+
+    @given(d=st.floats(0.1, 1e6), d2=st.floats(0.1, 1e6))
+    @settings(max_examples=40, deadline=None)
+    def test_density_factor_monotone(self, d, d2):
+        lo, hi = min(d, d2), max(d, d2)
+        assert density_factor(lo) <= density_factor(hi)
+
+    @given(w=st.floats(0.1, 1e5), w2=st.floats(0.1, 1e5))
+    @settings(max_examples=40, deadline=None)
+    def test_width_factor_monotone(self, w, w2):
+        lo, hi = min(w, w2), max(w, w2)
+        assert width_factor(lo) <= width_factor(hi)
+
+
+class TestSeconds:
+    def test_empty_kernel_costs_launch_overhead(self):
+        model = SpmmPerfModel.from_profile(SUMMIT)
+        assert model.seconds(0, 100, 16) == SUMMIT.kernel_launch_overhead
+        assert model.seconds(100, 100, 0) == SUMMIT.kernel_launch_overhead
+
+    def test_negative_rejected(self):
+        model = SpmmPerfModel.from_profile(SUMMIT)
+        with pytest.raises(ValueError):
+            model.seconds(-1, 10, 10)
+
+    def test_more_nnz_takes_longer(self):
+        model = SpmmPerfModel.from_profile(SUMMIT)
+        # Same shape, denser block -> more flops AND better rate; time must
+        # still grow (flops growth dominates the rate improvement).
+        t1 = model.seconds(10_000, 10_000, 32)
+        t2 = model.seconds(100_000, 10_000, 32)
+        assert t2 > t1
+
+    def test_hypersparse_2d_degradation(self):
+        """2D partitioning divides degree and width by sqrt(P): the per-
+        block rate must degrade, reproducing Section VI-a's observation."""
+        model = SpmmPerfModel.from_profile(SUMMIT)
+        rate_serial = model.sustained_flops(24.0, 16.0)    # amazon-ish at p=1
+        rate_p64 = model.sustained_flops(24.0 / 8, 16.0 / 8)  # p=64
+        assert rate_p64 < rate_serial / 3  # multiplicative degradation
+
+    def test_factors_multiply(self):
+        model = SpmmPerfModel.from_profile(SUMMIT)
+        assert model.sustained_flops(10.0, 8.0) == pytest.approx(
+            model.base_flops * density_factor(10.0) * width_factor(8.0)
+        )

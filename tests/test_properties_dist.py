@@ -1,0 +1,120 @@
+"""Property-based verification of the distributed algorithms.
+
+Hypothesis draws random problem shapes (graph size, degree, widths, rank
+counts, variants) and asserts the invariant the whole reproduction rests
+on: every parallel algorithm computes exactly the serial full-batch
+gradient-descent trajectory.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import VirtualRuntime
+from repro.dist import DistGCN1D, DistGCN2D, DistGCN15D, DistGCN3D
+from repro.graph import make_synthetic
+from repro.nn import GCN, SGD, SerialTrainer
+
+
+def serial_losses(ds, widths, seed, epochs=2, lr=0.2):
+    trainer = SerialTrainer(
+        GCN(widths, seed=seed), ds.adjacency, optimizer=SGD(lr=lr)
+    )
+    hist = trainer.train(ds.features, ds.labels, epochs=epochs)
+    return hist.losses
+
+
+@st.composite
+def problems(draw):
+    n = draw(st.integers(min_value=24, max_value=120))
+    degree = draw(st.floats(min_value=2.0, max_value=8.0))
+    f_in = draw(st.integers(min_value=3, max_value=14))
+    hidden = draw(st.integers(min_value=2, max_value=10))
+    classes = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    ds = make_synthetic(
+        n=n, avg_degree=min(degree, n / 5), f=f_in,
+        n_classes=classes, seed=seed,
+    )
+    return ds, (f_in, hidden, classes), seed
+
+
+class TestRandomizedEquivalence:
+    @given(problem=problems(), p=st.sampled_from([2, 3, 5, 8]))
+    @settings(max_examples=8, deadline=None)
+    def test_1d_matches_serial(self, problem, p):
+        ds, widths, seed = problem
+        expected = serial_losses(ds, widths, seed)
+        rt = VirtualRuntime.make_1d(p)
+        algo = DistGCN1D(rt, ds.adjacency, widths, seed=seed,
+                         optimizer=SGD(lr=0.2))
+        hist = algo.fit(ds.features, ds.labels, epochs=2)
+        np.testing.assert_allclose(hist.losses, expected, rtol=1e-9)
+
+    @given(problem=problems(), p=st.sampled_from([4, 9]))
+    @settings(max_examples=8, deadline=None)
+    def test_2d_matches_serial(self, problem, p):
+        ds, widths, seed = problem
+        expected = serial_losses(ds, widths, seed)
+        rt = VirtualRuntime.make_2d(p)
+        algo = DistGCN2D(rt, ds.adjacency, widths, seed=seed,
+                         optimizer=SGD(lr=0.2))
+        hist = algo.fit(ds.features, ds.labels, epochs=2)
+        np.testing.assert_allclose(hist.losses, expected, rtol=1e-9)
+
+    @given(problem=problems(), pc=st.sampled_from([(4, 2), (6, 3), (8, 4)]))
+    @settings(max_examples=6, deadline=None)
+    def test_15d_matches_serial(self, problem, pc):
+        ds, widths, seed = problem
+        p, c = pc
+        expected = serial_losses(ds, widths, seed)
+        rt = VirtualRuntime.make_1d(p)
+        algo = DistGCN15D(rt, ds.adjacency, widths, replication=c,
+                          seed=seed, optimizer=SGD(lr=0.2))
+        hist = algo.fit(ds.features, ds.labels, epochs=2)
+        np.testing.assert_allclose(hist.losses, expected, rtol=1e-9)
+
+    @given(problem=problems())
+    @settings(max_examples=5, deadline=None)
+    def test_3d_matches_serial(self, problem):
+        ds, widths, seed = problem
+        expected = serial_losses(ds, widths, seed)
+        rt = VirtualRuntime.make_3d(8)
+        algo = DistGCN3D(rt, ds.adjacency, widths, seed=seed,
+                         optimizer=SGD(lr=0.2))
+        hist = algo.fit(ds.features, ds.labels, epochs=2)
+        np.testing.assert_allclose(hist.losses, expected, rtol=1e-9)
+
+    @given(
+        problem=problems(),
+        variant=st.sampled_from(["outer", "outer_sparse", "transpose"]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_1d_variants_match_serial(self, problem, variant):
+        ds, widths, seed = problem
+        expected = serial_losses(ds, widths, seed)
+        rt = VirtualRuntime.make_1d(4)
+        algo = DistGCN1D(rt, ds.adjacency, widths, seed=seed,
+                         optimizer=SGD(lr=0.2), variant=variant)
+        hist = algo.fit(ds.features, ds.labels, epochs=2)
+        np.testing.assert_allclose(hist.losses, expected, rtol=1e-9)
+
+
+class TestRandomizedAccounting:
+    @given(problem=problems(), p=st.sampled_from([4, 9, 16]))
+    @settings(max_examples=8, deadline=None)
+    def test_2d_byte_ledger_invariants(self, problem, p):
+        """Structural invariants of the ledger on random problems."""
+        ds, widths, seed = problem
+        rt = VirtualRuntime.make_2d(p)
+        algo = DistGCN2D(rt, ds.adjacency, widths, seed=seed)
+        algo.setup(ds.features, ds.labels)
+        st_ = algo.train_epoch(0)
+        assert st_.dcomm_bytes >= 0 and st_.scomm_bytes >= 0
+        if p > 1:
+            assert st_.dcomm_bytes > 0
+            # Max per-rank traffic cannot exceed the all-rank total.
+            assert st_.max_rank_comm_bytes <= st_.comm_bytes
+            # ... and must be at least the per-rank average.
+            assert st_.max_rank_comm_bytes * p >= st_.comm_bytes

@@ -1,0 +1,124 @@
+"""Semiring SpMM: the overloadable aggregation of Section I."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.semiring import (
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    spmm_semiring,
+)
+from repro.sparse.spmm import spmm_numpy
+
+
+def random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((m, n))
+    d[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(d), d
+
+
+class TestPlusTimes:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_standard_spmm(self, seed):
+        """plus_times must agree with the real-field kernel everywhere
+        (on non-empty rows; empty rows get the identity 0 in both)."""
+        a, _ = random_csr(10, 8, 0.4, seed)
+        b = np.random.default_rng(seed + 1).standard_normal((8, 4))
+        np.testing.assert_allclose(
+            spmm_semiring(a, b, PLUS_TIMES), spmm_numpy(a, b),
+            rtol=1e-10, atol=1e-10,
+        )
+
+
+class TestMaxTimes:
+    def test_max_pooling_aggregation(self):
+        """max_times is the max-aggregator GNN of Xu et al. [32]."""
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0, 0.0]]))
+        b = np.array([[3.0], [7.0], [100.0]])
+        out = spmm_semiring(a, b, MAX_TIMES)
+        assert out[0, 0] == 7.0  # max over the two neighbours; 100 unseen
+
+    def test_empty_row_gets_identity(self):
+        a = CSRMatrix.zeros((2, 2))
+        out = spmm_semiring(a, np.ones((2, 3)), MAX_TIMES)
+        assert np.all(out == -np.inf)
+
+
+class TestTropical:
+    def test_min_plus_is_shortest_path_relaxation(self):
+        """(A (x) d) under min_plus relaxes one shortest-path step."""
+        inf = np.inf
+        # Path graph 0 - 1 - 2 with weight-1 edges plus self loops of 0.
+        w = np.array([
+            [0.0, 1.0, inf],
+            [1.0, 0.0, 1.0],
+            [inf, 1.0, 0.0],
+        ])
+        # CSR of finite entries; treat missing as +inf by construction.
+        rows, cols = np.nonzero(np.isfinite(w))
+        a = CSRMatrix.from_coo(rows, cols, w[rows, cols], (3, 3))
+        d = np.array([[0.0], [inf], [inf]])     # distances from vertex 0
+        d1 = spmm_semiring(a, d, MIN_PLUS)
+        np.testing.assert_array_equal(d1.ravel(), [0.0, 1.0, inf])
+        d2 = spmm_semiring(a, d1, MIN_PLUS)
+        np.testing.assert_array_equal(d2.ravel(), [0.0, 1.0, 2.0])
+
+    def test_max_plus_longest_single_step(self):
+        a = CSRMatrix.from_dense(np.array([[2.0, 5.0]]))
+        b = np.array([[1.0], [1.0]])
+        out = spmm_semiring(a, b, MAX_PLUS)
+        assert out[0, 0] == 6.0  # max(2+1, 5+1)
+
+
+class TestBoolean:
+    def test_or_and_is_bfs_level(self):
+        """Boolean multiply computes one BFS frontier expansion."""
+        ring = np.roll(np.eye(5), 1, axis=1) + np.roll(np.eye(5), -1, axis=1)
+        a = CSRMatrix.from_dense(ring)
+        reach = np.zeros((5, 1))
+        reach[0] = 1.0
+        step1 = spmm_semiring(a, reach, OR_AND)
+        np.testing.assert_array_equal(
+            step1.ravel().astype(bool), [False, True, False, False, True]
+        )
+
+    def test_idempotent_add(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0]]))
+        b = np.array([[1.0], [1.0]])
+        out = spmm_semiring(a, b, OR_AND)
+        assert out[0, 0] == 1.0  # True or True == True, not 2
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        a = CSRMatrix.eye(3)
+        with pytest.raises(ValueError, match="incompatible"):
+            spmm_semiring(a, np.ones((4, 2)), PLUS_TIMES)
+
+    def test_custom_semiring_requires_ufunc(self):
+        with pytest.raises(TypeError, match="ufunc"):
+            Semiring("bad", lambda x, y: x, lambda a, b: a * b, 0.0)
+
+    def test_zero_width_dense(self):
+        a = CSRMatrix.eye(3)
+        out = spmm_semiring(a, np.ones((3, 0)), PLUS_TIMES)
+        assert out.shape == (3, 0)
+
+    def test_trailing_empty_rows(self):
+        """The reduceat trailing-segment hazard."""
+        d = np.zeros((4, 4))
+        d[0, 1] = 2.0  # only the first row has entries
+        a = CSRMatrix.from_dense(d)
+        b = np.ones((4, 2))
+        out = spmm_semiring(a, b, PLUS_TIMES)
+        np.testing.assert_array_equal(out[0], [2.0, 2.0])
+        np.testing.assert_array_equal(out[1:], 0.0)

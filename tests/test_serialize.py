@@ -1,0 +1,76 @@
+"""Checkpointing: bit-exact round trips and resumable training."""
+
+import numpy as np
+import pytest
+
+from repro.graph import make_synthetic
+from repro.nn import GCN, SGD, SerialTrainer
+from repro.nn.serialize import load_csr, load_weights, save_csr, save_weights
+
+
+class TestWeightCheckpoints:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        model = GCN((10, 8, 4), seed=3)
+        path = tmp_path / "ckpt.npz"
+        save_weights(path, model.weights, {"epoch": 7, "loss": 1.25})
+        weights, meta = load_weights(path)
+        assert meta == {"epoch": 7, "loss": 1.25}
+        assert len(weights) == 2
+        for a, b in zip(weights, model.weights):
+            np.testing.assert_array_equal(a, b)
+
+    def test_resumed_training_continues_trajectory(self, tmp_path):
+        ds = make_synthetic(n=80, avg_degree=4, f=10, n_classes=3, seed=1)
+        widths = ds.layer_widths(hidden=8)
+        # Train 6 epochs straight through.
+        ref = SerialTrainer(GCN(widths, seed=0), ds.adjacency,
+                            optimizer=SGD(lr=0.2))
+        ref_hist = ref.train(ds.features, ds.labels, epochs=6)
+        # Train 3, checkpoint, reload, train 3 more.
+        a = SerialTrainer(GCN(widths, seed=0), ds.adjacency,
+                          optimizer=SGD(lr=0.2))
+        a.train(ds.features, ds.labels, epochs=3)
+        path = tmp_path / "mid.npz"
+        save_weights(path, a.model.weights)
+        weights, _ = load_weights(path)
+        b_model = GCN(widths, seed=99)       # different init, overwritten
+        b_model.set_weights(weights)
+        b = SerialTrainer(b_model, ds.adjacency, optimizer=SGD(lr=0.2))
+        resumed = b.train(ds.features, ds.labels, epochs=3)
+        np.testing.assert_allclose(
+            resumed.losses, ref_hist.losses[3:], rtol=1e-12
+        )
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_weights(path)
+
+
+class TestCsrCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        ds = make_synthetic(n=60, avg_degree=4, f=4, n_classes=2, seed=2)
+        path = tmp_path / "adj.npz"
+        save_csr(path, ds.adjacency)
+        loaded = load_csr(path)
+        assert loaded.allclose(ds.adjacency)
+        assert loaded.shape == ds.adjacency.shape
+
+    def test_non_csr_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, indptr=np.zeros(2))
+        with pytest.raises(ValueError, match="not a repro CSR"):
+            load_csr(path)
+
+    def test_loaded_matrix_validated(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 5]),          # claims 5 nnz
+            indices=np.array([0]),            # ...but has 1
+            data=np.array([1.0]),
+            shape=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError):
+            load_csr(path)

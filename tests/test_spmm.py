@@ -1,0 +1,108 @@
+"""SpMM kernels: both backends vs dense reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmm import spmm, spmm_flops, spmm_numpy, spmm_scipy
+
+
+def random_csr(m, n, density, seed):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal((m, n))
+    d[rng.random((m, n)) > density] = 0.0
+    return CSRMatrix.from_dense(d), d
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", ["numpy", "scipy", "auto"])
+    def test_matches_dense(self, backend):
+        a, d = random_csr(12, 9, 0.4, 0)
+        b = np.random.default_rng(1).standard_normal((9, 5))
+        np.testing.assert_allclose(
+            spmm(a, b, backend=backend), d @ b, rtol=1e-12, atol=1e-12
+        )
+
+    def test_backends_agree(self):
+        a, _ = random_csr(40, 30, 0.2, 2)
+        b = np.random.default_rng(3).standard_normal((30, 7))
+        np.testing.assert_allclose(
+            spmm_numpy(a, b), spmm_scipy(a, b), rtol=1e-12, atol=1e-12
+        )
+
+    def test_empty_matrix(self):
+        a = CSRMatrix.zeros((4, 6))
+        b = np.ones((6, 3))
+        np.testing.assert_array_equal(spmm_numpy(a, b), np.zeros((4, 3)))
+
+    def test_empty_rows_handled(self):
+        # Rows 0 and 3 empty; also a trailing empty row (the reduceat trap).
+        d = np.zeros((4, 4))
+        d[1, 2] = 3.0
+        d[2, 0] = -1.0
+        a = CSRMatrix.from_dense(d)
+        b = np.eye(4)
+        np.testing.assert_array_equal(spmm_numpy(a, b), d)
+
+    def test_single_column_dense(self):
+        a, d = random_csr(10, 10, 0.3, 4)
+        b = np.random.default_rng(5).standard_normal((10, 1))
+        np.testing.assert_allclose(spmm_numpy(a, b), d @ b, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        a, _ = random_csr(4, 5, 0.5, 6)
+        with pytest.raises(ValueError, match="incompatible"):
+            spmm_numpy(a, np.ones((4, 2)))
+        with pytest.raises(ValueError, match="incompatible"):
+            spmm_scipy(a, np.ones((6, 2)))
+
+    def test_unknown_backend_rejected(self):
+        a, _ = random_csr(3, 3, 0.5, 7)
+        with pytest.raises(ValueError, match="backend"):
+            spmm(a, np.ones((3, 1)), backend="cuda")
+
+
+class TestFlops:
+    def test_flop_count(self):
+        a, _ = random_csr(10, 10, 0.5, 8)
+        assert spmm_flops(a, 16) == 2 * a.nnz * 16
+
+    def test_zero_columns(self):
+        a, _ = random_csr(5, 5, 0.5, 9)
+        assert spmm_flops(a, 0) == 0
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        m=st.integers(1, 20),
+        n=st.integers(1, 20),
+        f=st.integers(1, 8),
+        density=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_spmm_matches_dense_reference(self, seed, m, n, f, density):
+        a, d = random_csr(m, n, density, seed)
+        b = np.random.default_rng(seed + 1).standard_normal((n, f))
+        got = spmm_numpy(a, b)
+        np.testing.assert_allclose(got, d @ b, rtol=1e-9, atol=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, seed):
+        a, _ = random_csr(8, 8, 0.4, seed)
+        rng = np.random.default_rng(seed)
+        b1 = rng.standard_normal((8, 3))
+        b2 = rng.standard_normal((8, 3))
+        lhs = spmm_numpy(a, b1 + b2)
+        rhs = spmm_numpy(a, b1) + spmm_numpy(a, b2)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_identity_is_noop(self, seed):
+        b = np.random.default_rng(seed).standard_normal((10, 4))
+        eye = CSRMatrix.eye(10)
+        np.testing.assert_allclose(spmm_numpy(eye, b), b, atol=1e-12)

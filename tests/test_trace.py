@@ -1,0 +1,116 @@
+"""Step tracing: event capture, reports, and charge-neutrality."""
+
+import numpy as np
+import pytest
+
+from repro.comm import VirtualRuntime
+from repro.comm.trace import StepTracer
+from repro.comm.tracker import Category, CommTracker
+from repro.dist import make_algorithm
+from repro.graph import make_synthetic
+
+
+class TestEventCapture:
+    def test_records_steps(self):
+        t = CommTracker(3)
+        tracer = StepTracer(t).install()
+        with t.step_scope():
+            t.charge(0, Category.SPMM, 1.0)
+            t.charge(1, Category.SPMM, 3.0)
+        with t.step_scope():
+            t.charge(2, Category.DCOMM, 2.0)
+        tracer.uninstall()
+        assert len(tracer.events) == 2
+        assert tracer.events[0].slowest_rank == 1
+        assert tracer.events[0].seconds == pytest.approx(3.0)
+        assert tracer.events[1].dominant_category == Category.DCOMM
+
+    def test_empty_steps_skipped(self):
+        t = CommTracker(2)
+        tracer = StepTracer(t).install()
+        with t.step_scope():
+            pass
+        assert tracer.events == []
+
+    def test_nested_scopes_give_one_event(self):
+        t = CommTracker(2)
+        with StepTracer(t) as tracer:
+            with t.step_scope():
+                t.charge(0, Category.MISC, 1.0)
+                with t.step_scope():
+                    t.charge(1, Category.MISC, 2.0)
+        assert len(tracer.events) == 1
+
+    def test_tracing_does_not_change_charges(self):
+        """Traced and untraced runs produce identical ledgers."""
+        ds = make_synthetic(n=70, avg_degree=4, f=8, n_classes=3, seed=3)
+
+        def run(trace):
+            algo = make_algorithm("2d", 4, ds, hidden=8, seed=0)
+            tracer = StepTracer(algo.rt.tracker) if trace else None
+            if tracer:
+                tracer.install()
+            algo.setup(ds.features, ds.labels)
+            st = algo.train_epoch(0)
+            if tracer:
+                tracer.uninstall()
+            return st, tracer
+
+        plain, _ = run(False)
+        traced, tracer = run(True)
+        assert traced.dcomm_bytes == plain.dcomm_bytes
+        assert traced.modeled_seconds == pytest.approx(plain.modeled_seconds)
+        # The trace's step total equals the epoch's wall clock.
+        assert tracer.total_seconds() == pytest.approx(
+            traced.modeled_seconds, rel=1e-9
+        )
+
+    def test_uninstall_restores_scope(self):
+        t = CommTracker(1)
+        tracer = StepTracer(t).install()
+        tracer.uninstall()
+        with t.step_scope():
+            t.charge(0, Category.MISC, 1.0)
+        assert tracer.events == []
+
+
+class TestReports:
+    def _traced_epoch(self):
+        ds = make_synthetic(n=90, avg_degree=5, f=10, n_classes=3, seed=5)
+        algo = make_algorithm("2d", 4, ds, hidden=8, seed=0)
+        tracer = StepTracer(algo.rt.tracker).install()
+        algo.setup(ds.features, ds.labels)
+        algo.train_epoch(0)
+        tracer.uninstall()
+        return tracer
+
+    def test_top_steps_sorted(self):
+        tracer = self._traced_epoch()
+        top = tracer.top_steps(5)
+        assert len(top) == 5
+        secs = [e.seconds for e in top]
+        assert secs == sorted(secs, reverse=True)
+        assert top[0].seconds == max(e.seconds for e in tracer.events)
+
+    def test_category_totals_match_breakdown(self):
+        tracer = self._traced_epoch()
+        by_cat = tracer.seconds_by_category()
+        wall = tracer.tracker.breakdown()
+        for c, s in by_cat.items():
+            assert s == pytest.approx(wall[c], rel=1e-9)
+
+    def test_straggler_counts_cover_events(self):
+        tracer = self._traced_epoch()
+        counts = tracer.straggler_counts()
+        assert sum(counts.values()) == len(tracer.events)
+
+    def test_timeline_renders(self):
+        tracer = self._traced_epoch()
+        text = tracer.timeline(width=20, max_rows=10)
+        assert "timeline:" in text
+        assert "step" in text
+
+    def test_empty_timeline(self):
+        t = CommTracker(1)
+        tracer = StepTracer(t)
+        assert "no steps" in tracer.timeline()

@@ -1,0 +1,146 @@
+"""Per-rank accounting and bulk-synchronous wall-clock semantics."""
+
+import pytest
+
+from repro.comm.tracker import Category, CategoryTotals, CommTracker
+
+
+class TestCharging:
+    def test_basic_charge(self):
+        t = CommTracker(2)
+        t.charge(0, Category.SPMM, 1.5, nbytes=100, messages=2, flops=50)
+        totals = t.rank_totals(0)[Category.SPMM]
+        assert totals.seconds == 1.5
+        assert totals.bytes == 100
+        assert totals.messages == 2
+        assert totals.flops == 50
+
+    def test_unknown_category_rejected(self):
+        t = CommTracker(1)
+        with pytest.raises(ValueError, match="unknown category"):
+            t.charge(0, "bogus", 1.0)
+
+    def test_bad_rank_rejected(self):
+        t = CommTracker(2)
+        with pytest.raises(IndexError):
+            t.charge(2, Category.MISC, 1.0)
+
+    def test_negative_charge_rejected(self):
+        t = CommTracker(1)
+        with pytest.raises(ValueError):
+            t.charge(0, Category.MISC, -1.0)
+
+
+class TestStepScope:
+    def test_standalone_charge_is_own_step(self):
+        t = CommTracker(4)
+        t.charge(0, Category.MISC, 2.0)
+        assert t.wall_seconds() == 2.0
+        assert t.nsteps == 1
+
+    def test_step_takes_max_over_ranks(self):
+        t = CommTracker(4)
+        with t.step_scope():
+            t.charge(0, Category.SPMM, 1.0)
+            t.charge(1, Category.SPMM, 3.0)
+            t.charge(2, Category.SPMM, 2.0)
+        # Bulk synchronous: the slowest rank (3.0s) sets the pace.
+        assert t.wall_seconds() == 3.0
+
+    def test_sequential_steps_sum(self):
+        t = CommTracker(2)
+        with t.step_scope():
+            t.charge(0, Category.SPMM, 1.0)
+        with t.step_scope():
+            t.charge(1, Category.SPMM, 2.0)
+        assert t.wall_seconds() == 3.0
+
+    def test_nested_scopes_flatten(self):
+        t = CommTracker(2)
+        with t.step_scope():
+            t.charge(0, Category.SPMM, 1.0)
+            with t.step_scope():  # flattens into the outer step
+                t.charge(1, Category.SPMM, 5.0)
+        assert t.wall_seconds() == 5.0
+        assert t.nsteps == 1
+
+    def test_category_attribution_follows_slowest_rank(self):
+        t = CommTracker(2)
+        with t.step_scope():
+            t.charge(0, Category.SPMM, 1.0)
+            t.charge(1, Category.DCOMM, 2.0)
+        # Rank 1 is slowest; the step's 2.0s goes to dcomm.
+        assert t.wall_seconds(Category.DCOMM) == 2.0
+        assert t.wall_seconds(Category.SPMM) == 0.0
+
+    def test_empty_step_costs_nothing(self):
+        t = CommTracker(2)
+        with t.step_scope():
+            pass
+        assert t.wall_seconds() == 0.0
+
+
+class TestQueries:
+    def _tracked(self):
+        t = CommTracker(3)
+        t.charge(0, Category.DCOMM, 1.0, nbytes=100)
+        t.charge(1, Category.DCOMM, 1.0, nbytes=300)
+        t.charge(2, Category.SCOMM, 1.0, nbytes=50)
+        t.charge(0, Category.SPMM, 2.0, flops=1000)
+        return t
+
+    def test_total_bytes(self):
+        t = self._tracked()
+        assert t.total_bytes() == 450
+        assert t.total_bytes(Category.DCOMM) == 400
+
+    def test_comm_bytes_excludes_compute(self):
+        t = self._tracked()
+        assert t.comm_bytes() == 450
+
+    def test_max_rank_bytes(self):
+        t = self._tracked()
+        assert t.max_rank_bytes() == 300
+
+    def test_total_flops(self):
+        t = self._tracked()
+        assert t.total_flops() == 1000
+        assert t.total_flops(Category.SPMM) == 1000
+
+    def test_breakdown_has_all_categories(self):
+        t = self._tracked()
+        bd = t.breakdown()
+        assert set(bd) == set(Category.ALL)
+
+    def test_snapshot_and_delta(self):
+        t = self._tracked()
+        before = t.snapshot()
+        t.charge(1, Category.DCOMM, 1.0, nbytes=500)
+        delta = t.delta_since(before)
+        assert delta[Category.DCOMM].bytes == 500
+        assert delta[Category.SCOMM].bytes == 0
+
+    def test_snapshot_is_independent(self):
+        t = self._tracked()
+        snap = t.snapshot()
+        t.charge(0, Category.MISC, 1.0)
+        assert snap.wall_seconds() < t.wall_seconds()
+
+    def test_reset(self):
+        t = self._tracked()
+        t.reset()
+        assert t.wall_seconds() == 0.0
+        assert t.total_bytes() == 0
+        assert t.nranks == 3
+
+
+class TestCategoryTotals:
+    def test_merged(self):
+        a = CategoryTotals(1.0, 10, 1, 100)
+        b = CategoryTotals(2.0, 20, 2, 200)
+        m = a.merged(b)
+        assert (m.seconds, m.bytes, m.messages, m.flops) == (3.0, 30, 3, 300)
+
+    def test_zero_rank_tracker_rejected(self):
+        with pytest.raises(ValueError):
+            CommTracker(0)

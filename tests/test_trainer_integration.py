@@ -1,0 +1,156 @@
+"""Cross-algorithm integration: the facade, equivalence, end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FIG2_GPU_COUNTS, figure2_throughput
+from repro.comm import VirtualRuntime
+from repro.dist import ALGORITHMS, make_algorithm, make_runtime_for
+from repro.graph import make_standin, make_synthetic
+from repro.graph.permutation import apply_random_permutation, invert_permutation
+from repro.nn import SGD, SerialTrainer
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=120, avg_degree=5, f=12, n_classes=4, seed=31)
+
+
+class TestFacade:
+    def test_runtime_topologies(self):
+        assert make_runtime_for("1d", 6).mesh.ndim == 1
+        assert make_runtime_for("1.5d", 6).mesh.ndim == 1
+        assert make_runtime_for("2d", 9).mesh.ndim == 2
+        assert make_runtime_for("3d", 8).mesh.ndim == 3
+
+    def test_rectangular_grid_option(self):
+        rt = make_runtime_for("2d", 6, grid=(2, 3))
+        assert (rt.mesh.rows, rt.mesh.cols) == (2, 3)
+
+    def test_unknown_algorithm(self, ds):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_algorithm("4d", 4, ds)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_runtime_for("hypercube", 4)
+
+    def test_kwargs_passthrough(self, ds):
+        algo = make_algorithm("1.5d", 8, ds, hidden=8, replication=4)
+        assert algo.c == 4
+        algo = make_algorithm("1d", 4, ds, hidden=8, variant="outer")
+        assert algo.variant == "outer"
+        algo = make_algorithm("2d", 4, ds, hidden=8, summa_block=8)
+        assert algo.summa_block == 8
+
+    def test_registry_covers_paper_algorithms(self):
+        assert set(ALGORITHMS) == {"1d", "1.5d", "2d", "3d"}
+
+
+class TestCrossAlgorithmEquivalence:
+    def test_all_algorithms_identical_losses(self, ds):
+        """Every parallel algorithm computes the same full-batch gradient
+        descent: per-epoch losses must agree to fp accumulation error."""
+        configs = [
+            ("1d", 4, {}),
+            ("1.5d", 4, {"replication": 2}),
+            ("2d", 4, {}),
+            ("3d", 8, {}),
+        ]
+        losses = {}
+        for name, p, kwargs in configs:
+            algo = make_algorithm(
+                name, p, ds, hidden=8, seed=7, optimizer=SGD(lr=0.2), **kwargs
+            )
+            hist = algo.fit(ds.features, ds.labels, epochs=5)
+            losses[name] = hist.losses
+        base = losses["1d"]
+        for name, ls in losses.items():
+            np.testing.assert_allclose(ls, base, rtol=1e-9, err_msg=name)
+
+    def test_serial_matches_distributed_losses(self, ds):
+        serial = SerialTrainer.for_dataset(
+            ds, hidden=8, seed=7, optimizer=SGD(lr=0.2)
+        )
+        s_hist = serial.train(ds.features, ds.labels, epochs=5)
+        algo = make_algorithm("2d", 9, ds, hidden=8, seed=7, optimizer=SGD(lr=0.2))
+        d_hist = algo.fit(ds.features, ds.labels, epochs=5)
+        np.testing.assert_allclose(d_hist.losses, s_hist.losses, rtol=1e-9)
+
+
+class TestPermutationEquivalence:
+    def test_training_invariant_under_vertex_relabelling(self, ds):
+        """Random vertex permutation (the 2D load-balance preprocessing)
+        must not change the loss trajectory -- it is a similarity
+        transform of the whole problem."""
+        base = SerialTrainer.for_dataset(ds, hidden=8, seed=3, optimizer=SGD(lr=0.2))
+        h_base = base.train(ds.features, ds.labels, epochs=5)
+
+        a2, f2, y2, perm = apply_random_permutation(
+            ds.adjacency, ds.features, ds.labels, seed=9
+        )
+        from repro.nn.model import GCN
+
+        model = GCN(ds.layer_widths(hidden=8), seed=3)
+        permuted = SerialTrainer(model, a2, optimizer=SGD(lr=0.2))
+        h_perm = permuted.train(f2, y2, epochs=5)
+        np.testing.assert_allclose(h_perm.losses, h_base.losses, rtol=1e-9)
+
+    def test_embeddings_map_back(self, ds):
+        a2, f2, y2, perm = apply_random_permutation(
+            ds.adjacency, ds.features, ds.labels, seed=10
+        )
+        from repro.nn.model import GCN
+
+        m1 = GCN(ds.layer_widths(hidden=8), seed=5)
+        lp1 = m1.predict(ds.adjacency, ds.features)
+        m2 = GCN(ds.layer_widths(hidden=8), seed=5)
+        lp2 = m2.predict(a2, f2)
+        inv = invert_permutation(perm)
+        np.testing.assert_allclose(lp2[perm], lp1, atol=1e-9)
+        np.testing.assert_allclose(lp2, lp1[inv], atol=1e-9)
+
+
+class TestEndToEnd:
+    def test_standin_trains_distributed(self):
+        """A Table VI stand-in end to end on the 2D algorithm."""
+        ds = make_standin("reddit", scale_divisor=2048, seed=0)
+        algo = make_algorithm("2d", 4, ds, seed=0, optimizer=SGD(lr=0.1))
+        hist = algo.fit(ds.features, ds.labels, epochs=5)
+        assert hist.final_loss < hist.losses[0]
+        assert hist.epochs[-1].train_accuracy >= 0.0
+
+    def test_accuracy_reaches_high_on_separable_data(self):
+        """Sanity: an SBM graph with community-correlated labels is
+        learnable to high training accuracy."""
+        from repro.graph.generators import stochastic_block_model
+        from repro.graph.normalize import gcn_normalize
+        from repro.graph.datasets import Dataset
+
+        k, size = 3, 40
+        adj = gcn_normalize(
+            stochastic_block_model((size,) * k, p_in=0.3, p_out=0.01, seed=1)
+        )
+        n = k * size
+        rng = np.random.default_rng(2)
+        labels = np.repeat(np.arange(k), size)
+        feats = rng.standard_normal((n, 8)) + 3.0 * labels[:, None]
+        ds = Dataset(
+            name="sbm", adjacency=adj, features=feats, labels=labels,
+            num_classes=k, train_mask=np.ones(n, dtype=bool),
+        )
+        from repro.nn import Adam
+
+        algo = make_algorithm(
+            "2d", 4, ds, hidden=16, seed=0, optimizer=Adam(lr=0.02)
+        )
+        hist = algo.fit(ds.features, ds.labels, epochs=150)
+        assert hist.epochs[-1].train_accuracy > 0.9
+
+    def test_figure2_series_complete(self):
+        pts = figure2_throughput()
+        expected = sum(len(v) for v in FIG2_GPU_COUNTS.values())
+        assert len(pts) == expected
+        for pt in pts:
+            assert pt.epochs_per_second > 0
+            assert set(pt.breakdown) == {
+                "scomm", "dcomm", "trpose", "spmm", "misc",
+            }
