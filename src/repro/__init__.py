@@ -31,69 +31,74 @@ Quickstart::
     algo = make_algorithm("2d", p=16, dataset=ds)
     history = algo.fit(ds.features, ds.labels, epochs=10)
     print(history.final_loss, history.mean_breakdown())
+
+Top-level names resolve lazily (PEP 562): ``import repro`` is cheap and
+pulls a sub-package in only when one of its exports is first touched.
 """
 
-from repro.analysis import (
-    Model2DEpoch,
-    crossover_p_2d_vs_1d,
-    figure2_throughput,
-    figure3_breakdown,
-    words_1d,
-    words_2d,
-    words_3d,
-)
-from repro.comm import Category, VirtualRuntime
-from repro.config import COMMODITY, SUMMIT, MachineProfile, get_profile
-from repro.dist import (
-    ALGORITHMS,
-    DistGCN1D,
-    DistGCN2D,
-    DistGCN3D,
-    DistGCN15D,
-    make_algorithm,
-)
-from repro.graph import (
-    Dataset,
-    gcn_normalize,
-    make_standin,
-    make_synthetic,
-    published_spec,
-)
-from repro.nn import GCN, SGD, Adam, SerialTrainer
-from repro.sparse import CSRMatrix, spmm
+from importlib import import_module
 
 __version__ = "0.1.0"
 
-__all__ = [
-    "__version__",
-    "VirtualRuntime",
-    "Category",
-    "MachineProfile",
-    "SUMMIT",
-    "COMMODITY",
-    "get_profile",
-    "CSRMatrix",
-    "spmm",
-    "Dataset",
-    "make_synthetic",
-    "make_standin",
-    "published_spec",
-    "gcn_normalize",
-    "GCN",
-    "SerialTrainer",
-    "SGD",
-    "Adam",
-    "ALGORITHMS",
-    "make_algorithm",
-    "DistGCN1D",
-    "DistGCN15D",
-    "DistGCN2D",
-    "DistGCN3D",
-    "Model2DEpoch",
-    "figure2_throughput",
-    "figure3_breakdown",
-    "words_1d",
-    "words_2d",
-    "words_3d",
-    "crossover_p_2d_vs_1d",
-]
+#: Top-level export -> providing sub-module.  Resolved on first access so
+#: ``import repro`` does not eagerly import every sub-package.
+_EXPORTS = {
+    "VirtualRuntime": "repro.comm",
+    "Category": "repro.comm",
+    "MachineProfile": "repro.config",
+    "SUMMIT": "repro.config",
+    "COMMODITY": "repro.config",
+    "get_profile": "repro.config",
+    "CSRMatrix": "repro.sparse",
+    "spmm": "repro.sparse",
+    "Dataset": "repro.graph",
+    "make_synthetic": "repro.graph",
+    "make_standin": "repro.graph",
+    "published_spec": "repro.graph",
+    "gcn_normalize": "repro.graph",
+    "GCN": "repro.nn",
+    "SerialTrainer": "repro.nn",
+    "SGD": "repro.nn",
+    "Adam": "repro.nn",
+    "ALGORITHMS": "repro.dist",
+    "make_algorithm": "repro.dist",
+    "make_runtime_for": "repro.dist",
+    "DistAlgorithm": "repro.dist",
+    "DistGCN1D": "repro.dist",
+    "DistGCN15D": "repro.dist",
+    "DistGCN2D": "repro.dist",
+    "DistGCN3D": "repro.dist",
+    "Model2DEpoch": "repro.analysis",
+    "figure2_throughput": "repro.analysis",
+    "figure3_breakdown": "repro.analysis",
+    "words_1d": "repro.analysis",
+    "words_2d": "repro.analysis",
+    "words_3d": "repro.analysis",
+    "crossover_p_2d_vs_1d": "repro.analysis",
+}
+
+#: Sub-packages reachable as attributes (``import repro; repro.comm``),
+#: matching the behaviour the eager imports used to provide.
+_SUBPACKAGES = (
+    "analysis", "cli", "comm", "config", "dist", "graph", "nn",
+    "partition", "sampling", "sparse",
+)
+
+__all__ = ["__version__"] + sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Lazy top-level exports (PEP 562 module ``__getattr__``)."""
+    if name in _EXPORTS:
+        value = getattr(import_module(_EXPORTS[name]), name)
+        globals()[name] = value  # cache: subsequent lookups skip this hook
+        return value
+    if name in _SUBPACKAGES:
+        value = import_module(f"repro.{name}")
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | set(_SUBPACKAGES))

@@ -28,7 +28,7 @@ import numpy as np
 from repro.comm import cost_model as cm
 from repro.comm.mesh import validate_group
 from repro.comm.tracker import Category, CommTracker
-from repro.config import MachineProfile
+from repro.config import INDEX_BYTES, MachineProfile
 
 __all__ = ["Collectives", "payload_nbytes"]
 
@@ -265,11 +265,58 @@ class Collectives:
         group = validate_group(group, self.world_size)
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op)
-        cost = cm.reduce_scatter_cost(self.profile, int(acc.nbytes),
+        return self._reduce_scatter_impl(
+            group, acc, int(acc.nbytes), category, axis
+        )
+
+    def _reduce_scatter_impl(
+        self,
+        group: Sequence[int],
+        acc: np.ndarray,
+        wire_nbytes: int,
+        category: str,
+        axis: int,
+    ) -> Dict[int, np.ndarray]:
+        """Charge and shard a reduced array (dense/sparse charging paths
+        share everything except the wire size)."""
+        cost = cm.reduce_scatter_cost(self.profile, wire_nbytes,
                                       len(group), span=self.world_size)
         self._charge_group(group, category, cost)
         shards = np.array_split(acc, len(group), axis=axis)
         return {r: np.ascontiguousarray(shards[i]) for i, r in enumerate(group)}
+
+    def sparse_reduce_scatter(
+        self,
+        group: Sequence[int],
+        values: Mapping[int, np.ndarray],
+        category: str = Category.DCOMM,
+        axis: int = 0,
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    ) -> Dict[int, np.ndarray]:
+        """Reduce-scatter that ships only the nonzero rows of each input.
+
+        The SparCML-style reduction of Section IV-A.3: when ``P`` exceeds
+        the average degree, the per-rank outer-product partials
+        ``A[:, rows_i] G_i`` are mostly empty rows, so each contribution
+        travels as (nonzero rows + row indices) instead of the dense
+        ``n x f`` buffer.  Numerics are **identical** to
+        :meth:`reduce_scatter` (same accumulation, same shards); only the
+        charged wire size changes -- "sparse routing changes bytes, never
+        numerics".
+        """
+        group = validate_group(group, self.world_size)
+        self._check_contributions(group, values)
+        acc = self._reduce_arrays(group, values, op)
+        # Critical-path buffer size: the largest sparse contribution
+        # (nonzero rows + one index per row) plays the role the uniform
+        # dense buffer plays in reduce_scatter_cost.
+        wire = 0
+        for r in group:
+            arr = self._require_dense(values[r], "sparse reduce-scatter")
+            nz_rows = int(np.count_nonzero(arr.any(axis=1 - axis)))
+            row_bytes = arr.nbytes // max(arr.shape[axis], 1)
+            wire = max(wire, nz_rows * (row_bytes + INDEX_BYTES))
+        return self._reduce_scatter_impl(group, acc, int(wire), category, axis)
 
     def alltoall(
         self,

@@ -1,0 +1,196 @@
+"""The 1.5D block-row algorithm: trading replication for bandwidth.
+
+Section IV-B: the ``P`` ranks form a ``P/c x c`` grid.  The graph is
+block-row partitioned over the ``q = P/c`` process-grid rows ("groups"),
+and each group's blocks -- the sparse block row of ``A^T`` and the dense
+block rows of ``H``/``G`` -- are **replicated** on the group's ``c``
+ranks.  During an SpMM the ``q`` source blocks of the dense operand are
+split among the ``c`` replicas: replica ``j`` receives only its
+``~q/c``-block slab (broadcasts confined to its replica column), computes
+the partial product against the matching column slab of ``A^T``, and a
+``c``-way all-reduce along the fiber combines the partials.
+
+Per-rank words therefore follow ``~ n f / c`` (broadcasts, falling with
+``c``) plus ``~ 2 n f c / P`` (fiber all-reduce, rising with ``c``) --
+minimised at ``c* = sqrt(P/2)``, with memory growing by the replication
+factor ``c`` (Section IV-B's cost table).  With ``c = 1`` the algorithm
+degenerates to the 1D symmetric algorithm exactly, including bitwise
+numerics: the slab is the whole gathered operand and the fiber
+all-reduce is a no-op.
+
+The epoch structure is :class:`repro.dist.base.BlockRowAlgorithm`'s,
+shared with the 1D algorithm; this module only supplies the replicated
+data movement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.runtime import VirtualRuntime
+from repro.comm.tracker import Category
+from repro.dist.base import BlockRowAlgorithm
+from repro.nn.optim import Optimizer
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.distribute import block_ranges
+from repro.sparse.spmm import spmm
+
+__all__ = ["DistGCN15D"]
+
+
+class DistGCN15D(BlockRowAlgorithm):
+    """1.5D replicated block-row distributed GCN training."""
+
+    def __init__(
+        self,
+        rt: VirtualRuntime,
+        a_t: CSRMatrix,
+        widths: Sequence[int],
+        replication: int = 1,
+        seed: int = 0,
+        optimizer: Optional[Optimizer] = None,
+    ):
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        p = rt.size
+        c = int(replication)
+        if c < 1 or p % c != 0:
+            raise ValueError(
+                f"replication c={c} must divide the rank count P={p}"
+            )
+        if not self.symmetric:
+            raise ValueError(
+                "the 1.5D algorithm requires a symmetric operand (A == A^T); "
+                "its backward pass reuses the replicated block rows of A^T"
+            )
+        self.p = p
+        self.c = c
+        self.q = p // c
+        self.group_ranges = block_ranges(self.n, self.q)
+        #: replica ``j`` of every group handles source groups ``subsets[j]``.
+        self.subsets = block_ranges(self.q, c)
+        # Per-rank column slab of the group's A^T block row: contiguous
+        # source groups map to a contiguous column range.
+        self.a_slabs: Dict[int, CSRMatrix] = {}
+        for r in range(p):
+            g, j = self._coords(r)
+            g0, g1 = self.group_ranges[g]
+            s0, s1 = self.subsets[j]
+            c0 = self.group_ranges[s0][0] if s0 < self.q else self.n
+            c1 = self.group_ranges[s1 - 1][1] if s1 > s0 else c0
+            band = self.a_t.row_slice(g0, g1)
+            self.a_slabs[r] = band.block(0, g1 - g0, c0, c1)
+
+    # ------------------------------------------------------------------ #
+    # grid helpers
+    # ------------------------------------------------------------------ #
+    def _coords(self, rank: int) -> Tuple[int, int]:
+        """Rank -> (group g, replica column j)."""
+        return rank // self.c, rank % self.c
+
+    def _rank_of(self, g: int, j: int) -> int:
+        return g * self.c + j
+
+    def _column_group(self, j: int) -> Tuple[int, ...]:
+        """One rank per group: the ranks replica column ``j`` comprises."""
+        return tuple(self._rank_of(g, j) for g in range(self.q))
+
+    def _fiber_group(self, g: int) -> Tuple[int, ...]:
+        """The ``c`` replicas of group ``g`` (the all-reduce dimension)."""
+        return tuple(self._rank_of(g, j) for j in range(self.c))
+
+    # ------------------------------------------------------------------ #
+    # BlockRowAlgorithm hooks
+    # ------------------------------------------------------------------ #
+    @property
+    def _block_ranks(self):
+        return range(self.p)
+
+    def _row_range(self, rank: int) -> Tuple[int, int]:
+        return self.group_ranges[self._coords(rank)[0]]
+
+    def _setup_data(self, features: np.ndarray) -> None:
+        # Dense block rows, replicated across each group's c ranks.
+        self._h0 = {
+            r: np.ascontiguousarray(features[slice(*self._row_range(r))])
+            for r in range(self.p)
+        }
+
+    def _assemble(self, blocks: Dict[int, np.ndarray]) -> np.ndarray:
+        return np.concatenate(
+            [blocks[self._rank_of(g, 0)] for g in range(self.q)], axis=0
+        )
+
+    def _forward_spmm(self, blocks, f):
+        return self._replicated_spmm(blocks, f)
+
+    def _backward_spmm(self, blocks, f):
+        # Symmetric trade only (enforced at construction): A == A^T.
+        return self._replicated_spmm(blocks, f)
+
+    def _replicated_spmm(
+        self, blocks: Dict[int, np.ndarray], f: int
+    ) -> Dict[int, np.ndarray]:
+        """``A^T X`` for block-row-replicated ``X``: slab broadcasts,
+        partial SpMM, fiber all-reduce."""
+        # Broadcast rounds: round t moves each column's t-th source block,
+        # concurrently across the c replica columns.
+        received: Dict[int, List[np.ndarray]] = {r: [] for r in range(self.p)}
+        max_rounds = max(s1 - s0 for s0, s1 in self.subsets)
+        for t in range(max_rounds):
+            with self.rt.tracker.step_scope():
+                for j in range(self.c):
+                    s0, s1 = self.subsets[j]
+                    if t >= s1 - s0:
+                        continue
+                    s = s0 + t
+                    group = self._column_group(j)
+                    got = self.rt.coll.broadcast(
+                        group, self._rank_of(s, j),
+                        blocks[self._rank_of(s, j)],
+                        category=Category.DCOMM,
+                    )
+                    for r in group:
+                        received[r].append(got[r])
+        partials: Dict[int, np.ndarray] = {}
+        charges = []
+        for r in range(self.p):
+            slab = (
+                np.concatenate(received[r], axis=0)
+                if received[r] else np.zeros((0, f))
+            )
+            a_slab = self.a_slabs[r]
+            partials[r] = spmm(a_slab, slab)
+            charges.append((r, a_slab.nnz, a_slab.nrows, f))
+        self._charge_spmm_step(charges)
+        out: Dict[int, np.ndarray] = {}
+        with self.rt.tracker.step_scope():
+            for g in range(self.q):
+                fiber = self._fiber_group(g)
+                reduced = self.rt.coll.allreduce(
+                    fiber, {r: partials[r] for r in fiber},
+                    category=Category.DCOMM,
+                )
+                out.update(reduced)
+        return out
+
+    def _replicated_allreduce(
+        self, values: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Sum one contribution per group: concurrent per-column
+        all-reduces, each column covering every group exactly once."""
+        out: Dict[int, np.ndarray] = {}
+        with self.rt.tracker.step_scope():
+            for j in range(self.c):
+                group = self._column_group(j)
+                out.update(
+                    self.rt.coll.allreduce(
+                        group, {r: values[r] for r in group},
+                        category=Category.DCOMM,
+                    )
+                )
+        return out
+
+    def _stored_dense_rows(self) -> int:
+        return max(hi - lo for lo, hi in self.group_ranges)

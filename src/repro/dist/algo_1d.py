@@ -1,0 +1,184 @@
+"""The 1D block-row algorithm (Algorithm 1) and its backward variants.
+
+Data distribution (Table III): ``A^T`` in block rows (rank ``i`` owns rows
+``range_of(n, P, i)``), ``H^l``/``G^l`` in matching block rows, ``W^l``
+replicated.  The forward SpMM gathers the full dense operand (the paper's
+broadcast loop, charged as one all-gather) and multiplies it against the
+local block row -- so 1D retains the full average degree and pays no
+hypersparsity penalty.
+
+The backward pass computing ``A G^l`` is where the variants diverge
+(Sections IV-A.3, IV-A.6, IV-A.7):
+
+* ``outer``        -- the general (directed) case: rank ``i`` forms the
+  outer product ``A[:, rows_i] G_i`` (an ``n x f`` partial) and a
+  reduce-scatter turns the partials into block rows of ``A G^l``;
+* ``outer_sparse`` -- same, but the reduction ships only nonzero partial
+  rows (the SparCML-style trade that wins once ``P > d``);
+* ``symmetric``    -- for ``A == A^T``, trade the outer product for a
+  second block-row SpMM against a re-gathered ``G^l``;
+* ``transpose``    -- materialise the block rows of ``A`` by a per-epoch
+  transpose exchange (charged to ``trpose``), then proceed as the
+  symmetric trade does;
+* ``auto``         -- ``symmetric`` when the operand is symmetric,
+  ``outer`` otherwise.
+
+The epoch structure itself (forward sweep, loss reduction, backward
+recursion) lives in :class:`repro.dist.base.BlockRowAlgorithm`, shared
+with the 1.5D algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.runtime import VirtualRuntime
+from repro.comm.tracker import Category
+from repro.dist.base import BlockRowAlgorithm
+from repro.nn.optim import Optimizer
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.distribute import (
+    block_ranges,
+    distribute_dense_1d_rows,
+    distribute_sparse_1d_cols,
+    distribute_sparse_1d_rows,
+    gather_dense_1d_rows,
+)
+from repro.sparse.spmm import spmm
+
+__all__ = ["DistGCN1D"]
+
+VARIANTS = ("symmetric", "outer", "outer_sparse", "transpose", "auto")
+
+
+class DistGCN1D(BlockRowAlgorithm):
+    """1D block-row distributed GCN training (Algorithm 1)."""
+
+    def __init__(
+        self,
+        rt: VirtualRuntime,
+        a_t: CSRMatrix,
+        widths: Sequence[int],
+        seed: int = 0,
+        optimizer: Optional[Optimizer] = None,
+        variant: str = "auto",
+    ):
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        if variant not in VARIANTS:
+            raise ValueError(
+                f"unknown 1D variant {variant!r}; choose from {VARIANTS}"
+            )
+        if variant == "auto":
+            variant = "symmetric" if self.symmetric else "outer"
+        if variant == "symmetric" and not self.symmetric:
+            raise ValueError(
+                "the symmetric variant requires a symmetric operand "
+                "(A == A^T); use 'outer' or 'transpose' for directed graphs"
+            )
+        self.variant = variant
+        self.p = rt.size
+        self.world = tuple(range(self.p))
+        self.row_ranges = block_ranges(self.n, self.p)
+        self.a_t_rows = distribute_sparse_1d_rows(self.a_t, self.p)
+        # Backward operands per variant.  The outer variants' column
+        # blocks and the transpose variant's A block rows are derived
+        # locally at setup; only the transpose variant *communicates*
+        # them, which it charges per epoch (Section IV-A.7's
+        # ``2 alpha P^2 + 2 beta nnz/P`` term).
+        if self.variant in ("outer", "outer_sparse"):
+            self.a_cols = distribute_sparse_1d_cols(self.a, self.p)
+        else:
+            self.a_rows = (
+                self.a_t_rows
+                if self.symmetric
+                else distribute_sparse_1d_rows(self.a, self.p)
+            )
+
+    # ------------------------------------------------------------------ #
+    # BlockRowAlgorithm hooks
+    # ------------------------------------------------------------------ #
+    @property
+    def _block_ranks(self):
+        return self.world
+
+    def _row_range(self, rank: int):
+        return self.row_ranges[rank]
+
+    def _setup_data(self, features: np.ndarray) -> None:
+        self._h0 = distribute_dense_1d_rows(features, self.p)
+
+    def _assemble(self, blocks: Dict[int, np.ndarray]) -> np.ndarray:
+        return gather_dense_1d_rows(blocks, self.p)
+
+    def _replicated_allreduce(
+        self, values: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        return self.rt.coll.allreduce(self.world, values,
+                                      category=Category.DCOMM)
+
+    def _allgather_rows(
+        self, blocks: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """All ranks receive the full dense matrix (charged all-gather)."""
+        received = self.rt.coll.allgather(
+            self.world, blocks, category=Category.DCOMM
+        )
+        return {
+            r: np.concatenate(received[r], axis=0) for r in self.world
+        }
+
+    def _forward_spmm(
+        self, blocks: Dict[int, np.ndarray], f: int
+    ) -> Dict[int, np.ndarray]:
+        """``A^T X``: gather the full operand, multiply the block row."""
+        full = self._allgather_rows(blocks)
+        out: Dict[int, np.ndarray] = {}
+        charges = []
+        for r in self.world:
+            a_blk = self.a_t_rows[r]
+            out[r] = spmm(a_blk, full[r])
+            charges.append((r, a_blk.nnz, a_blk.nrows, f))
+        self._charge_spmm_step(charges)
+        return out
+
+    def _pre_backward(self) -> None:
+        if self.variant == "transpose":
+            # Per-epoch exchange materialising the block rows of A.
+            self._charge_transpose_step(
+                (r, self.a_rows[r].nbytes_on_wire) for r in self.world
+            )
+
+    def _backward_spmm(
+        self, g_blocks: Dict[int, np.ndarray], f_out: int
+    ) -> Dict[int, np.ndarray]:
+        """Block rows of ``A G^l`` under the selected variant."""
+        if self.variant in ("symmetric", "transpose"):
+            g_full = self._allgather_rows(g_blocks)
+            ag_blocks: Dict[int, np.ndarray] = {}
+            charges = []
+            for r in self.world:
+                a_blk = self.a_rows[r]
+                ag_blocks[r] = spmm(a_blk, g_full[r])
+                charges.append((r, a_blk.nnz, a_blk.nrows, f_out))
+            self._charge_spmm_step(charges)
+            return ag_blocks
+        # Outer-product path: full-height partials, then reduce-scatter.
+        partials: Dict[int, np.ndarray] = {}
+        charges = []
+        for r in self.world:
+            a_col = self.a_cols[r]
+            partials[r] = spmm(a_col, g_blocks[r])
+            charges.append((r, a_col.nnz, a_col.nrows, f_out))
+        self._charge_spmm_step(charges)
+        if self.variant == "outer_sparse":
+            return self.rt.coll.sparse_reduce_scatter(
+                self.world, partials, category=Category.DCOMM, axis=0
+            )
+        return self.rt.coll.reduce_scatter(
+            self.world, partials, category=Category.DCOMM, axis=0
+        )
+
+    def _stored_dense_rows(self) -> int:
+        return max(hi - lo for lo, hi in self.row_ranges)

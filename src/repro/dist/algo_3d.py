@@ -1,0 +1,198 @@
+"""The Split-3D-SpMM algorithm (Section IV-D).
+
+Processes form a cubic ``s x s x s`` mesh (``s = cbrt(P)``).  Following
+Split-3D-SpGEMM (Azad et al., the paper's [3]), the SpMM's **inner
+dimension** is split across the ``s`` layers: layer ``k`` owns the
+``k``-th column slice of ``A^T`` and the matching row slice of the dense
+operand, both 2D-partitioned within the layer (Table V's
+``n/s x n/s^2`` sparse and ``n/s^2 x f/s`` dense local blocks).  One SpMM
+is then
+
+1. an independent SUMMA sweep inside every layer (sparse pieces broadcast
+   along process rows, dense pieces along process columns) producing
+   layer-local partial products;
+2. a reduce-scatter along each fiber ``P(i, j, :)`` summing the ``s``
+   layer partials and leaving each fiber rank one row shard;
+3. a pairwise fiber-plane exchange ``(i, j, k) <-> (k, j, i)`` that
+   returns the result to the input distribution for the next layer.
+
+Per-rank dense words scale as ``~ 1/P^(2/3)`` -- better than 2D's
+``1/sqrt(P)`` at equal ``P``.  For symmetric operands the ``A`` grid
+equals the ``A^T`` grid block for block, so -- unlike 2D, whose transpose
+pairs live on different ranks -- no transpose exchange is needed and none
+is charged; directed graphs pay the per-epoch ``trpose`` exchange.  The
+epoch structure itself lives in :class:`repro.dist.base.GridAlgorithm`,
+shared with the 2D algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.mesh import Mesh3D
+from repro.comm.runtime import VirtualRuntime
+from repro.comm.tracker import Category
+from repro.dist.base import GridAlgorithm
+from repro.nn.optim import Optimizer
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.distribute import (
+    block_ranges,
+    distribute_dense_3d,
+    distribute_sparse_3d,
+)
+from repro.sparse.spmm import spmm
+
+__all__ = ["DistGCN3D"]
+
+
+class DistGCN3D(GridAlgorithm):
+    """Split-3D-SpMM distributed GCN training."""
+
+    def __init__(
+        self,
+        rt: VirtualRuntime,
+        a_t: CSRMatrix,
+        widths: Sequence[int],
+        seed: int = 0,
+        optimizer: Optional[Optimizer] = None,
+    ):
+        self.mesh: Mesh3D = rt.mesh3d  # raises TypeError on non-3D meshes
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        self.s = self.mesh.p1  # cubic: p1 == p2 == p3
+        # Row blocks (p1 split == the layer split, since p1 == p3) and
+        # their s-way sub-splits -- shared by the sparse and dense layouts.
+        self.row_ranges = block_ranges(self.n, self.s)
+        self.sub_ranges = [
+            [(lo + a, lo + b) for a, b in block_ranges(hi - lo, self.s)]
+            for lo, hi in self.row_ranges
+        ]
+        self.a_t_blocks = distribute_sparse_3d(self.a_t, self.mesh)
+        self.a_blocks = (
+            self.a_t_blocks
+            if self.symmetric
+            else distribute_sparse_3d(self.a, self.mesh)
+        )
+
+    # ------------------------------------------------------------------ #
+    # GridAlgorithm hooks
+    # ------------------------------------------------------------------ #
+    def _setup_data(self, features: np.ndarray) -> None:
+        self._h0 = distribute_dense_3d(features, self.mesh)
+
+    def _fsplit(self, f: int) -> List[Tuple[int, int]]:
+        return block_ranges(f, self.s)
+
+    def _row_groups(self):
+        return [
+            self.mesh.row_group(i, k)
+            for k in range(self.s) for i in range(self.s)
+        ]
+
+    def _out_col(self, rank: int) -> int:
+        return self.mesh.coords(rank)[1]
+
+    def _rank_rows(self, rank: int) -> Tuple[int, int]:
+        """Global rows of a rank's dense block: the ``i``-th sub-range of
+        layer ``k``'s row slice."""
+        i, _, k = self.mesh.coords(rank)
+        return self.sub_ranges[k][i]
+
+    def _assemble(self, out_full: Dict[int, np.ndarray]) -> np.ndarray:
+        """Global row order is (layer k, sub-range i): column-0 copies."""
+        pieces = []
+        for k in range(self.s):
+            for i in range(self.s):
+                pieces.append(out_full[self.mesh.rank_of(i, 0, k)])
+        return np.concatenate(pieces, axis=0)
+
+    def _charge_epoch_transpose(self) -> None:
+        """Directed operands pay the A-grid exchange each epoch; for
+        ``A == A^T`` the Split-3D A grid equals the A^T grid block for
+        block, so nothing moves and nothing is charged."""
+        if not self.symmetric:
+            self._charge_transpose_step(
+                (rank, self.a_blocks[rank].nbytes_on_wire)
+                for rank in self.a_blocks
+            )
+
+    def _grid_spmm(
+        self,
+        sparse_blocks: Dict[int, CSRMatrix],
+        dense_blocks: Dict[int, np.ndarray],
+        f: int,
+    ) -> Dict[int, np.ndarray]:
+        """One Split-3D SpMM: per-layer SUMMA, fiber reduce-scatter,
+        fiber-plane exchange back to the input distribution."""
+        mesh, s = self.mesh, self.s
+        fcols = self._fsplit(f)
+        partial = {
+            mesh.rank_of(i, j, k): np.zeros(
+                (self.row_ranges[i][1] - self.row_ranges[i][0],
+                 fcols[j][1] - fcols[j][0])
+            )
+            for i in range(s) for j in range(s) for k in range(s)
+        }
+        # 1. SUMMA stages, concurrently in every layer.
+        for t in range(s):
+            sparse_recv: Dict[int, CSRMatrix] = {}
+            with self.rt.tracker.step_scope():
+                for k in range(s):
+                    for i in range(s):
+                        root = mesh.rank_of(i, t, k)
+                        got = self.rt.coll.broadcast(
+                            mesh.row_group(i, k), root, sparse_blocks[root],
+                            category=Category.SCOMM, pipelined=True,
+                        )
+                        sparse_recv.update(got)
+            dense_recv: Dict[int, np.ndarray] = {}
+            with self.rt.tracker.step_scope():
+                for k in range(s):
+                    for j in range(s):
+                        root = mesh.rank_of(t, j, k)
+                        got = self.rt.coll.broadcast(
+                            mesh.col_group(j, k), root, dense_blocks[root],
+                            category=Category.DCOMM, pipelined=True,
+                        )
+                        dense_recv.update(got)
+            charges = []
+            for rank in partial:
+                sp = sparse_recv[rank]
+                dp = dense_recv[rank]
+                partial[rank] += spmm(sp, dp)
+                charges.append((rank, sp.nnz, sp.nrows, dp.shape[1]))
+            self._charge_spmm_step(charges)
+        # 2. Fiber reduce-scatter: sum the s layer partials, shard rows.
+        shards: Dict[int, np.ndarray] = {}
+        with self.rt.tracker.step_scope():
+            for i in range(s):
+                for j in range(s):
+                    fiber = mesh.fiber_group(i, j)
+                    shards.update(
+                        self.rt.coll.reduce_scatter(
+                            fiber, {r: partial[r] for r in fiber},
+                            category=Category.DCOMM, axis=0,
+                        )
+                    )
+        # 3. Fiber-plane exchange: shard (i, j, k) is the input-layout
+        # block of rank (k, j, i).
+        out: Dict[int, np.ndarray] = {}
+        with self.rt.tracker.step_scope():
+            for i in range(s):
+                for j in range(s):
+                    for k in range(s):
+                        src = mesh.rank_of(i, j, k)
+                        dst = mesh.rank_of(k, j, i)
+                        out[dst] = self.rt.coll.sendrecv(
+                            src, dst, shards[src], category=Category.DCOMM
+                        )
+        return out
+
+    def _stored_dense_rows(self) -> int:
+        return max(
+            hi - lo for subs in self.sub_ranges for lo, hi in subs
+        )
+
+    def _stored_dense_width(self, f: int) -> int:
+        return max(hi - lo for lo, hi in self._fsplit(f))

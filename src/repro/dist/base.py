@@ -1,0 +1,827 @@
+"""The shared skeleton of every distributed training algorithm.
+
+All four CAGNET algorithm families (1D, 1.5D, 2D SUMMA, Split-3D) differ
+only in *how* they lay out the adjacency/activation blocks and *which*
+collectives move them; everything else -- the training loop, the weight
+replicas and their redundant optimiser step, per-epoch ledger deltas, the
+serial-equivalence verification, inference, and held-out evaluation -- is
+identical.  :class:`DistAlgorithm` owns that shared machinery so each
+``algo_*`` module only implements three hooks:
+
+* ``_setup_data``   -- distribute features/labels onto the mesh;
+* ``_run_epoch``    -- one full forward/loss/backward/update sweep,
+  charging every data movement through :mod:`repro.comm.collectives` and
+  every local kernel through the runtime's charge helpers;
+* ``_forward_pass`` -- a forward-only sweep returning the assembled
+  ``n x n_classes`` log-probabilities (inference, Section I's "all of our
+  algorithms are applicable to GNN inference").
+
+Weights are **replicated**: every virtual rank applies the same optimiser
+update to the same gradient ("This step does not require communication",
+Section III-D), which the simulation represents with a single canonical
+:class:`~repro.nn.model.GCN` whose update each algorithm charges nothing
+for.  The local block math reuses the exact serial kernels from
+:mod:`repro.nn.layers`, which is what makes the paper's bit-close
+verification (`verify_against_serial`) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.runtime import VirtualRuntime
+from repro.comm.tracker import Category, CommTracker
+from repro.config import FP64_BYTES
+from repro.nn.activations import LogSoftmax, ReLU
+from repro.nn.layers import forward_gemm, hidden_gradient, weight_gradient
+from repro.nn.loss import accuracy, nll_loss
+from repro.nn.model import GCN, SerialTrainer
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.perfmodel import SpmmPerfModel
+
+__all__ = [
+    "EpochStats",
+    "DistTrainHistory",
+    "DistAlgorithm",
+    "BlockRowAlgorithm",
+    "GridAlgorithm",
+    "clone_optimizer",
+]
+
+
+def clone_optimizer(opt: Optimizer) -> Optimizer:
+    """A fresh, state-free optimiser with the same hyper-parameters.
+
+    Verification trains the serial reference and the distributed run from
+    identical starting points; a shared (stateful) optimiser instance
+    would couple the two trajectories.
+    """
+    if isinstance(opt, SGD):
+        return SGD(lr=opt.lr, momentum=opt.momentum)
+    if isinstance(opt, Adam):
+        return Adam(lr=opt.lr, beta1=opt.beta1, beta2=opt.beta2, eps=opt.eps)
+    raise TypeError(f"cannot clone optimiser of type {type(opt).__name__}")
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One training epoch's result plus its exact ledger delta.
+
+    ``seconds_by_category`` is the bulk-synchronous **wall clock** the
+    epoch added (slowest rank per step, per Fig. 3's convention);
+    ``bytes_by_category`` sums exact bytes over all ranks;
+    ``max_rank_comm_bytes`` is the paper's per-process metric.
+    """
+
+    epoch: int
+    loss: float
+    train_accuracy: float
+    seconds_by_category: Dict[str, float]
+    bytes_by_category: Dict[str, int]
+    max_rank_comm_bytes: int
+
+    @property
+    def modeled_seconds(self) -> float:
+        return sum(self.seconds_by_category.values())
+
+    @property
+    def dcomm_bytes(self) -> int:
+        return self.bytes_by_category[Category.DCOMM]
+
+    @property
+    def scomm_bytes(self) -> int:
+        return self.bytes_by_category[Category.SCOMM]
+
+    @property
+    def comm_bytes(self) -> int:
+        """Total network traffic over all ranks (scomm + dcomm + trpose)."""
+        return sum(self.bytes_by_category[c] for c in Category.COMM)
+
+
+@dataclass
+class DistTrainHistory:
+    """Per-epoch records of one distributed training run."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def losses(self) -> List[float]:
+        return [e.loss for e in self.epochs]
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        return self.epochs[-1].loss
+
+    def _selected(self, skip_first: bool) -> List[EpochStats]:
+        picked = self.epochs[1:] if skip_first and len(self.epochs) > 1 else self.epochs
+        if not picked:
+            raise ValueError("no epochs recorded")
+        return picked
+
+    def mean_breakdown(self, skip_first: bool = False) -> Dict[str, float]:
+        """Mean per-epoch wall seconds per category (a Fig. 3 bar).
+
+        ``skip_first=True`` drops epoch 0, which includes one-time
+        distribution warm-up in real systems.
+        """
+        picked = self._selected(skip_first)
+        return {
+            c: sum(e.seconds_by_category[c] for e in picked) / len(picked)
+            for c in Category.ALL
+        }
+
+    def mean_epoch_seconds(self, skip_first: bool = False) -> float:
+        picked = self._selected(skip_first)
+        return sum(e.modeled_seconds for e in picked) / len(picked)
+
+
+class DistAlgorithm:
+    """Base class: runtime + replicated weights + the shared training loop.
+
+    Subclasses receive the forward-pass SpMM operand ``a_t`` (the paper's
+    ``A^T``, equal to ``A`` for GCN-normalised undirected graphs) and the
+    layer ``widths`` ``(f^0, ..., f^L)``.  The backward operand ``A`` is
+    derived once here (transpose for directed inputs), mirroring
+    :class:`repro.nn.model.SerialTrainer`'s ``a_t``/``a`` pair.
+    """
+
+    #: bytes per dense element; the reproduction executes in fp64.
+    WB = FP64_BYTES
+
+    def __init__(
+        self,
+        rt: VirtualRuntime,
+        a_t: CSRMatrix,
+        widths: Sequence[int],
+        seed: int = 0,
+        optimizer: Optional[Optimizer] = None,
+    ):
+        if a_t.nrows != a_t.ncols:
+            raise ValueError(f"adjacency must be square, got {a_t.shape}")
+        self.rt = rt
+        self.a_t = a_t
+        self.n = a_t.nrows
+        self.widths = tuple(int(w) for w in widths)
+        self.seed = seed
+        self.optimizer = optimizer if optimizer is not None else SGD(lr=0.1)
+        self.model = GCN(self.widths, seed=seed)
+        self.symmetric = self._is_symmetric(a_t)
+        self.a = a_t if self.symmetric else a_t.transpose()
+        self.perf = SpmmPerfModel.from_profile(rt.profile)
+        self._ready = False
+        self._labels_provisional = False
+        self._features: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+        self._mask_count = 0
+        self._last_log_probs: Optional[np.ndarray] = None
+        self.relu = ReLU()
+        self.logsm = LogSoftmax()
+
+    # ------------------------------------------------------------------ #
+    # hooks for subclasses
+    # ------------------------------------------------------------------ #
+    def _setup_data(self, features: np.ndarray) -> None:
+        """Distribute the dense inputs onto the mesh."""
+        raise NotImplementedError
+
+    def _run_epoch(self) -> Tuple[float, float]:
+        """One charged forward/loss/backward/update; returns (loss, acc)."""
+        raise NotImplementedError
+
+    def _forward_pass(self) -> np.ndarray:
+        """Charged forward-only sweep; returns full ``n x f^L`` log-probs."""
+        raise NotImplementedError
+
+    def _stored_dense_rows(self) -> int:
+        """Max dense rows any rank keeps resident (memory accounting)."""
+        raise NotImplementedError
+
+    def _stored_dense_width(self, f: int) -> int:
+        """Resident columns of an ``f``-wide dense matrix per rank.
+
+        Block-row layouts keep full rows (width ``f``); 2D/3D layouts
+        override with their feature-column split.
+        """
+        return f
+
+    # ------------------------------------------------------------------ #
+    # static helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _is_symmetric(a: CSRMatrix) -> bool:
+        """Exact structural + numerical symmetry check (``A == A^T``)."""
+        t = a.transpose()
+        return (
+            a.shape == t.shape
+            and np.array_equal(a.indptr, t.indptr)
+            and np.array_equal(a.indices, t.indices)
+            and np.array_equal(a.data, t.data)
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def setup(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Validate and distribute the training inputs."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape != (self.n, self.widths[0]):
+            raise ValueError(
+                f"features shape {features.shape} does not match "
+                f"(n={self.n}, f^0={self.widths[0]})"
+            )
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (self.n,):
+            raise ValueError(f"labels shape {labels.shape} != ({self.n},)")
+        if mask is None:
+            mask = np.ones(self.n, dtype=bool)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ValueError(f"mask shape {mask.shape} != ({self.n},)")
+        count = int(mask.sum())
+        if count == 0:
+            raise ValueError("empty training mask")
+        self._features = features
+        self._labels = labels
+        self._mask = mask
+        self._mask_count = count
+        self._setup_data(features)
+        self._ready = True
+        self._labels_provisional = False
+
+    def train_epoch(self, epoch: int = 0) -> EpochStats:
+        """Run one charged training epoch; returns stats + ledger delta."""
+        if not self._ready or self._labels_provisional:
+            raise RuntimeError("call setup(features, labels) before training")
+        tracker = self.rt.tracker
+        before = tracker.snapshot()
+        loss, acc = self._run_epoch()
+        return self._stats_since(before, epoch, loss, acc)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        mask: Optional[np.ndarray] = None,
+    ) -> DistTrainHistory:
+        """Full-batch training for ``epochs`` epochs (sets up first)."""
+        self.setup(features, labels, mask)
+        history = DistTrainHistory()
+        for epoch in range(epochs):
+            history.epochs.append(self.train_epoch(epoch))
+        return history
+
+    def predict(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Distributed inference: log-probabilities for every vertex.
+
+        Pays only the forward pass's communication.  With ``features``
+        given, the inputs are (re)distributed first; otherwise the last
+        ``setup``/``fit`` inputs are reused.
+        """
+        if features is not None:
+            if self._ready:
+                # Redistribute the inputs but keep the training labels
+                # and mask intact (inference must not corrupt training).
+                features = np.asarray(features, dtype=np.float64)
+                if features.shape != (self.n, self.widths[0]):
+                    raise ValueError(
+                        f"features shape {features.shape} does not match "
+                        f"(n={self.n}, f^0={self.widths[0]})"
+                    )
+                self._features = features
+                self._setup_data(features)
+            else:
+                # Inference-only setup: placeholder labels, flagged so a
+                # later train_epoch() insists on real ones.
+                self.setup(features, np.zeros(self.n, dtype=np.int64))
+                self._labels_provisional = True
+        elif not self._ready:
+            raise RuntimeError("call setup(features, labels) or pass features")
+        log_probs = self._forward_pass()
+        self._last_log_probs = log_probs
+        return log_probs
+
+    def evaluate(
+        self, labels: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Tuple[float, float]:
+        """Held-out (masked) loss and accuracy with the current weights."""
+        log_probs = self.predict()
+        loss, _ = nll_loss(log_probs, labels, mask)
+        return loss, accuracy(log_probs, labels, mask)
+
+    def gather_log_probs(self) -> np.ndarray:
+        """The most recent forward pass's full output (verification view).
+
+        Reassembled from the distributed blocks without charging the
+        ledger -- the read-out a driver script would do once at the end.
+        """
+        if self._last_log_probs is None:
+            raise RuntimeError("no forward pass has run yet; call fit/predict")
+        return self._last_log_probs
+
+    def verify_against_serial(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        seed: Optional[int] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """Train serially and distributed from identical weights; return
+        the largest divergence observed.
+
+        This is the paper's correctness claim ("outputs the same
+        embeddings up to floating point accumulation errors"): the metric
+        is the max over per-epoch loss differences, final weight
+        differences, and final log-probability differences.
+        """
+        seed = self.seed if seed is None else seed
+        serial = SerialTrainer(
+            GCN(self.widths, seed=seed),
+            self.a_t,
+            a=self.a,
+            optimizer=clone_optimizer(self.optimizer),
+        )
+        s_hist = serial.train(features, labels, epochs, mask=mask)
+        s_lp = serial.model.predict(self.a_t, features)
+
+        self.model = GCN(self.widths, seed=seed)
+        self.optimizer = clone_optimizer(self.optimizer)
+        d_hist = self.fit(features, labels, epochs, mask=mask)
+        d_lp = self.predict()
+
+        diff = max(
+            abs(a - b) for a, b in zip(d_hist.losses, [e.loss for e in s_hist.epochs])
+        )
+        for w_d, w_s in zip(self.model.weights, serial.model.weights):
+            diff = max(diff, float(np.max(np.abs(w_d - w_s))) if w_d.size else 0.0)
+        diff = max(diff, float(np.max(np.abs(d_lp - s_lp))))
+        return diff
+
+    def dense_memory_words_per_rank(self) -> int:
+        """Resident dense words on the most loaded rank (Section V-C).
+
+        Counts the per-layer activation stack (``H``, the cached SpMM
+        result ``T``/``Z``, and the gradient working set) at the rank's
+        stored row count, plus the replicated weights.
+        """
+        rows = self._stored_dense_rows()
+        acts = sum(
+            self._stored_dense_width(self.widths[l])
+            + 2 * self._stored_dense_width(self.widths[l + 1])
+            for l in range(len(self.widths) - 1)
+        )
+        weights = sum(
+            self.widths[l] * self.widths[l + 1]
+            for l in range(len(self.widths) - 1)
+        )
+        return rows * acts + weights
+
+    # ------------------------------------------------------------------ #
+    # shared charging helpers (every charge sits in a step scope so the
+    # bulk-synchronous wall clock and the step tracer see it)
+    # ------------------------------------------------------------------ #
+    def _charge_spmm_step(self, charges: Sequence[Tuple[int, int, int, int]]) -> None:
+        """Charge concurrent local SpMM kernels: (rank, nnz, nrows, f)."""
+        with self.rt.tracker.step_scope():
+            for rank, nnz, nrows, f in charges:
+                seconds = self.perf.seconds(int(nnz), int(nrows), int(f))
+                self.rt.charge_spmm(rank, 2 * int(nnz) * int(f), seconds)
+
+    def _charge_gemm_step(self, charges: Sequence[Tuple[int, float]]) -> None:
+        """Charge concurrent local GEMMs: (rank, flops)."""
+        with self.rt.tracker.step_scope():
+            for rank, flops in charges:
+                self.rt.charge_gemm(rank, int(flops))
+
+    def _charge_elementwise_step(self, charges: Sequence[Tuple[int, float]]) -> None:
+        """Charge concurrent elementwise kernels: (rank, bytes touched)."""
+        with self.rt.tracker.step_scope():
+            for rank, nbytes in charges:
+                self.rt.charge_elementwise(rank, int(nbytes))
+
+    def _charge_transpose_step(self, charges: Sequence[Tuple[int, int]]) -> None:
+        """Charge a concurrent pairwise transpose exchange: (rank, bytes)."""
+        with self.rt.tracker.step_scope():
+            for rank, nbytes in charges:
+                self.rt.charge_transpose(rank, int(nbytes))
+
+    def _masked_loss_terms(
+        self, rows_lo: int, rows_hi: int, log_probs_rows: np.ndarray
+    ) -> np.ndarray:
+        """Local ``[sum_picked, correct]`` contribution for a row range."""
+        labels = self._labels[rows_lo:rows_hi]
+        mask = self._mask[rows_lo:rows_hi]
+        rows = np.flatnonzero(mask)
+        if rows.size == 0:
+            return np.zeros(2)
+        picked = log_probs_rows[rows, labels[rows]]
+        correct = np.count_nonzero(
+            log_probs_rows[rows].argmax(axis=1) == labels[rows]
+        )
+        return np.array([float(picked.sum()), float(correct)])
+
+    def _grad_out_rows(self, rows_lo: int, rows_hi: int, f_out: int) -> np.ndarray:
+        """``dL/d log_probs`` for a row range of the output layer."""
+        labels = self._labels[rows_lo:rows_hi]
+        mask = self._mask[rows_lo:rows_hi]
+        grad = np.zeros((rows_hi - rows_lo, f_out))
+        rows = np.flatnonzero(mask)
+        grad[rows, labels[rows]] = -1.0 / self._mask_count
+        return grad
+
+    def _finish_loss(self, totals: np.ndarray) -> Tuple[float, float]:
+        """Turn an all-reduced ``[sum_picked, correct]`` into (loss, acc)."""
+        loss = -float(totals[0]) / self._mask_count
+        acc = float(totals[1]) / self._mask_count
+        return loss, acc
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _charge_block_gemm(self, blocks, flops_per_row: float) -> None:
+        """Charge a GEMM over per-rank row blocks (rows x flops/row)."""
+        self._charge_gemm_step(
+            (r, blocks[r].shape[0] * flops_per_row) for r in blocks
+        )
+
+    def _charge_block_elementwise(self, blocks, bytes_per_row: float) -> None:
+        self._charge_elementwise_step(
+            (r, blocks[r].shape[0] * bytes_per_row) for r in blocks
+        )
+
+    def _stats_since(
+        self, before: CommTracker, epoch: int, loss: float, acc: float
+    ) -> EpochStats:
+        tracker = self.rt.tracker
+        seconds = {
+            c: tracker.wall.get(c, 0.0) - before.wall.get(c, 0.0)
+            for c in Category.ALL
+        }
+        nbytes = {
+            c: sum(
+                tracker.per_rank[r][c].bytes - before.per_rank[r][c].bytes
+                for r in range(tracker.nranks)
+            )
+            for c in Category.ALL
+        }
+        max_rank = max(
+            sum(
+                tracker.per_rank[r][c].bytes - before.per_rank[r][c].bytes
+                for c in Category.COMM
+            )
+            for r in range(tracker.nranks)
+        )
+        return EpochStats(
+            epoch=epoch,
+            loss=loss,
+            train_accuracy=acc,
+            seconds_by_category=seconds,
+            bytes_by_category=nbytes,
+            max_rank_comm_bytes=int(max_rank),
+        )
+
+
+class BlockRowAlgorithm(DistAlgorithm):
+    """The block-row family's shared epoch (1D and 1.5D).
+
+    Both algorithms keep complete dense rows on every rank, so their
+    forward sweep, loss reduction, and backward recursion are the same
+    program; they differ only in *which collective* realises the SpMM
+    and which group replicates scalars/gradients.  Subclasses provide:
+
+    * ``_block_ranks``           -- the ranks holding dense row blocks;
+    * ``_row_range(rank)``       -- the global rows a rank owns;
+    * ``_forward_spmm(blocks, f)``  / ``_backward_spmm(blocks, f)``
+      -- charged distributed ``A^T X`` / ``A X`` sweeps;
+    * ``_replicated_allreduce(values)`` -- the sum that leaves every
+      rank with an identical copy (loss terms, weight gradients);
+    * ``_assemble(blocks)``      -- uncharged full-matrix read-out;
+    * ``_pre_backward()``        -- optional per-epoch charge hook
+      (the 1D transpose variant's exchange).
+    """
+
+    def _row_range(self, rank: int) -> Tuple[int, int]:
+        raise NotImplementedError
+
+    def _forward_spmm(self, blocks, f: int):
+        raise NotImplementedError
+
+    def _backward_spmm(self, blocks, f: int):
+        raise NotImplementedError
+
+    def _replicated_allreduce(self, values):
+        raise NotImplementedError
+
+    def _assemble(self, blocks) -> np.ndarray:
+        raise NotImplementedError
+
+    def _pre_backward(self) -> None:
+        """Per-epoch charges before the backward recursion (default none)."""
+
+    # ------------------------------------------------------------------ #
+    def _forward_layers(self, h_blocks):
+        """Shared forward sweep; returns output blocks + per-layer caches."""
+        caches = []
+        for layer in self.model.layers:
+            f_in, f_out = layer.f_in, layer.f_out
+            t_blocks = self._forward_spmm(h_blocks, f_in)
+            z_blocks = {r: forward_gemm(t_blocks[r], layer.weight)
+                        for r in self._block_ranks}
+            self._charge_block_gemm(z_blocks, 2.0 * f_in * f_out)
+            # Rows are complete locally, so even log_softmax is local.
+            h_blocks = {r: layer.activation.forward(z_blocks[r])
+                        for r in self._block_ranks}
+            self._charge_block_elementwise(z_blocks, 2.0 * f_out * self.WB)
+            caches.append({"t": t_blocks, "z": z_blocks})
+        return h_blocks, caches
+
+    def _forward_pass(self) -> np.ndarray:
+        out_blocks, _ = self._forward_layers(self._h0)
+        return self._assemble(out_blocks)
+
+    def _run_epoch(self) -> Tuple[float, float]:
+        out_blocks, caches = self._forward_layers(self._h0)
+        self._last_log_probs = self._assemble(out_blocks)
+        f_last = self.widths[-1]
+
+        # ---- loss: one scalar-sized replicated all-reduce ----
+        terms = {
+            r: self._masked_loss_terms(*self._row_range(r), out_blocks[r])
+            for r in self._block_ranks
+        }
+        totals = self._replicated_allreduce(terms)
+        loss, acc = self._finish_loss(next(iter(totals.values())))
+
+        # ---- backward ----
+        g_blocks = {}
+        for r in self._block_ranks:
+            lo, hi = self._row_range(r)
+            grad = self._grad_out_rows(lo, hi, f_last)
+            g_blocks[r] = self.logsm.backward(caches[-1]["z"][r], grad)
+        self._charge_block_elementwise(g_blocks, 3.0 * f_last * self.WB)
+        self._pre_backward()
+
+        grads: List[Optional[np.ndarray]] = [None] * self.model.num_layers
+        for l in range(self.model.num_layers - 1, -1, -1):
+            layer = self.model.layers[l]
+            f_in, f_out = layer.f_in, layer.f_out
+            # A G^l is computed (and charged) at every layer, including
+            # l = 0 where grad_h is unused -- mirroring the serial layer
+            # kernel and the Model1D/Model2D charge patterns, which
+            # follow the paper's AG^l-reuse implementation.
+            ag_blocks = self._backward_spmm(g_blocks, f_out)
+            # Y^l = sum_i T_i^T G_i, all-reduced so W's update is replicated.
+            partials = {r: weight_gradient(caches[l]["t"][r], g_blocks[r])
+                        for r in self._block_ranks}
+            self._charge_block_gemm(g_blocks, 2.0 * f_in * f_out)
+            y = self._replicated_allreduce(partials)
+            grads[l] = next(iter(y.values()))
+            if l > 0:
+                gh_blocks = {r: hidden_gradient(ag_blocks[r], layer.weight)
+                             for r in self._block_ranks}
+                self._charge_block_gemm(gh_blocks, 2.0 * f_out * f_in)
+                z_prev = caches[l - 1]["z"]
+                g_blocks = {
+                    r: self.model.layers[l - 1].activation.backward(
+                        z_prev[r], gh_blocks[r]
+                    )
+                    for r in self._block_ranks
+                }
+                self._charge_block_elementwise(g_blocks, 3.0 * f_in * self.WB)
+        self.optimizer.step(self.model.weights, grads)
+        return loss, acc
+
+
+class GridAlgorithm(DistAlgorithm):
+    """The 2D-layout family's shared epoch (2D SUMMA and Split-3D).
+
+    Both algorithms split the feature columns of every dense matrix
+    across "row groups" of ranks that jointly hold complete rows, so
+    the replicated-weight GEMMs, the Equation-3 weight gradient, the
+    last-layer row all-gather for log_softmax, the column-0 loss terms,
+    and the backward recursion are the same program; they differ only
+    in the distributed SpMM itself and in the mesh's group enumeration.
+    Subclasses provide:
+
+    * ``_grid_spmm(sparse_blocks, dense_blocks, f)`` -- the charged
+      distributed SpMM sweep (SUMMA / Split-3D);
+    * ``_row_groups()`` -- rank tuples sharing the same global rows,
+      each ordered by feature-column index (so ``group[t]`` owns the
+      ``t``-th feature-column block);
+    * ``_out_col(rank)`` / ``_rank_rows(rank)`` -- a rank's feature
+      -column index and its global row range;
+    * ``_fsplit(f)`` -- the feature-column split;
+    * ``_charge_epoch_transpose()`` -- the per-epoch ``trpose`` charge
+      policy (2D: always; 3D: directed operands only);
+    * ``_assemble(out_full)`` -- uncharged full-output read-out;
+    * ``a_t_blocks`` / ``a_blocks`` -- the distributed sparse operands.
+    """
+
+    def _grid_spmm(self, sparse_blocks, dense_blocks, f: int):
+        raise NotImplementedError
+
+    def _row_groups(self):
+        raise NotImplementedError
+
+    def _out_col(self, rank: int) -> int:
+        raise NotImplementedError
+
+    def _rank_rows(self, rank: int) -> Tuple[int, int]:
+        raise NotImplementedError
+
+    def _fsplit(self, f: int):
+        raise NotImplementedError
+
+    def _charge_epoch_transpose(self) -> None:
+        raise NotImplementedError
+
+    def _assemble(self, out_full) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # shared building blocks
+    # ------------------------------------------------------------------ #
+    def _stage_broadcast(self, blocks, t: int):
+        """Stage ``t`` of a replicated-W product: every row group's
+        ``t``-th member broadcasts its feature-column block row-wise."""
+        recv = {}
+        with self.rt.tracker.step_scope():
+            for group in self._row_groups():
+                root = group[t]
+                got = self.rt.coll.broadcast(
+                    group, root, blocks[root],
+                    category=Category.DCOMM, pipelined=True,
+                )
+                recv.update(got)
+        return recv
+
+    def _matmul_w(self, t_blocks, w: np.ndarray, f_in: int, f_out: int):
+        """``T W`` for grid-distributed ``T`` and replicated ``W``."""
+        fouts = self._fsplit(f_out)
+        acc = {
+            r: np.zeros(
+                (t_blocks[r].shape[0],
+                 fouts[self._out_col(r)][1] - fouts[self._out_col(r)][0])
+            )
+            for r in t_blocks
+        }
+        for t, (lo, hi) in enumerate(self._fsplit(f_in)):
+            if hi == lo:
+                continue
+            recv = self._stage_broadcast(t_blocks, t)
+            charges = []
+            for r in acc:
+                o0, o1 = fouts[self._out_col(r)]
+                acc[r] += forward_gemm(recv[r], w[lo:hi, o0:o1])
+                charges.append(
+                    (r, 2.0 * recv[r].shape[0] * (hi - lo) * (o1 - o0))
+                )
+            self._charge_gemm_step(charges)
+        return acc
+
+    def _weight_grad(self, t_blocks, g_blocks, f_in: int, f_out: int):
+        """``Y^l = T^T G`` (Equation 3): stage broadcasts of T's column
+        blocks, partial outer GEMMs, one world all-reduce."""
+        fouts = self._fsplit(f_out)
+        partials = {r: np.zeros((f_in, f_out)) for r in t_blocks}
+        for t, (lo, hi) in enumerate(self._fsplit(f_in)):
+            if hi == lo:
+                continue
+            recv = self._stage_broadcast(t_blocks, t)
+            charges = []
+            for r in partials:
+                o0, o1 = fouts[self._out_col(r)]
+                partials[r][lo:hi, o0:o1] += weight_gradient(
+                    recv[r], g_blocks[r]
+                )
+                charges.append(
+                    (r, 2.0 * (hi - lo) * recv[r].shape[0] * (o1 - o0))
+                )
+            self._charge_gemm_step(charges)
+        world = tuple(range(self.rt.size))
+        y = self.rt.coll.allreduce(world, partials, category=Category.DCOMM)
+        return next(iter(y.values()))
+
+    def _row_allgather(self, blocks):
+        """Full rows on every rank (concurrent per-row-group gathers) --
+        what the row-wise log_softmax needs."""
+        full = {}
+        with self.rt.tracker.step_scope():
+            for group in self._row_groups():
+                got = self.rt.coll.allgather(
+                    group, {r: blocks[r] for r in group},
+                    category=Category.DCOMM,
+                )
+                for r in group:
+                    full[r] = np.concatenate(got[r], axis=1)
+        return full
+
+    # ------------------------------------------------------------------ #
+    # the shared epoch
+    # ------------------------------------------------------------------ #
+    def _forward_layers(self, h_blocks):
+        caches = []
+        last = self.model.num_layers - 1
+        for l, layer in enumerate(self.model.layers):
+            f_in, f_out = layer.f_in, layer.f_out
+            t_blocks = self._grid_spmm(self.a_t_blocks, h_blocks, f_in)
+            z_blocks = self._matmul_w(t_blocks, layer.weight, f_in, f_out)
+            cache = {"t": t_blocks, "z": z_blocks}
+            if l < last:
+                h_blocks = {r: layer.activation.forward(z_blocks[r])
+                            for r in z_blocks}
+                self._charge_elementwise_step(
+                    (r, 2.0 * z_blocks[r].size * self.WB) for r in z_blocks
+                )
+            else:
+                # log_softmax is row-wise: gather full rows first.
+                z_full = self._row_allgather(z_blocks)
+                h_full = {r: layer.activation.forward(z_full[r])
+                          for r in z_full}
+                self._charge_elementwise_step(
+                    (r, 2.0 * z_full[r].size * self.WB) for r in z_full
+                )
+                fcols = self._fsplit(f_out)
+                h_blocks = {}
+                for r in z_blocks:
+                    c0, c1 = fcols[self._out_col(r)]
+                    h_blocks[r] = np.ascontiguousarray(h_full[r][:, c0:c1])
+                cache["z_full"] = z_full
+                cache["out_full"] = h_full
+            caches.append(cache)
+        return h_blocks, caches
+
+    def _forward_pass(self) -> np.ndarray:
+        _, caches = self._forward_layers(self._h0)
+        return self._assemble(caches[-1]["out_full"])
+
+    def _run_epoch(self) -> Tuple[float, float]:
+        _, caches = self._forward_layers(self._h0)
+        self._last_log_probs = self._assemble(caches[-1]["out_full"])
+        f_last = self.widths[-1]
+        out_full = caches[-1]["out_full"]
+
+        # ---- loss: feature-column 0 contributes, everyone receives ----
+        terms = {}
+        for r in out_full:
+            lo, hi = self._rank_rows(r)
+            terms[r] = (
+                self._masked_loss_terms(lo, hi, out_full[r])
+                if self._out_col(r) == 0 else np.zeros(2)
+            )
+        world = tuple(range(self.rt.size))
+        totals = self.rt.coll.allreduce(world, terms, category=Category.DCOMM)
+        loss, acc = self._finish_loss(next(iter(totals.values())))
+
+        # ---- backward ----
+        fcols = self._fsplit(f_last)
+        g_blocks = {}
+        for r in out_full:
+            lo, hi = self._rank_rows(r)
+            grad_full = self._grad_out_rows(lo, hi, f_last)
+            g_full = self.logsm.backward(caches[-1]["z_full"][r], grad_full)
+            c0, c1 = fcols[self._out_col(r)]
+            g_blocks[r] = np.ascontiguousarray(g_full[:, c0:c1])
+        self._charge_elementwise_step(
+            (r, 3.0 * caches[-1]["z_full"][r].size * self.WB)
+            for r in g_blocks
+        )
+        self._charge_epoch_transpose()
+
+        grads: List[Optional[np.ndarray]] = [None] * self.model.num_layers
+        for l in range(self.model.num_layers - 1, -1, -1):
+            layer = self.model.layers[l]
+            f_in, f_out = layer.f_in, layer.f_out
+            # A G^l is charged at every layer (incl. l = 0), mirroring
+            # the serial kernel and the analytic models.
+            ag_blocks = self._grid_spmm(self.a_blocks, g_blocks, f_out)
+            grads[l] = self._weight_grad(caches[l]["t"], g_blocks, f_in, f_out)
+            if l > 0:
+                gh_blocks = self._matmul_w(
+                    ag_blocks, layer.weight.T, f_out, f_in
+                )
+                z_prev = caches[l - 1]["z"]
+                g_blocks = {
+                    r: self.model.layers[l - 1].activation.backward(
+                        z_prev[r], gh_blocks[r]
+                    )
+                    for r in gh_blocks
+                }
+                self._charge_elementwise_step(
+                    (r, 3.0 * g_blocks[r].size * self.WB) for r in g_blocks
+                )
+        self.optimizer.step(self.model.weights, grads)
+        return loss, acc

@@ -1,0 +1,102 @@
+"""Algorithm registry and facade constructors.
+
+``ALGORITHMS`` maps the paper's four algorithm names to their classes;
+:func:`make_runtime_for` builds the matching virtual machine topology and
+:func:`make_algorithm` wires a dataset, a runtime, and an algorithm
+together -- the one-call entry point the CLI, examples, and benchmarks
+use::
+
+    algo = make_algorithm("2d", p=16, dataset=ds)
+    history = algo.fit(ds.features, ds.labels, epochs=10)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from repro.comm.runtime import VirtualRuntime
+from repro.config import MachineProfile
+from repro.dist.algo_1d import DistGCN1D
+from repro.dist.algo_15d import DistGCN15D
+from repro.dist.algo_2d import DistGCN2D
+from repro.dist.algo_3d import DistGCN3D
+from repro.dist.base import DistAlgorithm
+
+__all__ = ["ALGORITHMS", "make_runtime_for", "make_algorithm"]
+
+#: The paper's algorithm families, keyed by their Section IV names.
+ALGORITHMS: Dict[str, Type[DistAlgorithm]] = {
+    "1d": DistGCN1D,
+    "1.5d": DistGCN15D,
+    "2d": DistGCN2D,
+    "3d": DistGCN3D,
+}
+
+
+def _unknown(name: str) -> ValueError:
+    return ValueError(
+        f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+    )
+
+
+def make_runtime_for(
+    name: str,
+    p: int,
+    grid: Optional[Tuple[int, int]] = None,
+    profile: Optional[MachineProfile] = None,
+) -> VirtualRuntime:
+    """The virtual machine topology algorithm ``name`` runs on.
+
+    ``grid=(Pr, Pc)`` selects a rectangular 2D grid (Section IV-C.6);
+    without it, ``"2d"`` requires ``P`` to be a perfect square and
+    ``"3d"`` a perfect cube.
+    """
+    name = name.lower()
+    if name not in ALGORITHMS:
+        raise _unknown(name)
+    if name in ("1d", "1.5d"):
+        if grid is not None:
+            raise ValueError(f"algorithm {name!r} does not take a 2D grid")
+        return VirtualRuntime.make_1d(p, profile)
+    if name == "2d":
+        if grid is None:
+            return VirtualRuntime.make_2d(p, profile)
+        rows, cols = (int(g) for g in grid)
+        if rows * cols != p:
+            raise ValueError(
+                f"grid {rows}x{cols} does not tile P={p} ranks"
+            )
+        return VirtualRuntime.make_2d_rect(rows, cols, profile)
+    if grid is not None:
+        raise ValueError("algorithm '3d' does not take a 2D grid")
+    return VirtualRuntime.make_3d(p, profile)
+
+
+def make_algorithm(
+    name: str,
+    p: int,
+    dataset,
+    hidden: int = 16,
+    layers: int = 3,
+    seed: int = 0,
+    optimizer=None,
+    profile: Optional[MachineProfile] = None,
+    grid: Optional[Tuple[int, int]] = None,
+    **kwargs,
+) -> DistAlgorithm:
+    """Build algorithm ``name`` for ``dataset`` on ``p`` virtual GPUs.
+
+    ``dataset`` is a :class:`repro.graph.datasets.Dataset` (or anything
+    with ``adjacency`` and ``layer_widths``).  Remaining keyword
+    arguments pass through to the algorithm class (``variant`` for 1D,
+    ``replication`` for 1.5D, ``summa_block`` for 2D).
+    """
+    name = name.lower()
+    if name not in ALGORITHMS:
+        raise _unknown(name)
+    rt = make_runtime_for(name, p, grid=grid, profile=profile)
+    widths = dataset.layer_widths(hidden=hidden, layers=layers)
+    return ALGORITHMS[name](
+        rt, dataset.adjacency, widths, seed=seed, optimizer=optimizer,
+        **kwargs,
+    )

@@ -29,7 +29,38 @@ from repro.nn.activations import Activation, ReLU
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.spmm import spmm
 
-__all__ = ["GCNLayer", "LayerCache"]
+__all__ = [
+    "GCNLayer",
+    "LayerCache",
+    "forward_gemm",
+    "weight_gradient",
+    "hidden_gradient",
+]
+
+
+def forward_gemm(t: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``Z = T W`` where ``T = A^T H^{l-1}`` -- the forward GEMM.
+
+    Shared by the serial layer and the distributed algorithms (which call
+    it on local blocks of ``T`` against the replicated ``W``), so both
+    paths run the identical kernel -- the precondition for the paper's
+    bit-close serial-vs-parallel verification.
+    """
+    return t @ weight
+
+
+def weight_gradient(t: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """``Y^l = (A^T H^{l-1})^T G^l`` (Equation 3) -- the weight gradient.
+
+    Distributed algorithms apply it to row blocks and sum the partial
+    products with an all-reduce.
+    """
+    return t.T @ g
+
+
+def hidden_gradient(ag: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """``A G^l (W^l)^T`` (Equation 2, before the sigma' Hadamard)."""
+    return ag @ weight.T
 
 
 @dataclass
@@ -72,8 +103,8 @@ class GCNLayer:
             raise ValueError(
                 f"input width {h_in.shape[1]} != layer f_in {self.f_in}"
             )
-        t = spmm(a_t, h_in)        # A^T H^{l-1}  (the SpMM)
-        z = t @ self.weight        # (A^T H^{l-1}) W^l  (the GEMM)
+        t = spmm(a_t, h_in)               # A^T H^{l-1}  (the SpMM)
+        z = forward_gemm(t, self.weight)  # (A^T H^{l-1}) W^l  (the GEMM)
         h_out = self.activation.forward(z)
         return h_out, LayerCache(h_in=h_in, z=z, t=t)
 
@@ -88,8 +119,8 @@ class GCNLayer:
         """
         g = self.activation.backward(cache.z, grad_h)      # G^l (Eq. 1 shape)
         ag = spmm(a, g)                                    # A G^l (reused)
-        grad_w = cache.t.T @ g                             # Y^l (Eq. 3)
-        grad_h_in = ag @ self.weight.T                     # A G^l (W^l)^T (Eq. 2,
+        grad_w = weight_gradient(cache.t, g)               # Y^l (Eq. 3)
+        grad_h_in = hidden_gradient(ag, self.weight)       # A G^l (W^l)^T (Eq. 2,
         #                                 before the sigma'(Z^{l-1}) Hadamard,
         #                                 which the *previous* layer applies)
         return grad_h_in, grad_w, g

@@ -1,0 +1,90 @@
+"""The registry/facade layer: names, grids, error messages, CLI smoke."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dist import ALGORITHMS, make_algorithm, make_runtime_for
+from repro.dist.base import DistAlgorithm
+from repro.graph import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=48, avg_degree=4, f=6, n_classes=3, seed=41)
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(ALGORITHMS) == {"1d", "1.5d", "2d", "3d"}
+        for cls in ALGORITHMS.values():
+            assert issubclass(cls, DistAlgorithm)
+
+    @pytest.mark.parametrize("name", ["4d", "hypercube", "", "summa"])
+    def test_unknown_names_rejected_everywhere(self, ds, name):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_runtime_for(name, 4)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_algorithm(name, 4, ds)
+
+    def test_unknown_error_lists_available(self):
+        with pytest.raises(ValueError, match="1.5d"):
+            make_runtime_for("4d", 4)
+
+    def test_names_case_insensitive(self, ds):
+        assert make_runtime_for("2D", 4).mesh.ndim == 2
+        algo = make_algorithm("1D", 2, ds, hidden=4)
+        assert algo.rt.size == 2
+
+
+class TestGridValidation:
+    def test_rectangular_grid_for_non_square_p(self):
+        rt = make_runtime_for("2d", 6, grid=(2, 3))
+        assert (rt.mesh.rows, rt.mesh.cols) == (2, 3)
+
+    def test_non_square_p_rejected_without_grid(self):
+        with pytest.raises(ValueError, match="square"):
+            make_runtime_for("2d", 6)
+
+    def test_grid_must_tile_p(self):
+        with pytest.raises(ValueError, match="tile"):
+            make_runtime_for("2d", 8, grid=(2, 3))
+
+    @pytest.mark.parametrize("name", ["1d", "1.5d", "3d"])
+    def test_grid_only_valid_for_2d(self, name):
+        with pytest.raises(ValueError, match="grid"):
+            make_runtime_for(name, 8, grid=(2, 4))
+
+    def test_non_cube_p_rejected_for_3d(self):
+        with pytest.raises(ValueError, match="cube"):
+            make_runtime_for("3d", 12)
+
+    def test_grid_passes_through_make_algorithm(self, ds):
+        algo = make_algorithm("2d", 6, ds, hidden=4, grid=(3, 2))
+        assert (algo.mesh.rows, algo.mesh.cols) == (3, 2)
+
+
+class TestCliSmoke:
+    def test_train_1d_on_tiny_synthetic_exits_zero(self):
+        """``python -m repro train --algorithm 1d --gpus 4`` end to end."""
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "train",
+                "--algorithm", "1d", "--gpus", "4",
+                "--vertices", "48", "--features", "6",
+                "--hidden", "4", "--epochs", "2",
+            ],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "loss" in proc.stdout
+        assert "communication" in proc.stdout
