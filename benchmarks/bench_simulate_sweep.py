@@ -1,0 +1,58 @@
+"""The scaling simulator's acceptance benchmark.
+
+Times the full (4 algorithms x 3 machines x P up to 16384) sweep at
+Reddit's published size, checks the sub-10-second budget with valid JSON
+output, and spot-checks the simulator's headline invariant: predicted
+epoch communication volume equals the executed virtual-run ledger.
+"""
+
+import json
+
+from repro.comm.tracker import Category
+from repro.dist import make_algorithm
+from repro.graph import make_synthetic
+from repro.simulate import GraphModel, predict_epoch, sweep
+
+from benchmarks.helpers import attach, print_table
+
+
+def bench_simulate_full_sweep(benchmark):
+    graph = GraphModel.from_published("reddit")
+    result = sweep(graph)
+    assert result.elapsed_seconds < 10.0
+    assert max(result.ps) >= 16384
+    doc = json.loads(result.to_json())
+    assert doc["schema"] == "repro-sweep/1" and doc["winners"]
+
+    rows = [
+        (w["machine"], w["p"], w["algorithm"], round(w["seconds"], 4))
+        for w in doc["winners"]
+    ]
+    print_table(
+        "sweep winners -- reddit at published size (predicted s/epoch)",
+        ("machine", "P", "winner", "s/epoch"),
+        rows,
+    )
+
+    # Exactness spot check at an executable scale.
+    ds = make_synthetic(n=96, avg_degree=6, f=16, n_classes=4, seed=0)
+    gm = GraphModel.from_dataset(ds)
+    algo = make_algorithm("2d", 16, ds, hidden=8, seed=0)
+    algo.setup(ds.features, ds.labels)
+    stats = algo.train_epoch(0)
+    point = predict_epoch("2d", gm, 16, hidden=8)
+    for cat in Category.COMM:
+        assert point.bytes_by_category[cat] == stats.bytes_by_category[cat]
+    print("\nexactness: predicted == executed ledger at P=16 (2d), "
+          f"{point.comm_bytes} comm bytes")
+
+    benchmark(sweep, graph, machines=("summit",), ps=(1024, 16384))
+    attach(
+        benchmark,
+        sweep_points=len(result.points),
+        sweep_seconds=result.elapsed_seconds,
+        winners={
+            f"{w['machine']}/P{w['p']}": w["algorithm"]
+            for w in doc["winners"]
+        },
+    )

@@ -1,0 +1,78 @@
+"""Serial SpMM kernel before/after: the hottest local path, measured.
+
+The distributed algorithms spend their local compute in CSR-times-dense
+kernels over many small reused blocks.  This bench times the three
+backends on GNN-shaped operands:
+
+* ``cumsum``   -- the original segment-sum formulation (kept as the
+  baseline): materialises the full running sum of the expanded products
+  plus two fancy-index gathers;
+* ``reduceat`` -- the current pure-numpy kernel: one in-place segment
+  fold, no cumsum materialisation;
+* ``scipy``    -- the compiled kernel through the per-matrix cached
+  zero-copy wrapper (re-wrapping per call was measurable overhead at
+  distributed block sizes).
+
+The measured before/after ratios land in ``BENCH_dist.json`` via the
+``extra_info`` attachment.
+"""
+
+import numpy as np
+
+from repro.graph import make_synthetic
+from repro.sparse.spmm import spmm_numpy, spmm_numpy_cumsum, spmm_scipy
+
+from benchmarks.helpers import attach, print_table
+
+import time
+
+
+def _time(fn, a, b, repeats):
+    fn(a, b)  # warm (builds the scipy wrapper cache on first touch)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        fn(a, b)
+    return (time.perf_counter() - t0) / repeats
+
+
+def bench_spmm_kernel_comparison(benchmark):
+    ds = make_synthetic(n=3000, avg_degree=12, f=64, n_classes=8, seed=0)
+    a = ds.adjacency
+    rng = np.random.default_rng(0)
+    cases = {
+        "full 3000x3000 f=64": (a, rng.random((a.ncols, 64)), 5),
+        "block 750x3000 f=16": (
+            a.block(0, 750, 0, 3000), rng.random((3000, 16)), 20
+        ),
+        "tiny 100x1000 f=16": (
+            a.block(0, 100, 0, 1000), rng.random((1000, 16)), 200
+        ),
+    }
+    rows = []
+    info = {}
+    for label, (blk, dense, repeats) in cases.items():
+        ref = spmm_numpy_cumsum(blk, dense)
+        assert np.allclose(spmm_numpy(blk, dense), ref)
+        assert np.allclose(spmm_scipy(blk, dense), ref)
+        before = _time(spmm_numpy_cumsum, blk, dense, repeats)
+        after = _time(spmm_numpy, blk, dense, repeats)
+        compiled = _time(spmm_scipy, blk, dense, repeats)
+        rows.append(
+            (label, round(before * 1e6, 1), round(after * 1e6, 1),
+             round(compiled * 1e6, 1), round(before / after, 2))
+        )
+        info[label] = {
+            "cumsum_us": before * 1e6,
+            "reduceat_us": after * 1e6,
+            "scipy_cached_us": compiled * 1e6,
+            "numpy_speedup": before / after,
+        }
+    print_table(
+        "serial CSR SpMM kernels (before = cumsum, after = reduceat)",
+        ("operand", "cumsum us", "reduceat us", "scipy us", "speedup"),
+        rows,
+    )
+    ds_small = make_synthetic(n=400, avg_degree=8, f=32, n_classes=4, seed=1)
+    dense = rng.random((400, 32))
+    benchmark(spmm_numpy, ds_small.adjacency, dense)
+    attach(benchmark, kernels=info)

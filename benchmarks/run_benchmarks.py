@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Run the benchmark suite headlessly and write ``BENCH_dist.json``.
+
+``pytest benchmarks`` runs the same modules under pytest-benchmark; this
+harness is the dependency-free path the perf trajectory tracks: it
+discovers every ``bench_*`` function in ``benchmarks/bench_*.py``, runs
+it with a deterministic environment (the modules pin their own seeds),
+times the workload each function hands to its ``benchmark`` fixture, and
+writes one machine-readable JSON file with per-benchmark timings plus
+every ``extra_info`` attachment (analytic series, byte counts, kernel
+before/after ratios, sweep winners).
+
+Usage::
+
+    python benchmarks/run_benchmarks.py                 # full run
+    python benchmarks/run_benchmarks.py --smoke         # 1 round each
+    python benchmarks/run_benchmarks.py --select spmm   # substring filter
+    python benchmarks/run_benchmarks.py --output BENCH_dist.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib
+import io
+import json
+import platform
+import sys
+import time
+import traceback
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: Output schema identifier (bump on incompatible changes).
+SCHEMA = "repro-bench/1"
+
+
+class HarnessBenchmark:
+    """Drop-in stand-in for the pytest-benchmark fixture.
+
+    Supports the two APIs the suite uses: calling ``benchmark(fn, *args)``
+    (times ``fn`` over ``rounds`` rounds, returns its last result) and
+    the ``extra_info`` mapping.
+    """
+
+    def __init__(self, rounds: int):
+        self.rounds = max(1, int(rounds))
+        self.extra_info: Dict[str, object] = {}
+        self.timings: List[float] = []
+
+    def __call__(self, fn, *args, **kwargs):
+        result = fn(*args, **kwargs)  # warm-up (not timed)
+        for _ in range(self.rounds):
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            self.timings.append(time.perf_counter() - t0)
+        return result
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, **_ignored):
+        kwargs = kwargs or {}
+        self.rounds = max(1, int(rounds))
+        return self(fn, *args, **kwargs)
+
+    def stats(self) -> Dict[str, float]:
+        if not self.timings:
+            return {}
+        return {
+            "rounds": len(self.timings),
+            "mean_s": sum(self.timings) / len(self.timings),
+            "min_s": min(self.timings),
+            "max_s": max(self.timings),
+        }
+
+
+def discover(select: Optional[str]) -> List[tuple]:
+    """(module name, function name) pairs of every selected benchmark."""
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))
+    try:
+        import repro  # noqa: F401 - probe the installed/with-PYTHONPATH case
+    except ModuleNotFoundError:
+        # Fresh clone without `pip install -e .`: fall back to src layout.
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    found = []
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        module_name = f"benchmarks.{path.stem}"
+        module = importlib.import_module(module_name)
+        for attr in sorted(dir(module)):
+            if not attr.startswith("bench_"):
+                continue
+            fn = getattr(module, attr)
+            if not callable(fn):
+                continue
+            if select and select not in f"{path.stem}.{attr}":
+                continue
+            found.append((module_name, attr, fn))
+    return found
+
+
+def run(args: argparse.Namespace) -> int:
+    rounds = 1 if args.smoke else args.rounds
+    entries = []
+    failures = 0
+    selected = discover(args.select)
+    if not selected:
+        print(f"no benchmarks match --select {args.select!r}",
+              file=sys.stderr)
+        return 2
+    for module_name, fn_name, fn in selected:
+        shim = HarnessBenchmark(rounds)
+        buffer = io.StringIO()
+        t0 = time.perf_counter()
+        status = "ok"
+        error = None
+        try:
+            with contextlib.redirect_stdout(
+                sys.stdout if args.verbose else buffer
+            ):
+                fn(shim)
+        except Exception:  # noqa: BLE001 - keep the harness running
+            status = "error"
+            error = traceback.format_exc(limit=5)
+            failures += 1
+        total = time.perf_counter() - t0
+        entry = {
+            "name": fn_name,
+            "module": module_name,
+            "status": status,
+            "total_seconds": total,
+            **shim.stats(),
+        }
+        if shim.extra_info:
+            entry["extra_info"] = shim.extra_info
+        if error:
+            entry["error"] = error
+        entries.append(entry)
+        marker = "FAIL" if status == "error" else "ok"
+        mean = entry.get("mean_s")
+        mean_txt = f"{mean * 1e3:9.2f} ms/round" if mean else " " * 17
+        print(f"[{marker:4s}] {fn_name:45s} {mean_txt} "
+              f"(total {total:6.2f}s)")
+        if error and not args.verbose:
+            print(error, file=sys.stderr)
+
+    payload = {
+        "schema": SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": rounds,
+        "benchmarks": entries,
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2, default=str) + "\n",
+                   encoding="utf-8")
+    print(f"\nwrote {out} ({len(entries)} benchmarks, "
+          f"{failures} failures)")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_dist.json"),
+                        help="JSON report path (default: BENCH_dist.json)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per benchmark (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single round per benchmark (CI smoke)")
+    parser.add_argument("--select", help="substring filter on module.name")
+    parser.add_argument("--verbose", action="store_true",
+                        help="stream benchmark tables to stdout")
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,12 @@ _EXPORTS = {
     "DistGCN15D": "repro.dist",
     "DistGCN2D": "repro.dist",
     "DistGCN3D": "repro.dist",
+    "GraphModel": "repro.simulate",
+    "predict_epoch": "repro.simulate",
+    "sweep": "repro.simulate",
+    "evaluate_schedule": "repro.simulate",
+    "get_machine": "repro.simulate",
+    "list_machines": "repro.simulate",
     "Model2DEpoch": "repro.analysis",
     "figure2_throughput": "repro.analysis",
     "figure3_breakdown": "repro.analysis",
@@ -81,7 +87,7 @@ _EXPORTS = {
 #: matching the behaviour the eager imports used to provide.
 _SUBPACKAGES = (
     "analysis", "cli", "comm", "config", "dist", "graph", "nn",
-    "partition", "sampling", "sparse",
+    "partition", "sampling", "simulate", "sparse",
 )
 
 __all__ = ["__version__"] + sorted(_EXPORTS)

@@ -29,6 +29,13 @@ from repro.analysis.memory import (
 )
 from repro.analysis.model1d import Model1DEpoch
 from repro.analysis.model2d import EpochModelResult, Model2DEpoch
+from repro.analysis.scaling import (
+    CrossoverPoint,
+    crossover_points,
+    format_crossovers,
+    format_scaling_table,
+    scaling_table,
+)
 
 __all__ = [
     "CommEstimate",
@@ -55,4 +62,9 @@ __all__ = [
     "memory_2d",
     "memory_3d",
     "feasibility_table",
+    "CrossoverPoint",
+    "crossover_points",
+    "format_crossovers",
+    "format_scaling_table",
+    "scaling_table",
 ]

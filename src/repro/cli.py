@@ -10,6 +10,10 @@ code:
 * ``train``       -- train a GCN on a synthetic graph or a Table VI
   stand-in with any of the four algorithms and report loss, accuracy, and
   the communication ledger;
+* ``simulate``    -- predict one epoch on a named machine profile at any
+  rank count (no execution, Section IV's analysis made concrete);
+* ``sweep``       -- evaluate (algorithm x P x machine) grids up to
+  P >= 16384 and report the per-point winner, with JSON output;
 * ``explosion``   -- measure the neighbourhood explosion on a stand-in.
 
 Examples::
@@ -17,6 +21,9 @@ Examples::
     python -m repro figure2
     python -m repro train --algorithm 2d --gpus 16 --dataset reddit
     python -m repro train --algorithm 1.5d --gpus 8 --replication 2
+    python -m repro simulate --algorithm 2d --gpus 4096 --dataset reddit \
+        --machine cori-gpu
+    python -m repro sweep --dataset reddit --max-p 16384 --json sweep.json
     python -m repro crossover
 """
 
@@ -169,6 +176,136 @@ def cmd_memory(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_graph(args: argparse.Namespace):
+    """The graph a simulate/sweep invocation runs against.
+
+    ``--dataset`` with ``--scale`` builds the executable stand-in (exact
+    block statistics); ``--dataset`` alone uses the full published size
+    under the uniform-nonzeros model; otherwise a synthetic graph shape.
+    """
+    from repro.simulate.schedule import GraphModel
+
+    if args.dataset and args.scale:
+        from repro.graph import make_standin
+
+        return GraphModel.from_dataset(
+            make_standin(args.dataset, scale_divisor=args.scale,
+                         seed=args.seed)
+        )
+    if args.dataset:
+        return GraphModel.from_published(args.dataset)
+    return GraphModel.uniform(
+        args.vertices,
+        int(args.vertices * (args.degree + 1)),
+        name=f"uniform-n{args.vertices}",
+        features=args.features,
+        n_classes=args.classes,
+    )
+
+
+def _write_json(payload: dict, path: Optional[str]) -> None:
+    if not path:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {path}")
+
+
+def _usage_error(exc: Exception) -> int:
+    """Print a bad-input error the way argparse would: message, exit 2."""
+    message = exc.args[0] if exc.args else exc
+    print(message, file=sys.stderr)
+    return 2
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulate import predict_epoch
+
+    graph = _simulate_graph(args)
+    kwargs = {}
+    if args.algorithm == "1.5d":
+        kwargs["replication"] = args.replication
+    if args.algorithm == "1d":
+        kwargs["variant"] = args.variant
+    try:
+        point = predict_epoch(
+            args.algorithm, graph, args.gpus, machine=args.machine,
+            hidden=args.hidden, **kwargs,
+        )
+    except (KeyError, ValueError) as exc:
+        # Unknown machine, infeasible mesh/replication for --gpus, ...
+        return _usage_error(exc)
+    mode = "exact" if graph.exact else "uniform"
+    print(f"graph   : {graph.name}  n={graph.n} nnz={graph.nnz} ({mode})")
+    print(f"machine : {point.machine}  P={point.p}  "
+          f"algorithm={point.algorithm} {point.params.get('variant', '')}")
+    print(f"\npredicted epoch: {point.seconds:.6f} s "
+          f"({point.epochs_per_second:.2f} epochs/s)")
+    print(f"  compute   {point.compute_seconds:.6f} s")
+    print(f"  latency   {point.latency_seconds:.6f} s")
+    print(f"  bandwidth {point.bandwidth_seconds:.6f} s")
+    _print_table(
+        ("category", "seconds", "bytes (all ranks)"),
+        [
+            (c, f"{point.seconds_by_category[c]:.6f}",
+             f"{point.bytes_by_category[c]:,}")
+            for c in ("spmm", "dcomm", "scomm", "trpose", "misc")
+        ],
+    )
+    _write_json(point.to_dict(), args.json)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.scaling import (
+        format_crossovers,
+        format_scaling_table,
+    )
+    from repro.simulate import DEFAULT_P_GRID, sweep
+
+    graph = _simulate_graph(args)
+    if args.p_grid:
+        try:
+            ps = tuple(int(tok) for tok in args.p_grid.split(","))
+        except ValueError:
+            print(f"invalid --p-grid {args.p_grid!r}: expected "
+                  "comma-separated integers", file=sys.stderr)
+            return 2
+        if any(p < 1 for p in ps):
+            print(f"invalid --p-grid {args.p_grid!r}: rank counts must "
+                  "be >= 1", file=sys.stderr)
+            return 2
+    else:
+        ps = tuple(p for p in DEFAULT_P_GRID if p <= args.max_p)
+    if not ps:
+        print(f"--max-p {args.max_p} is below the smallest default grid "
+              f"point ({min(DEFAULT_P_GRID)}); pass --p-grid explicitly",
+              file=sys.stderr)
+        return 2
+    machines = tuple(args.machines.split(","))
+    algorithms = tuple(args.algorithms.split(","))
+    try:
+        result = sweep(graph, algorithms=algorithms, ps=ps,
+                       machines=machines, hidden=args.hidden)
+    except (KeyError, ValueError) as exc:
+        # Unknown machine or algorithm names surface argparse-style.
+        return _usage_error(exc)
+    print(
+        f"swept {len(result.points)} points "
+        f"({len(algorithms)} algorithms x {len(machines)} machines x "
+        f"P up to {max(ps)}) in {result.elapsed_seconds:.2f}s\n"
+    )
+    for machine in result.machines:
+        print(format_scaling_table(result, graph.name, machine))
+        print()
+    print(format_crossovers(result))
+    _write_json(result.to_dict(), args.json)
+    return 0
+
+
 def cmd_explosion(args: argparse.Namespace) -> int:
     from repro.graph import make_standin
     from repro.sampling import neighborhood_explosion_stats
@@ -231,6 +368,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replication", type=int, default=2,
                    help="1.5D replication factor c")
 
+    def _sim_graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=("reddit", "amazon", "protein"),
+                       help="published dataset (default: synthetic shape)")
+        p.add_argument("--scale", type=int, default=0,
+                       help="use the executable stand-in at this scale "
+                            "divisor (0 = full published size, uniform "
+                            "nonzeros)")
+        p.add_argument("--vertices", type=int, default=1 << 20)
+        p.add_argument("--degree", type=float, default=16.0)
+        p.add_argument("--features", type=int, default=128)
+        p.add_argument("--classes", type=int, default=16)
+        p.add_argument("--hidden", type=int, default=16)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", help="write the result as JSON here")
+
+    p = sub.add_parser(
+        "simulate",
+        help="predict one epoch on a machine profile at any P",
+    )
+    p.add_argument("--algorithm", default="2d",
+                   choices=("1d", "1.5d", "2d", "3d"))
+    p.add_argument("--gpus", type=int, default=1024)
+    p.add_argument("--machine", default="summit",
+                   help="machine preset (summit, cori-gpu, ethernet, ...)")
+    p.add_argument("--variant", default="auto",
+                   help="1D backward variant")
+    p.add_argument("--replication", type=int, default=2,
+                   help="1.5D replication factor c")
+    _sim_graph_args(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="sweep (algorithm x P x machine) and report winners",
+    )
+    p.add_argument("--algorithms", default="1d,1.5d,2d,3d")
+    p.add_argument("--machines", default="summit,cori-gpu,ethernet")
+    p.add_argument("--max-p", type=int, default=16384,
+                   help="sweep the default P grid up to this rank count")
+    p.add_argument("--p-grid",
+                   help="explicit comma-separated P values (overrides "
+                        "--max-p)")
+    _sim_graph_args(p)
+
     p = sub.add_parser("explosion", help="neighbourhood explosion stats")
     p.add_argument("--dataset", choices=("reddit", "amazon", "protein"))
     p.add_argument("--scale", type=int, default=512)
@@ -247,6 +427,8 @@ COMMANDS = {
     "crossover": cmd_crossover,
     "memory": cmd_memory,
     "train": cmd_train,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
     "explosion": cmd_explosion,
 }
 

@@ -92,7 +92,7 @@ def p2p_cost(profile: MachineProfile, nbytes: int,
         raise ValueError(f"negative message size: {nbytes}")
     span = 2 if span is None else span
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     return CollectiveCost(alpha + beta * nbytes, nbytes, nbytes, 1)
 
 
@@ -111,7 +111,7 @@ def broadcast_cost(
         return CollectiveCost(0.0, 0, 0, 0)
     span = nranks if span is None else max(span, nranks)
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     lat_factor = 1.0 if pipelined else _lg(nranks)
     seconds = lat_factor * alpha + beta * nbytes
     wire = nbytes * (nranks - 1)
@@ -125,7 +125,7 @@ def reduce_cost(profile: MachineProfile, nbytes: int, nranks: int,
         return CollectiveCost(0.0, 0, 0, 0)
     span = nranks if span is None else max(span, nranks)
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     seconds = _lg(nranks) * alpha + beta * nbytes
     wire = nbytes * (nranks - 1)
     return CollectiveCost(seconds, wire, nbytes, int(_lg(nranks)))
@@ -144,7 +144,7 @@ def allgather_cost(
         return CollectiveCost(0.0, 0, 0, 0)
     span = nranks if span is None else max(span, nranks)
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     moved = total_bytes * (nranks - 1) / nranks
     seconds = _lg(nranks) * alpha + beta * moved
     wire = int(moved * nranks)
@@ -166,7 +166,7 @@ def reduce_scatter_cost(
         return CollectiveCost(0.0, 0, 0, 0)
     span = nranks if span is None else max(span, nranks)
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     moved = total_bytes * (nranks - 1) / nranks
     seconds = _lg(nranks) * alpha + beta * moved
     wire = int(moved * nranks)
@@ -194,7 +194,7 @@ def alltoall_cost(
         return CollectiveCost(0.0, 0, 0, 0)
     span = nranks if span is None else max(span, nranks)
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     moved = total_bytes * (nranks - 1) / nranks
     seconds = (nranks - 1) * alpha + beta * moved
     wire = int(moved * nranks)
@@ -208,7 +208,7 @@ def gather_cost(profile: MachineProfile, total_bytes: int, nranks: int,
         return CollectiveCost(0.0, 0, 0, 0)
     span = nranks if span is None else max(span, nranks)
     alpha = profile.alpha_for_span(span)
-    beta = profile.beta_for_span(span)
+    beta = profile.beta_effective(span)
     moved = total_bytes * (nranks - 1) / nranks
     seconds = _lg(nranks) * alpha + beta * moved
     wire = int(moved)

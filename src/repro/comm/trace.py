@@ -91,43 +91,55 @@ class StepTracer:
                 {c: t.seconds for c, t in tracker.per_rank[r].items()}
                 for r in range(tracker.nranks)
             ]
-            with tracer._original_scope():
-                yield
-            delta = {
-                c: tracker.wall.get(c, 0.0) - wall_before.get(c, 0.0)
-                for c in set(tracker.wall) | set(wall_before)
-            }
-            delta = {c: v for c, v in delta.items() if v > 0}
-            if not delta:
-                return
-            # Identify the slowest rank (largest per-rank seconds delta);
-            # report -1 when the step is balanced to fp noise.
-            totals = []
-            for r in range(tracker.nranks):
-                before = rank_secs_before[r]
-                totals.append(sum(
-                    t.seconds - before.get(c, 0.0)
-                    for c, t in tracker.per_rank[r].items()
-                ))
-            worst = max(totals)
-            slowest = totals.index(worst)
-            mean = sum(totals) / len(totals)
-            # Balanced: the slowest rank is within 1% of the mean pace
-            # (collectives charge every participant identically, so pure
-            # communication steps land here by construction).
-            if tracker.nranks > 1 and worst <= mean * 1.01:
-                slowest = -1
-            tracer.events.append(
-                StepEvent(
-                    index=len(tracer.events),
-                    slowest_rank=slowest,
-                    seconds_by_category=delta,
-                )
-            )
+            try:
+                with tracer._original_scope():
+                    yield
+            finally:
+                tracer._capture(wall_before, rank_secs_before)
 
         tracker.step_scope = traced_scope_robust  # type: ignore[assignment]
         self._installed = True
         return self
+
+    def _capture(self, wall_before, rank_secs_before) -> None:
+        """Record the step event for charges since the snapshots.
+
+        Runs in a ``finally`` so an exception mid-step cannot desynchronise
+        the trace from the ledger: whatever was charged before the failure
+        is itemised exactly like a completed step.
+        """
+        tracker = self.tracker
+        delta = {
+            c: tracker.wall.get(c, 0.0) - wall_before.get(c, 0.0)
+            for c in set(tracker.wall) | set(wall_before)
+        }
+        delta = {c: v for c, v in delta.items() if v > 0}
+        if not delta:
+            return
+        # Identify the slowest rank (largest per-rank seconds delta);
+        # report -1 when the step is balanced to fp noise.
+        totals = []
+        for r in range(tracker.nranks):
+            before = rank_secs_before[r]
+            totals.append(sum(
+                t.seconds - before.get(c, 0.0)
+                for c, t in tracker.per_rank[r].items()
+            ))
+        worst = max(totals)
+        slowest = totals.index(worst)
+        mean = sum(totals) / len(totals)
+        # Balanced: the slowest rank is within 1% of the mean pace
+        # (collectives charge every participant identically, so pure
+        # communication steps land here by construction).
+        if tracker.nranks > 1 and worst <= mean * 1.01:
+            slowest = -1
+        self.events.append(
+            StepEvent(
+                index=len(self.events),
+                slowest_rank=slowest,
+                seconds_by_category=delta,
+            )
+        )
 
     def uninstall(self) -> None:
         if self._installed:
@@ -168,11 +180,24 @@ class StepTracer:
         return out
 
     def timeline(self, width: int = 60, max_rows: int = 40) -> str:
-        """A text Gantt chart of the recorded steps."""
+        """A text Gantt chart of the recorded steps.
+
+        An empty run renders as the ``(no steps recorded)`` sentinel; a
+        single step fills the full bar width against itself.  ``width``
+        and ``max_rows`` must be positive -- a silent empty chart would
+        read as "nothing happened" when steps were in fact recorded.
+        """
+        if width < 1:
+            raise ValueError(f"timeline width must be >= 1, got {width}")
+        if max_rows < 1:
+            raise ValueError(
+                f"timeline max_rows must be >= 1, got {max_rows}"
+            )
         if not self.events:
             return "(no steps recorded)"
         total = self.total_seconds()
-        lines = [f"timeline: {len(self.events)} steps, "
+        count = len(self.events)
+        lines = [f"timeline: {count} step{'s' if count != 1 else ''}, "
                  f"{total * 1e3:.3f} ms total"]
         shown = self.events[:max_rows]
         peak = max(e.seconds for e in self.events) or 1.0
@@ -182,6 +207,6 @@ class StepTracer:
                 f"  step {e.index:4d} [{e.dominant_category:6s}] "
                 f"{e.seconds * 1e6:9.1f} us |{bar}"
             )
-        if len(self.events) > max_rows:
-            lines.append(f"  ... {len(self.events) - max_rows} more steps")
+        if count > max_rows:
+            lines.append(f"  ... {count - max_rows} more steps")
         return "\n".join(lines)

@@ -22,6 +22,7 @@ message** (alpha) so they plug directly into the cost formulas of
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Optional
 
 #: Number of bytes per matrix element.  The paper trains in fp32.
@@ -85,6 +86,12 @@ class MachineProfile:
     memory_bandwidth: float = 800.0e9
     #: Bytes per dense element for communication accounting.
     word_bytes: int = DEFAULT_WORD_BYTES
+    #: Inter-node congestion: fractional bandwidth loss per doubling of the
+    #: node count a collective spans.  Fat-tree machines with full bisection
+    #: bandwidth (Summit) use 0.0 (the paper's flat alpha-beta model);
+    #: oversubscribed commodity fabrics lose a constant factor per level of
+    #: the tree, which this models as ``beta * (1 + g * lg(nodes))``.
+    congestion_per_doubling: float = 0.0
 
     def beta_for_span(self, nranks_spanned: int) -> float:
         """Pick the bandwidth tier for a collective spanning ``nranks_spanned``.
@@ -106,6 +113,29 @@ class MachineProfile:
         if nranks_spanned <= self.gpus_per_node:
             return self.alpha_intranode
         return self.alpha
+
+    def beta_effective(self, nranks_spanned: int) -> float:
+        """Bandwidth tier with the congestion penalty applied.
+
+        Equal to :meth:`beta_for_span` on uncongested profiles
+        (``congestion_per_doubling == 0``); otherwise inter-node transfers
+        degrade by ``1 + g * lg(ceil(span / gpus_per_node))``, modelling an
+        oversubscribed switch hierarchy.  Both the executed collectives and
+        the :mod:`repro.simulate` scaling simulator charge through this
+        method, so predicted and measured ledgers stay consistent.
+        """
+        beta = self.beta_for_span(nranks_spanned)
+        if (
+            self.congestion_per_doubling
+            and nranks_spanned > self.gpus_per_node
+        ):
+            nodes = self.nodes_for(nranks_spanned)
+            beta *= 1.0 + self.congestion_per_doubling * math.log2(nodes)
+        return beta
+
+    def nodes_for(self, nranks: int) -> int:
+        """Nodes occupied by ``nranks`` ranks packed round-robin in blocks."""
+        return max(1, math.ceil(nranks / self.gpus_per_node))
 
 
 #: Summit-like default machine (the paper's testbed).

@@ -194,3 +194,80 @@ class DistGCN15D(BlockRowAlgorithm):
 
     def _stored_dense_rows(self) -> int:
         return max(hi - lo for lo, hi in self.group_ranges)
+
+    # ------------------------------------------------------------------ #
+    # symbolic schedule emission (repro.simulate)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def emit_comm_schedule(
+        cls, graph, widths: Sequence[int], p: int, replication: int = 1,
+        **_ignored,
+    ):
+        """Emit the replicated block-row epoch without building ranks.
+
+        Mirrors ``_replicated_spmm`` (per-round slab broadcasts, partial
+        SpMM, fiber all-reduce) and ``_replicated_allreduce`` (concurrent
+        per-column reductions) phase for phase.
+        """
+        from repro.comm.tracker import Category
+        from repro.simulate.schedule import (
+            WB,
+            GraphModel,
+            ScheduleBuilder,
+            emit_blockrow_epoch,
+        )
+
+        graph = GraphModel.coerce(graph)
+        c = int(replication)
+        if c < 1 or p % c != 0:
+            raise ValueError(
+                f"replication c={c} must divide the rank count P={p}"
+            )
+        if not graph.symmetric:
+            raise ValueError(
+                "the 1.5D algorithm requires a symmetric operand (A == A^T)"
+            )
+        n = graph.n
+        q = p // c
+        group_ranges = block_ranges(n, q)
+        grows = np.array(
+            [hi - lo for lo, hi in group_ranges], dtype=np.float64
+        )
+        subsets = block_ranges(q, c)
+        # Per-rank slab nonzeros: cell (group g, replica column j) of the
+        # q-way row split x the subsets' contiguous column ranges.
+        col_bounds = [0] + [
+            group_ranges[s1 - 1][1] if s1 > s0 else (
+                group_ranges[s0][0] if s0 < q else n
+            )
+            for s0, s1 in subsets
+        ]
+        cells = graph.cell_nnz(q, np.asarray(col_bounds))  # (q, c)
+        slab_nnz = cells.reshape(-1)  # rank order r = g * c + j
+        rows_per_rank = np.repeat(grows, c)
+        b = ScheduleBuilder(p)
+
+        def replicated_spmm(f: int) -> None:
+            max_rounds = max(s1 - s0 for s0, s1 in subsets)
+            for t in range(max_rounds):
+                sources = [
+                    s0 + t for s0, s1 in subsets if t < s1 - s0
+                ]
+                b.broadcast(
+                    Category.DCOMM, q,
+                    grows[sources] * (f * WB),
+                )
+            b.spmm(slab_nnz, rows_per_rank, f)
+            b.allreduce(Category.DCOMM, c, grows * (f * WB))
+
+        def replicated_allreduce(nbytes: int) -> None:
+            b.allreduce(Category.DCOMM, q, np.full(c, float(nbytes)))
+
+        emit_blockrow_epoch(
+            b, widths, rows_per_rank, replicated_spmm, replicated_spmm,
+            replicated_allreduce,
+        )
+        return b.build(
+            algorithm="1.5d", p=p, replication=c, graph=graph.name,
+            widths=tuple(int(w) for w in widths),
+        )

@@ -53,6 +53,22 @@ __all__ = ["DistGCN1D"]
 VARIANTS = ("symmetric", "outer", "outer_sparse", "transpose", "auto")
 
 
+def resolve_1d_variant(variant: str, symmetric: bool) -> str:
+    """Validate and resolve a 1D backward variant against the operand."""
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown 1D variant {variant!r}; choose from {VARIANTS}"
+        )
+    if variant == "auto":
+        return "symmetric" if symmetric else "outer"
+    if variant == "symmetric" and not symmetric:
+        raise ValueError(
+            "the symmetric variant requires a symmetric operand "
+            "(A == A^T); use 'outer' or 'transpose' for directed graphs"
+        )
+    return variant
+
+
 class DistGCN1D(BlockRowAlgorithm):
     """1D block-row distributed GCN training (Algorithm 1)."""
 
@@ -66,18 +82,7 @@ class DistGCN1D(BlockRowAlgorithm):
         variant: str = "auto",
     ):
         super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
-        if variant not in VARIANTS:
-            raise ValueError(
-                f"unknown 1D variant {variant!r}; choose from {VARIANTS}"
-            )
-        if variant == "auto":
-            variant = "symmetric" if self.symmetric else "outer"
-        if variant == "symmetric" and not self.symmetric:
-            raise ValueError(
-                "the symmetric variant requires a symmetric operand "
-                "(A == A^T); use 'outer' or 'transpose' for directed graphs"
-            )
-        self.variant = variant
+        self.variant = variant = resolve_1d_variant(variant, self.symmetric)
         self.p = rt.size
         self.world = tuple(range(self.p))
         self.row_ranges = block_ranges(self.n, self.p)
@@ -182,3 +187,92 @@ class DistGCN1D(BlockRowAlgorithm):
 
     def _stored_dense_rows(self) -> int:
         return max(hi - lo for lo, hi in self.row_ranges)
+
+    # ------------------------------------------------------------------ #
+    # symbolic schedule emission (repro.simulate)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def emit_comm_schedule(
+        cls, graph, widths: Sequence[int], p: int, variant: str = "auto",
+        **_ignored,
+    ):
+        """Emit this family's per-epoch schedule without building ranks.
+
+        Phase-for-phase mirror of the executed epoch: forward all-gathers,
+        variant-specific backward SpMM data movement, loss and weight
+        all-reduces, and every charged local kernel.  Exact-mode graphs
+        reproduce the executed ledger byte for byte.
+        """
+        from repro.comm.tracker import Category
+        from repro.config import INDEX_BYTES
+        from repro.simulate.schedule import (
+            WB,
+            GraphModel,
+            ScheduleBuilder,
+            emit_blockrow_epoch,
+            sparse_wire_bytes,
+        )
+
+        graph = GraphModel.coerce(graph)
+        variant = resolve_1d_variant(variant, graph.symmetric)
+        n = graph.n
+        rows = np.array(
+            [hi - lo for lo, hi in block_ranges(n, p)], dtype=np.float64
+        )
+        nnz_at_rows = graph.row_block_nnz(p)
+        b = ScheduleBuilder(p)
+
+        def forward_spmm(f: int) -> None:
+            b.allgather(Category.DCOMM, p, n * f * WB)
+            b.spmm(nnz_at_rows, rows, f)
+
+        if variant in ("symmetric", "transpose"):
+            # Block rows of A: the stored A^T rows when symmetric, its
+            # column structure otherwise (rows of A = columns of A^T).
+            nnz_a_rows = (
+                nnz_at_rows if graph.symmetric else graph.col_block_nnz(p)
+            )
+
+            def backward_spmm(f: int) -> None:
+                b.allgather(Category.DCOMM, p, n * f * WB)
+                b.spmm(nnz_a_rows, rows, f)
+
+        else:
+            # Outer-product path: block columns of A (full height), then a
+            # reduce-scatter of the n x f partials.
+            nnz_a_cols = (
+                graph.col_block_nnz(p)
+                if graph.symmetric
+                else graph.row_block_nnz(p)
+            )
+            if variant == "outer_sparse":
+                nz_rows = graph.col_block_nonzero_rows(
+                    p, transpose=not graph.symmetric
+                )
+
+            def backward_spmm(f: int) -> None:
+                b.spmm(nnz_a_cols, n, f)
+                if variant == "outer_sparse":
+                    wire = float(np.max(nz_rows * (f * WB + INDEX_BYTES)))
+                    b.reduce_scatter(Category.DCOMM, p, wire)
+                else:
+                    b.reduce_scatter(Category.DCOMM, p, n * f * WB)
+
+        def replicated_allreduce(nbytes: int) -> None:
+            b.allreduce(Category.DCOMM, p, nbytes)
+
+        pre_backward = None
+        if variant == "transpose":
+            trpose_bytes = sparse_wire_bytes(nnz_a_rows, rows)
+
+            def pre_backward() -> None:
+                b.transpose(trpose_bytes)
+
+        emit_blockrow_epoch(
+            b, widths, rows, forward_spmm, backward_spmm,
+            replicated_allreduce, pre_backward,
+        )
+        return b.build(
+            algorithm="1d", p=p, variant=variant, graph=graph.name,
+            widths=tuple(int(w) for w in widths),
+        )

@@ -118,6 +118,10 @@ class DistGCN2D(GridAlgorithm):
             if self.symmetric
             else distribute_sparse_2d(self.a, self.mesh)
         )
+        # Stage slices of the (immutable) sparse operands, extracted once:
+        # every epoch re-broadcast the same pieces, so re-slicing per SUMMA
+        # stage was pure overhead on the serial hot path.
+        self._stage_piece_cache: Dict[str, List[Dict[int, CSRMatrix]]] = {}
 
     # ------------------------------------------------------------------ #
     # GridAlgorithm hooks
@@ -158,6 +162,29 @@ class DistGCN2D(GridAlgorithm):
             for rank in self.a_blocks
         )
 
+    def _stage_pieces(self, sparse_blocks: Dict[int, CSRMatrix]):
+        """Per-stage column slices of a static sparse operand, cached.
+
+        Keyed by operand role: ``_grid_spmm`` only ever receives
+        ``a_t_blocks`` or ``a_blocks`` (one and the same dict for
+        symmetric inputs), both built once in ``__init__``.
+        """
+        key = "a_t" if sparse_blocks is self.a_t_blocks else "a"
+        cached = self._stage_piece_cache.get(key)
+        if cached is None:
+            mesh = self.mesh
+            cached = []
+            for lo, hi, _ro, co in self.stages:
+                c0 = self.col_ranges[co][0]
+                pieces: Dict[int, CSRMatrix] = {}
+                for i in range(self.pr):
+                    root = mesh.rank_of(i, co)
+                    blk = sparse_blocks[root]
+                    pieces[root] = blk.block(0, blk.nrows, lo - c0, hi - c0)
+                cached.append(pieces)
+            self._stage_piece_cache[key] = cached
+        return cached
+
     def _grid_spmm(
         self,
         sparse_blocks: Dict[int, CSRMatrix],
@@ -174,16 +201,14 @@ class DistGCN2D(GridAlgorithm):
             for i, (lo, hi) in enumerate(self.row_ranges)
             for j in range(self.pc)
         }
-        for lo, hi, ro, co in self.stages:
-            c0 = self.col_ranges[co][0]
+        stage_pieces = self._stage_pieces(sparse_blocks)
+        for (lo, hi, ro, co), pieces in zip(self.stages, stage_pieces):
             sparse_recv: Dict[int, CSRMatrix] = {}
             with self.rt.tracker.step_scope():
                 for i in range(self.pr):
                     root = mesh.rank_of(i, co)
-                    blk = sparse_blocks[root]
-                    piece = blk.block(0, blk.nrows, lo - c0, hi - c0)
                     got = self.rt.coll.broadcast(
-                        mesh.row_group(i), root, piece,
+                        mesh.row_group(i), root, pieces[root],
                         category=Category.SCOMM, pipelined=True,
                     )
                     sparse_recv.update(got)
@@ -212,3 +237,119 @@ class DistGCN2D(GridAlgorithm):
 
     def _stored_dense_width(self, f: int) -> int:
         return max(hi - lo for lo, hi in self._fsplit(f))
+
+    # ------------------------------------------------------------------ #
+    # symbolic schedule emission (repro.simulate)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def emit_comm_schedule(
+        cls,
+        graph,
+        widths: Sequence[int],
+        p: int,
+        grid: Optional[Tuple[int, int]] = None,
+        summa_block: Optional[int] = None,
+        **_ignored,
+    ):
+        """Emit the SUMMA epoch's schedule without building ranks.
+
+        Mirrors ``_grid_spmm`` (per-stage sparse/dense pipelined
+        broadcasts + local SpMM), ``_matmul_w`` / ``_weight_grad`` stage
+        broadcasts, the last-layer row all-gather, and the per-epoch grid
+        transpose, phase for phase.
+        """
+        from repro.comm.mesh import square_side
+        from repro.comm.tracker import Category
+        from repro.simulate.schedule import (
+            WB,
+            GraphModel,
+            ScheduleBuilder,
+            boundaries,
+            emit_grid_epoch,
+            emit_replicated_matmul,
+            sparse_wire_bytes,
+        )
+
+        graph = GraphModel.coerce(graph)
+        if grid is None:
+            pr = pc = square_side(p)
+        else:
+            pr, pc = (int(g) for g in grid)
+            if pr * pc != p:
+                raise ValueError(f"grid {pr}x{pc} does not tile P={p} ranks")
+        n = graph.n
+        rows = np.array(
+            [hi - lo for lo, hi in block_ranges(n, pr)], dtype=np.float64
+        )
+        stages = summa_stage_ranges(n, pr, pc, block=summa_block)
+        stage_bounds = np.array(
+            [lo for lo, _, _, _ in stages] + [n], dtype=np.int64
+        )
+        # Nonzeros per (process row, stage) slice of each sparse operand.
+        cells_at = graph.cell_nnz(pr, stage_bounds)
+        cells_a = (
+            cells_at
+            if graph.symmetric
+            else graph.cell_nnz(pr, stage_bounds, transpose=True)
+        )
+        rows_of_rank = np.repeat(rows, pc)
+
+        def fsplit_widths(f: int) -> np.ndarray:
+            return np.array(
+                [hi - lo for lo, hi in block_ranges(f, pc)],
+                dtype=np.float64,
+            )
+
+        def outw_of_rank(f: int) -> np.ndarray:
+            return np.tile(fsplit_widths(f), pr)
+
+        b = ScheduleBuilder(p)
+
+        def grid_spmm(f: int, backward: bool) -> None:
+            cells = cells_a if backward else cells_at
+            fw = fsplit_widths(f)
+            fw_rank = np.tile(fw, pr)
+            for st, (lo, hi, _ro, _co) in enumerate(stages):
+                b.broadcast(
+                    Category.SCOMM, pc,
+                    sparse_wire_bytes(cells[:, st], rows),
+                    pipelined=True,
+                )
+                b.broadcast(
+                    Category.DCOMM, pr, (hi - lo) * fw * WB, pipelined=True
+                )
+                b.spmm(np.repeat(cells[:, st], pc), rows_of_rank, fw_rank)
+
+        def matmul_w(f_in: int, f_out: int) -> None:
+            emit_replicated_matmul(
+                b, rows, pc, rows_of_rank, outw_of_rank(f_out),
+                fsplit_widths(f_in),
+            )
+
+        def weight_grad(f_in: int, f_out: int) -> None:
+            matmul_w(f_in, f_out)
+            b.allreduce(Category.DCOMM, p, f_in * f_out * WB)
+
+        def row_allgather(f: int) -> None:
+            b.allgather(Category.DCOMM, pc, rows * (f * WB))
+
+        col_bounds_pc = boundaries(n, pc)
+        blocks_a = graph.cell_nnz(
+            pr, col_bounds_pc, transpose=not graph.symmetric
+        )
+
+        def epoch_transpose() -> None:
+            # Charged for every rank regardless of symmetry, exactly as
+            # the executed `_charge_epoch_transpose` does.
+            b.transpose(
+                sparse_wire_bytes(blocks_a, rows[:, None]).reshape(-1)
+            )
+
+        emit_grid_epoch(
+            b, widths, rows_of_rank, outw_of_rank, grid_spmm, matmul_w,
+            weight_grad, row_allgather, epoch_transpose,
+        )
+        return b.build(
+            algorithm="2d", p=p, grid=(pr, pc), summa_block=summa_block,
+            graph=graph.name, widths=tuple(int(w) for w in widths),
+        )

@@ -196,3 +196,160 @@ class DistGCN3D(GridAlgorithm):
 
     def _stored_dense_width(self, f: int) -> int:
         return max(hi - lo for lo, hi in self._fsplit(f))
+
+    # ------------------------------------------------------------------ #
+    # symbolic schedule emission (repro.simulate)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def emit_comm_schedule(
+        cls, graph, widths: Sequence[int], p: int, **_ignored,
+    ):
+        """Emit the Split-3D epoch's schedule without building ranks.
+
+        Mirrors ``_grid_spmm`` (per-layer SUMMA broadcasts, fiber
+        reduce-scatter, fiber-plane point-to-point exchange) and the
+        shared grid epoch, phase for phase.
+        """
+        from repro.comm.mesh import cube_side
+        from repro.comm.tracker import Category
+        from repro.simulate.schedule import (
+            WB,
+            GraphModel,
+            ScheduleBuilder,
+            emit_grid_epoch,
+            emit_replicated_matmul,
+            sparse_wire_bytes,
+        )
+
+        graph = GraphModel.coerce(graph)
+        s = cube_side(p)
+        n = graph.n
+        row_ranges = block_ranges(n, s)
+        rows = np.array(
+            [hi - lo for lo, hi in row_ranges], dtype=np.float64
+        )
+        # subrows[k, i]: dense rows of rank (i, j, k) -- the i-th s-way
+        # sub-split of layer k's row slice.  shard[i, k]: the k-th s-way
+        # shard of row block i (the fiber reduce-scatter / exchange unit).
+        subrows = np.array(
+            [
+                [b - a for a, b in block_ranges(hi - lo, s)]
+                for lo, hi in row_ranges
+            ],
+            dtype=np.float64,
+        )
+        shard = subrows  # shard[i, k]: same s-way sub-split, viewed per row
+        # Sparse block (i, j, k): rows_i x (layer k's j-th column sub-split).
+        col_bounds = [0]
+        for k0, k1 in row_ranges:  # layer split == p1 split (cubic mesh)
+            col_bounds.extend(
+                k0 + hi for _, hi in block_ranges(k1 - k0, s)
+            )
+        cells = graph.cell_nnz(s, np.asarray(col_bounds))  # (i, k*s + j)
+        nnz_ikj = cells.reshape(s, s, s)  # [i, k, j]
+        cells_a = (
+            nnz_ikj
+            if graph.symmetric
+            else graph.cell_nnz(
+                s, np.asarray(col_bounds), transpose=True
+            ).reshape(s, s, s)
+        )
+        # Per-rank dense row counts, flattened over (i, j, k).
+        rows_of_rank = np.broadcast_to(
+            subrows.T[:, None, :], (s, s, s)
+        ).reshape(-1)
+        group_rows = subrows.T.reshape(-1)  # row groups (i, k)
+
+        def fsplit_widths(f: int) -> np.ndarray:
+            return np.array(
+                [hi - lo for lo, hi in block_ranges(f, s)],
+                dtype=np.float64,
+            )
+
+        def outw_of_rank(f: int) -> np.ndarray:
+            return np.broadcast_to(
+                fsplit_widths(f)[None, :, None], (s, s, s)
+            ).reshape(-1)
+
+        b = ScheduleBuilder(p)
+
+        # Fiber-plane exchange operands: transfer (i, j, k) [i != k] moves
+        # shard[i, k] x fw[j]; its source rank concurrently receives the
+        # partner transfer (k, j, i) of shard[k, i] x fw[j].
+        ii, kk = np.meshgrid(np.arange(s), np.arange(s), indexing="ij")
+        off_diag = (ii != kk).reshape(-1)
+        shard_fwd = shard.reshape(-1)[off_diag]
+        shard_rev = shard.T.reshape(-1)[off_diag]
+
+        def grid_spmm(f: int, backward: bool) -> None:
+            nz = cells_a if backward else nnz_ikj
+            fw = fsplit_widths(f)
+            for t in range(s):
+                # Sparse: row groups (i, k) get block (i, t, k).
+                b.broadcast(
+                    Category.SCOMM, s,
+                    sparse_wire_bytes(
+                        nz[:, :, t], rows[:, None]
+                    ).reshape(-1),
+                    pipelined=True,
+                )
+                # Dense: column groups (j, k) get block (t, j, k).
+                b.broadcast(
+                    Category.DCOMM, s,
+                    (np.outer(fw, subrows[:, t]) * WB).reshape(-1),
+                    pipelined=True,
+                )
+                # Local SpMM on every rank (i, j, k).
+                b.spmm(
+                    np.broadcast_to(
+                        nz[:, None, :, t], (s, s, s)
+                    ).reshape(-1),
+                    np.broadcast_to(
+                        rows[:, None, None], (s, s, s)
+                    ).reshape(-1),
+                    outw_of_rank(f),
+                )
+            # Fiber reduce-scatter over (i, j).
+            b.reduce_scatter(
+                Category.DCOMM, s,
+                (np.outer(rows, fw) * WB).reshape(-1),
+            )
+            # Fiber-plane exchange (i, j, k) -> (k, j, i), i != k.
+            if off_diag.any():
+                b.sendrecv(
+                    Category.DCOMM,
+                    (shard_fwd[:, None] * fw[None, :] * WB).reshape(-1),
+                    (shard_rev[:, None] * fw[None, :] * WB).reshape(-1),
+                )
+
+        def matmul_w(f_in: int, f_out: int) -> None:
+            emit_replicated_matmul(
+                b, group_rows, s, rows_of_rank, outw_of_rank(f_out),
+                fsplit_widths(f_in),
+            )
+
+        def weight_grad(f_in: int, f_out: int) -> None:
+            matmul_w(f_in, f_out)
+            b.allreduce(Category.DCOMM, p, f_in * f_out * WB)
+
+        def row_allgather(f: int) -> None:
+            b.allgather(Category.DCOMM, s, group_rows * (f * WB))
+
+        def epoch_transpose() -> None:
+            # Symmetric operands share the A^T grid block for block: no
+            # exchange, no charge (mirrors `_charge_epoch_transpose`).
+            if not graph.symmetric:
+                b.transpose(
+                    sparse_wire_bytes(
+                        cells_a.transpose(0, 2, 1), rows[:, None, None]
+                    ).reshape(-1)
+                )
+
+        emit_grid_epoch(
+            b, widths, rows_of_rank, outw_of_rank, grid_spmm, matmul_w,
+            weight_grad, row_allgather, epoch_transpose,
+        )
+        return b.build(
+            algorithm="3d", p=p, mesh=(s, s, s), graph=graph.name,
+            widths=tuple(int(w) for w in widths),
+        )

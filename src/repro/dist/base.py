@@ -211,6 +211,27 @@ class DistAlgorithm:
         """
         return f
 
+    @classmethod
+    def emit_comm_schedule(cls, graph, widths: Sequence[int], p: int,
+                           **kwargs):
+        """Emit this family's symbolic per-epoch communication schedule.
+
+        The scaling-simulator hook (:mod:`repro.simulate`): subclasses
+        replay their epoch loop symbolically -- every collective with its
+        group size and payload bytes, every charged local kernel -- into a
+        :class:`repro.simulate.schedule.CommSchedule`, without
+        instantiating ``p`` virtual ranks.  ``graph`` is anything
+        :meth:`repro.simulate.schedule.GraphModel.coerce` accepts; keyword
+        arguments mirror the constructor (``variant``, ``replication``,
+        ``grid``, ``summa_block``).
+
+        Contract (tested): a schedule emitted from the actual adjacency
+        predicts one executed ``train_epoch`` ledger delta byte for byte.
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} does not emit communication schedules"
+        )
+
     # ------------------------------------------------------------------ #
     # static helpers
     # ------------------------------------------------------------------ #

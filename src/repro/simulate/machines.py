@@ -1,0 +1,107 @@
+"""Named machine presets for the scaling simulator.
+
+Each preset is a :class:`repro.config.MachineProfile` -- the same
+alpha-beta description the executed virtual runtime charges against -- so
+a sweep's predictions and a small-P executed run are priced by identical
+arithmetic.  Three families cover the design space the paper discusses:
+
+=============  ========================================================
+``summit``     The paper's testbed (OLCF Summit): 6 V100s/node, NVLink
+               2.0 + X-bus inside the node, dual-rail EDR InfiniBand
+               with full fat-tree bisection (no congestion term).
+``cori-gpu``   A Cori-GPU-like machine: 8 V100s/node (4 per socket),
+               PCIe-switched intra-node fabric (slower than NVLink), 4
+               dual-port EDR NICs per node -- less per-GPU injection
+               bandwidth than Summit and mild tapering congestion.
+``ethernet``   A commodity 25 GbE cluster: 4 GPUs/node over PCIe, high
+               message latency, an oversubscribed top-of-rack switch
+               hierarchy modelled by a strong congestion term.
+=============  ========================================================
+
+Numbers are representative published link rates, not measurements; the
+point is the *relative* regimes (latency-bound vs bandwidth-bound vs
+congestion-bound), which is also all the paper's own flat alpha-beta
+analysis claims.  ``commodity`` and ``zero-cost`` from
+:mod:`repro.config` remain available through the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.config import (
+    MachineProfile,
+    SUMMIT,
+    get_profile,
+    register_profile,
+)
+
+__all__ = ["CORI_GPU", "ETHERNET", "MACHINES", "get_machine", "list_machines"]
+
+
+def _gbps(gigabytes_per_second: float) -> float:
+    """GB/s -> seconds per byte."""
+    return 1.0 / (gigabytes_per_second * 1e9)
+
+
+#: Cori-GPU-like: 8 V100s per node behind PCIe switches, 4 dual-port EDR
+#: NICs per node (~12.5 GB/s injection per GPU when all eight drive the
+#: wire), with mild fat-tree tapering.
+CORI_GPU = MachineProfile(
+    name="cori-gpu",
+    alpha=1.8e-6,
+    beta=_gbps(12.5),
+    beta_intranode=_gbps(32.0),     # NVLink pairs / PCIe 3 x16 switched
+    beta_intersocket=_gbps(16.0),   # cross-socket over PCIe + UPI
+    alpha_intranode=8.0e-7,
+    gpus_per_node=8,
+    gpus_per_socket=4,
+    gemm_flops=7.0e12,              # same V100 class as Summit
+    spmm_base_flops=7.0e10,
+    congestion_per_doubling=0.05,
+)
+
+#: Commodity ethernet: 25 GbE (~3 GB/s) shared per node, 4 GPUs/node,
+#: high latency, oversubscribed spine (strong congestion growth).
+ETHERNET = MachineProfile(
+    name="ethernet",
+    alpha=2.5e-5,
+    beta=_gbps(3.0),
+    beta_intranode=_gbps(24.0),     # PCIe 4 x16 peer-to-peer
+    beta_intersocket=_gbps(12.0),
+    alpha_intranode=3.0e-6,
+    gpus_per_node=4,
+    gpus_per_socket=2,
+    gemm_flops=7.0e12,              # same GPUs, worse network: the
+    spmm_base_flops=7.0e10,         # paper's "slower network" thought
+    congestion_per_doubling=0.25,   # experiment (Section VI)
+)
+
+#: The simulator's named machine grid (registered with repro.config so
+#: every CLI/benchmark entry point can refer to them by name).
+MACHINES: Dict[str, MachineProfile] = {
+    "summit": SUMMIT,
+    "cori-gpu": CORI_GPU,
+    "ethernet": ETHERNET,
+}
+
+for _profile in MACHINES.values():
+    register_profile(_profile)
+
+
+def get_machine(
+    machine: Optional[Union[str, MachineProfile]]
+) -> MachineProfile:
+    """Resolve a machine name or profile (``None`` -> Summit default).
+
+    Accepts the simulator presets, anything registered with
+    :func:`repro.config.register_profile`, or a profile instance.
+    """
+    if isinstance(machine, MachineProfile):
+        return machine
+    return get_profile(machine)
+
+
+def list_machines() -> List[str]:
+    """Names of the simulator's machine presets."""
+    return sorted(MACHINES)

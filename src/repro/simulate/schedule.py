@@ -1,0 +1,781 @@
+"""Symbolic per-epoch communication schedules.
+
+A :class:`CommSchedule` is the *trace* of one training epoch with the data
+left out: a sequence of bulk-synchronous phases, each holding the payload
+sizes of the concurrent collectives (or local kernels) the phase performs.
+The :mod:`repro.dist` algorithm classes emit schedules through their
+``emit_comm_schedule`` hooks by replaying their epoch loops symbolically
+-- same collectives, same groups, same byte counts -- without building a
+single numpy block or virtual rank, which is what makes P = 16384
+tractable.
+
+Pricing a schedule (:func:`evaluate_schedule`) applies the exact
+alpha-beta formulas of :mod:`repro.comm.cost_model` (including the
+``int`` truncations the executed collectives perform) and the
+:class:`repro.sparse.perfmodel.SpmmPerfModel` compute rates, vectorised
+over each phase.  Because emission mirrors the executed charge pattern
+one-for-one, a schedule built from the actual adjacency predicts the
+executed ledger's per-category byte counts **exactly**; with a
+:class:`GraphModel` built from just ``(n, nnz)`` the nonzeros are assumed
+uniform and the prediction becomes the paper's load-balanced analytic
+model.
+
+:class:`GraphModel` is the shape oracle emission runs against: it answers
+"how many nonzeros land in this block?" either exactly (CSR-backed) or
+under the uniform assumption (shape-only), behind one interface -- the
+dense/sparse-agnostic backend idiom, applied to graph statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.comm.tracker import Category
+from repro.config import FP64_BYTES, INDEX_BYTES, MachineProfile
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.distribute import block_ranges
+from repro.sparse.perfmodel import SpmmPerfModel
+
+__all__ = [
+    "WB",
+    "LOSS_TERM_BYTES",
+    "boundaries",
+    "GraphModel",
+    "CommSchedule",
+    "ScheduleBuilder",
+    "SimResult",
+    "evaluate_schedule",
+    "emit_blockrow_epoch",
+    "emit_grid_epoch",
+    "emit_replicated_matmul",
+    "sparse_wire_bytes",
+]
+
+#: Bytes per dense element; the executed reproduction runs fp64.
+WB = FP64_BYTES
+
+#: The replicated ``[sum_picked, correct]`` loss pair every epoch reduces.
+LOSS_TERM_BYTES = 2 * FP64_BYTES
+
+
+def boundaries(n: int, parts: int) -> np.ndarray:
+    """Block boundaries ``[0, ..., n]`` of :func:`block_ranges`.
+
+    The shared indexing idiom of every emitter and oracle: ``cell i``
+    spans ``[bounds[i], bounds[i+1])``.
+    """
+    return np.array(
+        [0] + [hi for _, hi in block_ranges(n, parts)], dtype=np.int64
+    )
+
+
+def sparse_wire_bytes(nnz, nrows) -> np.ndarray:
+    """Serialised CSR block size: data + indices + indptr.
+
+    Mirrors :attr:`repro.sparse.csr.CSRMatrix.nbytes_on_wire` for blocks
+    of ``nnz`` nonzeros and ``nrows`` rows (arrays broadcast).
+    """
+    nnz = np.asarray(nnz, dtype=np.float64)
+    nrows = np.asarray(nrows, dtype=np.float64)
+    return nnz * (FP64_BYTES + INDEX_BYTES) + (nrows + 1.0) * INDEX_BYTES
+
+
+# ---------------------------------------------------------------------- #
+# the graph shape oracle
+# ---------------------------------------------------------------------- #
+class GraphModel:
+    """Nonzero-placement oracle for schedule emission.
+
+    Two backends behind one interface:
+
+    * **exact** (``from_csr`` / ``from_dataset``) -- block nonzero counts
+      are measured on the actual matrix, so emitted schedules reproduce
+      the executed ledger byte for byte;
+    * **uniform** (``uniform`` / ``from_published``) -- only ``(n, nnz)``
+      are known and nonzeros are assumed uniformly spread (the paper's
+      analysis assumption, justified by the random vertex permutation),
+      which is what allows paper-scale graphs that no process could hold.
+
+    The stored matrix is the forward operand ``A^T`` (equal to ``A`` for
+    GCN-normalised undirected graphs); oracles take ``transpose=True`` to
+    ask about the backward operand ``A`` of directed inputs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        nnz: int,
+        csr: Optional[CSRMatrix] = None,
+        name: str = "graph",
+        symmetric: bool = True,
+        features: Optional[int] = None,
+        n_classes: Optional[int] = None,
+    ):
+        if n < 1 or nnz < 0:
+            raise ValueError(f"invalid graph shape n={n}, nnz={nnz}")
+        self.n = int(n)
+        self.nnz = int(nnz)
+        self.csr = csr
+        self.name = name
+        self.symmetric = bool(symmetric)
+        self.features = features
+        self.n_classes = n_classes
+        self._csr_t: Optional[CSRMatrix] = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CSRMatrix,
+        name: str = "graph",
+        features: Optional[int] = None,
+        n_classes: Optional[int] = None,
+    ) -> "GraphModel":
+        """Exact oracle over an actual (square) sparse matrix."""
+        if csr.nrows != csr.ncols:
+            raise ValueError(f"adjacency must be square, got {csr.shape}")
+        t = csr.transpose()
+        symmetric = (
+            np.array_equal(csr.indptr, t.indptr)
+            and np.array_equal(csr.indices, t.indices)
+            and np.array_equal(csr.data, t.data)
+        )
+        model = cls(
+            csr.nrows, csr.nnz, csr=csr, name=name, symmetric=symmetric,
+            features=features, n_classes=n_classes,
+        )
+        model._csr_t = t
+        return model
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "GraphModel":
+        """Exact oracle over a :class:`repro.graph.datasets.Dataset`."""
+        return cls.from_csr(
+            dataset.adjacency,
+            name=dataset.name,
+            features=dataset.feature_width,
+            n_classes=dataset.num_classes,
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        n: int,
+        nnz: int,
+        name: str = "uniform",
+        symmetric: bool = True,
+        features: Optional[int] = None,
+        n_classes: Optional[int] = None,
+    ) -> "GraphModel":
+        """Shape-only oracle under the uniform-nonzeros assumption."""
+        return cls(
+            n, nnz, csr=None, name=name, symmetric=symmetric,
+            features=features, n_classes=n_classes,
+        )
+
+    @classmethod
+    def from_published(cls, name: str) -> "GraphModel":
+        """Uniform oracle at a Table VI dataset's full published size.
+
+        The normalised adjacency adds one self loop per vertex, matching
+        :meth:`repro.analysis.model2d.Model2DEpoch.for_published_dataset`.
+        """
+        from repro.graph.datasets import published_spec
+
+        spec = published_spec(name)
+        return cls.uniform(
+            spec.vertices,
+            spec.edges + spec.vertices,
+            name=spec.name,
+            symmetric=True,
+            features=spec.features,
+            n_classes=spec.labels,
+        )
+
+    @classmethod
+    def coerce(cls, graph) -> "GraphModel":
+        """Accept a GraphModel, a Dataset, a CSRMatrix, or a published name."""
+        if isinstance(graph, cls):
+            return graph
+        if isinstance(graph, CSRMatrix):
+            return cls.from_csr(graph)
+        if isinstance(graph, str):
+            return cls.from_published(graph)
+        if hasattr(graph, "adjacency"):
+            return cls.from_dataset(graph)
+        raise TypeError(
+            f"cannot build a GraphModel from {type(graph).__name__}; pass a "
+            "GraphModel, Dataset, CSRMatrix, or published dataset name"
+        )
+
+    # ------------------------------------------------------------------ #
+    # oracle internals
+    # ------------------------------------------------------------------ #
+    @property
+    def exact(self) -> bool:
+        return self.csr is not None
+
+    @property
+    def avg_degree(self) -> float:
+        return self.nnz / self.n
+
+    def _matrix(self, transpose: bool) -> CSRMatrix:
+        if not transpose:
+            return self.csr
+        if self._csr_t is None:
+            self._csr_t = self.csr.transpose()
+        return self._csr_t
+
+    # ------------------------------------------------------------------ #
+    # oracles
+    # ------------------------------------------------------------------ #
+    def cell_nnz(
+        self,
+        row_parts: int,
+        col_bounds: np.ndarray,
+        transpose: bool = False,
+    ) -> np.ndarray:
+        """Nonzeros per (row block, column range) cell.
+
+        ``col_bounds`` is an ascending boundary array covering ``[0, n]``;
+        returns a float ``(row_parts, len(col_bounds) - 1)`` array (exact
+        counts are integral floats).
+        """
+        col_bounds = np.asarray(col_bounds, dtype=np.int64)
+        ncells = len(col_bounds) - 1
+        if not self.exact:
+            row_lens = np.diff(boundaries(self.n, row_parts))
+            col_lens = np.diff(col_bounds)
+            return (
+                self.nnz
+                * np.outer(row_lens / self.n, col_lens / self.n)
+            )
+        csr = self._matrix(transpose)
+        row_bounds = boundaries(self.n, row_parts)
+        deg = np.diff(csr.indptr)
+        row_of = (
+            np.searchsorted(row_bounds, np.arange(self.n), side="right") - 1
+        )
+        nnz_rows = np.repeat(row_of, deg)
+        nnz_cols = np.searchsorted(col_bounds, csr.indices, side="right") - 1
+        flat = nnz_rows * ncells + nnz_cols
+        counts = np.bincount(flat, minlength=row_parts * ncells)
+        return counts.reshape(row_parts, ncells).astype(np.float64)
+
+    def row_block_nnz(self, parts: int, transpose: bool = False) -> np.ndarray:
+        """Nonzeros per block row (``block_ranges(n, parts)``)."""
+        if not self.exact:
+            lens = np.diff(boundaries(self.n, parts))
+            return self.nnz * lens / self.n
+        csr = self._matrix(transpose)
+        bounds = boundaries(self.n, parts)
+        return np.diff(csr.indptr[bounds]).astype(np.float64)
+
+    def col_block_nnz(self, parts: int, transpose: bool = False) -> np.ndarray:
+        """Nonzeros per block column."""
+        return self.cell_nnz(1, boundaries(self.n, parts), transpose)[0]
+
+    def col_block_nonzero_rows(
+        self, parts: int, transpose: bool = False
+    ) -> np.ndarray:
+        """Rows with at least one nonzero, per block column.
+
+        This is the structural row count the SparCML-style sparse
+        reduce-scatter ships (Section IV-A.3); the uniform backend uses
+        the expected-occupancy formula ``n (1 - e^{-d w / n})``.
+        """
+        lens = np.diff(boundaries(self.n, parts)).astype(np.float64)
+        if not self.exact:
+            return self.n * (1.0 - np.exp(-self.avg_degree * lens / self.n))
+        csr = self._matrix(transpose)
+        bounds = boundaries(self.n, parts)
+        deg = np.diff(csr.indptr)
+        nnz_rows = np.repeat(np.arange(self.n, dtype=np.int64), deg)
+        nnz_cols = np.searchsorted(bounds, csr.indices, side="right") - 1
+        unique = np.unique(nnz_rows * parts + nnz_cols)
+        return np.bincount(
+            (unique % parts).astype(np.int64), minlength=parts
+        ).astype(np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "exact" if self.exact else "uniform"
+        return (
+            f"GraphModel({self.name!r}, n={self.n}, nnz={self.nnz}, {mode})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# phases
+# ---------------------------------------------------------------------- #
+@dataclass
+class CollectivePhase:
+    """One bulk-synchronous step of concurrent same-kind collectives."""
+
+    kind: str  # "broadcast" | "allgather" | "reduce_scatter" | "allreduce"
+    category: str
+    group_size: int
+    nbytes: np.ndarray  # payload (broadcast) / total (others) per group
+    pipelined: bool = False
+
+
+@dataclass
+class SendRecvPhase:
+    """Concurrent point-to-point transfers (the 3D fiber-plane exchange).
+
+    ``pair_nbytes[i]`` is the transfer arriving at transfer ``i``'s source
+    rank within the same step -- needed because a rank's step time is the
+    sum of its send and its receive.
+    """
+
+    category: str
+    nbytes: np.ndarray
+    pair_nbytes: np.ndarray
+
+
+@dataclass
+class TransposePhase:
+    """Per-rank transpose-exchange charges (``trpose`` category)."""
+
+    nbytes: np.ndarray
+
+
+@dataclass
+class SpmmPhase:
+    """Concurrent local SpMM kernels: per-rank (nnz, nrows, f)."""
+
+    nnz: np.ndarray
+    nrows: np.ndarray
+    ncols_dense: np.ndarray
+
+
+@dataclass
+class GemmPhase:
+    """Concurrent local dense matmuls: per-rank flop counts."""
+
+    flops: np.ndarray
+
+
+@dataclass
+class ElementwisePhase:
+    """Concurrent memory-bound elementwise kernels: per-rank bytes."""
+
+    nbytes: np.ndarray
+
+
+Phase = Union[
+    CollectivePhase, SendRecvPhase, TransposePhase,
+    SpmmPhase, GemmPhase, ElementwisePhase,
+]
+
+
+@dataclass
+class CommSchedule:
+    """An epoch's phases plus the world size that prices them."""
+
+    p: int
+    phases: List[Phase]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def nphases(self) -> int:
+        return len(self.phases)
+
+    def counts(self) -> Dict[str, int]:
+        """Phase counts by type name (diagnostic)."""
+        out: Dict[str, int] = {}
+        for ph in self.phases:
+            key = type(ph).__name__
+            out[key] = out.get(key, 0) + 1
+        return out
+
+
+def _arr(x) -> np.ndarray:
+    return np.atleast_1d(np.asarray(x, dtype=np.float64))
+
+
+class ScheduleBuilder:
+    """Accumulates phases in executed-epoch order.
+
+    Each method appends exactly one bulk-synchronous step; array arguments
+    hold one entry per concurrent collective/kernel in the step, matching
+    how the executed algorithms group charges under one
+    :meth:`~repro.comm.tracker.CommTracker.step_scope`.
+    """
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise ValueError(f"world size must be >= 1, got {p}")
+        self.p = int(p)
+        self.phases: List[Phase] = []
+
+    # -- communication -------------------------------------------------- #
+    def broadcast(self, category: str, group_size: int, nbytes,
+                  pipelined: bool = False) -> None:
+        self.phases.append(
+            CollectivePhase("broadcast", category, int(group_size),
+                            _arr(nbytes), pipelined)
+        )
+
+    def allgather(self, category: str, group_size: int, total_bytes) -> None:
+        self.phases.append(
+            CollectivePhase("allgather", category, int(group_size),
+                            _arr(total_bytes))
+        )
+
+    def reduce_scatter(self, category: str, group_size: int,
+                       total_bytes) -> None:
+        self.phases.append(
+            CollectivePhase("reduce_scatter", category, int(group_size),
+                            _arr(total_bytes))
+        )
+
+    def allreduce(self, category: str, group_size: int, nbytes) -> None:
+        self.phases.append(
+            CollectivePhase("allreduce", category, int(group_size),
+                            _arr(nbytes))
+        )
+
+    def sendrecv(self, category: str, nbytes, pair_nbytes) -> None:
+        nbytes, pair = _arr(nbytes), _arr(pair_nbytes)
+        if nbytes.shape != pair.shape:
+            raise ValueError("sendrecv needs matching nbytes/pair arrays")
+        if nbytes.size:
+            self.phases.append(SendRecvPhase(category, nbytes, pair))
+
+    def transpose(self, nbytes) -> None:
+        self.phases.append(TransposePhase(_arr(nbytes)))
+
+    # -- local compute -------------------------------------------------- #
+    def spmm(self, nnz, nrows, ncols_dense) -> None:
+        nnz, nrows, f = np.broadcast_arrays(
+            _arr(nnz), _arr(nrows), _arr(ncols_dense)
+        )
+        self.phases.append(
+            SpmmPhase(np.ascontiguousarray(nnz, dtype=np.float64),
+                      np.ascontiguousarray(nrows, dtype=np.float64),
+                      np.ascontiguousarray(f, dtype=np.float64))
+        )
+
+    def gemm(self, flops) -> None:
+        self.phases.append(GemmPhase(_arr(flops)))
+
+    def elementwise(self, nbytes) -> None:
+        self.phases.append(ElementwisePhase(_arr(nbytes)))
+
+    def build(self, **meta) -> CommSchedule:
+        return CommSchedule(self.p, self.phases, dict(meta))
+
+
+# ---------------------------------------------------------------------- #
+# evaluation
+# ---------------------------------------------------------------------- #
+@dataclass
+class SimResult:
+    """Priced schedule: modeled wall seconds + the exact byte ledger.
+
+    ``seconds_by_category`` is the bulk-synchronous wall clock (per-phase
+    maximum over concurrent participants, like the tracker's
+    ``step_scope``); ``bytes_by_category`` sums the per-rank critical-path
+    bytes over every rank -- the quantity the executed
+    :class:`~repro.comm.tracker.CommTracker` ledger records.  The
+    latency/bandwidth/compute split decomposes the same wall clock by
+    mechanism (alpha terms, beta terms, local kernels).
+    """
+
+    seconds_by_category: Dict[str, float]
+    bytes_by_category: Dict[str, int]
+    latency_seconds: float
+    bandwidth_seconds: float
+    compute_seconds: float
+    messages: int
+    nphases: int
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_category.values())
+
+    @property
+    def comm_seconds(self) -> float:
+        return self.latency_seconds + self.bandwidth_seconds
+
+    @property
+    def comm_bytes(self) -> int:
+        return sum(self.bytes_by_category[c] for c in Category.COMM)
+
+    @property
+    def epochs_per_second(self) -> float:
+        total = self.total_seconds
+        return 1.0 / total if total > 0 else float("inf")
+
+    def breakdown(self) -> Dict[str, float]:
+        return dict(self.seconds_by_category)
+
+
+def _lg(p: int) -> float:
+    return 0.0 if p <= 1 else float(math.ceil(math.log2(p)))
+
+
+class _Accumulator:
+    def __init__(self):
+        self.sec = {c: 0.0 for c in Category.ALL}
+        self.nbytes = {c: 0.0 for c in Category.ALL}
+        self.lat = 0.0
+        self.bw = 0.0
+        self.compute = 0.0
+        self.messages = 0
+
+    def comm(self, category: str, wall: float, wall_lat: float,
+             total_bytes: float, messages: int) -> None:
+        self.sec[category] += wall
+        self.nbytes[category] += total_bytes
+        self.lat += wall_lat
+        self.bw += wall - wall_lat
+        self.messages += messages
+
+    def local(self, category: str, wall: float) -> None:
+        self.sec[category] += wall
+        self.compute += wall
+
+
+def _eval_collective(acc: _Accumulator, ph: CollectivePhase,
+                     profile: MachineProfile, p: int) -> None:
+    g = ph.group_size
+    m = ph.nbytes
+    if g <= 1 or not m.size:
+        return
+    alpha = profile.alpha_for_span(p)
+    beta = profile.beta_effective(p)
+    lg = _lg(g)
+    active = m > 0
+    if ph.kind == "broadcast":
+        lat_msgs = 1.0 if ph.pipelined else lg
+        sec = np.where(active, lat_msgs * alpha + beta * m, 0.0)
+        crit = np.where(active, np.trunc(m), 0.0)
+        msgs = max(1, int(lat_msgs))
+        lat_one = lat_msgs * alpha
+    elif ph.kind in ("allgather", "reduce_scatter"):
+        moved = m * (g - 1) / g
+        sec = np.where(active, lg * alpha + beta * moved, 0.0)
+        crit = np.where(active, np.trunc(moved), 0.0)
+        msgs = int(lg)
+        lat_one = lg * alpha
+    elif ph.kind == "allreduce":
+        moved = m * (g - 1) / g
+        sec = np.where(active, 2.0 * lg * alpha + 2.0 * beta * moved, 0.0)
+        crit = np.where(active, 2.0 * np.trunc(moved), 0.0)
+        msgs = 2 * int(lg)
+        lat_one = 2.0 * lg * alpha
+    else:  # pragma: no cover - builder restricts kinds
+        raise ValueError(f"unknown collective kind {ph.kind!r}")
+    wall = float(sec.max())
+    wall_lat = lat_one if wall > 0 else 0.0
+    total = float(crit.sum()) * g
+    nactive = int(np.count_nonzero(active))
+    acc.comm(ph.category, wall, wall_lat, total, msgs * g * nactive)
+
+
+def _eval_sendrecv(acc: _Accumulator, ph: SendRecvPhase,
+                   profile: MachineProfile, p: int) -> None:
+    alpha = profile.alpha_for_span(p)
+    beta = profile.beta_effective(p)
+    sec = alpha + beta * ph.nbytes
+    pair_sec = alpha + beta * ph.pair_nbytes
+    rank_total = sec + pair_sec
+    i = int(np.argmax(rank_total))
+    wall = float(rank_total[i])
+    acc.comm(ph.category, wall, 2.0 * alpha, float(np.trunc(ph.nbytes).sum()),
+             2 * ph.nbytes.size)
+
+
+def _eval_transpose(acc: _Accumulator, ph: TransposePhase,
+                    profile: MachineProfile) -> None:
+    sec = profile.alpha + profile.beta * ph.nbytes
+    wall = float(sec.max()) if sec.size else 0.0
+    acc.comm(Category.TRPOSE, wall, profile.alpha if wall > 0 else 0.0,
+             float(np.trunc(ph.nbytes).sum()), ph.nbytes.size)
+
+
+def _eval_spmm(acc: _Accumulator, ph: SpmmPhase,
+               perf: SpmmPerfModel) -> None:
+    nnz, nrows, f = ph.nnz, ph.nrows, ph.ncols_dense
+    trivial = (nnz <= 0) | (f <= 0)
+    d = nnz / np.maximum(nrows, 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rate = (
+            perf.base_flops
+            * d / (d + perf.d_half)
+            * f / (f + perf.w_half)
+        )
+        sec = np.where(
+            trivial,
+            perf.launch_overhead,
+            2.0 * nnz * f / rate + perf.launch_overhead,
+        )
+    acc.local(Category.SPMM, float(sec.max()))
+
+
+def _eval_gemm(acc: _Accumulator, ph: GemmPhase,
+               profile: MachineProfile) -> None:
+    sec = (
+        np.trunc(ph.flops) / profile.gemm_flops
+        + profile.kernel_launch_overhead
+    )
+    acc.local(Category.MISC, float(sec.max()))
+
+
+def _eval_elementwise(acc: _Accumulator, ph: ElementwisePhase,
+                      profile: MachineProfile) -> None:
+    sec = (
+        np.trunc(ph.nbytes) / profile.memory_bandwidth
+        + profile.kernel_launch_overhead
+    )
+    acc.local(Category.MISC, float(sec.max()))
+
+
+def evaluate_schedule(
+    schedule: CommSchedule, profile: MachineProfile
+) -> SimResult:
+    """Price a schedule on a machine profile.
+
+    Applies the exact :mod:`repro.comm.cost_model` arithmetic (span = the
+    world size ``schedule.p``, same truncations, same zero shortcuts) so
+    exact-mode schedules reproduce the executed ledger byte for byte.
+    """
+    acc = _Accumulator()
+    perf = SpmmPerfModel.from_profile(profile)
+    p = schedule.p
+    for ph in schedule.phases:
+        if isinstance(ph, CollectivePhase):
+            _eval_collective(acc, ph, profile, p)
+        elif isinstance(ph, SendRecvPhase):
+            _eval_sendrecv(acc, ph, profile, p)
+        elif isinstance(ph, TransposePhase):
+            _eval_transpose(acc, ph, profile)
+        elif isinstance(ph, SpmmPhase):
+            _eval_spmm(acc, ph, perf)
+        elif isinstance(ph, GemmPhase):
+            _eval_gemm(acc, ph, profile)
+        elif isinstance(ph, ElementwisePhase):
+            _eval_elementwise(acc, ph, profile)
+        else:  # pragma: no cover - phase set is closed
+            raise TypeError(f"unknown phase type {type(ph).__name__}")
+    return SimResult(
+        seconds_by_category=dict(acc.sec),
+        bytes_by_category={c: int(v) for c, v in acc.nbytes.items()},
+        latency_seconds=acc.lat,
+        bandwidth_seconds=acc.bw,
+        compute_seconds=acc.compute,
+        messages=acc.messages,
+        nphases=schedule.nphases,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# shared epoch skeletons (mirroring repro.dist.base)
+# ---------------------------------------------------------------------- #
+def emit_blockrow_epoch(
+    b: ScheduleBuilder,
+    widths: Sequence[int],
+    rows_per_rank: np.ndarray,
+    forward_spmm: Callable[[int], None],
+    backward_spmm: Callable[[int], None],
+    replicated_allreduce: Callable[[int], None],
+    pre_backward: Optional[Callable[[], None]] = None,
+) -> None:
+    """The :class:`~repro.dist.base.BlockRowAlgorithm` epoch, symbolically.
+
+    Phase-for-phase mirror of ``BlockRowAlgorithm._run_epoch`` (forward
+    sweep, loss reduction, backward recursion); the callables plug in the
+    1D/1.5D-specific data movement exactly like the executed hooks do.
+    """
+    rows = np.asarray(rows_per_rank, dtype=np.float64)
+    n_layers = len(widths) - 1
+    for l in range(n_layers):
+        f_in, f_out = widths[l], widths[l + 1]
+        forward_spmm(f_in)
+        b.gemm(rows * (2.0 * f_in * f_out))
+        b.elementwise(rows * (2.0 * f_out * WB))
+    replicated_allreduce(LOSS_TERM_BYTES)
+    b.elementwise(rows * (3.0 * widths[-1] * WB))
+    if pre_backward is not None:
+        pre_backward()
+    for l in range(n_layers - 1, -1, -1):
+        f_in, f_out = widths[l], widths[l + 1]
+        backward_spmm(f_out)
+        b.gemm(rows * (2.0 * f_in * f_out))
+        replicated_allreduce(f_in * f_out * WB)
+        if l > 0:
+            b.gemm(rows * (2.0 * f_out * f_in))
+            b.elementwise(rows * (3.0 * f_in * WB))
+
+
+def emit_replicated_matmul(
+    b: ScheduleBuilder,
+    group_rows: np.ndarray,
+    group_size: int,
+    rows_of_rank: np.ndarray,
+    outw_of_rank: np.ndarray,
+    fin_widths: np.ndarray,
+) -> None:
+    """``T W`` / ``T^T G`` stage broadcasts + partial GEMMs.
+
+    Mirrors ``GridAlgorithm._matmul_w`` / ``_weight_grad``'s loop: for
+    every nonempty feature-column stage ``t``, each row group's ``t``-th
+    member broadcasts its block row-wise (one step) and every rank runs a
+    partial GEMM (one step).
+    """
+    group_rows = np.asarray(group_rows, dtype=np.float64)
+    for w_t in fin_widths:
+        if w_t == 0:
+            continue
+        b.broadcast(
+            Category.DCOMM, group_size, group_rows * (w_t * WB),
+            pipelined=True,
+        )
+        b.gemm(2.0 * rows_of_rank * w_t * outw_of_rank)
+
+
+def emit_grid_epoch(
+    b: ScheduleBuilder,
+    widths: Sequence[int],
+    rows_of_rank: np.ndarray,
+    outw_of_rank: Callable[[int], np.ndarray],
+    grid_spmm: Callable[[int, bool], None],
+    matmul_w: Callable[[int, int], None],
+    weight_grad: Callable[[int, int], None],
+    row_allgather: Callable[[int], None],
+    epoch_transpose: Callable[[], None],
+) -> None:
+    """The :class:`~repro.dist.base.GridAlgorithm` epoch, symbolically.
+
+    Phase-for-phase mirror of ``GridAlgorithm._run_epoch`` shared by the
+    2D SUMMA and Split-3D emitters; ``grid_spmm(f, backward)`` selects the
+    forward (``A^T``) or backward (``A``) sparse operand.
+    """
+    rows = np.asarray(rows_of_rank, dtype=np.float64)
+    n_layers = len(widths) - 1
+    for l in range(n_layers):
+        f_in, f_out = widths[l], widths[l + 1]
+        grid_spmm(f_in, False)
+        matmul_w(f_in, f_out)
+        if l < n_layers - 1:
+            b.elementwise(rows * outw_of_rank(f_out) * (2.0 * WB))
+        else:
+            row_allgather(f_out)
+            b.elementwise(rows * (2.0 * f_out * WB))
+    b.allreduce(Category.DCOMM, b.p, LOSS_TERM_BYTES)
+    b.elementwise(rows * (3.0 * widths[-1] * WB))
+    epoch_transpose()
+    for l in range(n_layers - 1, -1, -1):
+        f_in, f_out = widths[l], widths[l + 1]
+        grid_spmm(f_out, True)
+        weight_grad(f_in, f_out)
+        if l > 0:
+            matmul_w(f_out, f_in)
+            b.elementwise(rows * outw_of_rank(f_in) * (3.0 * WB))

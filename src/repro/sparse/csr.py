@@ -81,7 +81,7 @@ class CSRMatrix:
     * ``data`` is float64 and aligned with ``indices``.
     """
 
-    __slots__ = ("shape", "indptr", "indices", "data")
+    __slots__ = ("shape", "indptr", "indices", "data", "_scipy_cache")
 
     def __init__(
         self,
@@ -95,6 +95,7 @@ class CSRMatrix:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.data = np.asarray(data, dtype=np.float64)
+        self._scipy_cache = None
         if check:
             self._validate()
 
@@ -229,6 +230,28 @@ class CSRMatrix:
             )
             out[row_ids, self.indices] = self.data
         return out
+
+    def to_scipy(self):
+        """``scipy.sparse.csr_matrix`` view of this matrix, built once.
+
+        ``data`` is shared; scipy downcasts the int64 ``indices``/
+        ``indptr`` to int32, so those two arrays are copied (~4 bytes per
+        nonzero, held for the matrix's lifetime).  CSRMatrix instances
+        are structurally immutable (every operation returns a new
+        matrix), and the distributed algorithms multiply against the same
+        blocks every SUMMA stage of every epoch -- so the wrapper is
+        cached after the first call, taking per-call construction off the
+        hottest serial SpMM path.
+        """
+        if self._scipy_cache is None:
+            import scipy.sparse as sp
+
+            self._scipy_cache = sp.csr_matrix(
+                (self.data, self.indices, self.indptr),
+                shape=self.shape,
+                copy=False,
+            )
+        return self._scipy_cache
 
     def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         row_ids = np.repeat(

@@ -4,15 +4,25 @@ The paper's single most expensive local kernel is SpMM ("sparse matrix
 times multiple dense vectors"); the authors call cuSPARSE's ``csrmm2``.
 We provide two interchangeable backends:
 
-* ``"numpy"`` -- a pure, from-scratch segment-sum kernel (cumulative-sum
-  trick, fully vectorised) that defines the reference semantics;
-* ``"scipy"`` -- wraps the same CSR arrays in ``scipy.sparse`` (zero copy)
-  and uses its compiled kernel; this plays the role cuSPARSE plays in the
+* ``"numpy"`` -- a pure, from-scratch segment-sum kernel
+  (:func:`numpy.add.reduceat` over the expanded products) that defines
+  the reference semantics;
+* ``"scipy"`` -- wraps the same CSR arrays in ``scipy.sparse`` (zero
+  copy, cached on the :class:`~repro.sparse.csr.CSRMatrix` so the hot
+  per-stage calls of the distributed algorithms skip re-wrapping) and
+  uses its compiled kernel; this plays the role cuSPARSE plays in the
   paper: an off-the-shelf optimised library kernel.
 
+``spmm_numpy_cumsum`` keeps the original cumulative-sum formulation.  It
+materialised a second ``(nnz, f)`` array (the cumsum) and two fancy-index
+gathers; ``reduceat`` folds the segments in one pass, which profiles
+~2-4x faster across GNN-shaped operands (see
+``benchmarks/bench_spmm_kernels.py`` and ``BENCH_dist.json`` for the
+measured before/after).
+
 ``spmm_flops`` gives the standard ``2 * nnz * f`` flop count used when
-charging compute time.  Tests assert the two backends agree to fp
-round-off on random inputs.
+charging compute time.  Tests assert all backends agree to fp round-off
+on random inputs.
 """
 
 from __future__ import annotations
@@ -20,11 +30,16 @@ from __future__ import annotations
 from typing import Literal
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["spmm", "spmm_flops", "spmm_numpy", "spmm_scipy"]
+__all__ = [
+    "spmm",
+    "spmm_flops",
+    "spmm_numpy",
+    "spmm_numpy_cumsum",
+    "spmm_scipy",
+]
 
 Backend = Literal["auto", "numpy", "scipy"]
 
@@ -34,22 +49,47 @@ def spmm_flops(a: CSRMatrix, ncols_dense: int) -> int:
     return 2 * a.nnz * int(ncols_dense)
 
 
-def spmm_numpy(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
-    """Reference SpMM: vectorised segment sums via cumulative sums.
-
-    For each row ``i``, ``out[i] = sum_k data[k] * b[indices[k]]`` over the
-    row's nnz range.  The cumulative-sum trick computes all row sums in one
-    shot without Python-level loops: ``cum[end-1] - cum[start-1]``.
-    """
-    m, n = a.shape
+def _check_operand(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
     b = np.asarray(b, dtype=np.float64)
-    if b.ndim != 2 or b.shape[0] != n:
+    if b.ndim != 2 or b.shape[0] != a.ncols:
         raise ValueError(f"B shape {b.shape} incompatible with A shape {a.shape}")
+    return b
+
+
+def spmm_numpy(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Reference SpMM: one-pass vectorised segment sums.
+
+    For each row ``i``, ``out[i] = sum_k data[k] * b[indices[k]]`` over
+    the row's nnz range.  Consecutive nonempty rows form contiguous
+    segments of the expanded product array, and because empty rows repeat
+    the next row's start offset, ``np.add.reduceat`` at the nonempty
+    starts yields exactly the per-row sums -- no cumsum materialisation,
+    no gather of segment endpoints.
+    """
+    m, _ = a.shape
+    b = _check_operand(a, b)
     f = b.shape[1]
     out = np.zeros((m, f), dtype=np.float64)
     if a.nnz == 0:
         return out
     prod = a.data[:, None] * b[a.indices]  # (nnz, f) expanded products
+    starts = a.indptr[:-1]
+    nonempty = a.indptr[1:] > starts
+    out[nonempty] = np.add.reduceat(prod, starts[nonempty], axis=0)
+    return out
+
+
+def spmm_numpy_cumsum(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """The original cumulative-sum segment kernel (kept as the baseline
+    the bench harness measures :func:`spmm_numpy` against):
+    ``cum[end-1] - cum[start-1]`` per row."""
+    m, _ = a.shape
+    b = _check_operand(a, b)
+    f = b.shape[1]
+    out = np.zeros((m, f), dtype=np.float64)
+    if a.nnz == 0:
+        return out
+    prod = a.data[:, None] * b[a.indices]
     cum = np.cumsum(prod, axis=0)
     starts = a.indptr[:-1]
     ends = a.indptr[1:]
@@ -62,29 +102,34 @@ def spmm_numpy(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
 
 
 def spmm_scipy(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
-    """Optimised SpMM via scipy's compiled CSR kernel (zero-copy wrap)."""
-    b = np.asarray(b, dtype=np.float64)
-    if b.ndim != 2 or b.shape[0] != a.ncols:
-        raise ValueError(f"B shape {b.shape} incompatible with A shape {a.shape}")
-    wrapped = sp.csr_matrix(
-        (a.data, a.indices, a.indptr), shape=a.shape, copy=False
-    )
-    return np.asarray(wrapped @ b)
+    """Optimised SpMM via scipy's compiled CSR kernel.
+
+    The zero-copy ``scipy.sparse`` wrapper is built once per matrix and
+    cached (:meth:`CSRMatrix.to_scipy`): the distributed algorithms call
+    into the same immutable blocks every stage of every epoch, so
+    re-wrapping was pure per-call overhead on the hottest serial path.
+    """
+    b = _check_operand(a, b)
+    return np.asarray(a.to_scipy() @ b)
 
 
 def spmm(a: CSRMatrix, b: np.ndarray, backend: Backend = "auto") -> np.ndarray:
     """Compute ``A @ B`` for CSR ``A`` and dense ``B``.
 
-    ``backend="auto"`` uses the compiled scipy kernel for anything big and
-    the pure-numpy kernel for tiny operands (where wrapping overhead
-    dominates).  Both produce identical results up to fp round-off.
+    ``backend="auto"`` uses the compiled scipy kernel whenever the
+    matrix's wrapper is already cached (the warm kernel beats the pure
+    kernel at every size) or the operand is big enough to amortise the
+    one-time wrap; tiny first-touch operands use the pure-numpy kernel.
+    All backends produce identical results up to fp round-off.
     """
     if backend == "numpy":
         return spmm_numpy(a, b)
     if backend == "scipy":
         return spmm_scipy(a, b)
     if backend == "auto":
-        if a.nnz * max(1, b.shape[1] if b.ndim == 2 else 1) < 4096:
+        if a._scipy_cache is None and (
+            a.nnz * max(1, b.shape[1] if b.ndim == 2 else 1) < 2048
+        ):
             return spmm_numpy(a, b)
         return spmm_scipy(a, b)
     raise ValueError(f"unknown SpMM backend {backend!r}")

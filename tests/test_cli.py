@@ -83,3 +83,104 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "hop2" in out
+
+
+class TestSimulateCommands:
+    def test_simulate_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if hasattr(a, "choices") and a.choices
+        )
+        assert {"simulate", "sweep"} <= set(sub.choices)
+
+    def test_simulate_synthetic(self, capsys):
+        rc = main([
+            "simulate", "--algorithm", "1d", "--gpus", "64",
+            "--vertices", "4096", "--degree", "8", "--features", "32",
+            "--machine", "ethernet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted epoch" in out
+        assert "bandwidth" in out and "dcomm" in out
+
+    def test_simulate_published_dataset(self, capsys):
+        rc = main([
+            "simulate", "--algorithm", "2d", "--gpus", "1024",
+            "--dataset", "reddit",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "reddit" in out and "uniform" in out
+
+    def test_simulate_standin_is_exact_mode(self, capsys):
+        rc = main([
+            "simulate", "--algorithm", "1d", "--gpus", "8",
+            "--dataset", "reddit", "--scale", "2048",
+        ])
+        assert rc == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_simulate_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "point.json"
+        rc = main([
+            "simulate", "--algorithm", "3d", "--gpus", "512",
+            "--vertices", "8192", "--json", str(out_file),
+        ])
+        assert rc == 0
+        import json
+
+        doc = json.loads(out_file.read_text())
+        assert doc["algorithm"] == "3d" and doc["p"] == 512
+        assert doc["seconds"] > 0
+
+    def test_sweep_smoke_with_json(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--dataset", "reddit", "--max-p", "64",
+            "--machines", "summit,ethernet", "--json", str(out_file),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner" in out and "strong scaling" in out
+        import json
+
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro-sweep/1"
+        assert doc["winners"]
+
+    def test_sweep_explicit_p_grid(self, capsys):
+        rc = main([
+            "sweep", "--vertices", "2048", "--degree", "6",
+            "--features", "16", "--classes", "4",
+            "--p-grid", "4,16", "--machines", "summit",
+        ])
+        assert rc == 0
+        assert "P up to 16" in capsys.readouterr().out
+
+    def test_sweep_rejects_unreachable_max_p(self, capsys):
+        rc = main(["sweep", "--vertices", "1024", "--max-p", "2"])
+        assert rc == 2
+        assert "--p-grid" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_p_grid(self, capsys):
+        rc = main(["sweep", "--vertices", "1024", "--p-grid", "4,,16"])
+        assert rc == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_machine(self, capsys):
+        rc = main(["sweep", "--vertices", "1024", "--machines", "bogus"])
+        assert rc == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_machine(self, capsys):
+        rc = main(["simulate", "--vertices", "1024", "--machine", "bogus"])
+        assert rc == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_simulate_rejects_infeasible_mesh(self, capsys):
+        rc = main(["simulate", "--algorithm", "3d", "--gpus", "1024",
+                   "--vertices", "4096"])
+        assert rc == 2
+        assert "mesh" in capsys.readouterr().err

@@ -138,3 +138,128 @@ class TestCostProperties:
         ar = cm.allreduce_cost(FLAT, m, p)
         rs = cm.reduce_scatter_cost(FLAT, m, p)
         assert ar.bytes_critical == 2 * rs.bytes_critical
+
+
+class TestClosedFormTable:
+    """Every collective formula vs the module docstring's cost table.
+
+    The docstring promises, for p ranks and m bytes (alpha = per-message
+    latency, beta = seconds/byte, lg = ceil(log2)):
+
+        broadcast        lg p * a + b m   (pipelined: 1 * a + b m)
+        reduce           lg p * a + b m
+        all-gather       lg p * a + b m (p-1)/p
+        reduce-scatter   lg p * a + b m (p-1)/p
+        all-reduce       2 lg p * a + 2 b m (p-1)/p
+        all-to-all       (p-1) * a + b m (p-1)/p
+
+    Checked at p in {2, 4, 8, 64} on a flat one-tier profile so the
+    formula is the whole story.
+    """
+
+    ALPHA = 1e-6
+    BETA = 1e-9
+    M = 1 << 20
+
+    def _lg(self, p):
+        return math.ceil(math.log2(p))
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_broadcast_tree(self, p):
+        cost = cm.broadcast_cost(FLAT, self.M, p)
+        assert cost.seconds == pytest.approx(
+            self._lg(p) * self.ALPHA + self.BETA * self.M
+        )
+        assert cost.messages == self._lg(p)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_broadcast_pipelined_drops_lg(self, p):
+        piped = cm.broadcast_cost(FLAT, self.M, p, pipelined=True)
+        tree = cm.broadcast_cost(FLAT, self.M, p)
+        assert piped.seconds == pytest.approx(
+            self.ALPHA + self.BETA * self.M
+        )
+        assert piped.messages == 1
+        # Same bandwidth term; the difference is exactly (lg p - 1) alphas.
+        assert tree.seconds - piped.seconds == pytest.approx(
+            (self._lg(p) - 1) * self.ALPHA
+        )
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_reduce(self, p):
+        cost = cm.reduce_cost(FLAT, self.M, p)
+        assert cost.seconds == pytest.approx(
+            self._lg(p) * self.ALPHA + self.BETA * self.M
+        )
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_allgather(self, p):
+        cost = cm.allgather_cost(FLAT, self.M, p)
+        assert cost.seconds == pytest.approx(
+            self._lg(p) * self.ALPHA + self.BETA * self.M * (p - 1) / p
+        )
+        assert cost.bytes_critical == int(self.M * (p - 1) / p)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_reduce_scatter(self, p):
+        cost = cm.reduce_scatter_cost(FLAT, self.M, p)
+        assert cost.seconds == pytest.approx(
+            self._lg(p) * self.ALPHA + self.BETA * self.M * (p - 1) / p
+        )
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_allreduce(self, p):
+        cost = cm.allreduce_cost(FLAT, self.M, p)
+        assert cost.seconds == pytest.approx(
+            2 * self._lg(p) * self.ALPHA
+            + 2 * self.BETA * self.M * (p - 1) / p
+        )
+        assert cost.messages == 2 * self._lg(p)
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_alltoall(self, p):
+        cost = cm.alltoall_cost(FLAT, self.M, p)
+        assert cost.seconds == pytest.approx(
+            (p - 1) * self.ALPHA + self.BETA * self.M * (p - 1) / p
+        )
+        assert cost.messages == p - 1
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 64])
+    def test_allreduce_is_rs_plus_ag(self, p):
+        """The docstring's derivation: all-reduce = reduce-scatter +
+        all-gather (Thakur et al.), term by term."""
+        ar = cm.allreduce_cost(FLAT, self.M, p)
+        rs = cm.reduce_scatter_cost(FLAT, self.M, p)
+        ag = cm.allgather_cost(FLAT, self.M, p)
+        assert ar.seconds == pytest.approx(rs.seconds + ag.seconds)
+        assert ar.bytes_critical == rs.bytes_critical + ag.bytes_critical
+        assert ar.messages == rs.messages + ag.messages
+
+    def test_congestion_extension_default_off(self):
+        """beta_effective == beta_for_span on congestion-free profiles,
+        so the docstring table is unchanged for them."""
+        for span in (2, 8, 64, 4096):
+            assert FLAT.beta_effective(span) == FLAT.beta_for_span(span)
+
+    def test_congestion_scales_bandwidth_term_only(self):
+        congested = MachineProfile(
+            name="congested",
+            alpha=self.ALPHA,
+            beta=self.BETA,
+            beta_intranode=self.BETA,
+            beta_intersocket=self.BETA,
+            alpha_intranode=self.ALPHA,
+            gpus_per_node=4,
+            congestion_per_doubling=0.5,
+        )
+        p = 64
+        flatc = cm.broadcast_cost(FLAT, self.M, p)
+        cong = cm.broadcast_cost(congested, self.M, p)
+        nodes = math.ceil(p / 4)
+        factor = 1 + 0.5 * math.log2(nodes)
+        expect_bw = self.BETA * self.M * factor
+        assert cong.seconds == pytest.approx(
+            self._lg(p) * self.ALPHA + expect_bw
+        )
+        # Latency term untouched.
+        assert cong.messages == flatc.messages

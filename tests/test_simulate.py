@@ -1,0 +1,354 @@
+"""The scaling simulator: exactness against executed ledgers + sweeps.
+
+The subsystem's contract (ISSUE 2 acceptance): for every registered
+algorithm, the simulator-predicted epoch communication volume matches the
+executed virtual-run ledger **exactly** at P in {4, 8, 16} (each
+algorithm tested at the rank counts its mesh realises), and a full
+(4 algorithms x 3 machines x P up to 16384) sweep completes in seconds
+with valid JSON.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.comm.tracker import Category
+from repro.dist import ALGORITHMS, make_algorithm
+from repro.dist.registry import make_runtime_for
+from repro.graph import make_synthetic
+from repro.simulate import (
+    DEFAULT_P_GRID,
+    GraphModel,
+    evaluate_schedule,
+    get_machine,
+    list_machines,
+    predict_epoch,
+    sweep,
+)
+from repro.simulate.engine import default_algo_kwargs, supports_p
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.distribute import block_ranges, distribute_sparse_2d
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic(n=70, avg_degree=5, f=12, n_classes=3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def graph(dataset):
+    return GraphModel.from_dataset(dataset)
+
+
+@pytest.fixture(scope="module")
+def directed():
+    rng = np.random.default_rng(0)
+    n = 60
+    rows = rng.integers(0, n, 400)
+    cols = rng.integers(0, n, 400)
+    a_t = CSRMatrix.from_coo(rows, cols, rng.random(400), (n, n))
+    feats = rng.random((n, 10))
+    labels = rng.integers(0, 3, n).astype(np.int64)
+    return a_t, feats, labels
+
+
+def _executed_epoch(name, p, dataset, **kwargs):
+    algo = make_algorithm(name, p, dataset, hidden=8, seed=0, **kwargs)
+    algo.setup(dataset.features, dataset.labels)
+    return algo.train_epoch(0)
+
+
+# The acceptance grid: every registered algorithm at each P in {4, 8, 16}
+# its process mesh realises.
+ACCEPTANCE = [
+    (name, p)
+    for name in sorted(ALGORITHMS)
+    for p in (4, 8, 16)
+    if supports_p(name, p)
+]
+
+
+class TestLedgerExactness:
+    @pytest.mark.parametrize("name,p", ACCEPTANCE)
+    def test_volume_matches_executed_ledger(self, name, p, dataset, graph):
+        stats = _executed_epoch(name, p, dataset)
+        point = predict_epoch(name, graph, p, hidden=8)
+        for cat in Category.COMM:
+            assert point.bytes_by_category[cat] == \
+                stats.bytes_by_category[cat], (name, p, cat)
+
+    @pytest.mark.parametrize("name,p", ACCEPTANCE)
+    def test_modeled_seconds_match(self, name, p, dataset, graph):
+        stats = _executed_epoch(name, p, dataset)
+        point = predict_epoch(name, graph, p, hidden=8)
+        assert point.seconds == pytest.approx(
+            stats.modeled_seconds, rel=1e-9
+        )
+        for cat in Category.ALL:
+            assert point.seconds_by_category[cat] == pytest.approx(
+                stats.seconds_by_category[cat], rel=1e-9, abs=1e-18
+            )
+
+    @pytest.mark.parametrize(
+        "variant", ["symmetric", "outer", "outer_sparse", "transpose"]
+    )
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_1d_variants_exact(self, variant, p, dataset, graph):
+        stats = _executed_epoch("1d", p, dataset, variant=variant)
+        point = predict_epoch("1d", graph, p, hidden=8, variant=variant)
+        for cat in Category.COMM:
+            assert point.bytes_by_category[cat] == \
+                stats.bytes_by_category[cat], (variant, cat)
+        assert point.seconds == pytest.approx(
+            stats.modeled_seconds, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("p,c", [(4, 2), (8, 4), (16, 2), (16, 4)])
+    def test_15d_replication_exact(self, p, c, dataset, graph):
+        stats = _executed_epoch("1.5d", p, dataset, replication=c)
+        point = predict_epoch("1.5d", graph, p, hidden=8, replication=c)
+        for cat in Category.COMM:
+            assert point.bytes_by_category[cat] == \
+                stats.bytes_by_category[cat]
+        assert point.seconds == pytest.approx(
+            stats.modeled_seconds, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("grid", [(2, 4), (4, 2)])
+    def test_2d_rectangular_exact(self, grid, dataset, graph):
+        p = grid[0] * grid[1]
+        stats = _executed_epoch("2d", p, dataset, grid=grid)
+        point = predict_epoch("2d", graph, p, hidden=8, grid=grid)
+        for cat in Category.COMM:
+            assert point.bytes_by_category[cat] == \
+                stats.bytes_by_category[cat]
+
+    def test_2d_summa_blocking_exact(self, dataset, graph):
+        stats = _executed_epoch("2d", 4, dataset, summa_block=13)
+        point = predict_epoch("2d", graph, 4, hidden=8, summa_block=13)
+        for cat in Category.COMM:
+            assert point.bytes_by_category[cat] == \
+                stats.bytes_by_category[cat]
+
+    @pytest.mark.parametrize(
+        "name,p", [("1d", 4), ("1d", 8), ("2d", 4), ("2d", 16), ("3d", 8)]
+    )
+    def test_directed_operand_exact(self, name, p, directed):
+        a_t, feats, labels = directed
+        widths = (10, 8, 8, 3)
+        rt = make_runtime_for(name, p)
+        algo = ALGORITHMS[name](rt, a_t, widths, seed=0)
+        algo.setup(feats, labels)
+        stats = algo.train_epoch(0)
+        gm = GraphModel.from_csr(a_t, name="directed")
+        assert not gm.symmetric
+        schedule = ALGORITHMS[name].emit_comm_schedule(gm, widths, p)
+        result = evaluate_schedule(schedule, get_machine(None))
+        for cat in Category.COMM:
+            assert result.bytes_by_category[cat] == \
+                stats.bytes_by_category[cat], (name, cat)
+
+    def test_prediction_is_steady_state(self, dataset, graph):
+        """Every epoch charges identically; epoch 1 matches the schedule."""
+        algo = make_algorithm("2d", 4, dataset, hidden=8, seed=0)
+        algo.setup(dataset.features, dataset.labels)
+        algo.train_epoch(0)
+        second = algo.train_epoch(1)
+        point = predict_epoch("2d", graph, 4, hidden=8)
+        for cat in Category.COMM:
+            assert point.bytes_by_category[cat] == \
+                second.bytes_by_category[cat]
+
+
+class TestGraphModel:
+    def test_cell_counts_partition_nnz(self, dataset, graph):
+        bounds = np.array(
+            [0] + [hi for _, hi in block_ranges(graph.n, 3)]
+        )
+        cells = graph.cell_nnz(4, bounds)
+        assert cells.shape == (4, 3)
+        assert cells.sum() == graph.nnz
+
+    def test_cells_match_distributed_blocks(self, dataset, graph):
+        mesh = make_runtime_for("2d", 4).mesh2d
+        blocks = distribute_sparse_2d(dataset.adjacency, mesh)
+        bounds = np.array(
+            [0] + [hi for _, hi in block_ranges(graph.n, 2)]
+        )
+        cells = graph.cell_nnz(2, bounds)
+        for i in range(2):
+            for j in range(2):
+                assert cells[i, j] == blocks[mesh.rank_of(i, j)].nnz
+
+    def test_uniform_mode_partitions_nnz(self):
+        gm = GraphModel.uniform(1000, 12345)
+        assert not gm.exact
+        bounds = np.array([0, 300, 1000])
+        cells = gm.cell_nnz(5, bounds)
+        assert cells.sum() == pytest.approx(12345)
+
+    def test_coerce_accepts_published_name(self):
+        gm = GraphModel.coerce("reddit")
+        assert gm.n == 232965
+        assert not gm.exact
+        assert gm.features and gm.n_classes
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError, match="GraphModel"):
+            GraphModel.coerce(3.14)
+
+    def test_nonzero_rows_oracle_exact(self, dataset, graph):
+        dense = dataset.adjacency.to_dense()
+        bounds = block_ranges(graph.n, 4)
+        expect = [
+            int(np.count_nonzero(dense[:, lo:hi].any(axis=1)))
+            for lo, hi in bounds
+        ]
+        got = graph.col_block_nonzero_rows(4)
+        assert list(got) == expect
+
+
+class TestMachines:
+    def test_presets_registered(self):
+        assert set(list_machines()) == {"summit", "cori-gpu", "ethernet"}
+        for name in list_machines():
+            assert get_machine(name).name == name
+
+    def test_get_machine_accepts_profile(self):
+        prof = get_machine("ethernet")
+        assert get_machine(prof) is prof
+
+    def test_default_is_summit(self):
+        assert get_machine(None).name == "summit"
+
+    def test_congestion_grows_with_span(self):
+        eth = get_machine("ethernet")
+        assert eth.congestion_per_doubling > 0
+        b64 = eth.beta_effective(64)
+        b4096 = eth.beta_effective(4096)
+        assert b4096 > b64 > eth.beta_for_span(64)
+
+    def test_summit_has_no_congestion(self):
+        summit = get_machine("summit")
+        for span in (2, 6, 64, 16384):
+            assert summit.beta_effective(span) == summit.beta_for_span(span)
+
+    def test_machines_rank_a_bandwidth_bound_epoch(self):
+        """Slower networks predict slower epochs, same schedule."""
+        gm = GraphModel.uniform(1 << 16, 1 << 20, features=64, n_classes=8)
+        secs = {
+            m: predict_epoch("1d", gm, 256, machine=m).seconds
+            for m in ("summit", "cori-gpu", "ethernet")
+        }
+        assert secs["summit"] < secs["cori-gpu"] < secs["ethernet"]
+
+
+class TestSweep:
+    def test_full_grid_under_ten_seconds_with_valid_json(self):
+        """The ISSUE 2 acceptance sweep: 4 algorithms x 3 machines x P up
+        to 16384, in seconds, emitting valid JSON."""
+        gm = GraphModel.from_published("reddit")
+        t0 = time.perf_counter()
+        result = sweep(gm)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 10.0
+        assert max(result.ps) >= 16384
+        assert set(result.machines) == {"summit", "cori-gpu", "ethernet"}
+        assert set(result.algorithms) == set(ALGORITHMS)
+        doc = json.loads(result.to_json())
+        assert doc["schema"] == "repro-sweep/1"
+        assert len(doc["points"]) == len(result.points)
+        assert doc["winners"]
+        # Every swept (machine, P) has a winner for the one graph.
+        winners = result.winners()
+        for machine in result.machines:
+            for p in result.ps:
+                assert ("reddit", machine, p) in winners
+
+    def test_invalid_p_skipped_not_snapped(self):
+        gm = GraphModel.uniform(4096, 65536, features=32, n_classes=4)
+        result = sweep(gm, ps=(8, 9), machines=("summit",))
+        by_algo = {}
+        for pt in result.points:
+            by_algo.setdefault(pt.algorithm, set()).add(pt.p)
+        assert by_algo["1d"] == {8, 9}
+        assert by_algo["2d"] == {9}       # 8 is not a square
+        assert by_algo["3d"] == {8}       # 9 is not a cube
+
+    def test_default_p_grid_realises_all_meshes(self):
+        assert any(supports_p("3d", p) for p in DEFAULT_P_GRID)
+        assert all(supports_p("2d", p) for p in DEFAULT_P_GRID)
+
+    def test_15d_default_replication_divides_p(self):
+        for p in DEFAULT_P_GRID:
+            c = default_algo_kwargs("1.5d", p)["replication"]
+            assert p % c == 0
+            assert 1 <= c <= max(1, int(np.sqrt(p / 2)) + 1)
+
+    def test_series_are_monotone_in_p_for_volume(self):
+        """Per-epoch per-rank work shrinks with P; total seconds fall
+        until latency dominates -- check the curve is returned sorted."""
+        gm = GraphModel.from_published("reddit")
+        result = sweep(gm, algorithms=("2d",), machines=("summit",),
+                       ps=(16, 64, 256))
+        series = result.series("reddit", "summit", "2d")
+        assert [p for p, _ in series] == [16, 64, 256]
+
+    def test_predict_rejects_invalid_mesh(self, graph):
+        with pytest.raises(ValueError, match="mesh"):
+            predict_epoch("2d", graph, 8, hidden=8)
+
+    def test_predict_requires_widths_for_bare_shapes(self):
+        gm = GraphModel.uniform(1024, 8192)
+        with pytest.raises(ValueError, match="widths"):
+            predict_epoch("1d", gm, 4)
+        point = predict_epoch("1d", gm, 4, widths=(16, 8, 4))
+        assert point.seconds > 0
+
+
+class TestScalingAnalysis:
+    def test_crossover_and_table(self):
+        from repro.analysis.scaling import (
+            crossover_points,
+            format_crossovers,
+            format_scaling_table,
+        )
+
+        gm = GraphModel.from_published("reddit")
+        result = sweep(gm, machines=("summit",), ps=(4, 16, 64, 256))
+        table = format_scaling_table(result, "reddit", "summit")
+        assert "winner" in table and "256" in table
+        crossings = crossover_points(result)
+        text = format_crossovers(result)
+        if crossings:
+            assert crossings[0].winner in ALGORITHMS
+            assert "->" in text
+        else:
+            assert "no winner crossovers" in text
+
+
+class TestSweepGridKwargs:
+    def test_sweep_honours_explicit_rectangular_grid(self):
+        """A per-algorithm grid kwarg lifts the square-P constraint the
+        same way predict_epoch's does."""
+        gm = GraphModel.uniform(4096, 65536, features=32, n_classes=4)
+        result = sweep(
+            gm, algorithms=("2d",), ps=(8, 9), machines=("summit",),
+            algo_kwargs={"2d": {"grid": (2, 4)}},
+        )
+        assert [pt.p for pt in result.points] == [8]  # grid tiles 8, not 9
+
+    def test_sweep_accepts_bare_csr_matrix(self, dataset):
+        result = sweep(dataset.adjacency, algorithms=("1d",), ps=(4,),
+                       machines=("summit",), widths=(12, 8, 3))
+        assert len(result.points) == 1
+
+    def test_sweep_skips_p_where_fixed_replication_cannot_tile(self):
+        gm = GraphModel.uniform(4096, 65536, features=32, n_classes=4)
+        result = sweep(
+            gm, algorithms=("1.5d",), ps=(4, 16), machines=("summit",),
+            algo_kwargs={"1.5d": {"replication": 8}},
+        )
+        assert [pt.p for pt in result.points] == [16]

@@ -114,3 +114,100 @@ class TestReports:
         t = CommTracker(1)
         tracer = StepTracer(t)
         assert "no steps" in tracer.timeline()
+
+
+class TestEdgeCases:
+    """The satellite-task edge cases: empty runs, single steps, failures."""
+
+    def _one_step_tracer(self, seconds=2.5e-6):
+        t = CommTracker(2)
+        tracer = StepTracer(t).install()
+        with t.step_scope():
+            t.charge(0, Category.SPMM, seconds)
+        tracer.uninstall()
+        return tracer
+
+    def test_empty_run_reports(self):
+        t = CommTracker(3)
+        tracer = StepTracer(t).install()
+        tracer.uninstall()
+        assert tracer.timeline() == "(no steps recorded)"
+        assert tracer.top_steps() == []
+        assert tracer.straggler_counts() == {}
+        assert tracer.total_seconds() == 0.0
+        assert tracer.seconds_by_category() == {}
+
+    def test_single_step_timeline_fills_bar(self):
+        tracer = self._one_step_tracer()
+        text = tracer.timeline(width=24)
+        assert "1 step," in text          # singular, one event
+        assert "#" * 24 in text           # scaled against itself: full bar
+        assert "more steps" not in text
+
+    def test_single_step_reports(self):
+        tracer = self._one_step_tracer()
+        assert len(tracer.top_steps(10)) == 1
+        assert tracer.top_steps(0) == []
+        assert tracer.straggler_counts() == {0: 1}
+        assert tracer.events[0].dominant_category == Category.SPMM
+
+    def test_timeline_rejects_degenerate_dimensions(self):
+        tracer = self._one_step_tracer()
+        with pytest.raises(ValueError, match="width"):
+            tracer.timeline(width=0)
+        with pytest.raises(ValueError, match="max_rows"):
+            tracer.timeline(max_rows=0)
+
+    def test_timeline_truncates_with_marker(self):
+        t = CommTracker(1)
+        tracer = StepTracer(t).install()
+        for _ in range(5):
+            with t.step_scope():
+                t.charge(0, Category.MISC, 1e-6)
+        tracer.uninstall()
+        text = tracer.timeline(max_rows=2)
+        assert "... 3 more steps" in text
+        assert text.count("step ") == 2
+
+    def test_top_steps_ranks_all_categories(self):
+        t = CommTracker(2)
+        tracer = StepTracer(t).install()
+        for rank, cat, sec in (
+            (0, Category.DCOMM, 3e-6),
+            (1, Category.SPMM, 9e-6),
+            (0, Category.MISC, 1e-6),
+        ):
+            with t.step_scope():
+                t.charge(rank, cat, sec)
+        tracer.uninstall()
+        top = tracer.top_steps(2)
+        assert [e.dominant_category for e in top] == [
+            Category.SPMM, Category.DCOMM
+        ]
+
+    def test_straggler_counts_mark_balanced_steps(self):
+        t = CommTracker(2)
+        tracer = StepTracer(t).install()
+        with t.step_scope():  # perfectly balanced: both ranks equal
+            t.charge(0, Category.DCOMM, 5e-6)
+            t.charge(1, Category.DCOMM, 5e-6)
+        with t.step_scope():  # rank 1 straggles
+            t.charge(0, Category.SPMM, 1e-6)
+            t.charge(1, Category.SPMM, 8e-6)
+        tracer.uninstall()
+        assert tracer.straggler_counts() == {-1: 1, 1: 1}
+        assert tracer.events[0].balanced
+        assert not tracer.events[1].balanced
+
+    def test_exception_mid_step_keeps_trace_and_ledger_aligned(self):
+        """A failing step must itemise whatever it charged: the tracker's
+        finally-block records the charges, so the tracer must too."""
+        t = CommTracker(2)
+        tracer = StepTracer(t).install()
+        with pytest.raises(RuntimeError, match="boom"):
+            with t.step_scope():
+                t.charge(0, Category.DCOMM, 4e-6)
+                raise RuntimeError("boom")
+        tracer.uninstall()
+        assert len(tracer.events) == 1
+        assert tracer.total_seconds() == pytest.approx(t.wall_seconds())
