@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Perf guard: compare a fresh bench JSON against the committed baseline.
+
+Fails (exit 1) when any benchmark's ``mean_s`` regressed by more than
+``--threshold`` (default 2x -- generous on purpose: CI machines are
+noisy and differ from the machine that produced the baseline, so this
+catches order-of-magnitude fast-path regressions, not percent-level
+drift).  Benchmarks present on only one side are reported and skipped.
+
+Usage::
+
+    python benchmarks/check_regression.py FRESH.json BASELINE.json
+    python benchmarks/check_regression.py FRESH.json BASELINE.json --threshold 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def load_means(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return {
+        b["name"]: b["mean_s"]
+        for b in payload.get("benchmarks", [])
+        if b.get("status") == "ok" and b.get("mean_s")
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly generated bench JSON")
+    parser.add_argument("baseline", help="committed baseline bench JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when fresh mean_s exceeds baseline "
+                             "mean_s by this factor (default 2.0)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        print("--threshold must be positive", file=sys.stderr)
+        return 2
+
+    fresh = load_means(args.fresh)
+    baseline = load_means(args.baseline)
+    shared = sorted(set(fresh) & set(baseline))
+    if not shared:
+        print("no benchmarks in common between fresh and baseline",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'benchmark':45s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
+    for name in shared:
+        ratio = fresh[name] / baseline[name]
+        flag = "  <-- REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:45s} {baseline[name] * 1e3:10.2f}ms "
+              f"{fresh[name] * 1e3:10.2f}ms {ratio:6.2f}x{flag}")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+    for name in sorted(set(fresh) ^ set(baseline)):
+        side = "fresh" if name in fresh else "baseline"
+        print(f"{name:45s} (only in {side}; skipped)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.1f}x:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.threshold:.1f}x across "
+          f"{len(shared)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

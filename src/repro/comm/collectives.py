@@ -14,6 +14,23 @@ Each collective does two things:
    critical-path bytes and modeled seconds; this matches the paper's
    convention of quoting *per-process* communication cost.
 
+Data movement is **copy-on-write**: by default every receiving rank gets a
+*read-only view* of the transmitted payload (``ndarray.flags.writeable =
+False``) -- one buffer stands in for the P identical buffers a real
+cluster would hold, so the single-process simulation stops paying P deep
+copies per collective, and an in-place write through any *received*
+payload raises instead of silently corrupting the peers sharing it.
+That protection is one-directional: the sender still holds its original
+writable buffer, so a caller that mutates a payload *after* sending it
+would change what every receiver sees -- senders must treat transmitted
+buffers as frozen (every algorithm in :mod:`repro.dist` does), or pass
+``materialize=True`` to recover the historical private-writable-copy
+semantics.  Sparse blocks (:class:`CSRMatrix`) are structurally
+immutable throughout the codebase and are shared as-is, which also
+preserves their cached ``to_scipy()`` wrapper across epochs.  The
+charged bytes and modeled seconds are **identical** either way -- the
+ledger models the real machine, not the simulation shortcut.
+
 Payloads may be ``numpy.ndarray`` (dense blocks), objects exposing an
 ``nbytes_on_wire`` attribute (our CSR blocks), or ``None`` (empty
 contribution).  Reductions require dense arrays of identical shape.
@@ -21,12 +38,12 @@ contribution).  Reductions require dense arrays of identical shape.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm import cost_model as cm
-from repro.comm.mesh import validate_group
+from repro.comm.plan import CommPlan
 from repro.comm.tracker import Category, CommTracker
 from repro.config import INDEX_BYTES, MachineProfile
 
@@ -50,13 +67,29 @@ def payload_nbytes(payload: Any) -> int:
 
 
 def _copy(payload: Any) -> Any:
-    """Simulate receipt: a rank gets its own buffer, never an alias."""
+    """Materialised receipt: a rank gets its own private buffer."""
     if payload is None:
         return None
     copy = getattr(payload, "copy", None)
     if copy is None:
         raise TypeError(f"payload of type {type(payload).__name__} is not copyable")
     return copy()
+
+
+def _readonly(payload: Any) -> Any:
+    """Copy-on-write receipt: a shared read-only view of the payload.
+
+    Dense arrays come back as views with the writeable flag cleared, so
+    an accidental in-place mutation raises instead of corrupting every
+    peer that shares the buffer.  Sparse blocks and ``None`` pass through
+    unchanged (CSR blocks are structurally immutable by convention --
+    every operation returns a new matrix).
+    """
+    if isinstance(payload, np.ndarray):
+        view = payload.view()
+        view.flags.writeable = False
+        return view
+    return payload
 
 
 class Collectives:
@@ -69,28 +102,59 @@ class Collectives:
 
         received = coll.broadcast(row_group, root=r, value=block,
                                   category=Category.SCOMM)
+
+    Group validation and reduction scratch go through a
+    :class:`~repro.comm.plan.CommPlan`, so steady-state epochs hit caches
+    instead of re-deriving the same structure every call.
     """
 
-    def __init__(self, profile: MachineProfile, tracker: CommTracker):
+    def __init__(self, profile: MachineProfile, tracker: CommTracker,
+                 plan: Optional[CommPlan] = None):
         self.profile = profile
         self.tracker = tracker
         self.world_size = tracker.nranks
+        self.plan = plan if plan is not None else CommPlan(tracker.nranks)
+        # Alpha-beta costs are pure functions of (payload bytes, group
+        # size, flags) for a fixed profile, and the executed epochs walk
+        # the same payload shapes every time -- so each distinct cost is
+        # computed once.  Bounded by the number of distinct payload
+        # sizes, which is small and static per run.
+        self._cost_cache: Dict[tuple, cm.CollectiveCost] = {}
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _group(self, group: Sequence[int]):
+        return self.plan.group(group)
+
+    def _cost(self, kind: str, fn, nbytes: int, p: int,
+              *flags) -> cm.CollectiveCost:
+        key = (kind, nbytes, p) + flags
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = fn(self.profile, nbytes, p, *flags,
+                      span=self.world_size)
+            self._cost_cache[key] = cost
+        return cost
+
+    def _p2p_cost(self, nbytes: int) -> cm.CollectiveCost:
+        key = ("p2p", nbytes)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = cm.p2p_cost(self.profile, nbytes, span=self.world_size)
+            self._cost_cache[key] = cost
+        return cost
+
     def _charge_group(
         self, group: Sequence[int], category: str, cost: cm.CollectiveCost
     ) -> None:
-        with self.tracker.step_scope():
-            for rank in group:
-                self.tracker.charge(
-                    rank,
-                    category,
-                    cost.seconds,
-                    nbytes=cost.bytes_critical,
-                    messages=cost.messages,
-                )
+        self.tracker.charge_group(
+            group,
+            category,
+            cost.seconds,
+            nbytes=cost.bytes_critical,
+            messages=cost.messages,
+        )
 
     @staticmethod
     def _require_dense(payload: Any, what: str) -> np.ndarray:
@@ -109,21 +173,60 @@ class Collectives:
         value: Any,
         category: str = Category.DCOMM,
         pipelined: bool = False,
+        materialize: bool = False,
     ) -> Dict[int, Any]:
         """Broadcast ``value`` from ``root`` to every rank in ``group``.
 
-        Returns ``{rank: copy_of_value}``; the root keeps the original
-        object (no self-send).  ``pipelined=True`` models SUMMA's pipelined
-        broadcast, dropping the ``lg p`` latency factor (Section IV-C).
+        Returns ``{rank: payload}`` where every payload is one shared
+        read-only view of ``value`` (``materialize=True``: the root keeps
+        the original object and every other rank gets a private writable
+        copy).  ``pipelined=True`` models SUMMA's pipelined broadcast,
+        dropping the ``lg p`` latency factor (Section IV-C).
         """
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         if root not in group:
             raise ValueError(f"root {root} not in group {group}")
         nbytes = payload_nbytes(value)
-        cost = cm.broadcast_cost(self.profile, nbytes, len(group), pipelined,
-                                 span=self.world_size)
+        cost = self._cost("bc", cm.broadcast_cost, nbytes, len(group),
+                          pipelined)
         self._charge_group(group, category, cost)
-        return {r: (value if r == root else _copy(value)) for r in group}
+        if materialize:
+            return {r: (value if r == root else _copy(value)) for r in group}
+        shared = _readonly(value)
+        return {r: shared for r in group}
+
+    def broadcast_many(
+        self,
+        items: Sequence[Tuple[Sequence[int], int, Any]],
+        category: str = Category.DCOMM,
+        pipelined: bool = False,
+    ) -> list:
+        """Concurrent broadcasts over disjoint groups, charged as one step.
+
+        ``items`` holds ``(group, root, value)`` triples -- the shape of a
+        SUMMA stage, where every process row (or column) broadcasts its
+        piece at once.  Returns the received payload per item (one shared
+        read-only view each; every rank of the item's group receives that
+        same buffer).  Exactly equivalent to calling :meth:`broadcast`
+        per item inside one ``step_scope``, minus the per-call and
+        per-rank dictionary overhead.
+        """
+        tracker = self.tracker
+        out = []
+        with tracker.step_scope():
+            for group, root, value in items:
+                group = self._group(group)
+                if root not in group:
+                    raise ValueError(f"root {root} not in group {group}")
+                nbytes = payload_nbytes(value)
+                cost = self._cost("bc", cm.broadcast_cost, nbytes,
+                                  len(group), pipelined)
+                tracker.charge_group(
+                    group, category, cost.seconds,
+                    nbytes=cost.bytes_critical, messages=cost.messages,
+                )
+                out.append(_readonly(value))
+        return out
 
     def sendrecv(
         self,
@@ -131,38 +234,138 @@ class Collectives:
         dst: int,
         value: Any,
         category: str = Category.DCOMM,
+        materialize: bool = False,
     ) -> Any:
-        """Point-to-point send; returns the copy that ``dst`` receives."""
-        validate_group([src, dst] if src != dst else [src], self.world_size)
+        """Point-to-point send; returns what ``dst`` receives (a shared
+        read-only view by default, a private copy with ``materialize``)."""
+        self._group((src, dst) if src != dst else (src,))
         if src == dst:
             return value
         nbytes = payload_nbytes(value)
-        cost = cm.p2p_cost(self.profile, nbytes, span=self.world_size)
+        cost = self._p2p_cost(nbytes)
         with self.tracker.step_scope():
             self.tracker.charge(src, category, cost.seconds, nbytes=0,
                                 messages=cost.messages)
             self.tracker.charge(dst, category, cost.seconds, nbytes=nbytes,
                                 messages=cost.messages)
-        return _copy(value)
+        return _copy(value) if materialize else _readonly(value)
+
+    def broadcast_charges(
+        self,
+        items: Sequence[Tuple[Sequence[int], int, Any]],
+        pipelined: bool = False,
+    ) -> list:
+        """Flattened per-rank charge tuples for a broadcast set.
+
+        The executed epochs broadcast the same payload shapes over the
+        same groups every time, so algorithms precompute this list once
+        and replay it with :meth:`CommTracker.charge_many` -- identical
+        ledger, none of the per-epoch cost/validation work.  Tuples are
+        ``(rank, seconds, nbytes, messages, flops)``.
+        """
+        flat = []
+        for group, root, value in items:
+            group = self._group(group)
+            if root not in group:
+                raise ValueError(f"root {root} not in group {group}")
+            cost = self._cost("bc", cm.broadcast_cost,
+                              payload_nbytes(value), len(group), pipelined)
+            flat.extend(
+                (r, cost.seconds, cost.bytes_critical, cost.messages, 0)
+                for r in group
+            )
+        return flat
+
+    def reduce_scatter_charges(
+        self, items: Sequence[Tuple[Sequence[int], int]]
+    ) -> list:
+        """Flattened charge tuples for a reduce-scatter set.
+
+        ``items`` holds ``(group, reduced_nbytes)`` pairs (see
+        :meth:`broadcast_charges` for the replay-caching rationale).
+        """
+        flat = []
+        for group, nbytes in items:
+            group = self._group(group)
+            cost = self._cost("rs", cm.reduce_scatter_cost, int(nbytes),
+                              len(group))
+            flat.extend(
+                (r, cost.seconds, cost.bytes_critical, cost.messages, 0)
+                for r in group
+            )
+        return flat
+
+    def sendrecv_charges(
+        self, items: Sequence[Tuple[int, int, Any]]
+    ) -> list:
+        """Flattened charge tuples for a point-to-point exchange set
+        (see :meth:`broadcast_charges`); self-sends charge nothing."""
+        flat = []
+        for src, dst, value in items:
+            if src == dst:
+                self._group((src,))
+                continue
+            self._group((src, dst))
+            nbytes = payload_nbytes(value)
+            cost = self._p2p_cost(nbytes)
+            flat.append((src, cost.seconds, 0, cost.messages, 0))
+            flat.append((dst, cost.seconds, nbytes, cost.messages, 0))
+        return flat
+
+    def sendrecv_many(
+        self,
+        items: Sequence[Tuple[int, int, Any]],
+        category: str = Category.DCOMM,
+    ) -> list:
+        """Concurrent point-to-point exchanges, charged as one step.
+
+        ``items`` holds ``(src, dst, value)`` triples (e.g. the Split-3D
+        fiber-plane exchange); returns what each ``dst`` receives, in
+        item order.  Equivalent to per-item :meth:`sendrecv` calls inside
+        one ``step_scope``; self-sends pass the value through uncharged,
+        exactly as :meth:`sendrecv` does.
+        """
+        tracker = self.tracker
+        out = []
+        with tracker.step_scope():
+            for src, dst, value in items:
+                if src == dst:
+                    self._group((src,))
+                    out.append(value)
+                    continue
+                self._group((src, dst))
+                nbytes = payload_nbytes(value)
+                cost = self._p2p_cost(nbytes)
+                tracker.charge(src, category, cost.seconds, nbytes=0,
+                               messages=cost.messages)
+                tracker.charge(dst, category, cost.seconds, nbytes=nbytes,
+                               messages=cost.messages)
+                out.append(_readonly(value))
+        return out
 
     def allgather(
         self,
         group: Sequence[int],
         values: Mapping[int, Any],
         category: str = Category.DCOMM,
+        materialize: bool = False,
     ) -> Dict[int, list]:
         """Every rank receives the list of all group contributions (in
-        group order).  Result payloads are copies except each rank's own."""
-        group = validate_group(group, self.world_size)
+        group order).  Payloads are shared read-only views by default;
+        with ``materialize`` each rank gets private copies (except its
+        own contribution)."""
+        group = self._group(group)
         self._check_contributions(group, values)
         total = sum(payload_nbytes(values[r]) for r in group)
-        cost = cm.allgather_cost(self.profile, total, len(group),
-                                 span=self.world_size)
+        cost = self._cost("ag", cm.allgather_cost, total, len(group))
         self._charge_group(group, category, cost)
-        return {
-            r: [values[s] if s == r else _copy(values[s]) for s in group]
-            for r in group
-        }
+        if materialize:
+            return {
+                r: [values[s] if s == r else _copy(values[s]) for s in group]
+                for r in group
+            }
+        shared = [_readonly(values[s]) for s in group]
+        return {r: list(shared) for r in group}
 
     def gather(
         self,
@@ -170,17 +373,19 @@ class Collectives:
         values: Mapping[int, Any],
         root: int,
         category: str = Category.DCOMM,
+        materialize: bool = False,
     ) -> list:
         """Root receives the list of all contributions, in group order."""
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         if root not in group:
             raise ValueError(f"root {root} not in group {group}")
         self._check_contributions(group, values)
         total = sum(payload_nbytes(values[r]) for r in group)
-        cost = cm.gather_cost(self.profile, total, len(group),
-                              span=self.world_size)
+        cost = self._cost("ga", cm.gather_cost, total, len(group))
         self._charge_group(group, category, cost)
-        return [values[s] if s == root else _copy(values[s]) for s in group]
+        if materialize:
+            return [values[s] if s == root else _copy(values[s]) for s in group]
+        return [_readonly(values[s]) for s in group]
 
     def scatter(
         self,
@@ -188,9 +393,10 @@ class Collectives:
         shards: Sequence[Any],
         root: int,
         category: str = Category.DCOMM,
+        materialize: bool = False,
     ) -> Dict[int, Any]:
         """Root distributes ``shards[i]`` to the i-th rank of ``group``."""
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         if root not in group:
             raise ValueError(f"root {root} not in group {group}")
         if len(shards) != len(group):
@@ -198,13 +404,14 @@ class Collectives:
                 f"got {len(shards)} shards for a group of {len(group)}"
             )
         total = sum(payload_nbytes(s) for s in shards)
-        cost = cm.scatter_cost(self.profile, total, len(group),
-                               span=self.world_size)
+        cost = self._cost("sc", cm.scatter_cost, total, len(group))
         self._charge_group(group, category, cost)
-        return {
-            r: (shards[i] if r == root else _copy(shards[i]))
-            for i, r in enumerate(group)
-        }
+        if materialize:
+            return {
+                r: (shards[i] if r == root else _copy(shards[i]))
+                for i, r in enumerate(group)
+            }
+        return {r: _readonly(shards[i]) for i, r in enumerate(group)}
 
     def allreduce(
         self,
@@ -212,20 +419,31 @@ class Collectives:
         values: Mapping[int, np.ndarray],
         category: str = Category.DCOMM,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        materialize: bool = False,
+        donate_first: bool = False,
     ) -> Dict[int, np.ndarray]:
         """Elementwise reduction of same-shape arrays; all ranks get it.
 
         The default op is addition -- the semiring-overloadable aggregation
         the paper mentions (Combinatorial BLAS / CTF semiring interface).
+        Every rank receives the *same* read-only reduced array (one
+        buffer, not P copies); ``materialize=True`` hands each rank a
+        private writable copy.  ``donate_first=True`` lets the reduction
+        accumulate directly into the leading rank's contribution buffer
+        (NCCL-style in-place all-reduce) -- only for callers that own
+        that buffer exclusively and discard it afterwards.
         """
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         self._check_contributions(group, values)
-        acc = self._reduce_arrays(group, values, op)
+        acc = self._reduce_arrays(group, values, op,
+                                  donate_first=donate_first)
         nbytes = int(acc.nbytes)
-        cost = cm.allreduce_cost(self.profile, nbytes, len(group),
-                                 span=self.world_size)
+        cost = self._cost("ar", cm.allreduce_cost, nbytes, len(group))
         self._charge_group(group, category, cost)
-        return {r: acc.copy() for r in group}
+        if materialize:
+            return {r: acc.copy() for r in group}
+        shared = _readonly(acc)
+        return {r: shared for r in group}
 
     def reduce(
         self,
@@ -235,14 +453,14 @@ class Collectives:
         category: str = Category.DCOMM,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
     ) -> np.ndarray:
-        """Reduction to a single root rank."""
-        group = validate_group(group, self.world_size)
+        """Reduction to a single root rank (root owns the fresh buffer)."""
+        group = self._group(group)
         if root not in group:
             raise ValueError(f"root {root} not in group {group}")
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op)
-        cost = cm.reduce_cost(self.profile, int(acc.nbytes), len(group),
-                              span=self.world_size)
+        cost = self._cost("re", cm.reduce_cost, int(acc.nbytes),
+                          len(group))
         self._charge_group(group, category, cost)
         return acc
 
@@ -253,6 +471,7 @@ class Collectives:
         category: str = Category.DCOMM,
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        materialize: bool = False,
     ) -> Dict[int, np.ndarray]:
         """Reduce same-shape arrays, then scatter shards along ``axis``.
 
@@ -261,12 +480,17 @@ class Collectives:
         This is the operation the 1D backward pass uses to turn per-rank
         ``n x f`` outer-product partials into a block-row-distributed
         ``G^{l-1}`` (Section IV-A.3).
+
+        The reduction runs in place over one freshly-owned contiguous
+        accumulator and the returned shards are read-only views into it
+        (zero shard copies); ``materialize=True`` returns private
+        contiguous copies instead.
         """
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op)
         return self._reduce_scatter_impl(
-            group, acc, int(acc.nbytes), category, axis
+            group, acc, int(acc.nbytes), category, axis, materialize
         )
 
     def _reduce_scatter_impl(
@@ -276,14 +500,28 @@ class Collectives:
         wire_nbytes: int,
         category: str,
         axis: int,
+        materialize: bool,
     ) -> Dict[int, np.ndarray]:
         """Charge and shard a reduced array (dense/sparse charging paths
         share everything except the wire size)."""
-        cost = cm.reduce_scatter_cost(self.profile, wire_nbytes,
-                                      len(group), span=self.world_size)
+        cost = self._cost("rs", cm.reduce_scatter_cost, wire_nbytes,
+                          len(group))
         self._charge_group(group, category, cost)
-        shards = np.array_split(acc, len(group), axis=axis)
-        return {r: np.ascontiguousarray(shards[i]) for i, r in enumerate(group)}
+        bounds = self.plan.split(acc.shape[axis], len(group))
+        if axis == 0:
+            shards = [acc[lo:hi] for lo, hi in bounds]
+        else:
+            index = [slice(None)] * acc.ndim
+            shards = []
+            for lo, hi in bounds:
+                index[axis] = slice(lo, hi)
+                shards.append(acc[tuple(index)])
+        if materialize:
+            return {
+                r: np.ascontiguousarray(shards[i])
+                for i, r in enumerate(group)
+            }
+        return {r: _readonly(shards[i]) for i, r in enumerate(group)}
 
     def sparse_reduce_scatter(
         self,
@@ -292,6 +530,7 @@ class Collectives:
         category: str = Category.DCOMM,
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        materialize: bool = False,
     ) -> Dict[int, np.ndarray]:
         """Reduce-scatter that ships only the nonzero rows of each input.
 
@@ -304,7 +543,7 @@ class Collectives:
         charged wire size changes -- "sparse routing changes bytes, never
         numerics".
         """
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op)
         # Critical-path buffer size: the largest sparse contribution
@@ -316,17 +555,20 @@ class Collectives:
             nz_rows = int(np.count_nonzero(arr.any(axis=1 - axis)))
             row_bytes = arr.nbytes // max(arr.shape[axis], 1)
             wire = max(wire, nz_rows * (row_bytes + INDEX_BYTES))
-        return self._reduce_scatter_impl(group, acc, int(wire), category, axis)
+        return self._reduce_scatter_impl(
+            group, acc, int(wire), category, axis, materialize
+        )
 
     def alltoall(
         self,
         group: Sequence[int],
         buckets: Mapping[int, Sequence[Any]],
         category: str = Category.DCOMM,
+        materialize: bool = False,
     ) -> Dict[int, list]:
         """Personalised exchange: rank ``group[i]`` sends ``buckets[gi][j]``
         to ``group[j]``; each receiver gets contributions in sender order."""
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         p = len(group)
         for r in group:
             if r not in buckets:
@@ -338,26 +580,27 @@ class Collectives:
         total = max(
             sum(payload_nbytes(b) for b in buckets[r]) for r in group
         )
-        cost = cm.alltoall_cost(self.profile, total, p, span=self.world_size)
+        cost = self._cost("aa", cm.alltoall_cost, total, p)
         self._charge_group(group, category, cost)
         out: Dict[int, list] = {}
         for j, dst in enumerate(group):
-            out[dst] = [
-                buckets[src][j] if src == dst else _copy(buckets[src][j])
-                for src in group
-            ]
+            if materialize:
+                out[dst] = [
+                    buckets[src][j] if src == dst else _copy(buckets[src][j])
+                    for src in group
+                ]
+            else:
+                out[dst] = [_readonly(buckets[src][j]) for src in group]
         return out
 
     def barrier(self, group: Sequence[int]) -> None:
         """Synchronise a group; charged as a zero-byte allreduce latency."""
-        group = validate_group(group, self.world_size)
+        group = self._group(group)
         if len(group) <= 1:
             return
         alpha = self.profile.alpha_for_span(len(group))
         lat = 2 * alpha * max(1.0, np.log2(len(group)))
-        with self.tracker.step_scope():
-            for rank in group:
-                self.tracker.charge(rank, Category.MISC, lat, messages=1)
+        self.tracker.charge_group(group, Category.MISC, lat, messages=1)
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -373,14 +616,34 @@ class Collectives:
         group: Sequence[int],
         values: Mapping[int, np.ndarray],
         op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        donate_first: bool = False,
     ) -> np.ndarray:
+        """Reduce the group's arrays into one freshly-owned accumulator.
+
+        The accumulator is allocated once and ufunc ops accumulate into
+        it in place (``op(acc, arr, out=acc)``) -- the historical
+        ``acc = op(acc, arr)`` chain allocated a fresh array per rank.
+        The result buffer is fresh (never a shared workspace) because
+        reduction results escape the call: gradients from consecutive
+        layers may share a shape, and handing both the same scratch
+        buffer would corrupt the earlier one.  ``donate_first`` callers
+        assert exclusive ownership of the leading contribution, letting
+        it serve as the accumulator directly.
+        """
         first = self._require_dense(values[group[0]], "reduction")
-        acc = first.copy()
+        if donate_first and first.flags.writeable:
+            acc = first
+        else:
+            acc = first.copy()
+        in_place = isinstance(op, np.ufunc)
         for r in group[1:]:
             arr = self._require_dense(values[r], "reduction")
             if arr.shape != acc.shape:
                 raise ValueError(
                     f"reduction shape mismatch: {arr.shape} vs {acc.shape}"
                 )
-            acc = op(acc, arr)
+            if in_place:
+                op(acc, arr, out=acc)
+            else:
+                acc = op(acc, arr)
         return acc

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.comm.collectives import Collectives
 from repro.comm.mesh import Mesh1D, Mesh2D, Mesh3D, ProcessMesh
+from repro.comm.plan import CommPlan
 from repro.comm.tracker import Category, CommTracker
 from repro.config import MachineProfile, SUMMIT
 
@@ -46,7 +47,8 @@ class VirtualRuntime:
         self.mesh = mesh
         self.profile = profile if profile is not None else SUMMIT
         self.tracker = CommTracker(mesh.size)
-        self.coll = Collectives(self.profile, self.tracker)
+        self.plan = CommPlan(mesh.size, mesh)
+        self.coll = Collectives(self.profile, self.tracker, plan=self.plan)
 
     # ------------------------------------------------------------------ #
     # constructors

@@ -18,10 +18,9 @@ supports that reduction via :meth:`CommTracker.step_scope`.
 
 from __future__ import annotations
 
-import contextlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 __all__ = ["Category", "CommTracker", "CategoryTotals"]
 
@@ -63,6 +62,47 @@ class CategoryTotals:
             self.messages + other.messages,
             self.flops + other.flops,
         )
+
+
+class _StepScope:
+    """Context manager delimiting one bulk-synchronous step.
+
+    Only the outermost scope "owns" the step: nested scopes are no-ops on
+    enter and exit, flattening into the owner exactly as the previous
+    generator-based implementation did.
+    """
+
+    __slots__ = ("_tracker", "_owner")
+
+    def __init__(self, tracker: "CommTracker"):
+        self._tracker = tracker
+        self._owner = False
+
+    def __enter__(self) -> None:
+        tracker = self._tracker
+        if tracker._step is None:
+            tracker._step = [{} for _ in range(tracker.nranks)]
+            self._owner = True
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._owner:
+            return False
+        tracker = self._tracker
+        step, tracker._step = tracker._step, None
+        slowest = None
+        worst = 0.0
+        for rank_step in step:
+            if rank_step:
+                total = sum(rank_step.values())
+                if total > worst:
+                    worst = total
+                    slowest = rank_step
+        if slowest is not None:
+            wall = tracker.wall
+            for category, secs in slowest.items():
+                wall[category] += secs
+        tracker._nsteps += 1
+        return False
 
 
 class CommTracker:
@@ -121,32 +161,119 @@ class CommTracker:
             self.wall[category] += seconds
             self._nsteps += 1
 
-    @contextlib.contextmanager
-    def step_scope(self) -> Iterator[None]:
+    def charge_group(
+        self,
+        ranks: Sequence[int],
+        category: str,
+        seconds: float,
+        nbytes: int = 0,
+        messages: int = 0,
+        flops: int = 0,
+    ) -> None:
+        """Charge every rank in ``ranks`` the *same* amounts, in one call.
+
+        The batched fast path for collectives: argument checks run once
+        per call instead of once per rank, and the per-phase counters are
+        accumulated in plain locals before touching the ledger dicts.
+        Outside a :meth:`step_scope` the whole group charge forms one
+        bulk-synchronous step (every rank worked the same ``seconds``, so
+        the step's max is ``seconds`` -- exactly what wrapping the
+        per-rank loop in a scope used to record; the scope is entered via
+        ``self.step_scope`` so a :class:`~repro.comm.trace.StepTracer`
+        still itemises it).  The resulting per-rank ledger is
+        byte-for-byte identical to the per-rank loop.
+        """
+        if category not in Category.ALL:
+            raise ValueError(f"unknown category {category!r}; use Category.*")
+        if seconds < 0 or nbytes < 0:
+            raise ValueError("negative charge")
+        if self._step is None:
+            with self.step_scope():
+                self._charge_group_in_step(
+                    ranks, category, seconds, nbytes, messages, flops
+                )
+        else:
+            self._charge_group_in_step(
+                ranks, category, seconds, nbytes, messages, flops
+            )
+
+    def charge_many(self, category: str, items: Sequence[tuple]) -> None:
+        """Batched per-rank charges forming one bulk-synchronous step.
+
+        ``items`` holds ``(rank, seconds, nbytes, messages, flops)``
+        tuples -- the shape the distributed algorithms cache for their
+        static per-stage kernel charges, so steady-state epochs charge
+        straight from the precomputed list.  Semantics match issuing the
+        individual :meth:`charge` calls inside one :meth:`step_scope`.
+        """
+        if category not in Category.ALL:
+            raise ValueError(f"unknown category {category!r}; use Category.*")
+        if self._step is None:
+            with self.step_scope():
+                self._charge_many_in_step(category, items)
+        else:
+            self._charge_many_in_step(category, items)
+
+    def _charge_many_in_step(self, category: str, items) -> None:
+        nranks = self.nranks
+        per_rank = self.per_rank
+        step = self._step
+        for rank, seconds, nbytes, messages, flops in items:
+            if not 0 <= rank < nranks:
+                raise IndexError(
+                    f"rank {rank} out of range (nranks={nranks})"
+                )
+            if seconds < 0 or nbytes < 0:
+                raise ValueError("negative charge")
+            t = per_rank[rank][category]
+            t.seconds += seconds
+            t.bytes += nbytes
+            t.messages += messages
+            t.flops += flops
+            d = step[rank]
+            d[category] = d.get(category, 0.0) + seconds
+
+    def _charge_group_in_step(
+        self,
+        ranks: Sequence[int],
+        category: str,
+        seconds: float,
+        nbytes: int,
+        messages: int,
+        flops: int,
+    ) -> None:
+        nranks = self.nranks
+        per_rank = self.per_rank
+        step = self._step
+        for rank in ranks:
+            if not 0 <= rank < nranks:
+                raise IndexError(
+                    f"rank {rank} out of range (nranks={nranks})"
+                )
+            t = per_rank[rank][category]
+            t.seconds += seconds
+            t.bytes += nbytes
+            t.messages += messages
+            t.flops += flops
+            d = step[rank]
+            d[category] = d.get(category, 0.0) + seconds
+
+    def step_scope(self) -> "_StepScope":
         """Delimit one bulk-synchronous step.
 
         All charges inside the scope happen "in parallel" across ranks; on
         exit the per-category wall clock advances by the **maximum**
         per-rank time in the step, attributed per category in proportion to
-        the slowest rank's own category split.
+        the slowest rank's own category split.  Nested scopes flatten into
+        the outer step, which keeps call sites composable (an algorithm
+        step may call a helper that also opens a scope).
+
+        Implemented as a small slotted context-manager class rather than a
+        ``contextlib`` generator: scopes delimit every collective and every
+        charged kernel sweep, so the generator machinery was measurable
+        overhead on the executed hot path.
         """
-        if self._step is not None:
-            # Nested scopes flatten into the outer step; this keeps call
-            # sites composable (an algorithm step may call a helper that
-            # also opens a scope).
-            yield
-            return
-        self._step = [dict() for _ in range(self.nranks)]
-        try:
-            yield
-        finally:
-            step, self._step = self._step, None
-            totals = [sum(cat.values()) for cat in step]
-            if any(t > 0 for t in totals):
-                slowest = max(range(self.nranks), key=lambda r: totals[r])
-                for category, secs in step[slowest].items():
-                    self.wall[category] += secs
-            self._nsteps += 1
+        return _StepScope(self)
 
     # ------------------------------------------------------------------ #
     # queries

@@ -126,13 +126,23 @@ class DistGCN1D(BlockRowAlgorithm):
     def _allgather_rows(
         self, blocks: Dict[int, np.ndarray]
     ) -> Dict[int, np.ndarray]:
-        """All ranks receive the full dense matrix (charged all-gather)."""
+        """All ranks receive the full dense matrix (charged all-gather).
+
+        Every rank receives the same contributions, so the full operand
+        is assembled once (into a reused workspace) and shared read-only
+        -- P identical concatenations collapsed into one; the all-gather
+        charge is untouched.
+        """
         received = self.rt.coll.allgather(
             self.world, blocks, category=Category.DCOMM
         )
-        return {
-            r: np.concatenate(received[r], axis=0) for r in self.world
-        }
+        parts = received[self.world[0]]
+        f = parts[0].shape[1]
+        full = self._ws(("gather", f), (self.n, f))
+        np.concatenate(parts, axis=0, out=full)
+        shared = full.view()
+        shared.flags.writeable = False
+        return {r: shared for r in self.world}
 
     def _forward_spmm(
         self, blocks: Dict[int, np.ndarray], f: int
@@ -140,19 +150,23 @@ class DistGCN1D(BlockRowAlgorithm):
         """``A^T X``: gather the full operand, multiply the block row."""
         full = self._allgather_rows(blocks)
         out: Dict[int, np.ndarray] = {}
-        charges = []
         for r in self.world:
-            a_blk = self.a_t_rows[r]
-            out[r] = spmm(a_blk, full[r])
-            charges.append((r, a_blk.nnz, a_blk.nrows, f))
-        self._charge_spmm_step(charges)
+            out[r] = spmm(self.a_t_rows[r], full[r])
+        self._charge_spmm_cached(
+            ("fsp", f),
+            lambda: (
+                (r, self.a_t_rows[r].nnz, self.a_t_rows[r].nrows, f)
+                for r in self.world
+            ),
+        )
         return out
 
     def _pre_backward(self) -> None:
         if self.variant == "transpose":
             # Per-epoch exchange materialising the block rows of A.
             self._charge_transpose_step(
-                (r, self.a_rows[r].nbytes_on_wire) for r in self.world
+                ((r, self.a_rows[r].nbytes_on_wire) for r in self.world),
+                key=("trp",),
             )
 
     def _backward_spmm(
@@ -162,21 +176,27 @@ class DistGCN1D(BlockRowAlgorithm):
         if self.variant in ("symmetric", "transpose"):
             g_full = self._allgather_rows(g_blocks)
             ag_blocks: Dict[int, np.ndarray] = {}
-            charges = []
             for r in self.world:
-                a_blk = self.a_rows[r]
-                ag_blocks[r] = spmm(a_blk, g_full[r])
-                charges.append((r, a_blk.nnz, a_blk.nrows, f_out))
-            self._charge_spmm_step(charges)
+                ag_blocks[r] = spmm(self.a_rows[r], g_full[r])
+            self._charge_spmm_cached(
+                ("bsp", f_out),
+                lambda: (
+                    (r, self.a_rows[r].nnz, self.a_rows[r].nrows, f_out)
+                    for r in self.world
+                ),
+            )
             return ag_blocks
         # Outer-product path: full-height partials, then reduce-scatter.
         partials: Dict[int, np.ndarray] = {}
-        charges = []
         for r in self.world:
-            a_col = self.a_cols[r]
-            partials[r] = spmm(a_col, g_blocks[r])
-            charges.append((r, a_col.nnz, a_col.nrows, f_out))
-        self._charge_spmm_step(charges)
+            partials[r] = spmm(self.a_cols[r], g_blocks[r])
+        self._charge_spmm_cached(
+            ("osp", f_out),
+            lambda: (
+                (r, self.a_cols[r].nnz, self.a_cols[r].nrows, f_out)
+                for r in self.world
+            ),
+        )
         if self.variant == "outer_sparse":
             return self.rt.coll.sparse_reduce_scatter(
                 self.world, partials, category=Category.DCOMM, axis=0

@@ -122,6 +122,16 @@ class DistGCN2D(GridAlgorithm):
         # every epoch re-broadcast the same pieces, so re-slicing per SUMMA
         # stage was pure overhead on the serial hot path.
         self._stage_piece_cache: Dict[str, List[Dict[int, CSRMatrix]]] = {}
+        # Rank -> grid coordinate maps, precomputed: the epoch loops ask
+        # for these thousands of times per epoch.
+        self._out_cols = [self.mesh.coords(r)[1] for r in range(rt.size)]
+        self._rank_row_ranges = [
+            self.row_ranges[self.mesh.coords(r)[0]] for r in range(rt.size)
+        ]
+        plan = self._plan()
+        self._col_group_list = [
+            plan.group(self.mesh.col_group(j)) for j in range(self.pc)
+        ]
 
     # ------------------------------------------------------------------ #
     # GridAlgorithm hooks
@@ -131,16 +141,16 @@ class DistGCN2D(GridAlgorithm):
 
     def _fsplit(self, f: int) -> List[Tuple[int, int]]:
         """Feature-column split (``Pc`` ways, like every dense matrix)."""
-        return block_ranges(f, self.pc)
+        return self._plan().split(f, self.pc)
 
     def _row_groups(self):
         return [self.mesh.row_group(i) for i in range(self.pr)]
 
     def _out_col(self, rank: int) -> int:
-        return self.mesh.coords(rank)[1]
+        return self._out_cols[rank]
 
     def _rank_rows(self, rank: int) -> Tuple[int, int]:
-        return self.row_ranges[self.mesh.coords(rank)[0]]
+        return self._rank_row_ranges[rank]
 
     def _assemble(self, out_full: Dict[int, np.ndarray]) -> np.ndarray:
         """Full output from the row-gathered copies on process column 0."""
@@ -158,8 +168,9 @@ class DistGCN2D(GridAlgorithm):
         Fig. 3 accounts it.
         """
         self._charge_transpose_step(
-            (rank, self.a_blocks[rank].nbytes_on_wire)
-            for rank in self.a_blocks
+            ((rank, self.a_blocks[rank].nbytes_on_wire)
+             for rank in self.a_blocks),
+            key=("trp",),
         )
 
     def _stage_pieces(self, sparse_blocks: Dict[int, CSRMatrix]):
@@ -190,47 +201,72 @@ class DistGCN2D(GridAlgorithm):
         sparse_blocks: Dict[int, CSRMatrix],
         dense_blocks: Dict[int, np.ndarray],
         f: int,
+        ws_key=None,
     ) -> Dict[int, np.ndarray]:
-        """One SUMMA SpMM sweep: ``C(i,j) += S(i,t) D(t,j)`` per stage."""
+        """One SUMMA SpMM sweep: ``C(i,j) += S(i,t) D(t,j)`` per stage.
+
+        Executed fast path: per stage the ``Pc`` dense feature-column
+        pieces are joined once into a full-width operand and each process
+        row runs a single SpMM against it, accumulating into one
+        full-width buffer per row group; rank results are column views.
+        SpMM columns are independent, so per-rank numerics are identical
+        to the per-rank products, and the broadcasts (hence the ledger)
+        are exactly the historical ones.  ``ws_key`` keys the group
+        accumulators into the workspace (per layer for cached results).
+        """
         mesh = self.mesh
         fcols = self._fsplit(f)
-        acc = {
-            mesh.rank_of(i, j): np.zeros(
-                (hi - lo, fcols[j][1] - fcols[j][0])
-            )
-            for i, (lo, hi) in enumerate(self.row_ranges)
-            for j in range(self.pc)
-        }
+        groups = self._row_group_list
+        accs = []
+        for i, (lo, hi) in enumerate(self.row_ranges):
+            if ws_key is not None:
+                acc = self._ws(("gs", ws_key, i), (hi - lo, f))
+                acc.fill(0.0)
+            else:
+                acc = np.zeros((hi - lo, f))
+            accs.append(acc)
+        op_key = "a_t" if sparse_blocks is self.a_t_blocks else "a"
         stage_pieces = self._stage_pieces(sparse_blocks)
-        for (lo, hi, ro, co), pieces in zip(self.stages, stage_pieces):
-            sparse_recv: Dict[int, CSRMatrix] = {}
-            with self.rt.tracker.step_scope():
-                for i in range(self.pr):
-                    root = mesh.rank_of(i, co)
-                    got = self.rt.coll.broadcast(
-                        mesh.row_group(i), root, pieces[root],
-                        category=Category.SCOMM, pipelined=True,
-                    )
-                    sparse_recv.update(got)
+        col_groups = self._col_group_list
+        for st, ((lo, hi, ro, co), pieces) in enumerate(
+            zip(self.stages, stage_pieces)
+        ):
+            sparse_recv = self._broadcast_routed(
+                ("bsch", op_key, st),
+                [(groups[i], mesh.rank_of(i, co)) for i in range(self.pr)],
+                pieces, Category.SCOMM,
+            )
             r0 = self.row_ranges[ro][0]
-            dense_recv: Dict[int, np.ndarray] = {}
-            with self.rt.tracker.step_scope():
-                for j in range(self.pc):
-                    root = mesh.rank_of(ro, j)
-                    piece = dense_blocks[root][lo - r0 : hi - r0, :]
-                    got = self.rt.coll.broadcast(
-                        mesh.col_group(j), root, piece,
-                        category=Category.DCOMM, pipelined=True,
-                    )
-                    dense_recv.update(got)
-            charges = []
-            for rank in acc:
-                sp = sparse_recv[rank]
-                dp = dense_recv[rank]
-                acc[rank] += spmm(sp, dp)
-                charges.append((rank, sp.nnz, sp.nrows, dp.shape[1]))
-            self._charge_spmm_step(charges)
-        return acc
+            dense_pieces = {
+                mesh.rank_of(ro, j):
+                    dense_blocks[mesh.rank_of(ro, j)][lo - r0 : hi - r0, :]
+                for j in range(self.pc)
+            }
+            stage_parts = self._broadcast_routed(
+                ("bdch", f, st),
+                [(col_groups[j], mesh.rank_of(ro, j))
+                 for j in range(self.pc)],
+                dense_pieces, Category.DCOMM,
+            )
+            d_full = self._ws(("gsd", hi - lo), (hi - lo, f))
+            np.concatenate(stage_parts, axis=1, out=d_full)
+            for i in range(self.pr):
+                accs[i] += spmm(sparse_recv[i], d_full)
+
+            def stage_charges():
+                for i in range(self.pr):
+                    sp = sparse_recv[i]
+                    for r in groups[i]:
+                        c0, c1 = fcols[self._out_col(r)]
+                        yield r, sp.nnz, sp.nrows, c1 - c0
+
+            self._charge_spmm_cached(("gsch", op_key, f, st), stage_charges)
+        out: Dict[int, np.ndarray] = {}
+        for i, group in enumerate(groups):
+            for r in group:
+                c0, c1 = fcols[self._out_col(r)]
+                out[r] = accs[i][:, c0:c1]
+        return out
 
     def _stored_dense_rows(self) -> int:
         return max(hi - lo for lo, hi in self.row_ranges)

@@ -74,6 +74,44 @@ class DistGCN3D(GridAlgorithm):
             if self.symmetric
             else distribute_sparse_3d(self.a, self.mesh)
         )
+        # Precomputed coordinate maps and interned communication groups:
+        # the epoch loops consult these thousands of times per epoch.
+        s, mesh, plan = self.s, self.mesh, self._plan()
+        self._out_cols = [mesh.coords(r)[1] for r in range(rt.size)]
+        self._rank_row_cache = [
+            self.sub_ranges[k][i]
+            for r in range(rt.size)
+            for i, _, k in [mesh.coords(r)]
+        ]
+        self._row_groups_3d = {
+            (i, k): plan.group(mesh.row_group(i, k))
+            for i in range(s) for k in range(s)
+        }
+        self._col_groups_3d = {
+            (j, k): plan.group(mesh.col_group(j, k))
+            for j in range(s) for k in range(s)
+        }
+        self._fiber_groups_3d = {
+            (i, j): plan.group(mesh.fiber_group(i, j))
+            for i in range(s) for j in range(s)
+        }
+        # Fiber-plane exchange routing (i, j, k) -> (k, j, i), fixed.
+        self._exchange_pairs = [
+            (mesh.rank_of(i, j, k), mesh.rank_of(k, j, i))
+            for i in range(s) for j in range(s) for k in range(s)
+        ]
+        # Per-stage broadcast routes (group, root), fixed at setup: stage
+        # t's sparse roots are (i, t, k), its dense roots (t, j, k).
+        self._stage_sparse_routes = [
+            [(self._row_groups_3d[i, k], mesh.rank_of(i, t, k))
+             for k in range(s) for i in range(s)]
+            for t in range(s)
+        ]
+        self._stage_dense_routes = [
+            [(self._col_groups_3d[j, k], mesh.rank_of(t, j, k))
+             for k in range(s) for j in range(s)]
+            for t in range(s)
+        ]
 
     # ------------------------------------------------------------------ #
     # GridAlgorithm hooks
@@ -82,7 +120,7 @@ class DistGCN3D(GridAlgorithm):
         self._h0 = distribute_dense_3d(features, self.mesh)
 
     def _fsplit(self, f: int) -> List[Tuple[int, int]]:
-        return block_ranges(f, self.s)
+        return self._plan().split(f, self.s)
 
     def _row_groups(self):
         return [
@@ -91,13 +129,12 @@ class DistGCN3D(GridAlgorithm):
         ]
 
     def _out_col(self, rank: int) -> int:
-        return self.mesh.coords(rank)[1]
+        return self._out_cols[rank]
 
     def _rank_rows(self, rank: int) -> Tuple[int, int]:
         """Global rows of a rank's dense block: the ``i``-th sub-range of
         layer ``k``'s row slice."""
-        i, _, k = self.mesh.coords(rank)
-        return self.sub_ranges[k][i]
+        return self._rank_row_cache[rank]
 
     def _assemble(self, out_full: Dict[int, np.ndarray]) -> np.ndarray:
         """Global row order is (layer k, sub-range i): column-0 copies."""
@@ -113,8 +150,9 @@ class DistGCN3D(GridAlgorithm):
         block, so nothing moves and nothing is charged."""
         if not self.symmetric:
             self._charge_transpose_step(
-                (rank, self.a_blocks[rank].nbytes_on_wire)
-                for rank in self.a_blocks
+                ((rank, self.a_blocks[rank].nbytes_on_wire)
+                 for rank in self.a_blocks),
+                key=("trp",),
             )
 
     def _grid_spmm(
@@ -122,72 +160,108 @@ class DistGCN3D(GridAlgorithm):
         sparse_blocks: Dict[int, CSRMatrix],
         dense_blocks: Dict[int, np.ndarray],
         f: int,
+        ws_key=None,
     ) -> Dict[int, np.ndarray]:
         """One Split-3D SpMM: per-layer SUMMA, fiber reduce-scatter,
-        fiber-plane exchange back to the input distribution."""
+        fiber-plane exchange back to the input distribution.
+
+        Executed fast path (mirroring :class:`DistGCN2D`): per stage and
+        layer, the ``s`` dense feature-column blocks are joined once and
+        each in-layer process row runs a single full-width SpMM into a
+        per-(row, layer) accumulator; rank partials are column views of
+        it.  Broadcast payloads, the fiber reduce-scatter, and the
+        fiber-plane exchange -- everything the ledger sees -- are
+        exactly the historical per-rank ones, and SpMM columns are
+        independent so numerics are unchanged.  The accumulators live in
+        the workspace (they are consumed by the reduce-scatter within
+        this call, so one set per (i, k) serves every layer and epoch).
+        """
         mesh, s = self.mesh, self.s
         fcols = self._fsplit(f)
-        partial = {
-            mesh.rank_of(i, j, k): np.zeros(
-                (self.row_ranges[i][1] - self.row_ranges[i][0],
-                 fcols[j][1] - fcols[j][0])
-            )
-            for i in range(s) for j in range(s) for k in range(s)
-        }
+        rows_of = [hi - lo for lo, hi in self.row_ranges]
+        accs: Dict[Tuple[int, int], np.ndarray] = {}
+        for i in range(s):
+            for k in range(s):
+                acc = self._ws(("gs3", i, k), (rows_of[i], f))
+                acc.fill(0.0)
+                accs[i, k] = acc
+        row_groups = self._row_groups_3d
+        col_groups = self._col_groups_3d
+        op_key = "a_t" if sparse_blocks is self.a_t_blocks else "a"
         # 1. SUMMA stages, concurrently in every layer.
         for t in range(s):
-            sparse_recv: Dict[int, CSRMatrix] = {}
-            with self.rt.tracker.step_scope():
+            sparse_got = self._broadcast_routed(
+                ("bsch", op_key, t), self._stage_sparse_routes[t],
+                sparse_blocks, Category.SCOMM,
+            )
+            sparse_recv = {
+                (i, k): sparse_got[k * s + i]
+                for k in range(s) for i in range(s)
+            }
+            dense_got = self._broadcast_routed(
+                ("bdch", f, t), self._stage_dense_routes[t],
+                dense_blocks, Category.DCOMM,
+            )
+            dense_parts = {
+                k: dense_got[k * s : (k + 1) * s] for k in range(s)
+            }
+            for k in range(s):
+                parts = dense_parts[k]
+                inner = parts[0].shape[0]
+                d_full = self._ws(("gsd3", inner), (inner, f))
+                np.concatenate(parts, axis=1, out=d_full)
+                for i in range(s):
+                    accs[i, k] += spmm(sparse_recv[i, k], d_full)
+
+            def stage_charges():
                 for k in range(s):
                     for i in range(s):
-                        root = mesh.rank_of(i, t, k)
-                        got = self.rt.coll.broadcast(
-                            mesh.row_group(i, k), root, sparse_blocks[root],
-                            category=Category.SCOMM, pipelined=True,
-                        )
-                        sparse_recv.update(got)
-            dense_recv: Dict[int, np.ndarray] = {}
-            with self.rt.tracker.step_scope():
-                for k in range(s):
-                    for j in range(s):
-                        root = mesh.rank_of(t, j, k)
-                        got = self.rt.coll.broadcast(
-                            mesh.col_group(j, k), root, dense_blocks[root],
-                            category=Category.DCOMM, pipelined=True,
-                        )
-                        dense_recv.update(got)
-            charges = []
-            for rank in partial:
-                sp = sparse_recv[rank]
-                dp = dense_recv[rank]
-                partial[rank] += spmm(sp, dp)
-                charges.append((rank, sp.nnz, sp.nrows, dp.shape[1]))
-            self._charge_spmm_step(charges)
+                        sp = sparse_recv[i, k]
+                        for j in range(s):
+                            c0, c1 = fcols[j]
+                            yield (mesh.rank_of(i, j, k), sp.nnz,
+                                   sp.nrows, c1 - c0)
+
+            self._charge_spmm_cached(("gsch", op_key, f, t), stage_charges)
         # 2. Fiber reduce-scatter: sum the s layer partials, shard rows.
+        # Executed full-width: fiber (i, j) reduces the column band
+        # ``[:, c0:c1]`` of the layer partials over k, and a column band
+        # of the full-width sum equals the per-band sum elementwise -- so
+        # the s bands of process row i reduce together as one contiguous
+        # accumulation, and every fiber's shards are views of it.  The
+        # charges (one reduce-scatter per fiber, at the band's byte
+        # size) replay from a cached list, byte-identical to per-fiber
+        # :meth:`Collectives.reduce_scatter` calls.
+        charges = self._cache.get(("rsc3", f))
+        if charges is None:
+            charges = self.rt.coll.reduce_scatter_charges([
+                (self._fiber_groups_3d[i, j],
+                 rows_of[i] * (fcols[j][1] - fcols[j][0]) * 8)
+                for i in range(s) for j in range(s)
+            ])
+            self._cache[("rsc3", f)] = charges
+        self.rt.tracker.charge_many(Category.DCOMM, charges)
+        plan = self._plan()
         shards: Dict[int, np.ndarray] = {}
-        with self.rt.tracker.step_scope():
-            for i in range(s):
-                for j in range(s):
-                    fiber = mesh.fiber_group(i, j)
-                    shards.update(
-                        self.rt.coll.reduce_scatter(
-                            fiber, {r: partial[r] for r in fiber},
-                            category=Category.DCOMM, axis=0,
-                        )
-                    )
+        for i in range(s):
+            total = accs[i, 0].copy()
+            for k in range(1, s):
+                np.add(total, accs[i, k], out=total)
+            total.flags.writeable = False
+            row_split = plan.split(rows_of[i], s)
+            for j in range(s):
+                c0, c1 = fcols[j]
+                for k, (r0, r1) in enumerate(row_split):
+                    shards[mesh.rank_of(i, j, k)] = total[r0:r1, c0:c1]
         # 3. Fiber-plane exchange: shard (i, j, k) is the input-layout
         # block of rank (k, j, i).
-        out: Dict[int, np.ndarray] = {}
-        with self.rt.tracker.step_scope():
-            for i in range(s):
-                for j in range(s):
-                    for k in range(s):
-                        src = mesh.rank_of(i, j, k)
-                        dst = mesh.rank_of(k, j, i)
-                        out[dst] = self.rt.coll.sendrecv(
-                            src, dst, shards[src], category=Category.DCOMM
-                        )
-        return out
+        received = self._sendrecv_routed(
+            ("srch", f), self._exchange_pairs, shards, Category.DCOMM
+        )
+        return {
+            dst: got
+            for (_, dst), got in zip(self._exchange_pairs, received)
+        }
 
     def _stored_dense_rows(self) -> int:
         return max(

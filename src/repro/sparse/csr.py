@@ -90,13 +90,34 @@ class CSRMatrix:
         data: np.ndarray,
         shape: Tuple[int, int],
         check: bool = True,
+        validate: Optional[bool] = None,
     ):
+        """Build a CSR matrix from its three arrays.
+
+        ``validate=False`` is the trusted fast path for internally
+        constructed blocks (``row_slice``/``block`` extraction, the
+        1D/2D/3D distribution helpers, SUMMA stage slicing): the arrays
+        are adopted verbatim -- no dtype coercion, no invariant checks --
+        so block extraction on the distribution hot path costs only the
+        slicing itself.  User-facing constructors (`from_coo`,
+        ``from_dense``, direct calls) keep full validation by default.
+        ``check=False`` (the historical switch) still coerces dtypes but
+        skips the invariant checks -- a middle tier for callers whose
+        array *contents* are trusted but whose dtypes may vary.
+        """
+        if validate is False:
+            self.shape = shape if type(shape) is tuple else tuple(shape)
+            self.indptr = indptr
+            self.indices = indices
+            self.data = data
+            self._scipy_cache = None
+            return
         self.shape = (int(shape[0]), int(shape[1]))
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.data = np.asarray(data, dtype=np.float64)
         self._scipy_cache = None
-        if check:
+        if validate or (validate is None and check):
             self._validate()
 
     def _validate(self) -> None:
@@ -135,7 +156,7 @@ class CSRMatrix:
         indptr, indices, data = coo_to_csr_arrays(
             rows, cols, vals, shape, sum_duplicates
         )
-        return cls(indptr, indices, data, shape, check=False)
+        return cls(indptr, indices, data, shape, validate=False)
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CSRMatrix":
@@ -154,7 +175,7 @@ class CSRMatrix:
             idx,
             np.full(n, value, dtype=np.float64),
             (n, n),
-            check=False,
+            validate=False,
         )
 
     @classmethod
@@ -164,7 +185,7 @@ class CSRMatrix:
             np.zeros(0, dtype=np.int64),
             np.zeros(0, dtype=np.float64),
             shape,
-            check=False,
+            validate=False,
         )
 
     # ------------------------------------------------------------------ #
@@ -262,7 +283,7 @@ class CSRMatrix:
     def copy(self) -> "CSRMatrix":
         return CSRMatrix(
             self.indptr.copy(), self.indices.copy(), self.data.copy(),
-            self.shape, check=False,
+            self.shape, validate=False,
         )
 
     # ------------------------------------------------------------------ #
@@ -281,7 +302,7 @@ class CSRMatrix:
         # (i.e. transposed-column) order preserved within each.
         order = np.argsort(self.indices, kind="stable")
         return CSRMatrix(
-            t_indptr, row_ids[order], self.data[order], (n, m), check=False
+            t_indptr, row_ids[order], self.data[order], (n, m), validate=False
         )
 
     def row_slice(self, r0: int, r1: int) -> "CSRMatrix":
@@ -294,7 +315,7 @@ class CSRMatrix:
             self.indices[lo:hi].copy(),
             self.data[lo:hi].copy(),
             (r1 - r0, self.ncols),
-            check=False,
+            validate=False,
         )
 
     def block(self, r0: int, r1: int, c0: int, c1: int) -> "CSRMatrix":
@@ -323,7 +344,7 @@ class CSRMatrix:
             counts = np.zeros(rows.nrows + 1, dtype=np.int64)
             np.add.at(counts, row_ids + 1, 1)
             indptr = np.cumsum(counts)
-        return CSRMatrix(indptr, indices, data, (r1 - r0, c1 - c0), check=False)
+        return CSRMatrix(indptr, indices, data, (r1 - r0, c1 - c0), validate=False)
 
     def scale_rows(self, scale: np.ndarray) -> "CSRMatrix":
         """Return ``diag(scale) @ self`` (row scaling)."""
@@ -338,7 +359,7 @@ class CSRMatrix:
             self.indices.copy(),
             self.data * scale[row_ids],
             self.shape,
-            check=False,
+            validate=False,
         )
 
     def scale_cols(self, scale: np.ndarray) -> "CSRMatrix":
@@ -351,7 +372,7 @@ class CSRMatrix:
             self.indices.copy(),
             self.data * scale[self.indices],
             self.shape,
-            check=False,
+            validate=False,
         )
 
     def permute(self, perm: np.ndarray) -> "CSRMatrix":

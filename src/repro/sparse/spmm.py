@@ -101,19 +101,58 @@ def spmm_numpy_cumsum(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def spmm_scipy(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+try:  # the compiled kernel scipy's own __matmul__ dispatches to
+    from scipy.sparse import _sparsetools as _st
+
+    _csr_matvecs = _st.csr_matvecs
+except Exception:  # pragma: no cover - older/newer scipy layouts
+    _csr_matvecs = None
+
+
+def spmm_scipy(a: CSRMatrix, b: np.ndarray,
+               out: "np.ndarray | None" = None) -> np.ndarray:
     """Optimised SpMM via scipy's compiled CSR kernel.
 
     The zero-copy ``scipy.sparse`` wrapper is built once per matrix and
     cached (:meth:`CSRMatrix.to_scipy`): the distributed algorithms call
     into the same immutable blocks every stage of every epoch, so
     re-wrapping was pure per-call overhead on the hottest serial path.
+
+    When available, the compiled ``csr_matvecs`` kernel is invoked
+    directly on the cached wrapper's arrays: scipy's ``@`` operator
+    re-validates formats and re-derives index dtypes on every call,
+    which dominated the many small per-stage block products of the
+    distributed algorithms.  The kernel invoked is the same one ``@``
+    dispatches to, so results are bit-identical.
     """
     b = _check_operand(a, b)
-    return np.asarray(a.to_scipy() @ b)
+    sp = a.to_scipy()
+    if _csr_matvecs is None or not b.flags.c_contiguous or (
+        out is not None and not out.flags.c_contiguous
+    ):
+        # The compiled kernel writes through .ravel(), which would be a
+        # throwaway copy for non-contiguous buffers -- use scipy's @.
+        result = np.asarray(sp @ b)
+        if out is None:
+            return result
+        out[:] = result
+        return out
+    m, f = a.shape[0], b.shape[1]
+    if out is None:
+        out = np.zeros((m, f), dtype=np.float64)
+    else:
+        if out.shape != (m, f):
+            raise ValueError(
+                f"out shape {out.shape} != result shape {(m, f)}"
+            )
+        out.fill(0.0)  # csr_matvecs accumulates into the output
+    _csr_matvecs(m, a.shape[1], f, sp.indptr, sp.indices, sp.data,
+                 b.ravel(), out.ravel())
+    return out
 
 
-def spmm(a: CSRMatrix, b: np.ndarray, backend: Backend = "auto") -> np.ndarray:
+def spmm(a: CSRMatrix, b: np.ndarray, backend: Backend = "auto",
+         out: "np.ndarray | None" = None) -> np.ndarray:
     """Compute ``A @ B`` for CSR ``A`` and dense ``B``.
 
     ``backend="auto"`` uses the compiled scipy kernel whenever the
@@ -121,15 +160,21 @@ def spmm(a: CSRMatrix, b: np.ndarray, backend: Backend = "auto") -> np.ndarray:
     kernel at every size) or the operand is big enough to amortise the
     one-time wrap; tiny first-touch operands use the pure-numpy kernel.
     All backends produce identical results up to fp round-off.
+    ``out`` supplies a preallocated result buffer (fully overwritten) so
+    steady-state callers can reuse workspaces instead of allocating.
     """
     if backend == "numpy":
-        return spmm_numpy(a, b)
+        result = spmm_numpy(a, b)
+        if out is None:
+            return result
+        out[:] = result
+        return out
     if backend == "scipy":
-        return spmm_scipy(a, b)
+        return spmm_scipy(a, b, out=out)
     if backend == "auto":
-        if a._scipy_cache is None and (
+        if out is None and a._scipy_cache is None and (
             a.nnz * max(1, b.shape[1] if b.ndim == 2 else 1) < 2048
         ):
             return spmm_numpy(a, b)
-        return spmm_scipy(a, b)
+        return spmm_scipy(a, b, out=out)
     raise ValueError(f"unknown SpMM backend {backend!r}")

@@ -36,20 +36,22 @@ class TestPayloadSizing:
 
 
 class TestBroadcast:
-    def test_everyone_receives_copy(self):
+    def test_everyone_receives_value(self):
         rt, coll = make_coll()
-        value = np.arange(12.0).reshape(3, 4)
+        value = np.arange(12.0).reshape(3, 4).copy()
         out = coll.broadcast([0, 1, 2, 3], root=1, value=value)
         for r in range(4):
             np.testing.assert_array_equal(out[r], value)
-        assert out[1] is value          # root keeps its buffer
-        assert out[0] is not value      # others get copies
+            # Copy-on-write: one shared read-only buffer, not P copies.
+            assert out[r].base is value
+            assert not out[r].flags.writeable
 
-    def test_copies_are_independent(self):
+    def test_materialized_copies_are_independent(self):
         rt, coll = make_coll()
         value = np.ones((2, 2))
-        out = coll.broadcast([0, 1], root=0, value=value)
-        out[1][0, 0] = 99.0
+        out = coll.broadcast([0, 1], root=0, value=value, materialize=True)
+        assert out[0] is value          # root keeps its buffer
+        out[1][0, 0] = 99.0             # private writable copy
         assert value[0, 0] == 1.0
 
     def test_root_must_be_member(self):
@@ -197,13 +199,89 @@ class TestScatterGatherAlltoall:
             coll.alltoall([0, 1], {0: [np.ones(1)], 1: [np.ones(1)] * 2})
 
 
+class TestCopyOnWrite:
+    """Default collectives share read-only buffers; mutation raises."""
+
+    def test_allreduce_returns_one_shared_readonly_array(self):
+        # Regression: the historical {r: acc.copy()} handed every rank a
+        # private buffer; copy-on-write shares one read-only array.
+        rt, coll = make_coll()
+        values = {r: np.full((3, 3), float(r)) for r in range(4)}
+        out = coll.allreduce(range(4), values)
+        assert all(out[r] is out[0] for r in range(4))
+        with pytest.raises(ValueError):
+            out[2][0, 0] = 123.0  # mutating a peer's view must raise
+        np.testing.assert_allclose(out[0], 6.0)  # nothing corrupted
+
+    def test_broadcast_payload_mutation_raises(self):
+        rt, coll = make_coll()
+        out = coll.broadcast([0, 1, 2], root=0, value=np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            out[1] += 1.0
+
+    def test_allgather_payload_mutation_raises(self):
+        rt, coll = make_coll(2)
+        out = coll.allgather([0, 1], {0: np.ones(3), 1: np.zeros(3)})
+        with pytest.raises(ValueError):
+            out[0][1][0] = 5.0
+
+    def test_reduce_scatter_shards_are_readonly_contiguous_views(self):
+        rt, coll = make_coll()
+        values = {r: np.ones((8, 2)) for r in range(4)}
+        out = coll.reduce_scatter(range(4), values, axis=0)
+        base = out[0].base
+        for r in range(4):
+            assert out[r].base is base  # shards view one reduced buffer
+            assert out[r].flags.c_contiguous
+            with pytest.raises(ValueError):
+                out[r][0, 0] = 0.0
+
+    def test_materialize_restores_private_writable_buffers(self):
+        rt, coll = make_coll()
+        values = {r: np.full((2, 2), float(r)) for r in range(4)}
+        out = coll.allreduce(range(4), values, materialize=True)
+        assert out[0] is not out[1]
+        out[0][0, 0] = -1.0  # writable, private
+        np.testing.assert_allclose(out[1], 6.0)
+
+    def test_sparse_blocks_are_shared_not_copied(self):
+        # CSR blocks are structurally immutable; sharing them preserves
+        # the cached scipy wrapper across epochs (the SpMM fast path).
+        rt, coll = make_coll(2)
+        block = CSRMatrix.eye(8)
+        out = coll.broadcast([0, 1], root=0, value=block)
+        assert out[0] is block and out[1] is block
+
+    def test_cow_and_materialized_charges_identical(self):
+        rt1, coll1 = make_coll()
+        rt2, coll2 = make_coll()
+        values = {r: np.full((4, 4), float(r)) for r in range(4)}
+        coll1.allreduce(range(4), values)
+        coll2.allreduce(range(4), values, materialize=True)
+        for r in range(4):
+            a = rt1.tracker.per_rank[r][Category.DCOMM]
+            b = rt2.tracker.per_rank[r][Category.DCOMM]
+            assert (a.seconds, a.bytes, a.messages) == (
+                b.seconds, b.bytes, b.messages)
+
+    def test_custom_non_ufunc_op_still_works(self):
+        rt, coll = make_coll(2)
+        values = {0: np.array([1.0, 5.0]), 1: np.array([3.0, 2.0])}
+        out = coll.allreduce(
+            [0, 1], values, op=lambda a, b: np.minimum(a, b))
+        np.testing.assert_array_equal(out[0], [1.0, 2.0])
+
+
 class TestSendrecvAndBarrier:
-    def test_sendrecv_returns_copy(self):
+    def test_sendrecv_returns_readonly_view(self):
         rt, coll = make_coll(2)
         v = np.ones(4)
         got = coll.sendrecv(0, 1, v)
         np.testing.assert_array_equal(got, v)
         assert got is not v
+        assert not got.flags.writeable
+        got_own = coll.sendrecv(0, 1, v, materialize=True)
+        assert got_own.base is None and got_own.flags.writeable
 
     def test_sendrecv_same_rank_noop(self):
         rt, coll = make_coll(2)

@@ -1,0 +1,334 @@
+"""Comm plans, fast-path collectives, and the pre-optimization oracle.
+
+Three layers of insurance around the executed-runtime fast path
+(copy-on-write collectives + :class:`repro.comm.plan.CommPlan` + cached
+charge replay + workspace reuse):
+
+1. **CommPlan semantics** -- group interning still validates, splits
+   match ``numpy.array_split``, workspaces are stable, and steady-state
+   epochs are pure cache hits;
+2. **ledger identity** -- per-epoch bytes per category, the max-per-rank
+   bytes, and the modeled seconds are *byte-for-byte identical* to
+   constants captured from the pre-optimization tree (commit 3245033)
+   for all four algorithms at P in {4, 8, 16} (3D: its cubic 8/27), and
+   still match the PR 2 schedule oracle;
+3. **numerics** -- the executed losses equal the pre-optimization losses
+   exactly under frozen seeds, and every algorithm still verifies
+   against the serial reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import VirtualRuntime
+from repro.comm.plan import CommPlan
+from repro.comm.tracker import Category, CommTracker
+from repro.dist import make_algorithm
+from repro.graph import make_synthetic
+from repro.sparse.distribute import block_ranges
+
+# ---------------------------------------------------------------------- #
+# The frozen workload every oracle assertion runs against.
+# ---------------------------------------------------------------------- #
+GRAPH = dict(n=192, avg_degree=8, f=12, n_classes=4, seed=7)
+HIDDEN = 8
+SEED = 3
+
+#: (algorithm, P, kwargs) configurations covering every family at
+#: P in {4, 8, 16} (3D at its feasible cubes 8 and 27).
+CONFIGS = [
+    ("1d", 4, {}),
+    ("1d", 8, {}),
+    ("1d", 16, {}),
+    ("1.5d", 4, {"replication": 2}),
+    ("1.5d", 8, {"replication": 4}),
+    ("1.5d", 16, {"replication": 4}),
+    ("2d", 4, {}),
+    ("2d", 8, {"grid": (4, 2)}),
+    ("2d", 16, {}),
+    ("3d", 8, {}),
+    ("3d", 27, {}),
+]
+
+#: Per-epoch ledger deltas and losses recorded by running THIS workload
+#: on the pre-optimization tree (commit 3245033, before copy-on-write
+#: collectives / comm plans / workspace reuse existed).  The fast path
+#: must reproduce every number exactly.
+PRE_OPT_ORACLE = {
+    ("1d", 4): dict(dcomm=230496, scomm=0, trpose=0, max_rank=57624,
+                    seconds=0.00022010344507518794,
+                    loss1=1.4010554851746766),
+    ("1d", 8): dict(dcomm=537824, scomm=0, trpose=0, max_rank=67228,
+                    seconds=0.0002898591201307616,
+                    loss1=1.4010554851746768),
+    ("1d", 16): dict(dcomm=1152480, scomm=0, trpose=0, max_rank=72030,
+                     seconds=0.0003168384495063747,
+                     loss1=1.4010554851746768),
+    ("1.5d", 4): dict(dcomm=301120, scomm=0, trpose=0, max_rank=75280,
+                      seconds=0.00022308479015037598,
+                      loss1=1.4010554851746768),
+    ("1.5d", 8): dict(dcomm=602240, scomm=0, trpose=0, max_rank=93712,
+                      seconds=0.0002889829749329846,
+                      loss1=1.4010554851746768),
+    ("1.5d", 16): dict(dcomm=774528, scomm=0, trpose=0, max_rank=48408,
+                       seconds=0.00031050685144164755,
+                       loss1=1.4010554851746766),
+    ("2d", 4): dict(dcomm=371808, scomm=204384, trpose=17032,
+                    max_rank=172300, seconds=0.0003856949320889181,
+                    loss1=1.4010554851746768),
+    ("2d", 8): dict(dcomm=531680, scomm=223392, trpose=17048,
+                    max_rank=121880, seconds=0.0006569257120889179,
+                    loss1=1.4010554851746766),
+    ("2d", 16): dict(dcomm=777696, scomm=446784, trpose=18616,
+                     max_rank=102418, seconds=0.0008641358774239944,
+                     loss1=1.4010554851746766),
+    ("3d", 8): dict(dcomm=494816, scomm=223008, trpose=0,
+                    max_rank=112444, seconds=0.0005234772996665574,
+                    loss1=1.4010554851746768),
+    ("3d", 27): dict(dcomm=823998, scomm=405000, trpose=0,
+                     max_rank=65846, seconds=0.000745391827107963,
+                     loss1=1.4010554851746768),
+}
+
+
+def build(name, p, kw):
+    ds = make_synthetic(**GRAPH)
+    algo = make_algorithm(name, p, ds, hidden=HIDDEN, seed=SEED, **kw)
+    algo.setup(ds.features, ds.labels)
+    return ds, algo
+
+
+# ---------------------------------------------------------------------- #
+# CommPlan unit behaviour
+# ---------------------------------------------------------------------- #
+class TestCommPlan:
+    def test_group_interns_and_validates(self):
+        plan = CommPlan(8)
+        g1 = plan.group(range(4))
+        g2 = plan.group((0, 1, 2, 3))
+        assert g1 is g2  # interned: same tuple object on the hit
+        assert plan.hits == 1 and plan.misses == 1
+
+    def test_group_still_rejects_bad_members(self):
+        plan = CommPlan(4)
+        with pytest.raises(IndexError):
+            plan.group((0, 7))
+        with pytest.raises(ValueError):
+            plan.group((1, 1))
+        with pytest.raises(ValueError):
+            plan.group(())
+
+    def test_split_matches_array_split(self):
+        plan = CommPlan(4)
+        for n, parts in ((7, 3), (16, 4), (5, 8), (0, 2)):
+            expected = tuple(block_ranges(n, parts))
+            assert plan.split(n, parts) == expected
+            sizes = [hi - lo for lo, hi in plan.split(n, parts)]
+            np_sizes = [len(c) for c in np.array_split(np.arange(n), parts)]
+            assert sizes == np_sizes
+
+    def test_workspace_reuses_buffer(self):
+        plan = CommPlan(2)
+        a = plan.workspace("x", (4, 3))
+        b = plan.workspace("x", (4, 3))
+        assert a is b
+        c = plan.workspace("x", (5, 3))  # different shape: new buffer
+        assert c is not a
+        assert plan.stats()["workspaces"] == 2
+
+    def test_clear_resets(self):
+        plan = CommPlan(2)
+        plan.group((0, 1))
+        plan.workspace("x", (2,))
+        plan.clear()
+        assert plan.cached_entries == 0
+        assert plan.hits == 0 and plan.misses == 0
+
+
+# ---------------------------------------------------------------------- #
+# Steady-state epochs are pure cache hits
+# ---------------------------------------------------------------------- #
+class TestPlanCacheHits:
+    @pytest.mark.parametrize("name,p,kw", [
+        ("1d", 4, {}),
+        ("1.5d", 8, {"replication": 4}),
+        ("2d", 4, {}),
+        ("3d", 8, {}),
+    ])
+    def test_no_new_cache_entries_after_warmup(self, name, p, kw):
+        _, algo = build(name, p, kw)
+        plan = algo.rt.plan
+        algo.train_epoch(0)  # warm-up fills every cache
+        entries = plan.cached_entries
+        misses = plan.misses
+        charge_keys = set(algo._cache)
+        ws_keys = set(algo.workspace)
+        algo.train_epoch(1)
+        algo.train_epoch(2)
+        assert plan.cached_entries == entries  # no new plan entries
+        assert plan.misses == misses           # pure hits
+        assert set(algo._cache) == charge_keys  # charge lists replayed
+        assert set(algo.workspace) == ws_keys   # workspaces reused
+        assert plan.hits > 0
+
+    def test_workspace_buffers_are_stable_objects(self):
+        _, algo = build("2d", 4, {})
+        algo.train_epoch(0)
+        ids_before = {k: id(v) for k, v in algo.workspace.items()}
+        algo.train_epoch(1)
+        ids_after = {k: id(v) for k, v in algo.workspace.items()}
+        assert ids_before == ids_after  # zero reallocations in steady state
+
+
+# ---------------------------------------------------------------------- #
+# Ledger identity with the pre-optimization tree
+# ---------------------------------------------------------------------- #
+class TestLedgerOracle:
+    @pytest.mark.parametrize("name,p,kw", CONFIGS)
+    def test_epoch_ledger_matches_pre_opt_constants(self, name, p, kw):
+        _, algo = build(name, p, kw)
+        e0 = algo.train_epoch(0)
+        e1 = algo.train_epoch(1)
+        ref = PRE_OPT_ORACLE[(name, p)]
+        for stats in (e0, e1):  # every epoch has the same structure
+            assert stats.bytes_by_category[Category.DCOMM] == ref["dcomm"]
+            assert stats.bytes_by_category[Category.SCOMM] == ref["scomm"]
+            assert stats.bytes_by_category[Category.TRPOSE] == ref["trpose"]
+            assert stats.max_rank_comm_bytes == ref["max_rank"]
+        # Modeled seconds: identical arithmetic, identical result.  (The
+        # constant was captured from epoch 1; epoch 0's *delta* can
+        # differ in the last ulp because the cumulative wall clock is
+        # subtracted -- that was true pre-optimization too.)
+        assert e1.modeled_seconds == ref["seconds"]
+        assert e1.loss == ref["loss1"]  # numerics byte-identical too
+
+    @pytest.mark.parametrize("name,p,kw", [
+        ("1d", 16, {}),
+        ("1.5d", 16, {"replication": 4}),
+        ("2d", 16, {}),
+        ("3d", 8, {}),
+    ])
+    def test_epoch_ledger_matches_schedule_oracle(self, name, p, kw):
+        """Executed bytes == PR 2's symbolic schedule, byte for byte."""
+        from repro.simulate import predict_epoch
+        from repro.simulate.schedule import GraphModel
+
+        ds, algo = build(name, p, kw)
+        stats = algo.train_epoch(0)
+        sim_kw = {k: v for k, v in kw.items() if k != "grid"}
+        point = predict_epoch(
+            name, GraphModel.from_dataset(ds), p, hidden=HIDDEN,
+            grid=kw.get("grid"), **sim_kw,
+        )
+        for cat in Category.COMM:
+            assert stats.bytes_by_category[cat] == \
+                point.bytes_by_category[cat], cat
+        assert point.seconds == pytest.approx(stats.modeled_seconds,
+                                              rel=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# Numerical equality with the serial reference (frozen seeds)
+# ---------------------------------------------------------------------- #
+class TestSerialEquality:
+    @pytest.mark.parametrize("name,p,kw", [
+        ("1d", 8, {}),
+        ("1.5d", 8, {"replication": 4}),
+        ("2d", 4, {}),
+        ("3d", 8, {}),
+    ])
+    def test_verify_against_serial(self, name, p, kw):
+        ds = make_synthetic(**GRAPH)
+        algo = make_algorithm(name, p, ds, hidden=HIDDEN, seed=SEED, **kw)
+        diff = algo.verify_against_serial(
+            ds.features, ds.labels, epochs=3
+        )
+        assert diff < 1e-9
+
+    def test_predict_after_fit_unchanged(self):
+        ds, algo = build("2d", 4, {})
+        algo.train_epoch(0)
+        lp = algo.predict()
+        assert lp.shape == (GRAPH["n"], GRAPH["n_classes"])
+        # log-probabilities: rows sum to 1 after exp
+        np.testing.assert_allclose(np.exp(lp).sum(axis=1), 1.0, rtol=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# Batched collective fast paths == their per-call equivalents
+# ---------------------------------------------------------------------- #
+class TestBatchedCollectiveEquivalence:
+    def test_broadcast_many_matches_individual_broadcasts(self):
+        rt1 = VirtualRuntime.make_1d(6)
+        rt2 = VirtualRuntime.make_1d(6)
+        items = [
+            ((0, 1, 2), 1, np.ones((4, 3))),
+            ((3, 4, 5), 3, np.ones((2, 7))),
+        ]
+        out = rt1.coll.broadcast_many(items, category=Category.DCOMM,
+                                      pipelined=True)
+        with rt2.tracker.step_scope():
+            for group, root, value in items:
+                rt2.coll.broadcast(group, root, value,
+                                   category=Category.DCOMM, pipelined=True)
+        assert len(out) == 2 and not out[0].flags.writeable
+        for r in range(6):
+            a = rt1.tracker.per_rank[r][Category.DCOMM]
+            b = rt2.tracker.per_rank[r][Category.DCOMM]
+            assert (a.seconds, a.bytes, a.messages) == (
+                b.seconds, b.bytes, b.messages)
+        assert rt1.tracker.wall_seconds() == rt2.tracker.wall_seconds()
+
+    def test_broadcast_charges_replay_identical(self):
+        rt1 = VirtualRuntime.make_1d(4)
+        rt2 = VirtualRuntime.make_1d(4)
+        items = [((0, 1), 0, np.ones(8)), ((2, 3), 2, np.ones(16))]
+        charges = rt1.coll.broadcast_charges(items, pipelined=False)
+        rt1.tracker.charge_many(Category.DCOMM, charges)
+        rt2.coll.broadcast_many(items, category=Category.DCOMM)
+        for r in range(4):
+            a = rt1.tracker.per_rank[r][Category.DCOMM]
+            b = rt2.tracker.per_rank[r][Category.DCOMM]
+            assert (a.seconds, a.bytes, a.messages) == (
+                b.seconds, b.bytes, b.messages)
+
+    def test_sendrecv_many_matches_individual(self):
+        rt1 = VirtualRuntime.make_1d(4)
+        rt2 = VirtualRuntime.make_1d(4)
+        items = [(0, 1, np.ones(4)), (2, 2, np.ones(3)), (3, 0, np.ones(8))]
+        out = rt1.coll.sendrecv_many(items)
+        with rt2.tracker.step_scope():
+            for src, dst, v in items:
+                rt2.coll.sendrecv(src, dst, v)
+        assert out[1] is items[1][2]  # self-send passes through
+        for r in range(4):
+            a = rt1.tracker.per_rank[r][Category.DCOMM]
+            b = rt2.tracker.per_rank[r][Category.DCOMM]
+            assert (a.seconds, a.bytes, a.messages) == (
+                b.seconds, b.bytes, b.messages)
+
+    def test_charge_many_matches_charge_loop(self):
+        t1, t2 = CommTracker(3), CommTracker(3)
+        items = [(0, 1.0, 10, 1, 5), (1, 2.0, 20, 2, 0), (2, 0.5, 0, 0, 7)]
+        t1.charge_many(Category.SPMM, items)
+        with t2.step_scope():
+            for r, sec, nb, msg, fl in items:
+                t2.charge(r, Category.SPMM, sec, nbytes=nb, messages=msg,
+                          flops=fl)
+        for r in range(3):
+            a, b = t1.per_rank[r][Category.SPMM], t2.per_rank[r][Category.SPMM]
+            assert (a.seconds, a.bytes, a.messages, a.flops) == (
+                b.seconds, b.bytes, b.messages, b.flops)
+        assert t1.wall_seconds() == t2.wall_seconds()
+        assert t1.nsteps == t2.nsteps
+
+    def test_donated_allreduce_matches_copying_allreduce(self):
+        rt1 = VirtualRuntime.make_1d(3)
+        rt2 = VirtualRuntime.make_1d(3)
+        vals1 = {r: np.full((4, 2), float(r + 1)) for r in range(3)}
+        vals2 = {r: v.copy() for r, v in vals1.items()}
+        out1 = rt1.coll.allreduce(range(3), vals1, donate_first=True)
+        out2 = rt2.coll.allreduce(range(3), vals2)
+        np.testing.assert_array_equal(out1[0], out2[0])
+        assert out1[0].base is vals1[0]  # in place: leader donated
+        assert rt1.tracker.total_bytes() == rt2.tracker.total_bytes()

@@ -89,6 +89,45 @@ class TestConstruction:
                 np.array([0, 1, 2]), np.array([0]), np.array([1.0]), (2, 2)
             )
 
+    def test_validate_false_adopts_arrays_verbatim(self):
+        # The trusted fast path for internally-constructed blocks: no
+        # dtype coercion, no invariant checks, arrays adopted as-is.
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([0, 1], dtype=np.int64)
+        data = np.array([1.0, 2.0])
+        m = CSRMatrix(indptr, indices, data, (2, 2), validate=False)
+        assert m.indptr is indptr and m.indices is indices and m.data is data
+        np.testing.assert_array_equal(m.to_dense(), np.diag([1.0, 2.0]))
+
+    def test_validate_false_skips_checks_validate_true_enforces(self):
+        bad = (np.array([0, 2, 1]), np.array([0, 0]),
+               np.array([1.0, 1.0]))
+        # Trusted path: no error (caller vouches for the arrays).
+        CSRMatrix(*bad, (2, 2), validate=False)
+        # Explicit validate=True enforces even when check=False.
+        with pytest.raises(ValueError, match="nondecreasing"):
+            CSRMatrix(*bad, (2, 2), check=False, validate=True)
+
+    def test_check_false_still_coerces_dtypes(self):
+        # Historical middle tier: dtype coercion without invariant checks.
+        m = CSRMatrix(
+            np.array([0, 1], dtype=np.int32), np.array([0], dtype=np.int32),
+            np.array([1], dtype=np.int32), (1, 1), check=False,
+        )
+        assert m.indptr.dtype == np.int64
+        assert m.data.dtype == np.float64
+
+    def test_internal_blocks_equal_validated_blocks(self):
+        # The fast-path extraction produces the same matrices the
+        # validating constructor would accept.
+        d = random_dense((9, 9), 0.5, 3)
+        m = CSRMatrix.from_dense(d)
+        blk = m.block(2, 7, 1, 8)
+        revalidated = CSRMatrix(blk.indptr, blk.indices, blk.data,
+                                blk.shape, validate=True)
+        np.testing.assert_array_equal(revalidated.to_dense(),
+                                      d[2:7, 1:8])
+
 
 class TestProperties:
     def test_degrees(self):
