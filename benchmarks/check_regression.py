@@ -7,16 +7,29 @@ noisy and differ from the machine that produced the baseline, so this
 catches order-of-magnitude fast-path regressions, not percent-level
 drift).  Benchmarks present on only one side are reported and skipped.
 
+Escape hatches:
+
+* ``--update-baseline`` copies the fresh report over the baseline after
+  printing the comparison (exit 0), so refreshing the committed
+  ``BENCH_dist.json`` never needs hand-editing;
+* setting ``REPRO_BENCH_SKIP`` (to anything non-empty) skips the guard
+  entirely with exit 0 -- for machines where timing is meaningless
+  (emulators, heavily shared CI runners).
+
 Usage::
 
     python benchmarks/check_regression.py FRESH.json BASELINE.json
     python benchmarks/check_regression.py FRESH.json BASELINE.json --threshold 3
+    python benchmarks/check_regression.py FRESH.json BASELINE.json --update-baseline
+    REPRO_BENCH_SKIP=1 python benchmarks/check_regression.py FRESH.json BASELINE.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
 import sys
 from typing import List, Optional
 
@@ -38,15 +51,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="fail when fresh mean_s exceeds baseline "
                              "mean_s by this factor (default 2.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="after printing the comparison, overwrite "
+                             "the baseline with the fresh report and "
+                             "exit 0 (refreshes the committed guard)")
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         print("--threshold must be positive", file=sys.stderr)
         return 2
+    if os.environ.get("REPRO_BENCH_SKIP"):
+        # The env var opts out of the *guard*; an explicit
+        # --update-baseline is still an instruction to copy.
+        if args.update_baseline:
+            shutil.copyfile(args.fresh, args.baseline)
+            print("REPRO_BENCH_SKIP set: guard skipped; baseline "
+                  f"{args.baseline} updated from {args.fresh}")
+        else:
+            print("REPRO_BENCH_SKIP set: skipping the perf guard")
+        return 0
 
     fresh = load_means(args.fresh)
     baseline = load_means(args.baseline)
     shared = sorted(set(fresh) & set(baseline))
     if not shared:
+        if args.update_baseline:
+            shutil.copyfile(args.fresh, args.baseline)
+            print(f"baseline {args.baseline} replaced by {args.fresh} "
+                  "(no benchmarks in common)")
+            return 0
         print("no benchmarks in common between fresh and baseline",
               file=sys.stderr)
         return 2
@@ -64,6 +96,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         side = "fresh" if name in fresh else "baseline"
         print(f"{name:45s} (only in {side}; skipped)")
 
+    if args.update_baseline:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"\nbaseline {args.baseline} updated from {args.fresh} "
+              f"({len(regressions)} would-be regression(s) absorbed)")
+        return 0
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold:.1f}x:", file=sys.stderr)

@@ -156,6 +156,28 @@ def run(args: argparse.Namespace) -> int:
         "rounds": rounds,
         "benchmarks": entries,
     }
+    # A benchmark can promote its attachments to a named top-level report
+    # section (extra_info["bench_section"] = name): cross-cutting results
+    # like the parallel-vs-virtual epoch comparison stay addressable
+    # without digging through the benchmarks array.  The promoted data
+    # moves (not copies) out of the entry, and core payload keys are
+    # off-limits as section names.
+    for entry in entries:
+        info = entry.get("extra_info") or {}
+        section = info.get("bench_section")
+        if section:
+            if section in payload:
+                # Never throw away a finished run over a naming clash:
+                # leave the data where it is and say so.
+                print(f"warning: bench_section {section!r} collides with "
+                      f"an existing report key; {entry['name']}'s "
+                      "attachments stay in its extra_info",
+                      file=sys.stderr)
+                continue
+            payload[section] = {
+                k: v for k, v in info.items() if k != "bench_section"
+            }
+            entry["extra_info"] = {"bench_section": section}
     out = Path(args.output)
     out.write_text(json.dumps(payload, indent=2, default=str) + "\n",
                    encoding="utf-8")

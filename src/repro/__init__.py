@@ -20,6 +20,9 @@ runtime:
 * :mod:`repro.dist` -- the paper's contribution: the 1D (three variants),
   1.5D, 2D (SUMMA) and 3D (Split-SpMM) distributed training algorithms,
   all verified bit-close against the serial reference;
+* :mod:`repro.parallel` -- the true multiprocess execution backend:
+  ranks as OS processes, collectives over shared memory, the virtual
+  runtime's ledger and losses as the correctness oracle;
 * :mod:`repro.analysis` -- the Section IV closed-form communication
   costs and the Fig. 2 / Fig. 3 reproductions at published dataset sizes.
 
@@ -63,6 +66,9 @@ _EXPORTS = {
     "ALGORITHMS": "repro.dist",
     "make_algorithm": "repro.dist",
     "make_runtime_for": "repro.dist",
+    "ProcessBackend": "repro.parallel",
+    "ParallelRuntime": "repro.parallel",
+    "ParallelAlgorithm": "repro.parallel",
     "DistAlgorithm": "repro.dist",
     "DistGCN1D": "repro.dist",
     "DistGCN15D": "repro.dist",
@@ -87,7 +93,7 @@ _EXPORTS = {
 #: matching the behaviour the eager imports used to provide.
 _SUBPACKAGES = (
     "analysis", "cli", "comm", "config", "dist", "graph", "nn",
-    "partition", "sampling", "simulate", "sparse",
+    "parallel", "partition", "sampling", "simulate", "sparse",
 )
 
 __all__ = ["__version__"] + sorted(_EXPORTS)

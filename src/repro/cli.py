@@ -135,13 +135,33 @@ def cmd_train(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.algorithm == "1.5d":
         kwargs["replication"] = args.replication
-    algo = make_algorithm(
-        args.algorithm, args.gpus, ds, hidden=args.hidden, seed=args.seed,
-        optimizer=SGD(lr=args.lr), **kwargs,
-    )
+    from repro.parallel import WorkerError
+
+    try:
+        algo = make_algorithm(
+            args.algorithm, args.gpus, ds, hidden=args.hidden,
+            seed=args.seed, optimizer=SGD(lr=args.lr),
+            backend=args.backend, workers=args.workers, **kwargs,
+        )
+    except ValueError as exc:
+        return _usage_error(exc)
+    except WorkerError as exc:
+        # Worker-side construction errors carry a full remote traceback;
+        # surface just the underlying error line, argparse-style, for
+        # parity with the virtual backend's usage errors.
+        print(str(exc).strip().splitlines()[-1], file=sys.stderr)
+        return 2
     print(f"dataset : {ds.name}  {ds.summary()}")
     print(f"machine : {algo.rt.describe()}")
-    history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
+    try:
+        import time as _time
+
+        t0 = _time.perf_counter()
+        history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
+        elapsed = _time.perf_counter() - t0
+    finally:
+        if args.backend == "process":
+            algo.rt.close()
     print(f"\n{'epoch':>5s} {'loss':>9s} {'acc':>6s}")
     step = max(1, args.epochs // 10)
     for e in history.epochs[::step] + history.epochs[-1:]:
@@ -154,6 +174,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     print("modeled epoch breakdown: " + ", ".join(
         f"{k} {v / total:.0%}" for k, v in sorted(bd.items(), key=lambda kv: -kv[1])
     ))
+    print(f"wall clock: {elapsed:.2f}s for {args.epochs} epochs "
+          f"({args.backend} backend)")
     return 0
 
 
@@ -443,6 +465,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--replication", type=int, default=2,
                    help="1.5D replication factor c")
+    p.add_argument("--backend", default="virtual",
+                   choices=("virtual", "process"),
+                   help="execution backend: 'virtual' simulates ranks in "
+                        "one process; 'process' runs them as real OS "
+                        "processes with shared-memory collectives")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend process "
+                        "(default: one per rank)")
 
     def _sim_graph_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--dataset", choices=("reddit", "amazon", "protein"),

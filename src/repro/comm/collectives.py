@@ -76,6 +76,22 @@ def _copy(payload: Any) -> Any:
     return copy()
 
 
+def _axis_shards(acc: np.ndarray, bounds, axis: int) -> list:
+    """Views of ``acc`` split at ``bounds`` (half-open) along ``axis``.
+
+    The one shard-slicing implementation every reduce-scatter path
+    (charged or data-plane, virtual or multiprocess) goes through.
+    """
+    if axis == 0:
+        return [acc[lo:hi] for lo, hi in bounds]
+    shards = []
+    index = [slice(None)] * acc.ndim
+    for lo, hi in bounds:
+        index[axis] = slice(lo, hi)
+        shards.append(acc[tuple(index)])
+    return shards
+
+
 def _readonly(payload: Any) -> Any:
     """Copy-on-write receipt: a shared read-only view of the payload.
 
@@ -263,13 +279,70 @@ class Collectives:
         ledger, none of the per-epoch cost/validation work.  Tuples are
         ``(rank, seconds, nbytes, messages, flops)``.
         """
+        return self.broadcast_charges_sized(
+            [(group, root, payload_nbytes(value))
+             for group, root, value in items],
+            pipelined,
+        )
+
+    def broadcast_charges_sized(
+        self,
+        items: Sequence[Tuple[Sequence[int], int, int]],
+        pipelined: bool = False,
+    ) -> list:
+        """:meth:`broadcast_charges` from wire sizes instead of payloads.
+
+        ``items`` holds ``(group, root, nbytes)`` triples.  The size-based
+        form is what multiprocess workers use: a rank-local process knows
+        every payload's *shape* (block structure is global knowledge) but
+        holds only its own ranks' buffers.
+        """
         flat = []
-        for group, root, value in items:
+        for group, root, nbytes in items:
             group = self._group(group)
             if root not in group:
                 raise ValueError(f"root {root} not in group {group}")
             cost = self._cost("bc", cm.broadcast_cost,
-                              payload_nbytes(value), len(group), pipelined)
+                              int(nbytes), len(group), pipelined)
+            flat.extend(
+                (r, cost.seconds, cost.bytes_critical, cost.messages, 0)
+                for r in group
+            )
+        return flat
+
+    def allgather_charges(
+        self, items: Sequence[Tuple[Sequence[int], int]]
+    ) -> list:
+        """Flattened charge tuples for an all-gather set.
+
+        ``items`` holds ``(group, total_nbytes)`` pairs (the sum of all
+        contributions, exactly what :meth:`allgather` charges); see
+        :meth:`broadcast_charges` for the replay-caching rationale.
+        """
+        flat = []
+        for group, nbytes in items:
+            group = self._group(group)
+            cost = self._cost("ag", cm.allgather_cost, int(nbytes),
+                              len(group))
+            flat.extend(
+                (r, cost.seconds, cost.bytes_critical, cost.messages, 0)
+                for r in group
+            )
+        return flat
+
+    def allreduce_charges(
+        self, items: Sequence[Tuple[Sequence[int], int]]
+    ) -> list:
+        """Flattened charge tuples for an all-reduce set.
+
+        ``items`` holds ``(group, reduced_nbytes)`` pairs; see
+        :meth:`broadcast_charges` for the replay-caching rationale.
+        """
+        flat = []
+        for group, nbytes in items:
+            group = self._group(group)
+            cost = self._cost("ar", cm.allreduce_cost, int(nbytes),
+                              len(group))
             flat.extend(
                 (r, cost.seconds, cost.bytes_critical, cost.messages, 0)
                 for r in group
@@ -300,13 +373,23 @@ class Collectives:
     ) -> list:
         """Flattened charge tuples for a point-to-point exchange set
         (see :meth:`broadcast_charges`); self-sends charge nothing."""
+        return self.sendrecv_charges_sized(
+            [(src, dst, payload_nbytes(value)) for src, dst, value in items]
+        )
+
+    def sendrecv_charges_sized(
+        self, items: Sequence[Tuple[int, int, int]]
+    ) -> list:
+        """:meth:`sendrecv_charges` from wire sizes instead of payloads
+        (``(src, dst, nbytes)`` triples; see
+        :meth:`broadcast_charges_sized` for why sizes)."""
         flat = []
-        for src, dst, value in items:
+        for src, dst, nbytes in items:
             if src == dst:
                 self._group((src,))
                 continue
             self._group((src, dst))
-            nbytes = payload_nbytes(value)
+            nbytes = int(nbytes)
             cost = self._p2p_cost(nbytes)
             flat.append((src, cost.seconds, 0, cost.messages, 0))
             flat.append((dst, cost.seconds, nbytes, cost.messages, 0))
@@ -508,14 +591,7 @@ class Collectives:
                           len(group))
         self._charge_group(group, category, cost)
         bounds = self.plan.split(acc.shape[axis], len(group))
-        if axis == 0:
-            shards = [acc[lo:hi] for lo, hi in bounds]
-        else:
-            index = [slice(None)] * acc.ndim
-            shards = []
-            for lo, hi in bounds:
-                index[axis] = slice(lo, hi)
-                shards.append(acc[tuple(index)])
+        shards = _axis_shards(acc, bounds, axis)
         if materialize:
             return {
                 r: np.ascontiguousarray(shards[i])
@@ -592,6 +668,81 @@ class Collectives:
             else:
                 out[dst] = [_readonly(buckets[src][j]) for src in group]
         return out
+
+    # ------------------------------------------------------------------ #
+    # data plane (no charging)
+    #
+    # The executed epochs split static collectives into a *charge replay*
+    # (cached ``*_charges`` lists, identical on every backend) and a
+    # *data movement* step.  The methods below are the data step: they
+    # move payloads but never touch the ledger.  This base class is the
+    # everything-is-local implementation; the multiprocess backend
+    # (:mod:`repro.parallel.collectives`) overrides them to really cross
+    # process boundaries through shared memory.  Contract: callers pass
+    # contributions for the ranks they hold (all of them here) and
+    # receive results for those same ranks.
+    # ------------------------------------------------------------------ #
+    def routed_broadcast_data(
+        self, routes: Sequence[Tuple[Sequence[int], int]],
+        blocks: Mapping[int, Any],
+    ) -> list:
+        """Received payload per ``(group, root)`` route (one shared
+        read-only view each), charging nothing."""
+        return [_readonly(blocks[root]) for _, root in routes]
+
+    def routed_sendrecv_data(
+        self, pairs: Sequence[Tuple[int, int]], payloads: Mapping[int, Any]
+    ) -> list:
+        """What each ``dst`` receives per ``(src, dst)`` pair (self-sends
+        pass through), charging nothing."""
+        return [
+            payloads[src] if src == dst else _readonly(payloads[src])
+            for src, dst in pairs
+        ]
+
+    def allgather_data(
+        self, group: Sequence[int], values: Mapping[int, Any]
+    ) -> Dict[int, list]:
+        """:meth:`allgather`'s data movement only (no charge)."""
+        group = self._group(group)
+        self._check_contributions(group, values)
+        shared = [_readonly(values[s]) for s in group]
+        return {r: list(shared) for r in group}
+
+    def allreduce_data(
+        self,
+        group: Sequence[int],
+        values: Mapping[int, np.ndarray],
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        donate_first: bool = False,
+    ) -> Dict[int, np.ndarray]:
+        """:meth:`allreduce`'s data movement only (no charge)."""
+        group = self._group(group)
+        self._check_contributions(group, values)
+        acc = self._reduce_arrays(group, values, op,
+                                  donate_first=donate_first)
+        shared = _readonly(acc)
+        return {r: shared for r in group}
+
+    def reduce_scatter_data(
+        self,
+        group: Sequence[int],
+        values: Mapping[int, np.ndarray],
+        axis: int = 0,
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    ) -> Dict[int, np.ndarray]:
+        """:meth:`reduce_scatter`'s data movement only (no charge).
+
+        The fold runs in group order into one freshly-owned accumulator
+        and the returned shards are read-only views into it.
+        """
+        group = self._group(group)
+        self._check_contributions(group, values)
+        acc = self._reduce_arrays(group, values, op)
+        acc.flags.writeable = False
+        bounds = self.plan.split(acc.shape[axis], len(group))
+        shards = _axis_shards(acc, bounds, axis)
+        return {r: shards[i] for i, r in enumerate(group)}
 
     def barrier(self, group: Sequence[int]) -> None:
         """Synchronise a group; charged as a zero-byte allreduce latency."""

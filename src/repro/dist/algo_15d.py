@@ -129,10 +129,12 @@ class DistGCN15D(BlockRowAlgorithm):
             for g0, g1 in self.group_ranges
         ]
         self._h0 = {
-            r: group_blocks[self._coords(r)[0]] for r in range(self.p)
+            r: group_blocks[self._coords(r)[0]]
+            for r in self._local(range(self.p))
         }
 
     def _assemble(self, blocks: Dict[int, np.ndarray]) -> np.ndarray:
+        blocks = self.rt.gather_blocks(blocks)
         return np.concatenate(
             [blocks[self._rank_of(g, 0)] for g in range(self.q)], axis=0
         )
@@ -160,6 +162,7 @@ class DistGCN15D(BlockRowAlgorithm):
         # concurrently across the c replica columns.
         col_parts: List[List[np.ndarray]] = [[] for _ in range(self.c)]
         max_rounds = max(s1 - s0 for s0, s1 in self.subsets)
+        nbytes = lambda root: (self._rows_of(root) * f * self.WB)
         for t in range(max_rounds):
             routes = []
             active = []
@@ -172,24 +175,28 @@ class DistGCN15D(BlockRowAlgorithm):
                 )
                 active.append(j)
             got = self._broadcast_routed(("brch", f, t), routes, blocks,
-                                         Category.DCOMM, pipelined=False)
+                                         Category.DCOMM, pipelined=False,
+                                         nbytes=nbytes)
             for j, payload in zip(active, got):
-                col_parts[j].append(payload)
-        slabs: List[np.ndarray] = []
-        for j in range(self.c):
+                if payload is not None:
+                    col_parts[j].append(payload)
+        local_ranks = self._local(range(self.p))
+        local_cols = {self._coords(r)[1] for r in local_ranks}
+        slabs: Dict[int, np.ndarray] = {}
+        for j in local_cols:
             parts = col_parts[j]
             if not parts:
-                slabs.append(np.zeros((0, f)))
+                slabs[j] = np.zeros((0, f))
             elif len(parts) == 1:
                 # c >= q: the slab IS the single broadcast block -- no copy.
-                slabs.append(parts[0])
+                slabs[j] = parts[0]
             else:
                 rows = sum(p.shape[0] for p in parts)
                 slab = self._ws(("slab", j, f), (rows, f))
                 np.concatenate(parts, axis=0, out=slab)
-                slabs.append(slab)
+                slabs[j] = slab
         partials: Dict[int, np.ndarray] = {}
-        for r in range(self.p):
+        for r in local_ranks:
             g, j = self._coords(r)
             if j == 0:
                 # The fiber leader's partial is donated to the all-reduce
@@ -208,35 +215,53 @@ class DistGCN15D(BlockRowAlgorithm):
                 for r in range(self.p)
             ),
         )
+        # Fiber all-reduces: global cached charges, local data movement.
+        # The partials are freshly-owned per-rank SpMM outputs used
+        # nowhere else, so the leading one is donated as the in-place
+        # accumulator (NCCL-style).
+        charges = self._cache.get(("farch", f))
+        if charges is None:
+            charges = self.rt.coll.allreduce_charges([
+                (self._fiber_groups[g],
+                 (self.group_ranges[g][1] - self.group_ranges[g][0])
+                 * f * self.WB)
+                for g in range(self.q)
+            ])
+            self._cache[("farch", f)] = charges
+        self.rt.tracker.charge_many(Category.DCOMM, charges)
         out: Dict[int, np.ndarray] = {}
-        with self.rt.tracker.step_scope():
-            for g in range(self.q):
-                fiber = self._fiber_groups[g]
-                # The partials are freshly-owned per-rank SpMM outputs
-                # used nowhere else, so the leading one is donated as the
-                # in-place accumulator (NCCL-style).
-                reduced = self.rt.coll.allreduce(
-                    fiber, {r: partials[r] for r in fiber},
-                    category=Category.DCOMM, donate_first=True,
-                )
-                out.update(reduced)
+        for g in range(self.q):
+            fiber = self._fiber_groups[g]
+            contribs = {r: partials[r] for r in fiber if r in partials}
+            if contribs:
+                out.update(self.rt.coll.allreduce_data(
+                    fiber, contribs, donate_first=True,
+                ))
         return out
 
     def _replicated_allreduce(
         self, values: Dict[int, np.ndarray]
     ) -> Dict[int, np.ndarray]:
         """Sum one contribution per group: concurrent per-column
-        all-reduces, each column covering every group exactly once."""
+        all-reduces, each column covering every group exactly once.
+        Charges are global (sized from the local contribution's shape,
+        identical on every rank) and replayed from a cached list; the
+        data plane reduces only the columns this process has ranks in."""
+        nbytes = int(next(iter(values.values())).nbytes)
+        key = ("carch", nbytes)
+        charges = self._cache.get(key)
+        if charges is None:
+            charges = self.rt.coll.allreduce_charges([
+                (self._column_groups[j], nbytes) for j in range(self.c)
+            ])
+            self._cache[key] = charges
+        self.rt.tracker.charge_many(Category.DCOMM, charges)
         out: Dict[int, np.ndarray] = {}
-        with self.rt.tracker.step_scope():
-            for j in range(self.c):
-                group = self._column_groups[j]
-                out.update(
-                    self.rt.coll.allreduce(
-                        group, {r: values[r] for r in group},
-                        category=Category.DCOMM,
-                    )
-                )
+        for j in range(self.c):
+            group = self._column_groups[j]
+            contribs = {r: values[r] for r in group if r in values}
+            if contribs:
+                out.update(self.rt.coll.allreduce_data(group, contribs))
         return out
 
     def _stored_dense_rows(self) -> int:

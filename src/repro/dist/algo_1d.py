@@ -112,10 +112,11 @@ class DistGCN1D(BlockRowAlgorithm):
         return self.row_ranges[rank]
 
     def _setup_data(self, features: np.ndarray) -> None:
-        self._h0 = distribute_dense_1d_rows(features, self.p)
+        blocks = distribute_dense_1d_rows(features, self.p)
+        self._h0 = {r: blocks[r] for r in self._local(self.world)}
 
     def _assemble(self, blocks: Dict[int, np.ndarray]) -> np.ndarray:
-        return gather_dense_1d_rows(blocks, self.p)
+        return gather_dense_1d_rows(self.rt.gather_blocks(blocks), self.p)
 
     def _replicated_allreduce(
         self, values: Dict[int, np.ndarray]
@@ -136,13 +137,13 @@ class DistGCN1D(BlockRowAlgorithm):
         received = self.rt.coll.allgather(
             self.world, blocks, category=Category.DCOMM
         )
-        parts = received[self.world[0]]
+        parts = next(iter(received.values()))
         f = parts[0].shape[1]
         full = self._ws(("gather", f), (self.n, f))
         np.concatenate(parts, axis=0, out=full)
         shared = full.view()
         shared.flags.writeable = False
-        return {r: shared for r in self.world}
+        return {r: shared for r in self._local(self.world)}
 
     def _forward_spmm(
         self, blocks: Dict[int, np.ndarray], f: int
@@ -150,7 +151,7 @@ class DistGCN1D(BlockRowAlgorithm):
         """``A^T X``: gather the full operand, multiply the block row."""
         full = self._allgather_rows(blocks)
         out: Dict[int, np.ndarray] = {}
-        for r in self.world:
+        for r in self._local(self.world):
             out[r] = spmm(self.a_t_rows[r], full[r])
         self._charge_spmm_cached(
             ("fsp", f),
@@ -176,7 +177,7 @@ class DistGCN1D(BlockRowAlgorithm):
         if self.variant in ("symmetric", "transpose"):
             g_full = self._allgather_rows(g_blocks)
             ag_blocks: Dict[int, np.ndarray] = {}
-            for r in self.world:
+            for r in self._local(self.world):
                 ag_blocks[r] = spmm(self.a_rows[r], g_full[r])
             self._charge_spmm_cached(
                 ("bsp", f_out),
@@ -188,7 +189,7 @@ class DistGCN1D(BlockRowAlgorithm):
             return ag_blocks
         # Outer-product path: full-height partials, then reduce-scatter.
         partials: Dict[int, np.ndarray] = {}
-        for r in self.world:
+        for r in self._local(self.world):
             partials[r] = spmm(self.a_cols[r], g_blocks[r])
         self._charge_spmm_cached(
             ("osp", f_out),

@@ -137,7 +137,9 @@ class DistGCN2D(GridAlgorithm):
     # GridAlgorithm hooks
     # ------------------------------------------------------------------ #
     def _setup_data(self, features: np.ndarray) -> None:
-        self._h0 = distribute_dense_2d(features, self.mesh)
+        blocks = distribute_dense_2d(features, self.mesh)
+        self._h0 = {r: blocks[r]
+                    for r in self._local(range(self.rt.size))}
 
     def _fsplit(self, f: int) -> List[Tuple[int, int]]:
         """Feature-column split (``Pc`` ways, like every dense matrix)."""
@@ -154,6 +156,7 @@ class DistGCN2D(GridAlgorithm):
 
     def _assemble(self, out_full: Dict[int, np.ndarray]) -> np.ndarray:
         """Full output from the row-gathered copies on process column 0."""
+        out_full = self.rt.gather_blocks(out_full)
         return np.concatenate(
             [out_full[self.mesh.rank_of(i, 0)] for i in range(self.pr)],
             axis=0,
@@ -205,10 +208,13 @@ class DistGCN2D(GridAlgorithm):
     ) -> Dict[int, np.ndarray]:
         """One SUMMA SpMM sweep: ``C(i,j) += S(i,t) D(t,j)`` per stage.
 
-        Executed fast path: per stage the ``Pc`` dense feature-column
-        pieces are joined once into a full-width operand and each process
-        row runs a single SpMM against it, accumulating into one
-        full-width buffer per row group; rank results are column views.
+        Executed fast path: per stage the received dense feature-column
+        pieces are joined once per local column *span* and each local
+        process row runs a single SpMM against it, accumulating into one
+        span-wide buffer per row group; rank results are column views.
+        With every rank local the span is the full width (one join, one
+        SpMM per process row -- bitwise the historical fast path); a
+        multiprocess worker joins and multiplies only its own columns.
         SpMM columns are independent, so per-rank numerics are identical
         to the per-rank products, and the broadcasts (hence the ledger)
         are exactly the historical ones.  ``ws_key`` keys the group
@@ -217,14 +223,17 @@ class DistGCN2D(GridAlgorithm):
         mesh = self.mesh
         fcols = self._fsplit(f)
         groups = self._row_group_list
+        groups_info = self._local_group_info
         accs = []
-        for i, (lo, hi) in enumerate(self.row_ranges):
+        for gi, group, members, (c_lo, c_hi) in groups_info:
+            lo, hi = self.row_ranges[gi]
+            o_lo, o_hi = self._span(fcols, c_lo, c_hi)
             if ws_key is not None:
-                acc = self._ws(("gs", ws_key, i), (hi - lo, f))
+                acc = self._ws(("gs", ws_key, gi), (hi - lo, o_hi - o_lo))
                 acc.fill(0.0)
             else:
-                acc = np.zeros((hi - lo, f))
-            accs.append(acc)
+                acc = np.zeros((hi - lo, o_hi - o_lo))
+            accs.append((acc, o_lo, o_hi))
         op_key = "a_t" if sparse_blocks is self.a_t_blocks else "a"
         stage_pieces = self._stage_pieces(sparse_blocks)
         col_groups = self._col_group_list
@@ -238,34 +247,52 @@ class DistGCN2D(GridAlgorithm):
             )
             r0 = self.row_ranges[ro][0]
             dense_pieces = {
-                mesh.rank_of(ro, j):
-                    dense_blocks[mesh.rank_of(ro, j)][lo - r0 : hi - r0, :]
+                root: dense_blocks[root][lo - r0 : hi - r0, :]
                 for j in range(self.pc)
+                for root in (mesh.rank_of(ro, j),)
+                if root in dense_blocks
             }
+
+            def dense_nbytes(root: int, lo=lo, hi=hi) -> int:
+                b0, b1 = fcols[self._out_col(root)]
+                return (hi - lo) * (b1 - b0) * self.WB
+
             stage_parts = self._broadcast_routed(
                 ("bdch", f, st),
                 [(col_groups[j], mesh.rank_of(ro, j))
                  for j in range(self.pc)],
-                dense_pieces, Category.DCOMM,
+                dense_pieces, Category.DCOMM, nbytes=dense_nbytes,
             )
-            d_full = self._ws(("gsd", hi - lo), (hi - lo, f))
-            np.concatenate(stage_parts, axis=1, out=d_full)
-            for i in range(self.pr):
-                accs[i] += spmm(sparse_recv[i], d_full)
+            # One dense join + SpMM per local column span (usually one).
+            span_joins = {}
+            for idx, (gi, group, members, (c_lo, c_hi)) in enumerate(
+                groups_info
+            ):
+                acc, o_lo, o_hi = accs[idx]
+                d_span = span_joins.get((c_lo, c_hi))
+                if d_span is None:
+                    d_span = self._join_span(
+                        stage_parts[c_lo:c_hi], hi - lo, o_hi - o_lo,
+                        self._pick_span_key(o_hi - o_lo == f,
+                                            ("gsd", hi - lo), c_lo, c_hi),
+                    )
+                    span_joins[(c_lo, c_hi)] = d_span
+                acc += spmm(sparse_recv[gi], d_span)
 
-            def stage_charges():
+            def stage_charges(pieces=pieces, co=co):
                 for i in range(self.pr):
-                    sp = sparse_recv[i]
+                    sp = pieces[mesh.rank_of(i, co)]
                     for r in groups[i]:
                         c0, c1 = fcols[self._out_col(r)]
                         yield r, sp.nnz, sp.nrows, c1 - c0
 
             self._charge_spmm_cached(("gsch", op_key, f, st), stage_charges)
         out: Dict[int, np.ndarray] = {}
-        for i, group in enumerate(groups):
-            for r in group:
+        for idx, (gi, group, members, span) in enumerate(groups_info):
+            acc, o_lo, o_hi = accs[idx]
+            for r in members:
                 c0, c1 = fcols[self._out_col(r)]
-                out[r] = accs[i][:, c0:c1]
+                out[r] = acc[:, c0 - o_lo : c1 - o_lo]
         return out
 
     def _stored_dense_rows(self) -> int:

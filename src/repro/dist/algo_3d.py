@@ -117,7 +117,9 @@ class DistGCN3D(GridAlgorithm):
     # GridAlgorithm hooks
     # ------------------------------------------------------------------ #
     def _setup_data(self, features: np.ndarray) -> None:
-        self._h0 = distribute_dense_3d(features, self.mesh)
+        blocks = distribute_dense_3d(features, self.mesh)
+        self._h0 = {r: blocks[r]
+                    for r in self._local(range(self.rt.size))}
 
     def _fsplit(self, f: int) -> List[Tuple[int, int]]:
         return self._plan().split(f, self.s)
@@ -138,6 +140,7 @@ class DistGCN3D(GridAlgorithm):
 
     def _assemble(self, out_full: Dict[int, np.ndarray]) -> np.ndarray:
         """Global row order is (layer k, sub-range i): column-0 copies."""
+        out_full = self.rt.gather_blocks(out_full)
         pieces = []
         for k in range(self.s):
             for i in range(self.s):
@@ -179,44 +182,59 @@ class DistGCN3D(GridAlgorithm):
         mesh, s = self.mesh, self.s
         fcols = self._fsplit(f)
         rows_of = [hi - lo for lo, hi in self.row_ranges]
-        accs: Dict[Tuple[int, int], np.ndarray] = {}
-        for i in range(s):
-            for k in range(s):
-                acc = self._ws(("gs3", i, k), (rows_of[i], f))
-                acc.fill(0.0)
-                accs[i, k] = acc
-        row_groups = self._row_groups_3d
-        col_groups = self._col_groups_3d
+        groups_info = self._local_group_info  # gi = k * s + i
+        accs: Dict[Tuple[int, int], Tuple[np.ndarray, int, int]] = {}
+        spans: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for gi, group, members, (c_lo, c_hi) in groups_info:
+            i, k = gi % s, gi // s
+            o_lo, o_hi = self._span(fcols, c_lo, c_hi)
+            wkey = (("gs3", i, k) if o_hi - o_lo == f
+                    else ("gs3", i, k, c_lo, c_hi))
+            acc = self._ws(wkey, (rows_of[i], o_hi - o_lo))
+            acc.fill(0.0)
+            accs[i, k] = (acc, o_lo, o_hi)
+            spans[i, k] = (c_lo, c_hi)
         op_key = "a_t" if sparse_blocks is self.a_t_blocks else "a"
+        sub_rows = [
+            [hi - lo for lo, hi in subs] for subs in self.sub_ranges
+        ]
+
+        def dense_nbytes(root: int) -> int:
+            ri, rj, rk = mesh.coords(root)
+            b0, b1 = fcols[rj]
+            return sub_rows[rk][ri] * (b1 - b0) * self.WB
+
         # 1. SUMMA stages, concurrently in every layer.
         for t in range(s):
             sparse_got = self._broadcast_routed(
                 ("bsch", op_key, t), self._stage_sparse_routes[t],
                 sparse_blocks, Category.SCOMM,
             )
-            sparse_recv = {
-                (i, k): sparse_got[k * s + i]
-                for k in range(s) for i in range(s)
-            }
             dense_got = self._broadcast_routed(
                 ("bdch", f, t), self._stage_dense_routes[t],
-                dense_blocks, Category.DCOMM,
+                dense_blocks, Category.DCOMM, nbytes=dense_nbytes,
             )
-            dense_parts = {
-                k: dense_got[k * s : (k + 1) * s] for k in range(s)
-            }
-            for k in range(s):
-                parts = dense_parts[k]
-                inner = parts[0].shape[0]
-                d_full = self._ws(("gsd3", inner), (inner, f))
-                np.concatenate(parts, axis=1, out=d_full)
-                for i in range(s):
-                    accs[i, k] += spmm(sparse_recv[i, k], d_full)
+            # One dense join + SpMM per local (layer, column span).
+            span_joins: Dict[Tuple[int, int, int], np.ndarray] = {}
+            for gi, group, members, (c_lo, c_hi) in groups_info:
+                i, k = gi % s, gi // s
+                acc, o_lo, o_hi = accs[i, k]
+                d_span = span_joins.get((k, c_lo, c_hi))
+                if d_span is None:
+                    parts = dense_got[k * s + c_lo : k * s + c_hi]
+                    inner = parts[0].shape[0]
+                    d_span = self._join_span(
+                        parts, inner, o_hi - o_lo,
+                        self._pick_span_key(o_hi - o_lo == f,
+                                            ("gsd3", inner), c_lo, c_hi),
+                    )
+                    span_joins[(k, c_lo, c_hi)] = d_span
+                acc += spmm(sparse_got[gi], d_span)
 
-            def stage_charges():
+            def stage_charges(t=t):
                 for k in range(s):
                     for i in range(s):
-                        sp = sparse_recv[i, k]
+                        sp = sparse_blocks[mesh.rank_of(i, t, k)]
                         for j in range(s):
                             c0, c1 = fcols[j]
                             yield (mesh.rank_of(i, j, k), sp.nnz,
@@ -224,14 +242,15 @@ class DistGCN3D(GridAlgorithm):
 
             self._charge_spmm_cached(("gsch", op_key, f, t), stage_charges)
         # 2. Fiber reduce-scatter: sum the s layer partials, shard rows.
-        # Executed full-width: fiber (i, j) reduces the column band
-        # ``[:, c0:c1]`` of the layer partials over k, and a column band
-        # of the full-width sum equals the per-band sum elementwise -- so
-        # the s bands of process row i reduce together as one contiguous
-        # accumulation, and every fiber's shards are views of it.  The
-        # charges (one reduce-scatter per fiber, at the band's byte
-        # size) replay from a cached list, byte-identical to per-fiber
-        # :meth:`Collectives.reduce_scatter` calls.
+        # Per fiber (i, j): fold the band ``[:, c0:c1]`` of the layer
+        # partials in fiber (layer) order and take the row shards -- a
+        # column band of the full-width sum equals the per-band sum
+        # elementwise, so the per-fiber folds reproduce the historical
+        # full-width accumulation bitwise.  The charges (one
+        # reduce-scatter per fiber, at the band's byte size) replay from
+        # a cached list, byte-identical to per-fiber
+        # :meth:`Collectives.reduce_scatter` calls; the data plane moves
+        # only the fibers this process has ranks in.
         charges = self._cache.get(("rsc3", f))
         if charges is None:
             charges = self.rt.coll.reduce_scatter_charges([
@@ -241,26 +260,44 @@ class DistGCN3D(GridAlgorithm):
             ])
             self._cache[("rsc3", f)] = charges
         self.rt.tracker.charge_many(Category.DCOMM, charges)
-        plan = self._plan()
         shards: Dict[int, np.ndarray] = {}
         for i in range(s):
-            total = accs[i, 0].copy()
-            for k in range(1, s):
-                np.add(total, accs[i, k], out=total)
-            total.flags.writeable = False
-            row_split = plan.split(rows_of[i], s)
             for j in range(s):
-                c0, c1 = fcols[j]
-                for k, (r0, r1) in enumerate(row_split):
-                    shards[mesh.rank_of(i, j, k)] = total[r0:r1, c0:c1]
+                fiber = self._fiber_groups_3d[i, j]
+                contribs = {}
+                for k in range(s):
+                    got = accs.get((i, k))
+                    if got is None:
+                        continue
+                    acc, o_lo, o_hi = got
+                    c_lo, c_hi = spans[i, k]
+                    if not c_lo <= j < c_hi:
+                        continue
+                    c0, c1 = fcols[j]
+                    contribs[mesh.rank_of(i, j, k)] = \
+                        acc[:, c0 - o_lo : c1 - o_lo]
+                if contribs:
+                    shards.update(self.rt.coll.reduce_scatter_data(
+                        fiber, contribs, axis=0,
+                    ))
         # 3. Fiber-plane exchange: shard (i, j, k) is the input-layout
         # block of rank (k, j, i).
+        row_splits = [self._plan().split(rows_of[i], s) for i in range(s)]
+
+        def shard_nbytes(src: int, dst: int) -> int:
+            si, sj, sk = mesh.coords(src)
+            r0, r1 = row_splits[si][sk]
+            c0, c1 = fcols[sj]
+            return (r1 - r0) * (c1 - c0) * self.WB
+
         received = self._sendrecv_routed(
-            ("srch", f), self._exchange_pairs, shards, Category.DCOMM
+            ("srch", f), self._exchange_pairs, shards, Category.DCOMM,
+            nbytes=shard_nbytes,
         )
         return {
             dst: got
             for (_, dst), got in zip(self._exchange_pairs, received)
+            if got is not None
         }
 
     def _stored_dense_rows(self) -> int:

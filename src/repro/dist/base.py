@@ -32,9 +32,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.collectives import _readonly
+from repro.comm.collectives import _readonly, payload_nbytes
 from repro.comm.plan import CommPlan
-from repro.comm.runtime import VirtualRuntime
+from repro.comm.runtime import Runtime, VirtualRuntime
 from repro.comm.tracker import Category, CommTracker
 from repro.config import FP64_BYTES
 from repro.nn.activations import LogSoftmax, ReLU
@@ -158,7 +158,7 @@ class DistAlgorithm:
 
     def __init__(
         self,
-        rt: VirtualRuntime,
+        rt: Runtime,
         a_t: CSRMatrix,
         widths: Sequence[int],
         seed: int = 0,
@@ -183,10 +183,24 @@ class DistAlgorithm:
         self._mask: Optional[np.ndarray] = None
         self._mask_count = 0
         self._last_log_probs: Optional[np.ndarray] = None
+        #: the last epoch's distributed output blocks, assembled lazily:
+        #: on the process backend the assembly is a cross-process
+        #: shipment, so paying it every epoch just to fill a cache that
+        #: is usually never read would tax the scaling path.
+        self._last_out_blocks = None
         self.relu = ReLU()
         self.logsm = LogSoftmax()
         #: the world group, interned once (every epoch reuses the tuple).
         self.world_group = self._plan().group(range(rt.size))
+        # Backend locality: the data loops touch only `rt.local_ranks`
+        # (every rank on the virtual backend; this process's ranks on the
+        # multiprocess backend), while the charge paths stay global --
+        # charging is pure structure, so every process keeps the complete
+        # world ledger and the cross-backend ledger oracle can demand
+        # byte-for-byte equality.
+        self._local_set = frozenset(rt.local_ranks)
+        self._spmd = len(self._local_set) != rt.size
+        self._local_seq_cache: Dict[Any, Tuple[int, ...]] = {}
         #: steady-state scratch buffers; see :meth:`_ws`.
         self.workspace: Dict[Any, np.ndarray] = {}
         #: cached non-array epoch invariants (e.g. precomputed kernel
@@ -258,6 +272,24 @@ class DistAlgorithm:
         """
         return self.rt.plan
 
+    def _is_local(self, rank: int) -> bool:
+        """Does this process hold ``rank``'s buffers?  (Virtual: always.)"""
+        return not self._spmd or rank in self._local_set
+
+    def _local(self, ranks) -> Tuple[int, ...]:
+        """Order-preserving restriction of ``ranks`` to the local ranks.
+
+        Interned per input (the epoch loops pass the same group tuples
+        every epoch).  The identity on the virtual backend.
+        """
+        key = ranks if type(ranks) is tuple else tuple(ranks)
+        cached = self._local_seq_cache.get(key)
+        if cached is None:
+            cached = (key if not self._spmd
+                      else tuple(r for r in key if r in self._local_set))
+            self._local_seq_cache[key] = cached
+        return cached
+
     def _ws(self, key, shape: Tuple[int, ...]) -> np.ndarray:
         """A reusable scratch array owned by this algorithm.
 
@@ -280,41 +312,52 @@ class DistAlgorithm:
         return buf
 
     def _broadcast_routed(self, key, routes, blocks, category: str,
-                          pipelined: bool = True) -> list:
+                          pipelined: bool = True, nbytes=None) -> list:
         """Concurrent broadcasts along precomputed ``(group, root)``
         routes, with the (static) charges replayed from the cache.
 
         The payload shapes along a route are fixed at setup, so the full
         per-rank charge list is computed once via
-        :meth:`Collectives.broadcast_charges` and replayed with
+        :meth:`Collectives.broadcast_charges_sized` and replayed with
         ``charge_many`` on later epochs -- identical ledger entries.
-        Returns the received payload per route (shared read-only views,
-        exactly like :meth:`Collectives.broadcast_many`).
+        ``nbytes(root)`` supplies the wire size of a route's payload from
+        structure alone; without it the payload itself is sized (only
+        valid when every root's payload is present, i.e. static operand
+        dicts).  Returns the received payload per route (shared read-only
+        views); routes with no local member yield ``None`` on the
+        multiprocess backend.
         """
         charges = self._cache.get(key)
         if charges is None:
-            charges = self.rt.coll.broadcast_charges(
-                [(group, root, blocks[root]) for group, root in routes],
+            charges = self.rt.coll.broadcast_charges_sized(
+                [(group, root,
+                  nbytes(root) if nbytes is not None
+                  else payload_nbytes(blocks[root]))
+                 for group, root in routes],
                 pipelined,
             )
             self._cache[key] = charges
         self.rt.tracker.charge_many(category, charges)
-        return [_readonly(blocks[root]) for _, root in routes]
+        return self.rt.coll.routed_broadcast_data(routes, blocks)
 
-    def _sendrecv_routed(self, key, pairs, payloads, category: str) -> list:
+    def _sendrecv_routed(self, key, pairs, payloads, category: str,
+                         nbytes=None) -> list:
         """Point-to-point exchange along precomputed ``(src, dst)`` pairs
-        with cached charge replay; returns what each ``dst`` receives."""
+        with cached charge replay; returns what each ``dst`` receives
+        (``None`` for non-local destinations on the multiprocess
+        backend).  ``nbytes(src, dst)`` supplies structural wire sizes,
+        as in :meth:`_broadcast_routed`."""
         charges = self._cache.get(key)
         if charges is None:
-            charges = self.rt.coll.sendrecv_charges(
-                [(src, dst, payloads[src]) for src, dst in pairs]
+            charges = self.rt.coll.sendrecv_charges_sized(
+                [(src, dst,
+                  nbytes(src, dst) if nbytes is not None
+                  else payload_nbytes(payloads[src]))
+                 for src, dst in pairs]
             )
             self._cache[key] = charges
         self.rt.tracker.charge_many(category, charges)
-        return [
-            payloads[src] if src == dst else _readonly(payloads[src])
-            for src, dst in pairs
-        ]
+        return self.rt.coll.routed_sendrecv_data(pairs, payloads)
 
     @staticmethod
     def _map_blocks(blocks: Dict[int, np.ndarray],
@@ -467,6 +510,7 @@ class DistAlgorithm:
             raise RuntimeError("call setup(features, labels) or pass features")
         log_probs = self._forward_pass()
         self._last_log_probs = log_probs
+        self._last_out_blocks = None
         return log_probs
 
     def evaluate(
@@ -477,14 +521,29 @@ class DistAlgorithm:
         loss, _ = nll_loss(log_probs, labels, mask)
         return loss, accuracy(log_probs, labels, mask)
 
+    def _set_epoch_output(self, blocks) -> None:
+        """Record an epoch's output blocks for lazy assembly.
+
+        On the process backend the lazy read-out is a *collective*
+        (``rt.gather_blocks``), so it must run on every worker in the
+        same program position -- which the command fan-out guarantees.
+        """
+        self._last_out_blocks = blocks
+        self._last_log_probs = None
+
     def gather_log_probs(self) -> np.ndarray:
         """The most recent forward pass's full output (verification view).
 
         Reassembled from the distributed blocks without charging the
-        ledger -- the read-out a driver script would do once at the end.
+        ledger -- the read-out a driver script would do once at the end,
+        deferred until someone actually asks.
         """
         if self._last_log_probs is None:
-            raise RuntimeError("no forward pass has run yet; call fit/predict")
+            if self._last_out_blocks is None:
+                raise RuntimeError(
+                    "no forward pass has run yet; call fit/predict"
+                )
+            self._last_log_probs = self._assemble(self._last_out_blocks)
         return self._last_log_probs
 
     def verify_against_serial(
@@ -679,37 +738,6 @@ class DistAlgorithm:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _charge_block_gemm(self, blocks, flops_per_row: float,
-                           key=None) -> None:
-        """Charge a GEMM over per-rank row blocks (rows x flops/row).
-
-        With ``key``, the (static) charge list is computed once and
-        replayed from the cache on later epochs.
-        """
-        if key is not None:
-            self._charge_gemm_cached(
-                key,
-                lambda: ((r, blocks[r].shape[0] * flops_per_row)
-                         for r in blocks),
-            )
-        else:
-            self._charge_gemm_step(
-                (r, blocks[r].shape[0] * flops_per_row) for r in blocks
-            )
-
-    def _charge_block_elementwise(self, blocks, bytes_per_row: float,
-                                  key=None) -> None:
-        if key is not None:
-            self._charge_elementwise_cached(
-                key,
-                lambda: ((r, blocks[r].shape[0] * bytes_per_row)
-                         for r in blocks),
-            )
-        else:
-            self._charge_elementwise_step(
-                (r, blocks[r].shape[0] * bytes_per_row) for r in blocks
-            )
-
     def _charge_elementwise_cached(self, key, builder) -> None:
         """Charge a static elementwise sweep from a precomputed list."""
         items = self._cache.get(key)
@@ -782,6 +810,17 @@ class BlockRowAlgorithm(DistAlgorithm):
     def _row_range(self, rank: int) -> Tuple[int, int]:
         raise NotImplementedError
 
+    def _rows_of(self, rank: int) -> int:
+        """Dense rows ``rank`` holds -- structure, hence backend-global."""
+        lo, hi = self._row_range(rank)
+        return hi - lo
+
+    @property
+    def _local_block_ranks(self) -> Tuple[int, ...]:
+        """The locally-held block ranks (all of them on the virtual
+        backend) -- the data loops iterate these; charges stay global."""
+        return self._local(self._block_ranks)
+
     def _forward_spmm(self, blocks, f: int):
         raise NotImplementedError
 
@@ -798,6 +837,27 @@ class BlockRowAlgorithm(DistAlgorithm):
         """Per-epoch charges before the backward recursion (default none)."""
 
     # ------------------------------------------------------------------ #
+    def _charge_rows_gemm(self, key, flops_per_row: float) -> None:
+        """Charge a GEMM over every block rank at ``rows x flops/row``.
+
+        Built from block structure (``_rows_of``), not from the data
+        dicts -- a multiprocess worker holds only its own ranks' blocks
+        but must still replay the full world's charges.
+        """
+        self._charge_gemm_cached(
+            key,
+            lambda: ((r, self._rows_of(r) * flops_per_row)
+                     for r in self._block_ranks),
+        )
+
+    def _charge_rows_elementwise(self, key, bytes_per_row: float) -> None:
+        """Structural elementwise charge over every block rank."""
+        self._charge_elementwise_cached(
+            key,
+            lambda: ((r, self._rows_of(r) * bytes_per_row)
+                     for r in self._block_ranks),
+        )
+
     def _forward_layers(self, h_blocks):
         """Shared forward sweep; returns output blocks + per-layer caches.
 
@@ -813,12 +873,10 @@ class BlockRowAlgorithm(DistAlgorithm):
             z_blocks = self._map_blocks(
                 t_blocks, lambda t: forward_gemm(t, weight)
             )
-            self._charge_block_gemm(z_blocks, 2.0 * f_in * f_out,
-                                    key=("cbg", l))
+            self._charge_rows_gemm(("cbg", l), 2.0 * f_in * f_out)
             # Rows are complete locally, so even log_softmax is local.
             h_blocks = self._map_blocks(z_blocks, layer.activation.forward)
-            self._charge_block_elementwise(z_blocks, 2.0 * f_out * self.WB,
-                                           key=("cbf", l))
+            self._charge_rows_elementwise(("cbf", l), 2.0 * f_out * self.WB)
             caches.append({"t": t_blocks, "z": z_blocks})
         return h_blocks, caches
 
@@ -828,9 +886,9 @@ class BlockRowAlgorithm(DistAlgorithm):
 
     def _run_epoch(self) -> Tuple[float, float]:
         out_blocks, caches = self._forward_layers(self._h0)
-        self._last_log_probs = self._assemble(out_blocks)
+        self._set_epoch_output(out_blocks)
         f_last = self.widths[-1]
-        ranks = self._block_ranks
+        ranks = self._local_block_ranks
 
         # ---- loss: one scalar-sized replicated all-reduce ----
         terms = self._dedup(
@@ -852,8 +910,7 @@ class BlockRowAlgorithm(DistAlgorithm):
             )
 
         g_blocks = self._dedup(ranks, lambda r: id(z_last[r]), grad_out)
-        self._charge_block_elementwise(g_blocks, 3.0 * f_last * self.WB,
-                                       key=("cbe-out",))
+        self._charge_rows_elementwise(("cbe-out",), 3.0 * f_last * self.WB)
         self._pre_backward()
 
         grads: List[Optional[np.ndarray]] = [None] * self.model.num_layers
@@ -872,8 +929,7 @@ class BlockRowAlgorithm(DistAlgorithm):
                 lambda r: (id(t_l[r]), id(g_blocks[r])),
                 lambda r: weight_gradient(t_l[r], g_blocks[r]),
             )
-            self._charge_block_gemm(g_blocks, 2.0 * f_in * f_out,
-                                    key=("cbw", l))
+            self._charge_rows_gemm(("cbw", l), 2.0 * f_in * f_out)
             y = self._replicated_allreduce(partials)
             grads[l] = next(iter(y.values()))
             if l > 0:
@@ -881,8 +937,7 @@ class BlockRowAlgorithm(DistAlgorithm):
                 gh_blocks = self._map_blocks(
                     ag_blocks, lambda ag: hidden_gradient(ag, weight)
                 )
-                self._charge_block_gemm(gh_blocks, 2.0 * f_out * f_in,
-                                        key=("cbh", l))
+                self._charge_rows_gemm(("cbh", l), 2.0 * f_out * f_in)
                 z_prev = caches[l - 1]["z"]
                 backward = self.model.layers[l - 1].activation.backward
                 g_blocks = self._dedup(
@@ -890,8 +945,7 @@ class BlockRowAlgorithm(DistAlgorithm):
                     lambda r: (id(z_prev[r]), id(gh_blocks[r])),
                     lambda r: backward(z_prev[r], gh_blocks[r]),
                 )
-                self._charge_block_elementwise(g_blocks, 3.0 * f_in * self.WB,
-                                               key=("cbb", l))
+                self._charge_rows_elementwise(("cbb", l), 3.0 * f_in * self.WB)
         self.optimizer.step(self.model.weights, grads)
         return loss, acc
 
@@ -949,6 +1003,10 @@ class GridAlgorithm(DistAlgorithm):
     def _rank_rows(self, rank: int) -> Tuple[int, int]:
         raise NotImplementedError
 
+    def _rows_of(self, rank: int) -> int:
+        lo, hi = self._rank_rows(rank)
+        return hi - lo
+
     def _fsplit(self, f: int):
         raise NotImplementedError
 
@@ -961,17 +1019,85 @@ class GridAlgorithm(DistAlgorithm):
     # ------------------------------------------------------------------ #
     # shared building blocks
     # ------------------------------------------------------------------ #
-    def _stage_broadcast(self, blocks, t: int, key=None):
+    @property
+    def _local_group_info(self):
+        """Per *local* row group: ``(gi, group, members, (c_lo, c_hi))``.
+
+        ``gi`` indexes :attr:`_row_group_list`; ``members`` are the
+        locally-held ranks of the group (all of them on the virtual
+        backend) and ``(c_lo, c_hi)`` the half-open range of their
+        feature-column indices.  Block rank-to-process ownership keeps a
+        group's local members contiguous in column order, so one
+        contiguous *span* of every group-wide dense matrix covers exactly
+        the local blocks -- the group-level kernels below compute once
+        per span (the whole width when everything is local, which is
+        bitwise the pre-refactor fast path).
+        """
+        info = getattr(self, "_local_group_info_cache", None)
+        if info is None:
+            info = []
+            for gi, group in enumerate(self._row_group_list):
+                members = [r for r in group if self._is_local(r)]
+                if not members:
+                    continue
+                cols = [self._out_col(r) for r in members]
+                if cols != list(range(cols[0], cols[-1] + 1)):
+                    raise AssertionError(
+                        f"non-contiguous local columns {cols} in row group "
+                        f"{group}: rank ownership must be block-contiguous"
+                    )
+                info.append((gi, group, tuple(members),
+                             (cols[0], cols[-1] + 1)))
+            self._local_group_info_cache = info
+        return info
+
+    def _grows(self, group) -> int:
+        """Dense rows a row group holds (shared by all its members)."""
+        return self._rows_of(group[0])
+
+    @staticmethod
+    def _pick_span_key(full: bool, base: Tuple, c_lo: int,
+                       c_hi: int) -> Tuple:
+        """Workspace key for a span join: the historical full-width key
+        when the span covers everything (bitwise the pre-refactor fast
+        path), a span-suffixed key otherwise."""
+        return base if full else base + (c_lo, c_hi)
+
+    def _join_span(self, parts, rows: int, width: int, key) -> np.ndarray:
+        """One dense stage operand from received feature-column pieces:
+        the piece itself for a single-column span (no copy), else a
+        concatenation into the ``key`` workspace."""
+        if len(parts) == 1:
+            return parts[0]
+        buf = self._ws(key, (rows, width))
+        np.concatenate(parts, axis=1, out=buf)
+        return buf
+
+    def _span(self, fsplit, c_lo: int, c_hi: int) -> Tuple[int, int]:
+        """Feature-column span covered by column indices [c_lo, c_hi)."""
+        return fsplit[c_lo][0], fsplit[c_hi - 1][1]
+
+    def _stage_broadcast(self, blocks, t: int, f: int, key=None):
         """Stage ``t`` of a replicated-W product: every row group's
         ``t``-th member broadcasts its feature-column block row-wise.
-        Returns the received payloads, one per row group (shared by the
-        whole group under copy-on-write).  ``key`` enables cached charge
-        replay (payload shapes along a stage are fixed at setup)."""
+        Returns the received payloads indexed like
+        :attr:`_row_group_list` (shared by the whole group under
+        copy-on-write; ``None`` for non-local groups on the multiprocess
+        backend).  ``key`` enables cached charge replay (payload shapes
+        along a stage are fixed at setup); ``f`` sizes the charges from
+        structure (the broadcast block is ``group rows x stage width``).
+        """
+        fcols = self._fsplit(f)
+
+        def nbytes(root: int) -> int:
+            lo, hi = fcols[self._out_col(root)]
+            return self._rows_of(root) * (hi - lo) * self.WB
+
         if key is not None:
             return self._broadcast_routed(
                 key,
                 [(group, group[t]) for group in self._row_group_list],
-                blocks, Category.DCOMM,
+                blocks, Category.DCOMM, nbytes=nbytes,
             )
         return self.rt.coll.broadcast_many(
             [(group, group[t], blocks[group[t]])
@@ -983,30 +1109,35 @@ class GridAlgorithm(DistAlgorithm):
                   ws_key=None):
         """``T W`` for grid-distributed ``T`` and replicated ``W``.
 
-        Each stage computes one full-width GEMM per row group (the
-        received stage block times ``w[lo:hi, :]``) and every rank's
-        feature-column block is a view of its group's accumulator --
-        column blocks of a product are independent, so per-rank results
-        are unchanged while the GEMM count drops from ``stages x P`` to
-        ``stages x Pr`` and the per-rank ``w`` column-slab copies vanish.
-        Per-rank GEMM charges are untouched.  ``ws_key`` names a
-        workspace for the group accumulators (callers whose result is
-        cached across the epoch pass a per-layer key).
+        Each stage computes one GEMM per *local* row group over the
+        group's local feature-column span (the received stage block times
+        the matching ``W`` column span) and every local rank's block is a
+        view of its group's accumulator -- column blocks of a product are
+        independent, so per-rank results are unchanged while the GEMM
+        count drops from ``stages x P`` to ``stages x Pr``.  With every
+        rank local the span is the whole width, which is bitwise the
+        historical full-width fast path; a multiprocess worker computes
+        just its own ranks' columns.  Per-rank GEMM charges are global
+        and untouched.  ``ws_key`` names a workspace for the group
+        accumulators (callers whose result is cached across the epoch
+        pass a per-layer key).
         """
-        groups = self._row_group_list
+        groups_info = self._local_group_info
         fouts = self._fsplit(f_out)
         accs = []
-        for gi, group in enumerate(groups):
-            rows = t_blocks[group[0]].shape[0]
+        for gi, group, members, (c_lo, c_hi) in groups_info:
+            rows = self._grows(group)
+            o_lo, o_hi = self._span(fouts, c_lo, c_hi)
             if ws_key is not None:
-                acc = self._ws(("mw", ws_key, gi), (rows, f_out))
+                acc = self._ws(("mw", ws_key, gi), (rows, o_hi - o_lo))
                 acc.fill(0.0)
             else:
-                acc = np.zeros((rows, f_out))
-            accs.append(acc)
+                acc = np.zeros((rows, o_hi - o_lo))
+            accs.append((acc, o_lo, o_hi))
+
         def stage_charges(lo: int, hi: int):
-            for group in groups:
-                rows = t_blocks[group[0]].shape[0]
+            for group in self._row_group_list:
+                rows = self._grows(group)
                 for r in group:
                     o0, o1 = fouts[self._out_col(r)]
                     yield r, 2.0 * rows * (hi - lo) * (o1 - o0)
@@ -1014,19 +1145,24 @@ class GridAlgorithm(DistAlgorithm):
         for t, (lo, hi) in enumerate(self._fsplit(f_in)):
             if hi == lo:
                 continue
-            recv = self._stage_broadcast(t_blocks, t, key=("sbch", f_in, t))
+            recv = self._stage_broadcast(t_blocks, t, f_in,
+                                         key=("sbch", f_in, t))
             w_stage = w[lo:hi, :]
-            for gi in range(len(groups)):
-                accs[gi] += forward_gemm(recv[gi], w_stage)
+            for idx, (gi, group, members, span) in enumerate(groups_info):
+                acc, o_lo, o_hi = accs[idx]
+                w_span = (w_stage if o_hi - o_lo == f_out
+                          else w_stage[:, o_lo:o_hi])
+                acc += forward_gemm(recv[gi], w_span)
             self._charge_gemm_cached(
                 ("mwch", f_in, f_out, t),
                 lambda lo=lo, hi=hi: stage_charges(lo, hi),
             )
         out = {}
-        for gi, group in enumerate(groups):
-            for r in group:
+        for idx, (gi, group, members, span) in enumerate(groups_info):
+            acc, o_lo, o_hi = accs[idx]
+            for r in members:
                 o0, o1 = fouts[self._out_col(r)]
-                out[r] = accs[gi][:, o0:o1]
+                out[r] = acc[:, o0 - o_lo : o1 - o_lo]
         return out
 
     def _weight_grad(self, t_blocks, g_blocks, f_in: int, f_out: int):
@@ -1040,23 +1176,25 @@ class GridAlgorithm(DistAlgorithm):
         per-band GEMMs, and the world all-reduce of the padded partials
         is exactly the historical reduction -- same charges, same result.
         """
-        groups = self._row_group_list
+        groups_info = self._local_group_info
         fouts = self._fsplit(f_out)
         g_rows = []
-        for gi, group in enumerate(groups):
-            parts = [g_blocks[r] for r in group]
+        for gi, group, members, (c_lo, c_hi) in groups_info:
+            parts = [g_blocks[r] for r in members]
+            o_lo, o_hi = self._span(fouts, c_lo, c_hi)
             buf = self._ws(("grows", gi, f_out),
-                           (parts[0].shape[0], f_out))
+                           (parts[0].shape[0], o_hi - o_lo))
             np.concatenate(parts, axis=1, out=buf)
-            g_rows.append(buf)
+            g_rows.append((buf, o_lo))
         partials = {}
         for r in t_blocks:
             buf = self._ws(("wgp", r, f_in, f_out), (f_in, f_out))
             buf.fill(0.0)
             partials[r] = buf
+
         def stage_charges(lo: int, hi: int):
-            for group in groups:
-                rows = t_blocks[group[0]].shape[0]
+            for group in self._row_group_list:
+                rows = self._grows(group)
                 for r in group:
                     o0, o1 = fouts[self._out_col(r)]
                     yield r, 2.0 * (hi - lo) * rows * (o1 - o0)
@@ -1064,12 +1202,14 @@ class GridAlgorithm(DistAlgorithm):
         for t, (lo, hi) in enumerate(self._fsplit(f_in)):
             if hi == lo:
                 continue
-            recv = self._stage_broadcast(t_blocks, t, key=("sbch", f_in, t))
-            for gi, group in enumerate(groups):
-                band = weight_gradient(recv[gi], g_rows[gi])  # (hi-lo, f_out)
-                for r in group:
+            recv = self._stage_broadcast(t_blocks, t, f_in,
+                                         key=("sbch", f_in, t))
+            for idx, (gi, group, members, span) in enumerate(groups_info):
+                buf, o_lo = g_rows[idx]
+                band = weight_gradient(recv[gi], buf)  # (hi-lo, local span)
+                for r in members:
                     o0, o1 = fouts[self._out_col(r)]
-                    partials[r][lo:hi, o0:o1] += band[:, o0:o1]
+                    partials[r][lo:hi, o0:o1] += band[:, o0 - o_lo : o1 - o_lo]
             self._charge_gemm_cached(
                 ("wgch", f_in, f_out, t),
                 lambda lo=lo, hi=hi: stage_charges(lo, hi),
@@ -1078,27 +1218,61 @@ class GridAlgorithm(DistAlgorithm):
                                    category=Category.DCOMM)
         return next(iter(y.values()))
 
-    def _row_allgather(self, blocks):
-        """Full rows on every rank (concurrent per-row-group gathers) --
-        what the row-wise log_softmax needs.  Every member of a row group
-        receives the same contributions, so the concatenation happens
-        once per group and the joined rows are shared read-only."""
+    def _row_allgather(self, blocks, f: int):
+        """Full rows on every local rank (concurrent per-row-group
+        gathers) -- what the row-wise log_softmax needs.  Every member of
+        a row group receives the same contributions, so the concatenation
+        happens once per (local) group and the joined rows are shared
+        read-only.  Charges are global and replayed from a cached list
+        sized from structure (``group rows x f``); the data plane moves
+        only the groups this process participates in."""
+        key = ("ragch", f)
+        charges = self._cache.get(key)
+        if charges is None:
+            charges = self.rt.coll.allgather_charges([
+                (group, self._grows(group) * f * self.WB)
+                for group in self._row_group_list
+            ])
+            self._cache[key] = charges
+        self.rt.tracker.charge_many(Category.DCOMM, charges)
         full = {}
-        with self.rt.tracker.step_scope():
-            for group in self._row_group_list:
-                got = self.rt.coll.allgather(
-                    group, {r: blocks[r] for r in group},
-                    category=Category.DCOMM,
-                )
-                joined = np.concatenate(got[group[0]], axis=1)
-                joined.flags.writeable = False
-                for r in group:
-                    full[r] = joined
+        for gi, group, members, span in self._local_group_info:
+            got = self.rt.coll.allgather_data(
+                group, {r: blocks[r] for r in group if r in blocks}
+            )
+            joined = np.concatenate(next(iter(got.values())), axis=1)
+            joined.flags.writeable = False
+            for r in got:
+                full[r] = joined
         return full
 
     # ------------------------------------------------------------------ #
     # the shared epoch
     # ------------------------------------------------------------------ #
+    def _charge_band_elementwise(self, key, f: int,
+                                 bytes_per_elem: float) -> None:
+        """Structural elementwise charge over every rank's ``f``-split
+        feature-column block (``rows x band`` elements each)."""
+        def builder():
+            fcols = self._fsplit(f)
+            for group in self._row_group_list:
+                rows = self._grows(group)
+                for r in group:
+                    b0, b1 = fcols[self._out_col(r)]
+                    yield r, rows * (b1 - b0) * bytes_per_elem
+        self._charge_elementwise_cached(key, builder)
+
+    def _charge_full_elementwise(self, key, f: int,
+                                 bytes_per_elem: float) -> None:
+        """Structural elementwise charge over every rank's *full-width*
+        gathered rows (``rows x f`` elements each)."""
+        def builder():
+            for group in self._row_group_list:
+                rows = self._grows(group)
+                for r in group:
+                    yield r, rows * f * bytes_per_elem
+        self._charge_elementwise_cached(key, builder)
+
     def _forward_layers(self, h_blocks):
         caches = []
         last = self.model.num_layers - 1
@@ -1112,24 +1286,17 @@ class GridAlgorithm(DistAlgorithm):
             if l < last:
                 h_blocks = {r: layer.activation.forward(z_blocks[r])
                             for r in z_blocks}
-                self._charge_elementwise_cached(
-                    ("gef", l),
-                    lambda: ((r, 2.0 * z_blocks[r].size * self.WB)
-                             for r in z_blocks),
-                )
+                self._charge_band_elementwise(("gef", l), f_out,
+                                              2.0 * self.WB)
             else:
                 # log_softmax is row-wise: gather full rows first.  The
                 # gathered rows are shared per row group, so the forward
                 # runs once per group; the per-rank column re-extraction
                 # of the final H was dead work (both callers read
                 # ``out_full``) and is skipped.
-                z_full = self._row_allgather(z_blocks)
+                z_full = self._row_allgather(z_blocks, f_out)
                 h_full = self._map_blocks(z_full, layer.activation.forward)
-                self._charge_elementwise_cached(
-                    ("gel",),
-                    lambda: ((r, 2.0 * z_full[r].size * self.WB)
-                             for r in z_full),
-                )
+                self._charge_full_elementwise(("gel",), f_out, 2.0 * self.WB)
                 h_blocks = {}
                 cache["z_full"] = z_full
                 cache["out_full"] = h_full
@@ -1142,7 +1309,7 @@ class GridAlgorithm(DistAlgorithm):
 
     def _run_epoch(self) -> Tuple[float, float]:
         _, caches = self._forward_layers(self._h0)
-        self._last_log_probs = self._assemble(caches[-1]["out_full"])
+        self._set_epoch_output(caches[-1]["out_full"])
         f_last = self.widths[-1]
         out_full = caches[-1]["out_full"]
 
@@ -1176,11 +1343,7 @@ class GridAlgorithm(DistAlgorithm):
         for r in out_full:
             c0, c1 = fcols[self._out_col(r)]
             g_blocks[r] = g_full[r][:, c0:c1]
-        self._charge_elementwise_cached(
-            ("geg",),
-            lambda: ((r, 3.0 * z_full_last[r].size * self.WB)
-                     for r in g_blocks),
-        )
+        self._charge_full_elementwise(("geg",), f_last, 3.0 * self.WB)
         self._charge_epoch_transpose()
 
         grads: List[Optional[np.ndarray]] = [None] * self.model.num_layers
@@ -1203,12 +1366,6 @@ class GridAlgorithm(DistAlgorithm):
                     )
                     for r in gh_blocks
                 }
-                self._charge_elementwise_cached(
-                    ("geb", l),
-                    lambda g_blocks=g_blocks: (
-                        (r, 3.0 * g_blocks[r].size * self.WB)
-                        for r in g_blocks
-                    ),
-                )
+                self._charge_band_elementwise(("geb", l), f_in, 3.0 * self.WB)
         self.optimizer.step(self.model.weights, grads)
         return loss, acc

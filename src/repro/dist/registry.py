@@ -39,37 +39,56 @@ def _unknown(name: str) -> ValueError:
     )
 
 
+BACKENDS = ("virtual", "process")
+
+
 def make_runtime_for(
     name: str,
     p: int,
     grid: Optional[Tuple[int, int]] = None,
     profile: Optional[MachineProfile] = None,
-) -> VirtualRuntime:
-    """The virtual machine topology algorithm ``name`` runs on.
+    backend: str = "virtual",
+    workers: Optional[int] = None,
+):
+    """The machine topology algorithm ``name`` runs on.
 
     ``grid=(Pr, Pc)`` selects a rectangular 2D grid (Section IV-C.6);
     without it, ``"2d"`` requires ``P`` to be a perfect square and
-    ``"3d"`` a perfect cube.
+    ``"3d"`` a perfect cube.  ``backend="process"`` returns a
+    :class:`repro.parallel.ParallelRuntime` whose ``p`` ranks execute as
+    real OS processes (``workers`` of them, default one per rank);
+    ``"virtual"`` (the default) is the single-process simulator.
     """
     name = name.lower()
     if name not in ALGORITHMS:
         raise _unknown(name)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {BACKENDS}"
+        )
+    if backend == "process":
+        from repro.parallel import ParallelRuntime as cls
+        kw = {"workers": workers}
+    else:
+        if workers is not None:
+            raise ValueError("workers= only applies to backend='process'")
+        cls, kw = VirtualRuntime, {}
     if name in ("1d", "1.5d"):
         if grid is not None:
             raise ValueError(f"algorithm {name!r} does not take a 2D grid")
-        return VirtualRuntime.make_1d(p, profile)
+        return cls.make_1d(p, profile, **kw)
     if name == "2d":
         if grid is None:
-            return VirtualRuntime.make_2d(p, profile)
+            return cls.make_2d(p, profile, **kw)
         rows, cols = (int(g) for g in grid)
         if rows * cols != p:
             raise ValueError(
                 f"grid {rows}x{cols} does not tile P={p} ranks"
             )
-        return VirtualRuntime.make_2d_rect(rows, cols, profile)
+        return cls.make_2d_rect(rows, cols, profile, **kw)
     if grid is not None:
         raise ValueError("algorithm '3d' does not take a 2D grid")
-    return VirtualRuntime.make_3d(p, profile)
+    return cls.make_3d(p, profile, **kw)
 
 
 def make_algorithm(
@@ -82,20 +101,32 @@ def make_algorithm(
     optimizer=None,
     profile: Optional[MachineProfile] = None,
     grid: Optional[Tuple[int, int]] = None,
+    backend: str = "virtual",
+    workers: Optional[int] = None,
     **kwargs,
 ) -> DistAlgorithm:
-    """Build algorithm ``name`` for ``dataset`` on ``p`` virtual GPUs.
+    """Build algorithm ``name`` for ``dataset`` on ``p`` (virtual) GPUs.
 
     ``dataset`` is a :class:`repro.graph.datasets.Dataset` (or anything
-    with ``adjacency`` and ``layer_widths``).  Remaining keyword
-    arguments pass through to the algorithm class (``variant`` for 1D,
-    ``replication`` for 1.5D, ``summa_block`` for 2D).
+    with ``adjacency`` and ``layer_widths``).  ``backend="process"``
+    executes the ranks as real OS processes (``workers`` of them) and
+    returns a :class:`repro.parallel.ParallelAlgorithm` proxy with the
+    same ``fit``/``train_epoch``/``predict`` surface; close it with
+    ``algo.rt.close()`` when done.  Remaining keyword arguments pass
+    through to the algorithm class (``variant`` for 1D, ``replication``
+    for 1.5D, ``summa_block`` for 2D).
     """
     name = name.lower()
     if name not in ALGORITHMS:
         raise _unknown(name)
-    rt = make_runtime_for(name, p, grid=grid, profile=profile)
+    rt = make_runtime_for(name, p, grid=grid, profile=profile,
+                          backend=backend, workers=workers)
     widths = dataset.layer_widths(hidden=hidden, layers=layers)
+    if backend == "process":
+        return rt.make_algorithm(
+            name, dataset.adjacency, widths, seed=seed,
+            optimizer=optimizer, **kwargs,
+        )
     return ALGORITHMS[name](
         rt, dataset.adjacency, widths, seed=seed, optimizer=optimizer,
         **kwargs,

@@ -1,0 +1,71 @@
+"""repro.parallel: the true multiprocess SPMD execution backend.
+
+Where :class:`repro.comm.runtime.VirtualRuntime` executes P ranks
+sequentially inside one process, this package runs them as **real OS
+processes** whose collectives cross process boundaries through POSIX
+shared memory -- wall clock drops with cores, while the virtual runtime's
+ledger and losses remain the built-in correctness oracle (byte-identical
+ledger, bit-identical losses under frozen seeds).
+
+Architecture map (driver process on the left, P-rank workers right)::
+
+    ParallelRuntime ── ParallelAlgorithm        driver-side proxies
+          │ commands / results (mp.Queue)
+    ProcessBackend ──spawns──> _worker_main x W  backend.py
+                                   │
+                               WorkerRuntime     runtime.py -- Runtime
+                                   │             protocol, local_ranks
+                            ProcessCollectives   collectives.py -- SPMD
+                                   │             data plane + full-world
+                                   │             alpha-beta charging
+                               PeerChannel       channel.py -- tagged
+                                   │             exchange, acks, stash
+                               Arena / codec     shm.py -- shared-memory
+                                                 payload transport
+
+Layer responsibilities:
+
+* ``shm.py``        -- encode/decode dense and CSR payloads into
+  per-worker shared-memory arenas (+ ephemeral overflow segments);
+* ``channel.py``    -- the one rendezvous primitive (post, collect,
+  ack, reclaim) with deterministic ``(group, seq)`` tags;
+* ``collectives.py``-- the :class:`~repro.comm.collectives.Collectives`
+  API for a rank-local worker: reductions fold in group-rank order (a
+  fixed tree) so results match the virtual runtime bit for bit;
+* ``runtime.py``    -- :class:`WorkerRuntime` (the rank-local
+  :class:`~repro.comm.runtime.Runtime`), :class:`ParallelRuntime` and
+  :class:`ParallelAlgorithm` (driver-side, VirtualRuntime-shaped);
+* ``backend.py``    -- process lifecycle: spawn-context workers, command
+  fan-out, error propagation, timeouts, shutdown.
+
+Entry points::
+
+    from repro.dist import make_algorithm
+    algo = make_algorithm("1d", p=4, dataset=ds,
+                          backend="process", workers=4)
+    history = algo.fit(ds.features, ds.labels, epochs=10)
+    algo.rt.close()
+
+or the CLI: ``repro train --backend process --workers 4``.
+"""
+
+from repro.parallel.backend import ProcessBackend, WorkerError
+from repro.parallel.collectives import ProcessCollectives
+from repro.parallel.runtime import (
+    ParallelAlgorithm,
+    ParallelRuntime,
+    WorkerRuntime,
+    ledger_digest,
+    owner_map,
+)
+
+__all__ = [
+    "ProcessBackend",
+    "ProcessCollectives",
+    "ParallelAlgorithm",
+    "ParallelRuntime",
+    "WorkerRuntime",
+    "WorkerError",
+    "ledger_digest",
+    "owner_map",
+]

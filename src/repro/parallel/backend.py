@@ -1,0 +1,296 @@
+"""The process backend: spawn P-rank SPMD worker pools and drive them.
+
+:class:`ProcessBackend` owns the operating-system resources: worker
+processes (a ``multiprocessing`` **spawn** context -- no inherited
+interpreter state, the same start method ``torch.distributed`` defaults
+to on CUDA), one command queue per worker, one shared result queue, one
+inbox queue per worker for peer traffic, and one shared-memory arena per
+worker.  The driver broadcasts a command to every worker; workers execute
+it in lock-step (collectives rendezvous through
+:mod:`repro.parallel.channel`) and each reports success or a traceback.
+Any worker error terminates the pool rather than leaving peers blocked on
+a dead rendezvous.  Deadlock detection is layered: peer-to-peer waits
+inside the workers carry the ``REPRO_PARALLEL_TIMEOUT`` (a rank blocked
+on a silent peer errors out instead of hanging a CI runner), while the
+driver watches worker *liveness* -- a crashed worker fails the command
+within a fraction of a second, but a long-running healthy command is
+never killed by a clock.
+
+Worker processes pin their BLAS pools to one thread
+(``OMP_NUM_THREADS=1`` etc. at spawn): the backend's parallelism comes
+from running ranks on separate cores, and oversubscribing P workers x N
+BLAS threads on an N-core host destroys exactly the scaling this backend
+exists to demonstrate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.mesh import ProcessMesh
+from repro.config import MachineProfile
+from repro.parallel.channel import PeerChannel, default_timeout
+from repro.parallel.runtime import WorkerRuntime, ledger_digest, owner_map
+
+__all__ = ["ProcessBackend", "WorkerError"]
+
+#: Default per-worker arena size; payloads beyond this spill to
+#: per-payload ephemeral segments (correct, just slower).
+DEFAULT_ARENA_BYTES = 32 * 1024 * 1024
+
+_THREAD_PIN_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                    "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+
+class WorkerError(RuntimeError):
+    """A worker process raised; carries its formatted traceback."""
+
+
+def _cleanup(procs, arenas, queues):
+    """Finalizer: make sure no OS resources outlive the backend."""
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(timeout=5)
+    for shm in arenas:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    for q in queues:
+        q.cancel_join_thread()
+
+
+class ProcessBackend:
+    """Spawn and command a pool of SPMD workers for one mesh."""
+
+    def __init__(self, mesh: ProcessMesh, profile: MachineProfile,
+                 nworkers: int, arena_bytes: Optional[int] = None,
+                 timeout: Optional[float] = None):
+        self.mesh = mesh
+        self.profile = profile
+        self.nworkers = nworkers
+        self.owners = owner_map(mesh.size, nworkers)
+        self.arena_bytes = arena_bytes or DEFAULT_ARENA_BYTES
+        self.timeout = default_timeout() if timeout is None else timeout
+        self._started = False
+        self._finalizer = None
+        self.procs = []
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._started:
+            return
+        ctx = mp.get_context("spawn")
+        w = self.nworkers
+        self.inboxes = [ctx.Queue() for _ in range(w)]
+        self.cmd_queues = [ctx.Queue() for _ in range(w)]
+        self.result_queue = ctx.Queue()
+        self.arenas = [
+            shared_memory.SharedMemory(create=True, size=self.arena_bytes)
+            for _ in range(w)
+        ]
+        arena_names = [shm.name for shm in self.arenas]
+        spec = {
+            "mesh": self.mesh,
+            "profile": self.profile,
+            "owners": self.owners,
+            "arena_names": arena_names,
+            "timeout": self.timeout,
+        }
+        saved = {v: os.environ.get(v) for v in _THREAD_PIN_VARS}
+        try:
+            for v in _THREAD_PIN_VARS:
+                os.environ[v] = "1"
+            for wid in range(w):
+                p = ctx.Process(
+                    target=_worker_main,
+                    args=(wid, spec, self.inboxes, self.cmd_queues[wid],
+                          self.result_queue),
+                    daemon=True,
+                    name=f"repro-rank-worker-{wid}",
+                )
+                p.start()
+                self.procs.append(p)
+        finally:
+            for v, old in saved.items():
+                if old is None:
+                    os.environ.pop(v, None)
+                else:
+                    os.environ[v] = old
+        self._finalizer = weakref.finalize(
+            self, _cleanup, list(self.procs), list(self.arenas),
+            self.inboxes + self.cmd_queues + [self.result_queue],
+        )
+        self._started = True
+
+    # ------------------------------------------------------------------ #
+    def command(self, op: str, payload) -> list:
+        """Broadcast one command; return per-worker results (by id)."""
+        if not self._started:
+            raise RuntimeError("backend not started")
+        for q in self.cmd_queues:
+            q.put((op, payload))
+        results = {}
+        while len(results) < self.nworkers:
+            try:
+                wid, status, value = self.result_queue.get(timeout=0.25)
+            except queue.Empty:
+                # No fixed command deadline: a long-running *healthy*
+                # command (one epoch on a big graph) must not be killed
+                # as a false deadlock.  Genuine deadlocks surface
+                # through the workers themselves -- a rank blocked on a
+                # dead/absent peer raises ChannelTimeout after
+                # REPRO_PARALLEL_TIMEOUT and reports 'err' here.  What
+                # the driver does watch for is worker death: workers
+                # only exit on 'close', so an earlier exit is a crash
+                # (e.g. spawn re-importing a broken __main__) whose
+                # peers would otherwise block until their channel
+                # timeouts -- fail the command immediately instead.
+                dead = [p.name for p in self.procs
+                        if p.exitcode is not None]
+                if dead:
+                    self.terminate()
+                    raise WorkerError(
+                        f"worker process(es) died during {op!r}: {dead}. "
+                        "Note the spawn start method re-imports the "
+                        "driver's __main__: interactive/stdin sessions "
+                        "must guard driver code with "
+                        "`if __name__ == '__main__':` (scripts, pytest, "
+                        "and the CLI are unaffected)"
+                    ) from None
+                continue
+            if status == "err":
+                self.terminate()
+                raise WorkerError(
+                    f"worker {wid} failed during {op!r}:\n{value}"
+                )
+            results[wid] = value
+        return [results[wid] for wid in range(self.nworkers)]
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Orderly shutdown: ask workers to exit, then reap resources."""
+        if not self._started:
+            return
+        for q in self.cmd_queues:
+            try:
+                q.put(("close", None))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        for p in self.procs:
+            p.join(timeout=self.timeout)
+        self.terminate()
+
+    def terminate(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+        self._started = False
+
+
+# ---------------------------------------------------------------------- #
+# the worker process
+# ---------------------------------------------------------------------- #
+def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
+                 result_queue) -> None:
+    """One SPMD worker: build a rank-local runtime, execute commands.
+
+    Spawn target (top-level so it pickles).  Every command ends with an
+    ``('ok', value)`` or ``('err', traceback)`` report; collectives
+    failures on one worker surface as timeouts on its peers, which the
+    driver converts into pool termination.
+    """
+    channel = PeerChannel(worker_id, inboxes, spec["arena_names"],
+                          timeout=spec["timeout"])
+    rt = WorkerRuntime(spec["mesh"], spec["profile"], channel,
+                       spec["owners"])
+    algo = None
+    try:
+        while True:
+            op, payload = cmd_queue.get()
+            if op == "close":
+                break
+            try:
+                value = _dispatch(rt, worker_id, op, payload,
+                                  lambda: algo)
+                if op == "make_algo":
+                    algo, value = value, None
+                result_queue.put((worker_id, "ok", value))
+            except Exception:
+                result_queue.put((worker_id, "err",
+                                  traceback.format_exc()))
+    finally:
+        channel.close()
+
+
+def _with_ledger(rt, worker_id: int, value, *extra_floats):
+    """Standard command result: (value-or-None, digest, w0's tracker)."""
+    digest = ledger_digest(rt.tracker, *extra_floats)
+    tracker = rt.tracker if worker_id == 0 else None
+    return (value if worker_id == 0 else None, digest, tracker)
+
+
+def _dispatch(rt, worker_id: int, op: str, payload, get_algo):
+    algo = get_algo()
+    if op == "make_algo":
+        from repro.dist.registry import ALGORITHMS
+
+        name, a_t, widths, seed, optimizer, kwargs = payload
+        return ALGORITHMS[name](rt, a_t, widths, seed=seed,
+                                optimizer=optimizer, **kwargs)
+    if algo is None:
+        raise RuntimeError(f"no algorithm constructed before {op!r}")
+    if op == "setup":
+        features, labels, mask = payload
+        algo.setup(features, labels, mask)
+        return None
+    if op == "train_epoch":
+        stats = algo.train_epoch(payload)
+        return _with_ledger(rt, worker_id, stats, stats.loss,
+                            stats.train_accuracy)
+    if op == "predict":
+        log_probs = algo.predict(payload)
+        return _with_ledger(rt, worker_id, log_probs,
+                            float(np.sum(log_probs)))
+    if op == "evaluate":
+        labels, mask = payload
+        loss, acc = algo.evaluate(labels, mask)
+        return _with_ledger(rt, worker_id, (loss, acc), loss, acc)
+    if op == "log_probs":
+        # Every worker participates: the lazy assembly inside
+        # gather_log_probs is a collective (rt.gather_blocks).
+        log_probs = algo.gather_log_probs()
+        return log_probs if worker_id == 0 else None
+    if op == "weights":
+        if worker_id != 0:
+            return None
+        return [w.copy() for w in algo.model.weights]
+    if op == "reset_model":
+        from repro.dist.base import clone_optimizer
+        from repro.nn.model import GCN
+
+        seed = algo.seed if payload is None else payload
+        algo.model = GCN(algo.widths, seed=seed)
+        algo.optimizer = clone_optimizer(algo.optimizer)
+        if worker_id != 0:
+            return None
+        return {
+            "seed": seed,
+            "optimizer": clone_optimizer(algo.optimizer),
+            "a_t": algo.a_t,
+            "a": algo.a,
+        }
+    if op == "reset_stats":
+        rt.reset_stats()
+        return None
+    raise ValueError(f"unknown worker command {op!r}")

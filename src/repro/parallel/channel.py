@@ -1,0 +1,166 @@
+"""Worker-to-worker rendezvous: tagged exchanges over queues + shm.
+
+Every worker owns one inbox queue (driver-created) and one shared-memory
+arena (:mod:`repro.parallel.shm`).  All collective traffic reduces to one
+primitive, :meth:`PeerChannel.exchange`: post a list of payloads to a set
+of peers, collect one list from each of another set of peers, acknowledge
+shared-memory receipts, and reclaim the arena.
+
+Ordering and deadlock freedom rest on the SPMD structure of the epochs:
+every worker executes the same global sequence of collectives, so any two
+workers see their *common* operations in the same relative order.  Tags
+are ``(group_key, sequence)`` pairs where the per-``group_key`` sequence
+counter advances identically on every participant; messages arriving
+early (a peer racing ahead on an unrelated group) are stashed until their
+tag is wanted.  Within one exchange a worker posts **all** outgoing
+messages before blocking on receives, so cyclic waits cannot form.
+
+Every blocking receive carries a timeout (``REPRO_PARALLEL_TIMEOUT``
+seconds, default 120): a deadlocked or dead peer surfaces as a
+``ChannelTimeout`` instead of a hung run.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.parallel.shm import (
+    Arena,
+    INLINE_MAX,
+    decode_payload,
+    desc_needs_ack,
+    encode_payload,
+)
+
+__all__ = ["PeerChannel", "ChannelTimeout", "default_timeout"]
+
+
+class ChannelTimeout(RuntimeError):
+    """A peer did not respond in time (deadlock or dead worker)."""
+
+
+def default_timeout() -> float:
+    return float(os.environ.get("REPRO_PARALLEL_TIMEOUT", "120"))
+
+
+class PeerChannel:
+    """One worker's endpoint of the all-pairs exchange fabric."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        inboxes: Sequence,
+        arena_names: Sequence[str],
+        timeout: float = None,
+        inline_max: int = INLINE_MAX,
+    ):
+        self.wid = worker_id
+        self.inboxes = list(inboxes)
+        self.timeout = default_timeout() if timeout is None else timeout
+        self.inline_max = inline_max
+        self.arena = Arena(shared_memory.SharedMemory(
+            name=arena_names[worker_id]))
+        self._arena_names = list(arena_names)
+        self._peer_shms: Dict[int, shared_memory.SharedMemory] = {}
+        self._stash: Dict[Tuple, Any] = {}
+        self._seq: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _tag(self, gkey) -> Tuple:
+        n = self._seq.get(gkey, 0)
+        self._seq[gkey] = n + 1
+        return (gkey, n)
+
+    def _peer_buf(self, w: int):
+        shm = self._peer_shms.get(w)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=self._arena_names[w])
+            self._peer_shms[w] = shm
+        return shm.buf
+
+    def _recv(self, kind: str, tag, src: int):
+        key = (kind, tag, src)
+        hit = self._stash.pop(key, None)
+        if hit is not None:
+            return hit
+        inbox = self.inboxes[self.wid]
+        while True:
+            try:
+                msg = inbox.get(timeout=self.timeout)
+            except queue.Empty:
+                raise ChannelTimeout(
+                    f"worker {self.wid} timed out after {self.timeout}s "
+                    f"waiting for {kind!r} {tag} from worker {src} "
+                    "(deadlocked or dead peer?)"
+                ) from None
+            mkey = (msg[0], msg[1], msg[2])
+            if mkey == key:
+                return msg
+            self._stash[mkey] = msg
+
+    # ------------------------------------------------------------------ #
+    # the one primitive
+    # ------------------------------------------------------------------ #
+    def exchange(
+        self,
+        gkey,
+        items: Sequence[Tuple[Any, Any]],
+        send_to: Sequence[int],
+        recv_from: Sequence[int],
+    ) -> Dict[int, List[Tuple[Any, Any]]]:
+        """Post ``items`` (``(key, payload)`` pairs) to every worker in
+        ``send_to``; collect one posted list from each worker in
+        ``recv_from``.  Returns ``{src_worker: [(key, payload), ...]}``
+        with decoded private payloads.
+
+        Participants must call with the same ``gkey`` in the same
+        relative order; the tag sequence does the rest.  Arena space and
+        ephemeral segments used by ``items`` are reclaimed before
+        returning (receivers acknowledge shared-memory receipts).
+        """
+        tag = self._tag(gkey)
+        ephemerals: List[shared_memory.SharedMemory] = []
+        mark = self.arena.ptr
+        need_ack = False
+        if send_to:
+            descs = []
+            for key, obj in items:
+                desc = encode_payload(self.arena, obj, ephemerals,
+                                      self.inline_max)
+                need_ack = need_ack or desc_needs_ack(desc)
+                descs.append((key, desc))
+            for w in send_to:
+                self.inboxes[w].put(("d", tag, self.wid, descs))
+        out: Dict[int, List[Tuple[Any, Any]]] = {}
+        for w in recv_from:
+            msg = self._recv("d", tag, w)
+            descs_w = msg[3]
+            decoded = [
+                (key, decode_payload(desc, self._peer_buf(w)))
+                for key, desc in descs_w
+            ]
+            out[w] = decoded
+            if any(desc_needs_ack(desc) for _, desc in descs_w):
+                self.inboxes[w].put(("a", tag, self.wid))
+        if need_ack:
+            for w in send_to:
+                self._recv("a", tag, w)
+        self.arena.ptr = mark
+        for seg in ephemerals:
+            seg.close()
+            seg.unlink()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self.arena.close()
+        for shm in self._peer_shms.values():
+            shm.close()
+        self._peer_shms.clear()

@@ -1,0 +1,364 @@
+"""Runtimes for the process backend: the worker view and the driver view.
+
+:class:`WorkerRuntime` lives inside each spawned worker: a full
+:class:`~repro.comm.runtime.Runtime` whose ``local_ranks`` are the block
+of mesh ranks this worker owns, with :class:`ProcessCollectives` moving
+payloads through shared memory.  Each worker constructs the *same*
+:class:`~repro.dist.base.DistAlgorithm` (same seed, same replicated
+weights) and runs the *same* epoch program; only the data loops narrow to
+the owned ranks.  Because charging is global and deterministic, every
+worker's tracker is a complete, bit-identical copy of the virtual
+runtime's ledger -- verified per command via :func:`ledger_digest`.
+
+:class:`ParallelRuntime` is the driver-side handle: it exposes the
+:class:`VirtualRuntime` surface (mesh, tracker, profile, describe,
+breakdowns) so CLI/benchmark code is backend-agnostic, spawns a
+:class:`~repro.parallel.backend.ProcessBackend` on first use, and mirrors
+worker 0's tracker after every command.  :class:`ParallelAlgorithm` is
+the matching driver-side proxy for one distributed algorithm: ``fit`` /
+``train_epoch`` / ``predict`` / ``evaluate`` forward to the lock-stepped
+workers and return worker 0's results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.mesh import Mesh1D, Mesh2D, Mesh3D, ProcessMesh
+from repro.comm.runtime import RuntimeBase
+from repro.comm.tracker import Category, CommTracker
+from repro.config import MachineProfile
+from repro.parallel.channel import PeerChannel
+from repro.parallel.collectives import ProcessCollectives
+
+__all__ = [
+    "WorkerRuntime",
+    "ParallelRuntime",
+    "ParallelAlgorithm",
+    "ledger_digest",
+    "owner_map",
+]
+
+
+def owner_map(nranks: int, nworkers: int) -> Tuple[int, ...]:
+    """Block assignment of mesh ranks to workers (contiguous, near-equal).
+
+    Contiguity is load-bearing: the grid algorithms require each row
+    group's local members to sit on consecutive feature columns (see
+    ``GridAlgorithm._local_group_info``).
+    """
+    if not 1 <= nworkers <= nranks:
+        raise ValueError(
+            f"need 1 <= workers <= ranks, got {nworkers} workers for "
+            f"{nranks} ranks"
+        )
+    base, extra = divmod(nranks, nworkers)
+    owners = []
+    for w in range(nworkers):
+        owners.extend([w] * (base + (1 if w < extra else 0)))
+    return tuple(owners)
+
+
+def ledger_digest(tracker: CommTracker, *extra_floats: float) -> str:
+    """Bit-exact fingerprint of a tracker (plus optional scalars).
+
+    Workers compare digests after every command: identical programs must
+    produce identical ledgers, so a mismatch means a backend bug (lost
+    message, wrong fold order), not a tolerance issue.
+    """
+    h = hashlib.sha1()
+    for x in extra_floats:
+        h.update(struct.pack("<d", float(x)))
+    for r in range(tracker.nranks):
+        totals = tracker.per_rank[r]
+        for c in Category.ALL:
+            t = totals[c]
+            h.update(struct.pack("<dqqq", t.seconds, t.bytes, t.messages,
+                                 t.flops))
+    for c in Category.ALL:
+        h.update(struct.pack("<d", tracker.wall.get(c, 0.0)))
+    h.update(struct.pack("<q", tracker.nsteps))
+    return h.hexdigest()
+
+
+class WorkerRuntime(RuntimeBase):
+    """One worker's rank-local runtime inside the process backend."""
+
+    backend = "process-worker"
+
+    def __init__(self, mesh: ProcessMesh, profile: Optional[MachineProfile],
+                 channel: PeerChannel, owners: Sequence[int]):
+        self._init_core(mesh, profile)
+        self.channel = channel
+        self.owners = tuple(owners)
+        self.worker_id = channel.wid
+        self._local_ranks = tuple(
+            r for r in range(mesh.size) if self.owners[r] == channel.wid
+        )
+        self._local_set = frozenset(self._local_ranks)
+        self.nworkers = max(self.owners) + 1
+        self.coll = ProcessCollectives(
+            self.profile, self.tracker, self.plan, channel, self.owners,
+            self._local_ranks,
+        )
+
+    def is_local(self, rank: int) -> bool:
+        return rank in self._local_set
+
+    def gather_blocks(self, blocks: Dict[int, np.ndarray]
+                      ) -> Dict[int, np.ndarray]:
+        """Uncharged world assembly of a per-rank dict (read-out path).
+
+        Replicated layouts hand several ranks one shared buffer (row
+        groups after an all-gather), so blocks ship once per *distinct*
+        object with their rank list, not once per rank -- and receivers
+        re-share the decoded copy the same way.
+        """
+        if self.nworkers == 1:
+            return blocks
+        distinct: Dict[int, Tuple[np.ndarray, list]] = {}
+        for r, block in blocks.items():
+            entry = distinct.setdefault(id(block), (block, []))
+            entry[1].append(r)
+        items = [(tuple(ranks), block) for block, ranks in distinct.values()]
+        others = [w for w in range(self.nworkers) if w != self.worker_id]
+        got = self.channel.exchange(("gb",), items, others, others)
+        full = dict(blocks)
+        for pairs in got.values():
+            for ranks, block in pairs:
+                for r in ranks:
+                    full[r] = block
+        return full
+
+    def describe(self) -> str:
+        return (f"WorkerRuntime({self._topology()}, "
+                f"worker {self.worker_id}/{self.nworkers}, "
+                f"ranks {self._local_ranks}, profile={self.profile.name})")
+
+
+class ParallelAlgorithm:
+    """Driver-side proxy: the :class:`DistAlgorithm` public surface,
+    executed by the backend's lock-stepped workers.
+
+    Every method broadcasts one command, waits for all workers, asserts
+    their ledgers/losses agree bit for bit, adopts worker 0's tracker
+    into :attr:`rt`, and returns worker 0's result.
+    """
+
+    def __init__(self, rt: "ParallelRuntime", name: str, a_t, widths,
+                 seed: int = 0, optimizer=None, **kwargs):
+        self.rt = rt
+        self.name = name
+        self.n = a_t.nrows
+        self.widths = tuple(int(w) for w in widths)
+        rt._ensure_started()
+        rt._command("make_algo", (name, a_t, self.widths, seed, optimizer,
+                                  kwargs))
+
+    # ------------------------------------------------------------------ #
+    def setup(self, features, labels, mask=None) -> None:
+        self.rt._command("setup", (np.asarray(features), np.asarray(labels),
+                                   None if mask is None else np.asarray(mask)))
+
+    def train_epoch(self, epoch: int = 0):
+        results = self.rt._command("train_epoch", epoch)
+        stats = self.rt._adopt_and_check(results)
+        return stats
+
+    def fit(self, features, labels, epochs: int, mask=None):
+        from repro.dist.base import DistTrainHistory
+
+        self.setup(features, labels, mask)
+        history = DistTrainHistory()
+        for epoch in range(epochs):
+            history.epochs.append(self.train_epoch(epoch))
+        return history
+
+    def predict(self, features=None) -> np.ndarray:
+        results = self.rt._command(
+            "predict", None if features is None else np.asarray(features)
+        )
+        return self.rt._adopt_and_check(results)
+
+    def evaluate(self, labels, mask=None) -> Tuple[float, float]:
+        results = self.rt._command(
+            "evaluate",
+            (np.asarray(labels), None if mask is None else np.asarray(mask)),
+        )
+        return self.rt._adopt_and_check(results)
+
+    def gather_log_probs(self) -> np.ndarray:
+        return self.rt._command("log_probs", None)[0]
+
+    def model_weights(self) -> List[np.ndarray]:
+        """Worker 0's replicated model weights (all workers are
+        bit-identical -- the digest checks would have tripped otherwise)."""
+        return self.rt._command("weights", None)[0]
+
+    def verify_against_serial(self, features, labels, epochs: int,
+                              seed: Optional[int] = None, mask=None) -> float:
+        """Serial-vs-process divergence, mirroring
+        :meth:`DistAlgorithm.verify_against_serial` (serial runs on the
+        driver, distributed on the workers, both from fresh weights)."""
+        from repro.dist.base import clone_optimizer
+        from repro.nn.model import GCN, SerialTrainer
+
+        info = self.rt._command("reset_model", seed)[0]
+        seed, optimizer = info["seed"], info["optimizer"]
+        serial = SerialTrainer(
+            GCN(self.widths, seed=seed),
+            info["a_t"],
+            a=info["a"],
+            optimizer=clone_optimizer(optimizer),
+        )
+        s_hist = serial.train(features, labels, epochs, mask=mask)
+        s_lp = serial.model.predict(info["a_t"], features)
+        d_hist = self.fit(features, labels, epochs, mask=mask)
+        d_lp = self.predict()
+        diff = max(
+            abs(a - b)
+            for a, b in zip(d_hist.losses, [e.loss for e in s_hist.epochs])
+        )
+        for w_d, w_s in zip(self.model_weights(), serial.model.weights):
+            diff = max(diff, float(np.max(np.abs(w_d - w_s))) if w_d.size
+                       else 0.0)
+        diff = max(diff, float(np.max(np.abs(d_lp - s_lp))))
+        return diff
+
+
+class ParallelRuntime(RuntimeBase):
+    """Driver-side runtime for the multiprocess execution backend.
+
+    Mirrors the :class:`VirtualRuntime` constructor surface plus a
+    ``workers`` count; the worker processes spawn lazily when the first
+    algorithm is built.  After every command the driver adopts worker 0's
+    tracker, so ``tracker`` / ``epoch_breakdown`` / ``modeled_seconds``
+    read exactly like the virtual runtime's.
+    """
+
+    backend = "process"
+
+    def __init__(self, mesh: ProcessMesh,
+                 profile: Optional[MachineProfile] = None,
+                 workers: Optional[int] = None,
+                 arena_bytes: Optional[int] = None,
+                 timeout: Optional[float] = None):
+        self._init_core(mesh, profile)
+        self.coll = None  # collectives execute inside the workers
+        if workers is None:
+            workers = mesh.size
+        if not 1 <= workers <= mesh.size:
+            raise ValueError(
+                f"need 1 <= workers <= ranks, got {workers} workers for "
+                f"{mesh.size} ranks"
+            )
+        self.workers = workers
+        self.owners = owner_map(mesh.size, self.workers)
+        self._backend = None
+        self._algorithm_built = False
+        self._arena_bytes = arena_bytes
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # constructors (mirroring VirtualRuntime)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def make_1d(cls, p: int, profile=None, workers=None, **kw
+                ) -> "ParallelRuntime":
+        return cls(Mesh1D(size=p), profile, workers=workers, **kw)
+
+    @classmethod
+    def make_2d(cls, p: int, profile=None, workers=None, **kw
+                ) -> "ParallelRuntime":
+        return cls(Mesh2D.square(p), profile, workers=workers, **kw)
+
+    @classmethod
+    def make_2d_rect(cls, rows: int, cols: int, profile=None, workers=None,
+                     **kw) -> "ParallelRuntime":
+        return cls(Mesh2D.rectangular(rows, cols), profile, workers=workers,
+                   **kw)
+
+    @classmethod
+    def make_3d(cls, p: int, profile=None, workers=None, **kw
+                ) -> "ParallelRuntime":
+        return cls(Mesh3D.cubic(p), profile, workers=workers, **kw)
+
+    # ------------------------------------------------------------------ #
+    # backend plumbing
+    # ------------------------------------------------------------------ #
+    def _ensure_started(self):
+        if self._backend is None:
+            from repro.parallel.backend import ProcessBackend
+
+            self._backend = ProcessBackend(
+                self.mesh, self.profile, self.workers,
+                arena_bytes=self._arena_bytes, timeout=self._timeout,
+            )
+            self._backend.start()
+        return self._backend
+
+    def _command(self, op: str, payload) -> list:
+        return self._ensure_started().command(op, payload)
+
+    def _adopt_and_check(self, results):
+        """Adopt worker 0's tracker; insist every worker agrees bit for
+        bit.  Each result is ``(value, digest, tracker_or_None)``."""
+        digests = {d for _, d, _ in results}
+        if len(digests) != 1:
+            raise RuntimeError(
+                "process backend diverged: workers returned "
+                f"{len(digests)} distinct ledger digests {sorted(digests)}"
+            )
+        value, _, tracker = results[0]
+        if tracker is not None:
+            mine = self.tracker
+            mine.per_rank = tracker.per_rank
+            mine.wall = tracker.wall
+            mine._nsteps = tracker._nsteps
+            mine._step = None
+        return value
+
+    def make_algorithm(self, name: str, a_t, widths, seed: int = 0,
+                       optimizer=None, **kwargs) -> ParallelAlgorithm:
+        """Build (on every worker) the named algorithm for this runtime.
+
+        One live algorithm per pool: the workers hold a single algorithm
+        slot, so a second build would silently hijack the first proxy's
+        model.  ``close()`` the runtime (fresh pool) to build another.
+        """
+        if self._algorithm_built:
+            raise RuntimeError(
+                "this ParallelRuntime already drives an algorithm; a "
+                "second one would share (and corrupt) the workers' "
+                "state -- close() this runtime and build a fresh one"
+            )
+        algo = ParallelAlgorithm(self, name, a_t, widths, seed=seed,
+                                 optimizer=optimizer, **kwargs)
+        self._algorithm_built = True
+        return algo
+
+    def reset_stats(self) -> None:
+        self.tracker.reset()
+        if self._backend is not None:
+            self._command("reset_stats", None)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+        self._algorithm_built = False
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        return (f"ParallelRuntime({self._topology()}, "
+                f"{self.workers} workers, profile={self.profile.name})")

@@ -1,0 +1,166 @@
+"""Shared-memory payload transport: arenas and the array/CSR codec.
+
+Workers exchange collective payloads through POSIX shared memory: each
+worker owns one fixed-size **arena** segment (created by the driver,
+write-only to its owner) plus, for oversized payloads, per-payload
+**ephemeral** segments.  A payload travels as a small picklable
+*descriptor* over the metadata queues while the bulk bytes go through
+``/dev/shm``:
+
+``('none',)``
+    an empty contribution;
+``('inl', obj)``
+    small payloads ride inline in the queue message (pickle) -- scalars,
+    loss terms, small weight partials;
+``('arr', shape, dtype, seg, offset)``
+    a dense block at ``offset`` of the sender's arena (``seg is None``)
+    or of the named ephemeral segment;
+``('csr', shape, indptr_desc, indices_desc, data_desc)``
+    a :class:`~repro.sparse.csr.CSRMatrix` as its three arrays.
+
+Receivers copy payloads out of the sender's segment immediately (the
+sender reclaims arena space once every receiver acknowledges), so decoded
+arrays are private to the receiving worker.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["Arena", "encode_payload", "decode_payload", "INLINE_MAX"]
+
+#: Payloads at or below this many bytes travel inline in the queue
+#: message instead of through shared memory (and need no ack).
+INLINE_MAX = 16384
+
+_ALIGN = 64
+
+
+class Arena:
+    """Bump allocator over one shared-memory segment.
+
+    Only the owning worker writes; peers attach read-only and copy out.
+    The owner resets the bump pointer after each exchange completes (the
+    ack protocol in :mod:`repro.parallel.channel` guarantees every
+    receiver has copied by then).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory):
+        self.shm = shm
+        self.size = shm.size
+        self.ptr = 0
+
+    def alloc(self, nbytes: int) -> Optional[int]:
+        """Offset of a fresh ``nbytes`` block, or ``None`` when full."""
+        start = (self.ptr + _ALIGN - 1) // _ALIGN * _ALIGN
+        if start + nbytes > self.size:
+            return None
+        self.ptr = start + nbytes
+        return start
+
+    def reset(self) -> None:
+        self.ptr = 0
+
+    def close(self) -> None:
+        self.shm.close()
+
+
+def _encode_array(arena: Arena, arr: np.ndarray, ephemerals: List,
+                  inline_max: int) -> Tuple:
+    arr = np.asarray(arr)
+    if arr.nbytes <= inline_max:
+        # Always a private copy: multiprocessing.Queue pickles in a feeder
+        # thread *after* put() returns, and the caller may overwrite the
+        # source buffer (epoch workspaces) as soon as the exchange ends.
+        return ("inl", arr.copy())
+    offset = arena.alloc(arr.nbytes)
+    if offset is not None:
+        dst = np.ndarray(arr.shape, arr.dtype, buffer=arena.shm.buf,
+                         offset=offset)
+        np.copyto(dst, arr)
+        return ("arr", arr.shape, arr.dtype.str, None, offset)
+    # Arena full: spill to a per-payload ephemeral segment, unlinked by
+    # the sender once every receiver has acknowledged its copy.
+    seg = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    ephemerals.append(seg)
+    dst = np.ndarray(arr.shape, arr.dtype, buffer=seg.buf)
+    np.copyto(dst, arr)
+    return ("arr", arr.shape, arr.dtype.str, seg.name, 0)
+
+
+def encode_payload(arena: Arena, obj: Any, ephemerals: List,
+                   inline_max: int = INLINE_MAX) -> Tuple:
+    """Encode a payload into a picklable descriptor (bulk bytes in shm).
+
+    ``ephemerals`` collects overflow segments the caller must unlink
+    after the exchange's acknowledgements arrive.
+    """
+    if obj is None:
+        return ("none",)
+    if isinstance(obj, CSRMatrix):
+        return (
+            "csr",
+            obj.shape,
+            _encode_array(arena, obj.indptr, ephemerals, inline_max),
+            _encode_array(arena, obj.indices, ephemerals, inline_max),
+            _encode_array(arena, obj.data, ephemerals, inline_max),
+        )
+    if isinstance(obj, np.ndarray):
+        return _encode_array(arena, obj, ephemerals, inline_max)
+    raise TypeError(
+        f"cannot ship payload of type {type(obj).__name__} through "
+        "shared memory (expected ndarray, CSRMatrix, or None)"
+    )
+
+
+def desc_needs_ack(desc: Tuple) -> bool:
+    """Does this descriptor reference sender-owned shared memory?"""
+    kind = desc[0]
+    if kind == "arr":
+        return True
+    if kind == "csr":
+        return any(sub[0] == "arr" for sub in desc[2:5])
+    return False
+
+
+def _decode_array(desc: Tuple, peer_buf) -> np.ndarray:
+    kind = desc[0]
+    if kind == "inl":
+        return desc[1]
+    _, shape, dtype, seg, offset = desc
+    if seg is None:
+        src = np.ndarray(shape, np.dtype(dtype), buffer=peer_buf,
+                         offset=offset)
+        return src.copy()
+    eph = shared_memory.SharedMemory(name=seg)
+    try:
+        src = np.ndarray(shape, np.dtype(dtype), buffer=eph.buf)
+        return src.copy()
+    finally:
+        eph.close()
+
+
+def decode_payload(desc: Tuple, peer_buf) -> Any:
+    """Decode a descriptor into a private object (copies out of shm).
+
+    ``peer_buf`` is the sending worker's arena buffer (for ``seg is
+    None`` references); ephemeral segments are attached by name.
+    """
+    kind = desc[0]
+    if kind == "none":
+        return None
+    if kind == "csr":
+        _, shape, d_indptr, d_indices, d_data = desc
+        return CSRMatrix(
+            _decode_array(d_indptr, peer_buf),
+            _decode_array(d_indices, peer_buf),
+            _decode_array(d_data, peer_buf),
+            tuple(shape),
+            validate=False,
+        )
+    return _decode_array(desc, peer_buf)

@@ -120,6 +120,17 @@ class CSRMatrix:
         if validate or (validate is None and check):
             self._validate()
 
+    def __getstate__(self):
+        """Pickle as the four raw fields, dropping the scipy wrapper
+        cache -- cross-process shipment (the multiprocess backend sends
+        the adjacency to every worker) must not drag scipy objects
+        along, and the cache rebuilds lazily on first use."""
+        return (self.shape, self.indptr, self.indices, self.data)
+
+    def __setstate__(self, state) -> None:
+        self.shape, self.indptr, self.indices, self.data = state
+        self._scipy_cache = None
+
     def _validate(self) -> None:
         m, n = self.shape
         if m < 0 or n < 0:

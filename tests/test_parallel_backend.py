@@ -1,0 +1,185 @@
+"""The multiprocess execution backend vs. the virtual-runtime oracle.
+
+The contract under test (ISSUE 4's acceptance criteria): for every
+algorithm family, a :class:`ProcessBackend` run under frozen seeds
+produces per-epoch losses equal to the :class:`VirtualRuntime` to
+<= 1e-12 and a communication ledger that is **byte-for-byte identical**
+-- same per-category byte/second totals per epoch, same per-rank rows,
+same bulk-synchronous wall clock.  Sharded ownership (fewer workers than
+ranks, including uneven splits) and pure SPMD (one rank per worker) are
+both exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.tracker import Category
+from repro.dist import make_algorithm, make_runtime_for
+from repro.graph import make_synthetic
+from repro.parallel import (
+    ParallelRuntime,
+    WorkerError,
+    ledger_digest,
+    owner_map,
+)
+
+EPOCHS = 3
+HIDDEN = 8
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=60, avg_degree=4, f=8, n_classes=3, seed=11)
+
+
+def run_virtual(ds, name, p, kw):
+    algo = make_algorithm(name, p, ds, hidden=HIDDEN, seed=0, **kw)
+    hist = algo.fit(ds.features, ds.labels, epochs=EPOCHS)
+    lp = algo.predict()
+    return algo, hist, lp
+
+
+def run_process(ds, name, p, workers, kw):
+    algo = make_algorithm(name, p, ds, hidden=HIDDEN, seed=0,
+                          backend="process", workers=workers, **kw)
+    try:
+        hist = algo.fit(ds.features, ds.labels, epochs=EPOCHS)
+        lp = algo.predict()
+        tracker = algo.rt.tracker.snapshot()
+    finally:
+        algo.rt.close()
+    return hist, lp, tracker
+
+
+# Acceptance matrix: all four algorithms at P in {2, 4} (2D's P=2 via the
+# rectangular grid; 3D needs a cubic mesh, covered at P=8), with sharded
+# (W < P, even and uneven) and pure-SPMD (W == P) ownership.
+MATRIX = [
+    ("1d", 2, 2, {}),
+    ("1d", 4, 2, {}),
+    ("1d", 4, 3, {}),                       # uneven shards (2, 1, 1)
+    ("1d", 4, 4, {"variant": "outer"}),
+    ("1d", 4, 2, {"variant": "outer_sparse"}),
+    ("1.5d", 2, 2, {"replication": 2}),
+    ("1.5d", 4, 2, {"replication": 2}),
+    ("1.5d", 4, 4, {"replication": 2}),
+    ("2d", 2, 2, {"grid": (2, 1)}),
+    ("2d", 4, 2, {}),
+    ("2d", 4, 4, {}),
+    ("3d", 8, 2, {}),
+    ("3d", 8, 8, {}),
+]
+
+
+class TestCrossBackendEquality:
+    @pytest.mark.parametrize("name,p,workers,kw", MATRIX)
+    def test_losses_and_ledger_match_virtual(self, ds, name, p, workers, kw):
+        v_algo, v_hist, v_lp = run_virtual(ds, name, p, kw)
+        p_hist, p_lp, p_tracker = run_process(ds, name, p, workers, kw)
+
+        # Losses: the acceptance bound is 1e-12; in practice the fixed
+        # group-order reduction tree makes them bit-equal.
+        for e_v, e_p in zip(v_hist.epochs, p_hist.epochs):
+            assert abs(e_v.loss - e_p.loss) <= 1e-12
+            assert abs(e_v.train_accuracy - e_p.train_accuracy) <= 1e-12
+            # Ledger: byte-for-byte, including modeled wall seconds.
+            assert e_v.bytes_by_category == e_p.bytes_by_category
+            assert e_v.seconds_by_category == e_p.seconds_by_category
+            assert e_v.max_rank_comm_bytes == e_p.max_rank_comm_bytes
+        # Full per-rank ledger rows, exact.
+        v_tracker = v_algo.rt.tracker
+        for r in range(p):
+            for c in Category.ALL:
+                tv, tp = v_tracker.per_rank[r][c], p_tracker.per_rank[r][c]
+                assert (tv.seconds, tv.bytes, tv.messages, tv.flops) == \
+                       (tp.seconds, tp.bytes, tp.messages, tp.flops), (r, c)
+        assert ledger_digest(v_tracker) == ledger_digest(p_tracker)
+        # Inference output (assembled log-probabilities).
+        np.testing.assert_allclose(v_lp, p_lp, rtol=0, atol=1e-12)
+
+
+class TestProxySurface:
+    def test_evaluate_and_log_probs(self, ds):
+        algo = make_algorithm("1d", 2, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.fit(ds.features, ds.labels, epochs=2)
+            loss, acc = algo.evaluate(ds.labels)
+            assert np.isfinite(loss) and 0.0 <= acc <= 1.0
+            lp = algo.gather_log_probs()
+            assert lp.shape == (ds.num_vertices, algo.widths[-1])
+            np.testing.assert_allclose(np.exp(lp).sum(axis=1), 1.0,
+                                       rtol=1e-9)
+        finally:
+            algo.rt.close()
+
+    def test_verify_against_serial(self, ds):
+        algo = make_algorithm("1d", 2, ds, hidden=HIDDEN, seed=3,
+                              backend="process", workers=2)
+        try:
+            diff = algo.verify_against_serial(
+                ds.features, ds.labels, epochs=2
+            )
+            assert diff < 1e-9
+        finally:
+            algo.rt.close()
+
+    def test_worker_error_propagates(self, ds):
+        algo = make_algorithm("1d", 2, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            with pytest.raises(WorkerError, match="features shape"):
+                algo.setup(np.zeros((3, 3)), ds.labels)
+        finally:
+            algo.rt.close()
+
+    def test_one_algorithm_per_pool(self, ds):
+        """A second build on a live pool would hijack the first proxy's
+        worker-side model -- it must refuse instead."""
+        algo = make_algorithm("1d", 2, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="already drives"):
+                algo.rt.make_algorithm("1d", ds.adjacency, algo.widths,
+                                       seed=7)
+        finally:
+            algo.rt.close()
+
+    def test_runtime_describe_and_close_idempotent(self, ds):
+        rt = make_runtime_for("2d", 4, backend="process", workers=2)
+        assert isinstance(rt, ParallelRuntime)
+        assert "2 workers" in rt.describe()
+        rt.close()
+        rt.close()  # idempotent, never started is fine too
+
+
+class TestRegistryValidation:
+    def test_unknown_backend_rejected(self, ds):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_runtime_for("1d", 2, backend="cuda")
+
+    def test_workers_require_process_backend(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_runtime_for("1d", 2, workers=2)
+
+    def test_owner_map_blocks(self):
+        assert owner_map(4, 2) == (0, 0, 1, 1)
+        assert owner_map(4, 3) == (0, 0, 1, 2)
+        assert owner_map(3, 3) == (0, 1, 2)
+        with pytest.raises(ValueError):
+            owner_map(2, 3)
+        with pytest.raises(ValueError):
+            owner_map(2, 0)
+
+    def test_ledger_digest_sensitivity(self):
+        from repro.comm.tracker import CommTracker
+
+        a, b = CommTracker(2), CommTracker(2)
+        assert ledger_digest(a) == ledger_digest(b)
+        a.charge(0, Category.DCOMM, 1.0, nbytes=8)
+        assert ledger_digest(a) != ledger_digest(b)
+        b.charge(0, Category.DCOMM, 1.0, nbytes=8)
+        assert ledger_digest(a) == ledger_digest(b)
+        assert ledger_digest(a, 1.5) != ledger_digest(a, 2.5)

@@ -1,0 +1,111 @@
+"""Unit tests for the shared-memory codec and arena (no processes)."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import (
+    Arena,
+    decode_payload,
+    desc_needs_ack,
+    encode_payload,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture
+def arena():
+    shm = shared_memory.SharedMemory(create=True, size=1 << 20)
+    a = Arena(shm)
+    yield a
+    shm.close()
+    shm.unlink()
+
+
+def roundtrip(arena, obj, inline_max=128):
+    eph = []
+    desc = encode_payload(arena, obj, eph, inline_max=inline_max)
+    out = decode_payload(desc, arena.shm.buf)
+    for seg in eph:
+        seg.close()
+        seg.unlink()
+    return desc, out
+
+
+class TestArena:
+    def test_alloc_aligns_and_resets(self, arena):
+        o1 = arena.alloc(100)
+        o2 = arena.alloc(100)
+        assert o1 % 64 == 0 and o2 % 64 == 0 and o2 >= o1 + 100
+        arena.reset()
+        assert arena.alloc(100) == o1
+
+    def test_alloc_overflow_returns_none(self, arena):
+        assert arena.alloc(arena.size + 1) is None
+
+
+class TestCodec:
+    def test_none_roundtrip(self, arena):
+        desc, out = roundtrip(arena, None)
+        assert desc == ("none",) and out is None
+        assert not desc_needs_ack(desc)
+
+    def test_inline_array_is_private_copy(self, arena):
+        src = np.arange(6.0).reshape(2, 3)
+        desc, out = roundtrip(arena, src, inline_max=1024)
+        assert desc[0] == "inl" and not desc_needs_ack(desc)
+        np.testing.assert_array_equal(out, src)
+        assert desc[1] is not src  # feeder-thread pickling safety
+
+    def test_shm_array_roundtrip_exact(self, arena):
+        rng = np.random.default_rng(0)
+        src = rng.standard_normal((64, 32))
+        desc, out = roundtrip(arena, src, inline_max=16)
+        assert desc[0] == "arr" and desc_needs_ack(desc)
+        assert out.dtype == src.dtype and out.shape == src.shape
+        np.testing.assert_array_equal(out, src)
+        assert out.flags.owndata  # a private copy, not an shm view
+
+    def test_noncontiguous_and_int_arrays(self, arena):
+        src = np.arange(64, dtype=np.int64).reshape(8, 8)[::2, 1::2]
+        desc, out = roundtrip(arena, src, inline_max=8)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, src)
+
+    def test_csr_roundtrip_exact(self, arena):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((20, 16)) < 0.2) * rng.standard_normal((20, 16))
+        src = CSRMatrix.from_dense(dense)
+        desc, out = roundtrip(arena, src, inline_max=32)
+        assert desc[0] == "csr"
+        assert isinstance(out, CSRMatrix)
+        assert out.shape == src.shape
+        for field in ("indptr", "indices", "data"):
+            got, want = getattr(out, field), getattr(src, field)
+            assert got.dtype == want.dtype
+            np.testing.assert_array_equal(got, want)
+
+    def test_arena_overflow_spills_to_ephemeral(self):
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        arena = Arena(shm)
+        try:
+            src = np.arange(1024.0)  # 8 KiB >> 256 B arena
+            eph = []
+            desc = encode_payload(arena, src, eph, inline_max=16)
+            assert desc[0] == "arr" and desc[3] is not None  # named segment
+            assert len(eph) == 1 and desc_needs_ack(desc)
+            out = decode_payload(desc, arena.shm.buf)
+            np.testing.assert_array_equal(out, src)
+            for seg in eph:
+                seg.close()
+                seg.unlink()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_unsupported_payload_raises(self, arena):
+        with pytest.raises(TypeError, match="cannot ship"):
+            encode_payload(arena, {"a": 1}, [])
