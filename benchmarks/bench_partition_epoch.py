@@ -1,0 +1,153 @@
+"""Partition-aware 1D training: block vs multilevel ledger bytes.
+
+The Section IV-A.8 reproduction, executed: train the 1D ``ghost``
+variant at P=8 under the contiguous block partition and under the
+multilevel (Metis-like) partition, and record what the ledger actually
+charges.  The ghost exchange ships exactly ``r_i * f * itemsize`` bytes
+per rank per layer (``r_i`` = distinct remote neighbours, the
+``edgecut_P`` vector), so the block-vs-multilevel byte gap IS the
+partitioner's communication win.
+
+Two graphs: the Reddit stand-in (scale-free and dense -- against the
+contiguous block baseline, which concentrates the R-MAT hubs in one
+part, multilevel mostly repairs the *max-process* cut while the total
+cut barely moves; the paper's 72%-total/29%-max numbers compare against
+a *random* baseline) and a shuffled community SBM (where partitioning
+slashes both cuts and per-epoch dcomm bytes drop ~40%).
+
+Results land in ``BENCH_dist.json`` under a top-level
+``partition_epoch`` section (via the harness's ``bench_section``
+hoisting); ``check_regression.py`` asserts the multilevel-beats-block
+invariant on every fresh report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.helpers import attach, print_table
+
+P = 8
+EPOCHS = 3
+HIDDEN = 16
+SCALE = 512  # reddit stand-in divisor -> ~455 vertices
+
+
+def _graphs():
+    from repro.graph import make_standin
+    from repro.graph.generators import stochastic_block_model
+    from repro.graph.normalize import gcn_normalize
+
+    ds = make_standin("reddit", scale_divisor=SCALE, seed=0)
+    yield (ds.name, ds.adjacency, ds.features, ds.labels,
+           ds.layer_widths(hidden=HIDDEN))
+
+    # Communities scrambled across vertex ids: the contiguous block
+    # baseline sees a random-looking graph, while the multilevel
+    # partitioner rediscovers the hidden structure -- the regime where
+    # partitioning pays (the un-shuffled SBM would make block optimal).
+    from repro.graph.permutation import random_permutation
+
+    sbm = stochastic_block_model(
+        (128,) * P, p_in=0.08, p_out=0.002, seed=0
+    ).permute(random_permutation(128 * P, seed=1))
+    sbm = gcn_normalize(sbm)
+    n = sbm.nrows
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((n, 32))
+    labels = rng.integers(0, 8, size=n, dtype=np.int64)
+    yield ("sbm-8x128-shuffled", sbm, features, labels, (32, HIDDEN, 8))
+
+
+def _run(name, adj, features, labels, widths, kind):
+    from repro.comm.runtime import VirtualRuntime
+    from repro.dist import Distribution
+    from repro.dist.algo_1d import DistGCN1D
+    from repro.partition import edge_cut_stats
+
+    dist = Distribution.build(kind, adj, P, seed=0)
+    rt = VirtualRuntime.make_1d(P)
+    algo = DistGCN1D(rt, adj, widths, seed=0, variant="ghost",
+                     distribution=dist)
+    algo.setup(features, labels)
+    stats = algo.train_epoch(0)
+    cut = edge_cut_stats(adj, dist.assignment, P)
+    ghosts_total = int(sum(algo._ghost.ghost_rows))
+    expansion = sum(
+        ghosts_total * f * algo.WB
+        for f in list(widths[:-1]) + list(widths[1:])
+    )
+    return {
+        "partition": kind,
+        "dcomm_bytes": int(stats.dcomm_bytes),
+        "expansion_bytes": int(expansion),
+        "max_rank_comm_bytes": int(stats.max_rank_comm_bytes),
+        "total_cut_edges": int(cut.total_cut_edges),
+        "max_part_cut_edges": int(cut.max_part_cut_edges),
+        "edgecut_metric": int(cut.edgecut_metric),
+        "loss": float(stats.loss),
+    }, algo
+
+
+def bench_partition_epoch(benchmark):
+    entries = []
+    rows = []
+    timed_algo = None
+    for name, adj, features, labels, widths in _graphs():
+        block, _ = _run(name, adj, features, labels, widths, "block")
+        multilevel, algo = _run(name, adj, features, labels, widths,
+                                "multilevel")
+        timed_algo = algo  # time the last (SBM) multilevel config
+        entries.append({
+            "graph": name,
+            "block": block,
+            "multilevel": multilevel,
+            "bytes_reduction":
+                1 - multilevel["dcomm_bytes"] / block["dcomm_bytes"],
+            "expansion_reduction":
+                1 - multilevel["expansion_bytes"]
+                / max(1, block["expansion_bytes"]),
+            "total_cut_reduction":
+                1 - multilevel["total_cut_edges"]
+                / max(1, block["total_cut_edges"]),
+            "max_cut_reduction":
+                1 - multilevel["max_part_cut_edges"]
+                / max(1, block["max_part_cut_edges"]),
+        })
+        for r in (block, multilevel):
+            rows.append(
+                (name, r["partition"], r["dcomm_bytes"],
+                 r["expansion_bytes"], r["max_rank_comm_bytes"],
+                 r["total_cut_edges"], r["max_part_cut_edges"],
+                 r["edgecut_metric"])
+            )
+
+    def timed_epochs():
+        losses = []
+        for e in range(EPOCHS):
+            losses.append(timed_algo.train_epoch(e + 1).loss)
+        return losses
+
+    benchmark(timed_epochs)
+
+    print_table(
+        f"partition-aware 1D ghost epoch at P={P}",
+        ("graph", "partition", "dcomm B", "expansion B", "max/rank B",
+         "total cut", "max cut", "edgecut_P"),
+        rows,
+    )
+    attach(
+        benchmark,
+        bench_section="partition_epoch",
+        p=P,
+        variant="ghost",
+        entries=entries,
+        note="ghost expansion bytes == sum_i r_i * f * 8 exactly "
+             "(tests/test_partition_training.py).  IV-A.8's total-vs-max "
+             "gap shows up mirrored here: against the CONTIGUOUS block "
+             "baseline (which parks the R-MAT hubs in one part) "
+             "multilevel slashes the max-process cut while the total "
+             "cut barely moves; the paper's 72%/29% numbers compare "
+             "against a RANDOM baseline.  On the shuffled SBM both "
+             "collapse and dcomm bytes drop ~40%.",
+    )

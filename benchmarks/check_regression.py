@@ -44,6 +44,40 @@ def load_means(path: str) -> dict:
     }
 
 
+def check_partition_epoch(path: str) -> List[str]:
+    """Correctness guard on the ``partition_epoch`` section.
+
+    The partition-aware 1D benchmark's whole point is that the
+    multilevel partition charges strictly fewer ghost-exchange (hence
+    dcomm) bytes than the contiguous block baseline; a fresh report
+    where that inverts means the ghost ledger or the partitioner
+    regressed, regardless of timings.  Returns a list of violation
+    messages (empty = healthy or section absent).
+    """
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("partition_epoch")
+    if not isinstance(section, dict):
+        return []
+    problems = []
+    for entry in section.get("entries", []):
+        graph = entry.get("graph", "?")
+        block = entry.get("block", {})
+        multi = entry.get("multilevel", {})
+        for key in ("dcomm_bytes", "expansion_bytes"):
+            b, m = block.get(key), multi.get(key)
+            if b is None or m is None:
+                problems.append(
+                    f"partition_epoch[{graph}]: missing {key}"
+                )
+            elif not m < b:
+                problems.append(
+                    f"partition_epoch[{graph}]: multilevel {key} {m} "
+                    f"not below block {b}"
+                )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly generated bench JSON")
@@ -59,6 +93,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.threshold <= 0:
         print("--threshold must be positive", file=sys.stderr)
         return 2
+    # Structural correctness first: the partition_epoch invariant is
+    # timing-free, so not even REPRO_BENCH_SKIP (a *timing-noise*
+    # opt-out) silences it.
+    partition_problems = check_partition_epoch(args.fresh)
+    if partition_problems:
+        for msg in partition_problems:
+            print(msg, file=sys.stderr)
+        print("partition_epoch invariant violated (multilevel must beat "
+              "block); failing regardless of timings", file=sys.stderr)
+        return 1
+
     if os.environ.get("REPRO_BENCH_SKIP"):
         # The env var opts out of the *guard*; an explicit
         # --update-baseline is still an instruction to copy.

@@ -17,9 +17,11 @@ runtime:
   multilevel (Metis-like) k-way partitioner;
 * :mod:`repro.nn` -- the serial GCN reference with the paper's explicit
   forward/backward equations, loss, and optimisers;
-* :mod:`repro.dist` -- the paper's contribution: the 1D (three variants),
-  1.5D, 2D (SUMMA) and 3D (Split-SpMM) distributed training algorithms,
-  all verified bit-close against the serial reference;
+* :mod:`repro.dist` -- the paper's contribution: the 1D (five backward
+  variants, including the partition-aware ghost-row exchange), 1.5D, 2D
+  (SUMMA) and 3D (Split-SpMM) distributed training algorithms, all
+  verified bit-close against the serial reference, plus the
+  ``Distribution`` partition-to-layout bridge;
 * :mod:`repro.parallel` -- the true multiprocess execution backend:
   ranks as OS processes, collectives over shared memory, the virtual
   runtime's ledger and losses as the correctness oracle;
@@ -64,7 +66,9 @@ _EXPORTS = {
     "SGD": "repro.nn",
     "Adam": "repro.nn",
     "ALGORITHMS": "repro.dist",
+    "Distribution": "repro.dist",
     "make_algorithm": "repro.dist",
+    "make_distribution": "repro.dist",
     "make_runtime_for": "repro.dist",
     "ProcessBackend": "repro.parallel",
     "ParallelRuntime": "repro.parallel",

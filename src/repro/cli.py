@@ -135,6 +135,14 @@ def cmd_train(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.algorithm == "1.5d":
         kwargs["replication"] = args.replication
+    if args.algorithm == "1d":
+        kwargs["variant"] = args.variant
+    elif args.variant != "auto":
+        print(f"--variant only applies to --algorithm 1d, "
+              f"got {args.algorithm!r}", file=sys.stderr)
+        return 2
+    if args.partition:
+        kwargs["partition"] = args.partition
     from repro.parallel import WorkerError
 
     try:
@@ -153,6 +161,10 @@ def cmd_train(args: argparse.Namespace) -> int:
         return 2
     print(f"dataset : {ds.name}  {ds.summary()}")
     print(f"machine : {algo.rt.describe()}")
+    if args.partition:
+        extras = f"variant={args.variant}  " if args.algorithm == "1d" else ""
+        print(f"layout  : {extras}partition={args.partition} "
+              "(part-major vertex relabelling)")
     try:
         import time as _time
 
@@ -255,6 +267,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         kwargs["replication"] = args.replication
     if args.algorithm == "1d":
         kwargs["variant"] = args.variant
+    if args.partition:
+        if args.algorithm != "1d":
+            print("--partition currently drives the 1D schedule only",
+                  file=sys.stderr)
+            return 2
+        if graph.exact:
+            from repro.dist import Distribution
+
+            kwargs["distribution"] = Distribution.build(
+                args.partition, graph.csr, args.gpus, seed=args.seed
+            )
+        elif args.partition != "block":
+            # Uniform shape-only graphs have nothing to partition; block
+            # is the identity layout the emitter already assumes.
+            print(f"--partition {args.partition} needs an executable "
+                  "stand-in (pass --scale); shape-only graphs model the "
+                  "block layout", file=sys.stderr)
+            return 2
     try:
         point = predict_epoch(
             args.algorithm, graph, args.gpus, machine=args.machine,
@@ -465,6 +495,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--replication", type=int, default=2,
                    help="1.5D replication factor c")
+    p.add_argument("--variant", default="auto",
+                   choices=("auto", "symmetric", "outer", "outer_sparse",
+                            "transpose", "ghost"),
+                   help="1D backward variant; 'ghost' replaces the full "
+                        "all-gather with a partition-aware ghost-row "
+                        "exchange")
+    p.add_argument("--partition", default=None,
+                   choices=("block", "random", "multilevel"),
+                   help="partition-aware vertex distribution (part-major "
+                        "relabelling; pairs with --variant ghost)")
     p.add_argument("--backend", default="virtual",
                    choices=("virtual", "process"),
                    help="execution backend: 'virtual' simulates ranks in "
@@ -502,6 +542,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="1D backward variant")
     p.add_argument("--replication", type=int, default=2,
                    help="1.5D replication factor c")
+    p.add_argument("--partition", default=None,
+                   choices=("block", "random", "multilevel"),
+                   help="1D partition-aware layout (non-block partitions "
+                        "need an executable stand-in via --scale)")
     _sim_graph_args(p)
 
     p = sub.add_parser(

@@ -426,6 +426,92 @@ class Collectives:
                 out.append(_readonly(value))
         return out
 
+    def gather_rows_charges_sized(
+        self, items: Sequence[Tuple[int, int, int]]
+    ) -> list:
+        """Flattened charge tuples for one ghost-row exchange.
+
+        ``items`` holds ``(rank, recv_nbytes, nsources)`` triples: the
+        exact bytes a rank *receives* (its distinct remote-neighbour
+        rows -- the paper's ``r_i`` ghost rows times the dense row size)
+        and the number of distinct source ranks it fetches them from.
+        Accounting is receive-side, like :meth:`sendrecv`'s destination
+        charge: modeled seconds are ``nsources * alpha + beta * nbytes``
+        per rank (one message per source, concurrent within the step)
+        and only received bytes hit the ledger -- so a ghost exchange's
+        dcomm delta is exactly ``sum_i r_i * f * itemsize``, the
+        quantity ``edgecut_P(A)`` bounds per process.
+        """
+        alpha = self.profile.alpha_for_span(self.world_size)
+        beta = self.profile.beta_effective(self.world_size)
+        flat = []
+        for rank, nbytes, nsources in items:
+            nbytes = int(nbytes)
+            nsources = int(nsources)
+            flat.append(
+                (rank, nsources * alpha + beta * nbytes, nbytes,
+                 nsources, 0)
+            )
+        return flat
+
+    def gather_rows_data(
+        self,
+        pairs: Sequence[Tuple[int, int, np.ndarray]],
+        blocks: Mapping[int, np.ndarray],
+    ) -> list:
+        """Data plane of a ghost-row exchange (no charge).
+
+        ``pairs`` holds ``(src, dst, src_local_rows)`` transfers in one
+        fixed global order; ``blocks`` maps each locally-held rank to
+        its dense block rows.  Returns, per pair, the selected rows of
+        ``src``'s block as a read-only array (``None`` for pairs whose
+        destination is not local, on the multiprocess backend).
+        """
+        out = []
+        for src, dst, idx in pairs:
+            rows = blocks[src][idx]
+            rows.flags.writeable = False
+            out.append(rows)
+        return out
+
+    def gather_rows(
+        self,
+        pairs: Sequence[Tuple[int, int, np.ndarray]],
+        blocks: Mapping[int, np.ndarray],
+        row_nbytes: int,
+        category: str = Category.DCOMM,
+    ) -> list:
+        """Charged ghost-row exchange: fetch selected remote rows.
+
+        The variable-size primitive behind the 1D ``ghost`` variant
+        (Section IV-A.8's partitioned training): each destination rank
+        receives, from each source it names, exactly the rows listed --
+        no full all-gather.  ``row_nbytes`` is the wire size of one
+        dense row (``f * itemsize``).  Charges per destination are
+        derived from the pair list (see
+        :meth:`gather_rows_charges_sized`); callers with static
+        structure precompute those charges once and replay them with
+        ``charge_many`` + :meth:`gather_rows_data` instead.
+        """
+        totals: Dict[int, Tuple[int, int]] = {}
+        for src, dst, idx in pairs:
+            if src == dst:
+                raise ValueError(
+                    f"gather_rows pair ({src}, {dst}) is a self-send; own "
+                    "rows are already local"
+                )
+            nbytes, nsources = totals.get(dst, (0, 0))
+            totals[dst] = (nbytes + len(idx) * int(row_nbytes),
+                           nsources + 1)
+        self.tracker.charge_many(
+            category,
+            self.gather_rows_charges_sized(
+                [(dst, nbytes, nsources)
+                 for dst, (nbytes, nsources) in sorted(totals.items())]
+            ),
+        )
+        return self.gather_rows_data(pairs, blocks)
+
     def allgather(
         self,
         group: Sequence[int],
@@ -555,14 +641,17 @@ class Collectives:
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
         materialize: bool = False,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         """Reduce same-shape arrays, then scatter shards along ``axis``.
 
         The i-th rank of the group receives the i-th block of the reduced
-        array split into ``len(group)`` near-equal blocks along ``axis``.
-        This is the operation the 1D backward pass uses to turn per-rank
-        ``n x f`` outer-product partials into a block-row-distributed
-        ``G^{l-1}`` (Section IV-A.3).
+        array split into ``len(group)`` near-equal blocks along ``axis``
+        (``bounds`` overrides the split with explicit half-open ranges --
+        partition-aware 1D layouts shard at their distribution's row
+        ranges).  This is the operation the 1D backward pass uses to turn
+        per-rank ``n x f`` outer-product partials into a
+        block-row-distributed ``G^{l-1}`` (Section IV-A.3).
 
         The reduction runs in place over one freshly-owned contiguous
         accumulator and the returned shards are read-only views into it
@@ -573,7 +662,8 @@ class Collectives:
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op)
         return self._reduce_scatter_impl(
-            group, acc, int(acc.nbytes), category, axis, materialize
+            group, acc, int(acc.nbytes), category, axis, materialize,
+            bounds=bounds,
         )
 
     def _reduce_scatter_impl(
@@ -584,13 +674,21 @@ class Collectives:
         category: str,
         axis: int,
         materialize: bool,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         """Charge and shard a reduced array (dense/sparse charging paths
-        share everything except the wire size)."""
+        share everything except the wire size).  ``bounds`` never touches
+        the charges -- shard placement is layout, not volume."""
         cost = self._cost("rs", cm.reduce_scatter_cost, wire_nbytes,
                           len(group))
         self._charge_group(group, category, cost)
-        bounds = self.plan.split(acc.shape[axis], len(group))
+        if bounds is None:
+            bounds = self.plan.split(acc.shape[axis], len(group))
+        elif len(bounds) != len(group):
+            raise ValueError(
+                f"got {len(bounds)} shard bounds for a group of "
+                f"{len(group)}"
+            )
         shards = _axis_shards(acc, bounds, axis)
         if materialize:
             return {
@@ -607,6 +705,7 @@ class Collectives:
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
         materialize: bool = False,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         """Reduce-scatter that ships only the nonzero rows of each input.
 
@@ -632,7 +731,8 @@ class Collectives:
             row_bytes = arr.nbytes // max(arr.shape[axis], 1)
             wire = max(wire, nz_rows * (row_bytes + INDEX_BYTES))
         return self._reduce_scatter_impl(
-            group, acc, int(wire), category, axis, materialize
+            group, acc, int(wire), category, axis, materialize,
+            bounds=bounds,
         )
 
     def alltoall(
@@ -730,6 +830,7 @@ class Collectives:
         values: Mapping[int, np.ndarray],
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         """:meth:`reduce_scatter`'s data movement only (no charge).
 
@@ -740,7 +841,8 @@ class Collectives:
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op)
         acc.flags.writeable = False
-        bounds = self.plan.split(acc.shape[axis], len(group))
+        if bounds is None:
+            bounds = self.plan.split(acc.shape[axis], len(group))
         shards = _axis_shards(acc, bounds, axis)
         return {r: shards[i] for i, r in enumerate(group)}
 

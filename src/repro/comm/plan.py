@@ -43,7 +43,7 @@ class CommPlan:
     """
 
     __slots__ = ("world_size", "mesh", "_groups", "_splits", "_workspaces",
-                 "hits", "misses")
+                 "_memos", "hits", "misses")
 
     def __init__(self, world_size: int, mesh: Optional[ProcessMesh] = None):
         if world_size < 1:
@@ -53,6 +53,7 @@ class CommPlan:
         self._groups: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self._splits: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
         self._workspaces: Dict[tuple, np.ndarray] = {}
+        self._memos: Dict[tuple, object] = {}
         self.hits = 0
         self.misses = 0
 
@@ -131,11 +132,45 @@ class CommPlan:
         return buf
 
     # ------------------------------------------------------------------ #
+    # structure memos
+    # ------------------------------------------------------------------ #
+    #: Memo capacity: unlike groups/splits (tiny, bounded by mesh
+    #: structure), memo values can hold O(nnz) arrays and their keys may
+    #: reference whole operands -- a long-lived runtime cycling through
+    #: algorithm instances must not accumulate them without bound.
+    MEMO_CAP = 64
+
+    def memo(self, key, builder):
+        """An arbitrary derived *structure*, built once per key.
+
+        For communication structures that do not fit the group/split
+        molds -- e.g. the ghost-row exchange's (src, dst, rows) route
+        list, derived from sparse block structure at setup and replayed
+        every epoch.  ``builder()`` runs on the first request; the result
+        must be treated as immutable by every consumer (it is shared
+        across epochs and, on the multiprocess backend, re-derived
+        identically in every worker).  Never touches the ledger.
+        Entries are evicted FIFO beyond :data:`MEMO_CAP`, so keying on
+        operand objects cannot pin unbounded memory.
+        """
+        cached = self._memos.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = builder()
+        while len(self._memos) >= self.MEMO_CAP:
+            self._memos.pop(next(iter(self._memos)))
+        self._memos[key] = value
+        return value
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     @property
     def cached_entries(self) -> int:
-        return len(self._groups) + len(self._splits) + len(self._workspaces)
+        return (len(self._groups) + len(self._splits)
+                + len(self._workspaces) + len(self._memos))
 
     def stats(self) -> Dict[str, int]:
         """Cache effectiveness counters (for tests and benchmarks)."""
@@ -145,6 +180,7 @@ class CommPlan:
             "groups": len(self._groups),
             "splits": len(self._splits),
             "workspaces": len(self._workspaces),
+            "memos": len(self._memos),
         }
 
     def clear(self) -> None:
@@ -152,6 +188,7 @@ class CommPlan:
         self._groups.clear()
         self._splits.clear()
         self._workspaces.clear()
+        self._memos.clear()
         self.hits = 0
         self.misses = 0
 

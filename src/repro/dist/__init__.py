@@ -24,7 +24,18 @@ from repro.dist.base import (
     EpochStats,
     clone_optimizer,
 )
-from repro.dist.registry import ALGORITHMS, make_algorithm, make_runtime_for
+from repro.dist.distribution import (
+    PARTITION_KINDS,
+    Distribution,
+    GhostStructure,
+    ghost_structure,
+)
+from repro.dist.registry import (
+    ALGORITHMS,
+    make_algorithm,
+    make_distribution,
+    make_runtime_for,
+)
 
 __all__ = [
     "DistAlgorithm",
@@ -36,7 +47,12 @@ __all__ = [
     "DistGCN3D",
     "summa_stage_ranges",
     "clone_optimizer",
+    "Distribution",
+    "GhostStructure",
+    "ghost_structure",
+    "PARTITION_KINDS",
     "ALGORITHMS",
     "make_algorithm",
+    "make_distribution",
     "make_runtime_for",
 ]

@@ -51,8 +51,13 @@ class DistGCN15D(BlockRowAlgorithm):
         replication: int = 1,
         seed: int = 0,
         optimizer: Optional[Optimizer] = None,
+        distribution=None,
     ):
-        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        # A distribution contributes its part-major relabelling (applied
+        # in the base class); the 1.5D layout keeps its own near-equal
+        # block split -- partition-aware row ranges are a 1D feature.
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer,
+                         distribution=distribution)
         p = rt.size
         c = int(replication)
         if c < 1 or p % c != 0:

@@ -20,8 +20,19 @@ The backward pass computing ``A G^l`` is where the variants diverge
 * ``transpose``    -- materialise the block rows of ``A`` by a per-epoch
   transpose exchange (charged to ``trpose``), then proceed as the
   symmetric trade does;
+* ``ghost``        -- for ``A == A^T``, replace *both* full all-gathers
+  with a sparsity-aware ghost-row exchange (Section IV-A.8's
+  partitioned training): each rank fetches only the distinct
+  remote-neighbour rows its local block references, so per-rank
+  expansion volume is exactly ``r_i * f`` words and partition quality
+  (``edgecut_P(A)``) becomes visible in the executed ledger;
 * ``auto``         -- ``symmetric`` when the operand is symmetric,
   ``outer`` otherwise.
+
+A :class:`~repro.dist.distribution.Distribution` additionally relabels
+the vertices part-major and hands each rank its part's (possibly
+uneven) row range -- numerics are unchanged up to the relabelling, only
+the ghost structure (and hence the ``ghost`` variant's traffic) moves.
 
 The epoch structure itself (forward sweep, loss reduction, backward
 recursion) lives in :class:`repro.dist.base.BlockRowAlgorithm`, shared
@@ -37,33 +48,38 @@ import numpy as np
 from repro.comm.runtime import VirtualRuntime
 from repro.comm.tracker import Category
 from repro.dist.base import BlockRowAlgorithm
+from repro.dist.distribution import Distribution, ghost_structure
 from repro.nn.optim import Optimizer
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.distribute import (
-    block_ranges,
-    distribute_dense_1d_rows,
-    distribute_sparse_1d_cols,
-    distribute_sparse_1d_rows,
-    gather_dense_1d_rows,
-)
+from repro.sparse.distribute import block_ranges, gather_dense_1d_rows
 from repro.sparse.spmm import spmm
 
 __all__ = ["DistGCN1D"]
 
-VARIANTS = ("symmetric", "outer", "outer_sparse", "transpose", "auto")
+VARIANTS = ("symmetric", "outer", "outer_sparse", "transpose", "ghost",
+            "auto")
+
+#: Variants whose backward trade requires ``A == A^T``.
+_SYMMETRIC_ONLY = ("symmetric", "ghost")
 
 
 def resolve_1d_variant(variant: str, symmetric: bool) -> str:
-    """Validate and resolve a 1D backward variant against the operand."""
+    """Validate and resolve a 1D backward variant against the operand.
+
+    Every error surfaces here, at resolution time: an unknown name and a
+    directed operand under a symmetric-only variant (``symmetric``,
+    ``ghost``) raise the same ``ValueError`` shape instead of failing
+    deep inside setup.
+    """
     if variant not in VARIANTS:
         raise ValueError(
             f"unknown 1D variant {variant!r}; choose from {VARIANTS}"
         )
     if variant == "auto":
         return "symmetric" if symmetric else "outer"
-    if variant == "symmetric" and not symmetric:
+    if variant in _SYMMETRIC_ONLY and not symmetric:
         raise ValueError(
-            "the symmetric variant requires a symmetric operand "
+            f"the {variant} variant requires a symmetric operand "
             "(A == A^T); use 'outer' or 'transpose' for directed graphs"
         )
     return variant
@@ -80,25 +96,80 @@ class DistGCN1D(BlockRowAlgorithm):
         seed: int = 0,
         optimizer: Optional[Optimizer] = None,
         variant: str = "auto",
+        distribution: Optional[Distribution] = None,
     ):
-        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer,
+                         distribution=distribution)
         self.variant = variant = resolve_1d_variant(variant, self.symmetric)
         self.p = rt.size
+        if distribution is not None and distribution.nparts != self.p:
+            raise ValueError(
+                f"distribution has {distribution.nparts} parts for "
+                f"P={self.p} ranks"
+            )
         self.world = tuple(range(self.p))
-        self.row_ranges = block_ranges(self.n, self.p)
-        self.a_t_rows = distribute_sparse_1d_rows(self.a_t, self.p)
+        # Rank row ranges: the distribution's (possibly uneven) parts,
+        # or the paper's near-equal contiguous split.
+        self.row_ranges = tuple(
+            distribution.row_ranges if distribution is not None
+            else block_ranges(self.n, self.p)
+        )
+        self.a_t_rows = {
+            r: self.a_t.row_slice(lo, hi)
+            for r, (lo, hi) in enumerate(self.row_ranges)
+        }
         # Backward operands per variant.  The outer variants' column
         # blocks and the transpose variant's A block rows are derived
         # locally at setup; only the transpose variant *communicates*
         # them, which it charges per epoch (Section IV-A.7's
-        # ``2 alpha P^2 + 2 beta nnz/P`` term).
+        # ``2 alpha P^2 + 2 beta nnz/P`` term).  The ghost variant
+        # derives its exchange structure + compact (referenced-columns
+        # -only) blocks instead.
         if self.variant in ("outer", "outer_sparse"):
-            self.a_cols = distribute_sparse_1d_cols(self.a, self.p)
+            self.a_cols = {
+                r: self.a.block(0, self.n, c0, c1)
+                for r, (c0, c1) in enumerate(self.row_ranges)
+            }
+        elif self.variant == "ghost":
+            self.a_rows = self.a_t_rows  # A == A^T guaranteed
+            self._setup_ghost()
         else:
             self.a_rows = (
                 self.a_t_rows
                 if self.symmetric
-                else distribute_sparse_1d_rows(self.a, self.p)
+                else {
+                    r: self.a.row_slice(lo, hi)
+                    for r, (lo, hi) in enumerate(self.row_ranges)
+                }
+            )
+
+    def _setup_ghost(self) -> None:
+        """Derive the ghost exchange structure and compact blocks.
+
+        The structure (who fetches which rows from whom) is pure graph
+        structure, interned in the runtime's plan; each *local* rank
+        gets a compact copy of its block whose column indices are
+        remapped onto its referenced-column space -- the remap is
+        monotone, so every row's nonzero order (hence every SpMM row
+        sum) is bitwise the full-width block's.
+        """
+        # Keyed by the operand object itself (identity hash): plans
+        # outlive algorithms, and two algorithms sharing a runtime must
+        # not share structure derived from different matrices.
+        self._ghost = self._plan().memo(
+            ("ghost", self.a_t, self.row_ranges),
+            lambda: ghost_structure(self.a_t, self.row_ranges),
+        )
+        g = self._ghost
+        self.a_t_compact = {}
+        for r in self._local(self.world):
+            blk = self.a_t_rows[r]
+            self.a_t_compact[r] = CSRMatrix(
+                blk.indptr,
+                np.searchsorted(g.ref_cols[r], blk.indices),
+                blk.data,
+                (blk.nrows, g.width[r]),
+                validate=False,
             )
 
     # ------------------------------------------------------------------ #
@@ -112,8 +183,11 @@ class DistGCN1D(BlockRowAlgorithm):
         return self.row_ranges[rank]
 
     def _setup_data(self, features: np.ndarray) -> None:
-        blocks = distribute_dense_1d_rows(features, self.p)
-        self._h0 = {r: blocks[r] for r in self._local(self.world)}
+        self._h0 = {
+            r: np.ascontiguousarray(features[lo:hi])
+            for r, (lo, hi) in enumerate(self.row_ranges)
+            if self._is_local(r)
+        }
 
     def _assemble(self, blocks: Dict[int, np.ndarray]) -> np.ndarray:
         return gather_dense_1d_rows(self.rt.gather_blocks(blocks), self.p)
@@ -145,10 +219,65 @@ class DistGCN1D(BlockRowAlgorithm):
         shared.flags.writeable = False
         return {r: shared for r in self._local(self.world)}
 
+    def _ghost_operand(
+        self, blocks: Dict[int, np.ndarray], f: int
+    ) -> Dict[int, np.ndarray]:
+        """Each local rank's compact operand: own referenced rows plus
+        the fetched ghosts, in referenced-column order.
+
+        The charge is the receive-side exact volume (``r_i * f *
+        itemsize`` per rank), replayed from a cached list; the data
+        plane moves only the requested rows (really crossing process
+        boundaries on the multiprocess backend).  Values are exact
+        copies of the full operand's rows, so the compact SpMM is
+        bitwise the all-gather path's.
+        """
+        g = self._ghost
+        charges = self._cache.get(("gch", f))
+        if charges is None:
+            charges = self.rt.coll.gather_rows_charges_sized(
+                [(r, g.ghost_rows[r] * f * self.WB, g.nsources[r])
+                 for r in self.world]
+            )
+            self._cache[("gch", f)] = charges
+        self.rt.tracker.charge_many(Category.DCOMM, charges)
+        received = self.rt.coll.gather_rows_data(g.pairs, blocks)
+        out: Dict[int, np.ndarray] = {}
+        for r in self._local(self.world):
+            buf = self._ws(("ghost", r, f), (g.width[r], f))
+            buf[g.own_pos[r]] = blocks[r][g.own_idx[r]]
+            out[r] = buf
+        for i, rows in enumerate(received):
+            if rows is None:
+                continue
+            dst = g.pairs[i][1]
+            lo, hi = g.pair_slots[i]
+            out[dst][lo:hi] = rows
+        return out
+
+    def _ghost_spmm(
+        self, blocks: Dict[int, np.ndarray], f: int, key
+    ) -> Dict[int, np.ndarray]:
+        """Ghost-row exchange + compact block-row SpMM (``A^T == A``)."""
+        operand = self._ghost_operand(blocks, f)
+        out: Dict[int, np.ndarray] = {}
+        for r in self._local(self.world):
+            out[r] = spmm(self.a_t_compact[r], operand[r])
+        self._charge_spmm_cached(
+            key,
+            lambda: (
+                (r, self.a_t_rows[r].nnz, self.a_t_rows[r].nrows, f)
+                for r in self.world
+            ),
+        )
+        return out
+
     def _forward_spmm(
         self, blocks: Dict[int, np.ndarray], f: int
     ) -> Dict[int, np.ndarray]:
-        """``A^T X``: gather the full operand, multiply the block row."""
+        """``A^T X``: gather the (needed) operand, multiply the block row."""
+        if self.variant == "ghost":
+            return self._ghost_spmm(blocks, f, ("fsp", f))
         full = self._allgather_rows(blocks)
         out: Dict[int, np.ndarray] = {}
         for r in self._local(self.world):
@@ -174,6 +303,8 @@ class DistGCN1D(BlockRowAlgorithm):
         self, g_blocks: Dict[int, np.ndarray], f_out: int
     ) -> Dict[int, np.ndarray]:
         """Block rows of ``A G^l`` under the selected variant."""
+        if self.variant == "ghost":
+            return self._ghost_spmm(g_blocks, f_out, ("bsp", f_out))
         if self.variant in ("symmetric", "transpose"):
             g_full = self._allgather_rows(g_blocks)
             ag_blocks: Dict[int, np.ndarray] = {}
@@ -187,7 +318,9 @@ class DistGCN1D(BlockRowAlgorithm):
                 ),
             )
             return ag_blocks
-        # Outer-product path: full-height partials, then reduce-scatter.
+        # Outer-product path: full-height partials, then reduce-scatter
+        # sharded at the rank row ranges (== the near-equal split for
+        # the default distribution).
         partials: Dict[int, np.ndarray] = {}
         for r in self._local(self.world):
             partials[r] = spmm(self.a_cols[r], g_blocks[r])
@@ -200,10 +333,12 @@ class DistGCN1D(BlockRowAlgorithm):
         )
         if self.variant == "outer_sparse":
             return self.rt.coll.sparse_reduce_scatter(
-                self.world, partials, category=Category.DCOMM, axis=0
+                self.world, partials, category=Category.DCOMM, axis=0,
+                bounds=self.row_ranges,
             )
         return self.rt.coll.reduce_scatter(
-            self.world, partials, category=Category.DCOMM, axis=0
+            self.world, partials, category=Category.DCOMM, axis=0,
+            bounds=self.row_ranges,
         )
 
     def _stored_dense_rows(self) -> int:
@@ -215,14 +350,18 @@ class DistGCN1D(BlockRowAlgorithm):
     @classmethod
     def emit_comm_schedule(
         cls, graph, widths: Sequence[int], p: int, variant: str = "auto",
-        **_ignored,
+        distribution: Optional[Distribution] = None, **_ignored,
     ):
         """Emit this family's per-epoch schedule without building ranks.
 
-        Phase-for-phase mirror of the executed epoch: forward all-gathers,
-        variant-specific backward SpMM data movement, loss and weight
-        all-reduces, and every charged local kernel.  Exact-mode graphs
-        reproduce the executed ledger byte for byte.
+        Phase-for-phase mirror of the executed epoch: forward all-gathers
+        (or, for the ``ghost`` variant, the partition-aware ghost-row
+        exchanges), variant-specific backward SpMM data movement, loss
+        and weight all-reduces, and every charged local kernel.
+        ``distribution`` reproduces a partition-aware run: rank ranges
+        come from the partition and exact-mode graphs are relabelled the
+        same way the executed algorithm relabels its operand.  Exact-mode
+        graphs reproduce the executed ledger byte for byte.
         """
         from repro.comm.tracker import Category
         from repro.config import INDEX_BYTES
@@ -237,38 +376,70 @@ class DistGCN1D(BlockRowAlgorithm):
         graph = GraphModel.coerce(graph)
         variant = resolve_1d_variant(variant, graph.symmetric)
         n = graph.n
-        rows = np.array(
-            [hi - lo for lo, hi in block_ranges(n, p)], dtype=np.float64
-        )
-        nnz_at_rows = graph.row_block_nnz(p)
+        meta_extra = {}
+        if distribution is not None:
+            if distribution.n != n:
+                raise ValueError(
+                    f"distribution covers {distribution.n} vertices, "
+                    f"graph has {n}"
+                )
+            if distribution.nparts != p:
+                raise ValueError(
+                    f"distribution has {distribution.nparts} parts for "
+                    f"P={p} ranks"
+                )
+            row_ranges = distribution.row_ranges
+            if graph.exact and not distribution.is_identity:
+                graph = GraphModel.from_csr(
+                    distribution.permute_matrix(graph.csr),
+                    name=graph.name, features=graph.features,
+                    n_classes=graph.n_classes,
+                )
+            meta_extra["partition"] = distribution.kind
+        else:
+            row_ranges = block_ranges(n, p)
+        bounds = np.array([0] + [hi for _, hi in row_ranges],
+                          dtype=np.int64)
+        rows = np.diff(bounds).astype(np.float64)
+        nnz_at_rows = graph.row_block_nnz(p, bounds=bounds)
         b = ScheduleBuilder(p)
 
-        def forward_spmm(f: int) -> None:
-            b.allgather(Category.DCOMM, p, n * f * WB)
-            b.spmm(nnz_at_rows, rows, f)
+        if variant == "ghost":
+            ghosts, nsrc = graph.ghost_row_counts(bounds)
+
+            def forward_spmm(f: int) -> None:
+                b.gather_rows(Category.DCOMM, ghosts * (f * WB), nsrc)
+                b.spmm(nnz_at_rows, rows, f)
+
+            backward_spmm = forward_spmm  # A == A^T: same exchange
+        else:
+            def forward_spmm(f: int) -> None:
+                b.allgather(Category.DCOMM, p, n * f * WB)
+                b.spmm(nnz_at_rows, rows, f)
 
         if variant in ("symmetric", "transpose"):
             # Block rows of A: the stored A^T rows when symmetric, its
             # column structure otherwise (rows of A = columns of A^T).
             nnz_a_rows = (
-                nnz_at_rows if graph.symmetric else graph.col_block_nnz(p)
+                nnz_at_rows if graph.symmetric
+                else graph.col_block_nnz(p, bounds=bounds)
             )
 
             def backward_spmm(f: int) -> None:
                 b.allgather(Category.DCOMM, p, n * f * WB)
                 b.spmm(nnz_a_rows, rows, f)
 
-        else:
+        elif variant != "ghost":
             # Outer-product path: block columns of A (full height), then a
             # reduce-scatter of the n x f partials.
             nnz_a_cols = (
-                graph.col_block_nnz(p)
+                graph.col_block_nnz(p, bounds=bounds)
                 if graph.symmetric
-                else graph.row_block_nnz(p)
+                else graph.row_block_nnz(p, bounds=bounds)
             )
             if variant == "outer_sparse":
                 nz_rows = graph.col_block_nonzero_rows(
-                    p, transpose=not graph.symmetric
+                    p, transpose=not graph.symmetric, bounds=bounds
                 )
 
             def backward_spmm(f: int) -> None:
@@ -295,5 +466,5 @@ class DistGCN1D(BlockRowAlgorithm):
         )
         return b.build(
             algorithm="1d", p=p, variant=variant, graph=graph.name,
-            widths=tuple(int(w) for w in widths),
+            widths=tuple(int(w) for w in widths), **meta_extra,
         )

@@ -100,9 +100,14 @@ class DistGCN2D(GridAlgorithm):
         seed: int = 0,
         optimizer: Optional[Optimizer] = None,
         summa_block: Optional[int] = None,
+        distribution=None,
     ):
         self.mesh: Mesh2D = rt.mesh2d  # raises TypeError on non-2D meshes
-        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        # A distribution contributes its part-major relabelling only;
+        # the grid keeps its own block splits (2D partition awareness is
+        # a ROADMAP follow-on).
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer,
+                         distribution=distribution)
         self.summa_block = summa_block
         self.pr, self.pc = self.mesh.rows, self.mesh.cols
         self.row_ranges = block_ranges(self.n, self.pr)

@@ -57,9 +57,14 @@ class DistGCN3D(GridAlgorithm):
         widths: Sequence[int],
         seed: int = 0,
         optimizer: Optional[Optimizer] = None,
+        distribution=None,
     ):
         self.mesh: Mesh3D = rt.mesh3d  # raises TypeError on non-3D meshes
-        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer)
+        # A distribution contributes its part-major relabelling only;
+        # the cubic mesh keeps its own block splits (3D partition
+        # awareness is a ROADMAP follow-on).
+        super().__init__(rt, a_t, widths, seed=seed, optimizer=optimizer,
+                         distribution=distribution)
         self.s = self.mesh.p1  # cubic: p1 == p2 == p3
         # Row blocks (p1 split == the layer split, since p1 == p3) and
         # their s-way sub-splits -- shared by the sparse and dense layouts.

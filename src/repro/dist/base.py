@@ -35,6 +35,7 @@ import numpy as np
 from repro.comm.collectives import _readonly, payload_nbytes
 from repro.comm.plan import CommPlan
 from repro.comm.runtime import Runtime, VirtualRuntime
+from repro.dist.distribution import Distribution
 from repro.comm.tracker import Category, CommTracker
 from repro.config import FP64_BYTES
 from repro.nn.activations import LogSoftmax, ReLU
@@ -163,9 +164,24 @@ class DistAlgorithm:
         widths: Sequence[int],
         seed: int = 0,
         optimizer: Optional[Optimizer] = None,
+        distribution: Optional[Distribution] = None,
     ):
         if a_t.nrows != a_t.ncols:
             raise ValueError(f"adjacency must be square, got {a_t.shape}")
+        if distribution is not None and distribution.n != a_t.nrows:
+            raise ValueError(
+                f"distribution covers {distribution.n} vertices, "
+                f"graph has {a_t.nrows}"
+            )
+        # Partition-aware layout: the operand is relabelled part-major
+        # once, here; setup() relabels the dense inputs to match and the
+        # prediction surface maps back, so callers never see internal
+        # ids.  The block-row family additionally adopts the
+        # distribution's per-rank row ranges (see DistGCN1D); the grid
+        # families use the relabelling alone.
+        self.distribution = distribution
+        if distribution is not None:
+            a_t = distribution.permute_matrix(a_t)
         self.rt = rt
         self.a_t = a_t
         self.n = a_t.nrows
@@ -398,6 +414,21 @@ class DistAlgorithm:
         return out
 
     # ------------------------------------------------------------------ #
+    # distribution relabelling (identity when no distribution is set)
+    # ------------------------------------------------------------------ #
+    def _to_internal(self, x: np.ndarray) -> np.ndarray:
+        """Rows reordered into the internal (part-major) vertex order."""
+        if self.distribution is None:
+            return x
+        return self.distribution.permute_rows(x)
+
+    def _from_internal(self, x: np.ndarray) -> np.ndarray:
+        """Rows mapped back to the caller's original vertex order."""
+        if self.distribution is None:
+            return x
+        return self.distribution.unpermute_rows(x)
+
+    # ------------------------------------------------------------------ #
     # static helpers
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -438,6 +469,10 @@ class DistAlgorithm:
         count = int(mask.sum())
         if count == 0:
             raise ValueError("empty training mask")
+        # Internal state lives in the distribution's part-major order.
+        features = self._to_internal(features)
+        labels = self._to_internal(labels)
+        mask = self._to_internal(mask)
         self._features = features
         self._labels = labels
         self._mask = mask
@@ -499,6 +534,7 @@ class DistAlgorithm:
                         f"features shape {features.shape} does not match "
                         f"(n={self.n}, f^0={self.widths[0]})"
                     )
+                features = self._to_internal(features)
                 self._features = features
                 self._setup_data(features)
             else:
@@ -508,7 +544,7 @@ class DistAlgorithm:
                 self._labels_provisional = True
         elif not self._ready:
             raise RuntimeError("call setup(features, labels) or pass features")
-        log_probs = self._forward_pass()
+        log_probs = self._from_internal(self._forward_pass())
         self._last_log_probs = log_probs
         self._last_out_blocks = None
         return log_probs
@@ -543,7 +579,9 @@ class DistAlgorithm:
                 raise RuntimeError(
                     "no forward pass has run yet; call fit/predict"
                 )
-            self._last_log_probs = self._assemble(self._last_out_blocks)
+            self._last_log_probs = self._from_internal(
+                self._assemble(self._last_out_blocks)
+            )
         return self._last_log_probs
 
     def verify_against_serial(
@@ -569,8 +607,18 @@ class DistAlgorithm:
             a=self.a,
             optimizer=clone_optimizer(self.optimizer),
         )
-        s_hist = serial.train(features, labels, epochs, mask=mask)
-        s_lp = serial.model.predict(self.a_t, features)
+        # ``self.a_t`` is the internal operand (relabelled when a
+        # distribution is set), so the serial reference consumes the
+        # internally-ordered inputs and its predictions map back.
+        s_features = self._to_internal(
+            np.asarray(features, dtype=np.float64)
+        )
+        s_labels = self._to_internal(np.asarray(labels, dtype=np.int64))
+        s_mask = None if mask is None else self._to_internal(
+            np.asarray(mask, dtype=bool)
+        )
+        s_hist = serial.train(s_features, s_labels, epochs, mask=s_mask)
+        s_lp = self._from_internal(serial.model.predict(self.a_t, s_features))
 
         self.model = GCN(self.widths, seed=seed)
         self.optimizer = clone_optimizer(self.optimizer)

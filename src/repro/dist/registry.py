@@ -21,8 +21,10 @@ from repro.dist.algo_15d import DistGCN15D
 from repro.dist.algo_2d import DistGCN2D
 from repro.dist.algo_3d import DistGCN3D
 from repro.dist.base import DistAlgorithm
+from repro.dist.distribution import PARTITION_KINDS, Distribution
 
-__all__ = ["ALGORITHMS", "make_runtime_for", "make_algorithm"]
+__all__ = ["ALGORITHMS", "make_distribution", "make_runtime_for",
+           "make_algorithm"]
 
 #: The paper's algorithm families, keyed by their Section IV names.
 ALGORITHMS: Dict[str, Type[DistAlgorithm]] = {
@@ -91,6 +93,25 @@ def make_runtime_for(
     return cls.make_3d(p, profile, **kw)
 
 
+def make_distribution(partition, adjacency, p: int,
+                      seed: int = 0) -> Optional[Distribution]:
+    """Coerce a partition choice into a :class:`Distribution`.
+
+    ``partition`` may be ``None`` (no relabelling -- the historical
+    behaviour), a partitioner name from
+    :data:`~repro.dist.distribution.PARTITION_KINDS`, or a prebuilt
+    :class:`Distribution` (returned as-is).
+    """
+    if partition is None or isinstance(partition, Distribution):
+        return partition
+    if partition not in PARTITION_KINDS:
+        raise ValueError(
+            f"unknown partition {partition!r}; choose from "
+            f"{PARTITION_KINDS}"
+        )
+    return Distribution.build(partition, adjacency, p, seed=seed)
+
+
 def make_algorithm(
     name: str,
     p: int,
@@ -103,6 +124,7 @@ def make_algorithm(
     grid: Optional[Tuple[int, int]] = None,
     backend: str = "virtual",
     workers: Optional[int] = None,
+    partition=None,
     **kwargs,
 ) -> DistAlgorithm:
     """Build algorithm ``name`` for ``dataset`` on ``p`` (virtual) GPUs.
@@ -112,9 +134,13 @@ def make_algorithm(
     executes the ranks as real OS processes (``workers`` of them) and
     returns a :class:`repro.parallel.ParallelAlgorithm` proxy with the
     same ``fit``/``train_epoch``/``predict`` surface; close it with
-    ``algo.rt.close()`` when done.  Remaining keyword arguments pass
-    through to the algorithm class (``variant`` for 1D, ``replication``
-    for 1.5D, ``summa_block`` for 2D).
+    ``algo.rt.close()`` when done.  ``partition`` selects a
+    partition-aware :class:`Distribution` (a name from
+    ``PARTITION_KINDS``, or a prebuilt instance; default: none) --
+    pair it with the 1D ``variant="ghost"`` to make partition quality
+    visible in the ledger.  Remaining keyword arguments pass through to
+    the algorithm class (``variant`` for 1D, ``replication`` for 1.5D,
+    ``summa_block`` for 2D).
     """
     name = name.lower()
     if name not in ALGORITHMS:
@@ -122,6 +148,10 @@ def make_algorithm(
     rt = make_runtime_for(name, p, grid=grid, profile=profile,
                           backend=backend, workers=workers)
     widths = dataset.layer_widths(hidden=hidden, layers=layers)
+    distribution = make_distribution(partition, dataset.adjacency, p,
+                                     seed=seed)
+    if distribution is not None:
+        kwargs = dict(kwargs, distribution=distribution)
     if backend == "process":
         return rt.make_algorithm(
             name, dataset.adjacency, widths, seed=seed,

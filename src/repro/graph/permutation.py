@@ -12,7 +12,7 @@ metrics used to quantify its effect (ablation E-perm in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -50,13 +50,19 @@ def apply_random_permutation(
     features: np.ndarray,
     labels: np.ndarray,
     seed: int = 0,
+    perm: Optional[np.ndarray] = None,
 ) -> Tuple[CSRMatrix, np.ndarray, np.ndarray, np.ndarray]:
-    """Relabel a dataset's vertices with one shared random permutation.
+    """Relabel a dataset's vertices with one shared permutation.
 
     Returns ``(A', H0', y', perm)``: the permuted adjacency
     ``P A P^T``, features and labels rows reordered consistently, and the
     permutation itself (so embeddings can be mapped back via
-    :func:`invert_permutation`).
+    :func:`invert_permutation`).  By default the permutation is drawn
+    uniformly from ``seed``; pass ``perm`` to apply an explicit
+    relabelling instead -- e.g. a partition-induced one from
+    :class:`repro.dist.distribution.Distribution`, which is how the
+    permutation-invariance oracle cross-checks the partition-aware
+    training path against externally relabelled data.
     """
     n = a.nrows
     if features.shape[0] != n or labels.shape[0] != n:
@@ -64,7 +70,12 @@ def apply_random_permutation(
             f"features/labels rows ({features.shape[0]}/{labels.shape[0]}) "
             f"must match vertex count {n}"
         )
-    perm = random_permutation(n, seed)
+    if perm is None:
+        perm = random_permutation(n, seed)
+    else:
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (n,):
+            raise ValueError(f"permutation length {perm.shape} != {n}")
     inv = invert_permutation(perm)
     # Row i of the permuted feature matrix is the old row inv[i].
     return a.permute(perm), features[inv], labels[inv], perm

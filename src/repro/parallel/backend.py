@@ -289,6 +289,10 @@ def _dispatch(rt, worker_id: int, op: str, payload, get_algo):
             "optimizer": clone_optimizer(algo.optimizer),
             "a_t": algo.a_t,
             "a": algo.a,
+            # a_t/a live in the distribution's internal vertex order;
+            # the driver must relabel the serial reference's inputs the
+            # same way (None when no distribution is set).
+            "distribution": algo.distribution,
         }
     if op == "reset_stats":
         rt.reset_stats()

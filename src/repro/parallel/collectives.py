@@ -158,12 +158,13 @@ class ProcessCollectives(Collectives):
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
         materialize: bool = False,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         group = self._group(group)
         full = self._exchange_contributions(group, values)
         acc = self._reduce_arrays(group, full, op)
         return self._shard_local(group, acc, int(acc.nbytes), category,
-                                 axis, materialize)
+                                 axis, materialize, bounds=bounds)
 
     def sparse_reduce_scatter(
         self,
@@ -173,6 +174,7 @@ class ProcessCollectives(Collectives):
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
         materialize: bool = False,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         group = self._group(group)
         full = self._exchange_contributions(group, values)
@@ -187,15 +189,16 @@ class ProcessCollectives(Collectives):
             row_bytes = arr.nbytes // max(arr.shape[axis], 1)
             wire = max(wire, nz_rows * (row_bytes + INDEX_BYTES))
         return self._shard_local(group, acc, int(wire), category, axis,
-                                 materialize)
+                                 materialize, bounds=bounds)
 
     def _shard_local(self, group, acc, wire_nbytes, category, axis,
-                     materialize):
+                     materialize, bounds=None):
         """Charge a reduce-scatter and shard ``acc`` for local ranks."""
         cost = self._cost("rs", cm.reduce_scatter_cost, wire_nbytes,
                           len(group))
         self._charge_group(group, category, cost)
-        bounds = self.plan.split(acc.shape[axis], len(group))
+        if bounds is None:
+            bounds = self.plan.split(acc.shape[axis], len(group))
         shards = _axis_shards(acc, bounds, axis)
         return {
             r: (np.ascontiguousarray(shards[i]) if materialize
@@ -310,15 +313,45 @@ class ProcessCollectives(Collectives):
         values,
         axis: int = 0,
         op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> Dict[int, np.ndarray]:
         group = self._group(group)
         full = self._exchange_contributions(group, values)
         acc = self._reduce_arrays(group, full, op)
         acc.flags.writeable = False
-        bounds = self.plan.split(acc.shape[axis], len(group))
+        if bounds is None:
+            bounds = self.plan.split(acc.shape[axis], len(group))
         shards = _axis_shards(acc, bounds, axis)
         return {r: shards[i] for i, r in enumerate(group)
                 if r in self.local_set}
+
+    def gather_rows_data(self, pairs, blocks) -> list:
+        """Ghost-row transfers really crossing worker boundaries.
+
+        Every worker walks the same globally-ordered pair list (sends
+        are posted asynchronously, receives block), exactly like
+        :meth:`routed_sendrecv_data` -- the fixed order is what makes
+        the rendezvous deadlock-free.  Row selection happens on the
+        *source* worker, so only the requested rows travel.
+        """
+        out = [None] * len(pairs)
+        for i, (src, dst, idx) in enumerate(pairs):
+            ow_s, ow_d = self.owner_of[src], self.owner_of[dst]
+            if ow_s == self.wid and ow_d == self.wid:
+                rows = blocks[src][idx]
+                rows.flags.writeable = False
+                out[i] = rows
+            elif ow_s == self.wid:
+                self.channel.exchange(
+                    ("gr", src, dst),
+                    [(src, np.ascontiguousarray(blocks[src][idx]))],
+                    [ow_d], [],
+                )
+            elif ow_d == self.wid:
+                got = self.channel.exchange(("gr", src, dst), [], [],
+                                            [ow_s])
+                out[i] = _readonly(got[ow_s][0][1])
+        return out
 
     # ------------------------------------------------------------------ #
     # god-view-only operations

@@ -215,8 +215,21 @@ class ParallelAlgorithm:
             a=info["a"],
             optimizer=clone_optimizer(optimizer),
         )
-        s_hist = serial.train(features, labels, epochs, mask=mask)
-        s_lp = serial.model.predict(info["a_t"], features)
+        # The workers' operand lives in the distribution's internal
+        # (part-major) vertex order; feed the serial reference the same
+        # relabelled inputs and map its predictions back.
+        dist = info.get("distribution")
+        s_features = np.asarray(features, dtype=np.float64)
+        s_labels = np.asarray(labels, dtype=np.int64)
+        s_mask = None if mask is None else np.asarray(mask, dtype=bool)
+        if dist is not None:
+            s_features = dist.permute_rows(s_features)
+            s_labels = dist.permute_rows(s_labels)
+            s_mask = None if s_mask is None else dist.permute_rows(s_mask)
+        s_hist = serial.train(s_features, s_labels, epochs, mask=s_mask)
+        s_lp = serial.model.predict(info["a_t"], s_features)
+        if dist is not None:
+            s_lp = dist.unpermute_rows(s_lp)
         d_hist = self.fit(features, labels, epochs, mask=mask)
         d_lp = self.predict()
         diff = max(

@@ -65,7 +65,14 @@ def _validate_assignment(a: CSRMatrix, assignment: np.ndarray, nparts: int) -> n
 
 
 def edge_cut_stats(a: CSRMatrix, assignment: np.ndarray, nparts: int) -> CutStats:
-    """Compute all cut metrics of a partition in one vectorised pass."""
+    """Compute all cut metrics of a partition in one vectorised pass.
+
+    ``nparts`` must be at least 1; empty parts are legal (the
+    partitioners' documented ``nparts > n`` convention) and contribute
+    explicit zeros to every per-part tuple.
+    """
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
     assignment = _validate_assignment(a, assignment, nparts)
     rows, cols, _ = a.to_coo()
     src_part = assignment[rows]
@@ -87,9 +94,9 @@ def edge_cut_stats(a: CSRMatrix, assignment: np.ndarray, nparts: int) -> CutStat
     return CutStats(
         nparts=nparts,
         total_cut_edges=total_cut,
-        max_part_cut_edges=int(per_part_cut.max()) if nparts else 0,
+        max_part_cut_edges=int(per_part_cut.max()),
         per_part_cut_edges=tuple(int(x) for x in per_part_cut),
-        max_ghost_rows=int(ghost.max()) if nparts else 0,
+        max_ghost_rows=int(ghost.max()),
         per_part_ghost_rows=tuple(int(x) for x in ghost),
     )
 

@@ -158,7 +158,9 @@ def _initial_partition(
     """Chop the BFS order into ``nparts`` weight-balanced chunks."""
     n = level.adj.nrows
     if n <= nparts:
-        return np.arange(n, dtype=np.int64) % nparts
+        # Degenerate coarsest graph: the partitioners' shared
+        # trailing-empty convention (vertex v -> part v).
+        return block_partition(n, nparts)
     order = _bfs_order(level.adj, rng)
     total = int(level.vwgt.sum())
     target = total / nparts
@@ -299,6 +301,10 @@ class MultilevelPartitioner:
     ``coarsen_until`` stops coarsening once the graph is small enough
     (default: ``max(100, 8 * nparts)`` vertices); ``imbalance_tol`` is the
     allowed part-weight slack (Metis default ~3 %).
+
+    Follows the :mod:`repro.partition` empty-part convention: with
+    ``nparts > n`` the result is the canonical trailing-empty assignment
+    (vertex ``v`` -> part ``v``), identical to :func:`block_partition`.
     """
 
     nparts: int
@@ -317,8 +323,11 @@ class MultilevelPartitioner:
         if self.nparts == 1:
             return PartitionResult(np.zeros(n, dtype=np.int64), 1, 0, n, 0)
         if n <= self.nparts:
+            # One vertex per part, trailing parts empty -- the shared
+            # convention of repro.partition (see random_part's module
+            # docstring), not a private round-robin.
             return PartitionResult(
-                np.arange(n, dtype=np.int64) % self.nparts, self.nparts, 0, n, 0
+                block_partition(n, self.nparts), self.nparts, 0, n, 0
             )
         rng = np.random.default_rng(self.seed)
         stop_at = self.coarsen_until or max(100, 8 * self.nparts)

@@ -46,6 +46,7 @@ __all__ = [
     "boundaries",
     "GraphModel",
     "CommSchedule",
+    "GatherRowsPhase",
     "ScheduleBuilder",
     "SimResult",
     "evaluate_schedule",
@@ -232,6 +233,21 @@ class GraphModel:
             self._csr_t = self.csr.transpose()
         return self._csr_t
 
+    def _row_bounds(self, parts: int, bounds) -> np.ndarray:
+        """Boundary array: the equal split of ``parts`` or an explicit
+        override (partition-aware layouts pass their distribution's
+        uneven rank bounds)."""
+        if bounds is None:
+            return boundaries(self.n, parts)
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if bounds[0] != 0 or bounds[-1] != self.n or np.any(
+            np.diff(bounds) < 0
+        ):
+            raise ValueError(
+                f"bounds must ascend from 0 to n={self.n}, got {bounds}"
+            )
+        return bounds
+
     # ------------------------------------------------------------------ #
     # oracles
     # ------------------------------------------------------------------ #
@@ -268,21 +284,26 @@ class GraphModel:
         counts = np.bincount(flat, minlength=row_parts * ncells)
         return counts.reshape(row_parts, ncells).astype(np.float64)
 
-    def row_block_nnz(self, parts: int, transpose: bool = False) -> np.ndarray:
-        """Nonzeros per block row (``block_ranges(n, parts)``)."""
+    def row_block_nnz(self, parts: int, transpose: bool = False,
+                      bounds=None) -> np.ndarray:
+        """Nonzeros per block row (``block_ranges(n, parts)`` or the
+        explicit ``bounds`` override)."""
+        bounds = self._row_bounds(parts, bounds)
         if not self.exact:
-            lens = np.diff(boundaries(self.n, parts))
+            lens = np.diff(bounds)
             return self.nnz * lens / self.n
         csr = self._matrix(transpose)
-        bounds = boundaries(self.n, parts)
         return np.diff(csr.indptr[bounds]).astype(np.float64)
 
-    def col_block_nnz(self, parts: int, transpose: bool = False) -> np.ndarray:
+    def col_block_nnz(self, parts: int, transpose: bool = False,
+                      bounds=None) -> np.ndarray:
         """Nonzeros per block column."""
-        return self.cell_nnz(1, boundaries(self.n, parts), transpose)[0]
+        return self.cell_nnz(
+            1, self._row_bounds(parts, bounds), transpose
+        )[0]
 
     def col_block_nonzero_rows(
-        self, parts: int, transpose: bool = False
+        self, parts: int, transpose: bool = False, bounds=None
     ) -> np.ndarray:
         """Rows with at least one nonzero, per block column.
 
@@ -290,11 +311,12 @@ class GraphModel:
         reduce-scatter ships (Section IV-A.3); the uniform backend uses
         the expected-occupancy formula ``n (1 - e^{-d w / n})``.
         """
-        lens = np.diff(boundaries(self.n, parts)).astype(np.float64)
+        bounds = self._row_bounds(parts, bounds)
+        parts = len(bounds) - 1
+        lens = np.diff(bounds).astype(np.float64)
         if not self.exact:
             return self.n * (1.0 - np.exp(-self.avg_degree * lens / self.n))
         csr = self._matrix(transpose)
-        bounds = boundaries(self.n, parts)
         deg = np.diff(csr.indptr)
         nnz_rows = np.repeat(np.arange(self.n, dtype=np.int64), deg)
         nnz_cols = np.searchsorted(bounds, csr.indices, side="right") - 1
@@ -302,6 +324,41 @@ class GraphModel:
         return np.bincount(
             (unique % parts).astype(np.int64), minlength=parts
         ).astype(np.float64)
+
+    def ghost_row_counts(self, bounds) -> Tuple[np.ndarray, np.ndarray]:
+        """Per row block: (ghost rows, distinct source blocks).
+
+        The partition-aware term of the schedule oracle: ghost rows are
+        the distinct remote-neighbour rows a block must fetch for its
+        local multiply (Section IV-A's ``r_i``, whose max is
+        ``edgecut_P(A)``).  The exact backend reuses the executed
+        runtime's own structure derivation
+        (:func:`repro.dist.distribution.ghost_structure`), so predicted
+        expansion volume matches the executed ledger byte for byte; the
+        uniform backend uses the expected-occupancy estimate
+        ``(n - s_i)/n * n (1 - e^{-nnz_i / n})`` with every other block
+        as a source.
+        """
+        bounds = self._row_bounds(len(bounds) - 1, bounds)
+        nblocks = len(bounds) - 1
+        lens = np.diff(bounds).astype(np.float64)
+        if not self.exact:
+            nnz_blk = self.nnz * lens / self.n
+            occupied = self.n * (1.0 - np.exp(-nnz_blk / self.n))
+            ghosts = (self.n - lens) / self.n * occupied
+            nsrc = np.where(
+                (ghosts > 0) & (nblocks > 1), nblocks - 1, 0
+            ).astype(np.float64)
+            return ghosts, nsrc
+        from repro.dist.distribution import ghost_structure
+
+        ranges = [(int(bounds[i]), int(bounds[i + 1]))
+                  for i in range(nblocks)]
+        g = ghost_structure(self.csr, ranges)
+        return (
+            np.array(g.ghost_rows, dtype=np.float64),
+            np.array(g.nsources, dtype=np.float64),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "exact" if self.exact else "uniform"
@@ -339,6 +396,22 @@ class SendRecvPhase:
 
 
 @dataclass
+class GatherRowsPhase:
+    """One ghost-row exchange: per-rank received bytes + source counts.
+
+    Mirrors :meth:`repro.comm.collectives.Collectives.
+    gather_rows_charges_sized`'s receive-side accounting: rank ``i``
+    spends ``nsources[i] * alpha + beta * nbytes[i]`` seconds and books
+    exactly ``nbytes[i]`` received bytes -- the partition-aware term
+    whose total is ``sum_i r_i * f * itemsize``.
+    """
+
+    category: str
+    nbytes: np.ndarray
+    nsources: np.ndarray
+
+
+@dataclass
 class TransposePhase:
     """Per-rank transpose-exchange charges (``trpose`` category)."""
 
@@ -369,7 +442,7 @@ class ElementwisePhase:
 
 
 Phase = Union[
-    CollectivePhase, SendRecvPhase, TransposePhase,
+    CollectivePhase, SendRecvPhase, GatherRowsPhase, TransposePhase,
     SpmmPhase, GemmPhase, ElementwisePhase,
 ]
 
@@ -447,6 +520,14 @@ class ScheduleBuilder:
             raise ValueError("sendrecv needs matching nbytes/pair arrays")
         if nbytes.size:
             self.phases.append(SendRecvPhase(category, nbytes, pair))
+
+    def gather_rows(self, category: str, nbytes, nsources) -> None:
+        nbytes, nsources = np.broadcast_arrays(_arr(nbytes), _arr(nsources))
+        self.phases.append(GatherRowsPhase(
+            category,
+            np.ascontiguousarray(nbytes, dtype=np.float64),
+            np.ascontiguousarray(nsources, dtype=np.float64),
+        ))
 
     def transpose(self, nbytes) -> None:
         self.phases.append(TransposePhase(_arr(nbytes)))
@@ -593,6 +674,18 @@ def _eval_sendrecv(acc: _Accumulator, ph: SendRecvPhase,
              2 * ph.nbytes.size)
 
 
+def _eval_gather_rows(acc: _Accumulator, ph: GatherRowsPhase,
+                      profile: MachineProfile, p: int) -> None:
+    alpha = profile.alpha_for_span(p)
+    beta = profile.beta_effective(p)
+    sec = ph.nsources * alpha + beta * ph.nbytes
+    i = int(np.argmax(sec)) if sec.size else 0
+    wall = float(sec[i]) if sec.size else 0.0
+    wall_lat = float(ph.nsources[i]) * alpha if wall > 0 else 0.0
+    acc.comm(ph.category, wall, wall_lat,
+             float(np.trunc(ph.nbytes).sum()), int(ph.nsources.sum()))
+
+
 def _eval_transpose(acc: _Accumulator, ph: TransposePhase,
                     profile: MachineProfile) -> None:
     sec = profile.alpha + profile.beta * ph.nbytes
@@ -655,6 +748,8 @@ def evaluate_schedule(
             _eval_collective(acc, ph, profile, p)
         elif isinstance(ph, SendRecvPhase):
             _eval_sendrecv(acc, ph, profile, p)
+        elif isinstance(ph, GatherRowsPhase):
+            _eval_gather_rows(acc, ph, profile, p)
         elif isinstance(ph, TransposePhase):
             _eval_transpose(acc, ph, profile)
         elif isinstance(ph, SpmmPhase):

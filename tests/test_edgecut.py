@@ -32,6 +32,32 @@ class TestBaselines:
         assert a.shape == (n,)
         assert partition_sizes(a, p).sum() == n
 
+    @given(n=st.integers(1, 40), extra=st.integers(1, 20),
+           seed=st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_trailing_empty_convention(self, n, extra, seed):
+        """Satellite: with nparts > n every partitioner leaves exactly
+        the trailing parts empty (one shared documented convention)."""
+        nparts = n + extra
+        for a in (block_partition(n, nparts),
+                  random_partition(n, nparts, seed)):
+            sizes = partition_sizes(a, nparts)
+            assert np.all(sizes[:n] == 1)
+            assert np.all(sizes[n:] == 0)
+
+    def test_partition_sizes_validation(self):
+        with pytest.raises(ValueError, match="nparts must be >= 1"):
+            partition_sizes(np.zeros(3, dtype=np.int64), 0)
+        with pytest.raises(ValueError, match="part ids"):
+            partition_sizes(np.array([0, 4]), 3)
+        np.testing.assert_array_equal(
+            partition_sizes(np.array([0, 0]), 4), [2, 0, 0, 0]
+        )
+
+    def test_random_partition_invalid_nparts(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            random_partition(5, 0)
+
 
 class TestCutStats:
     def test_ring_block_partition_cuts_boundary_edges(self):
@@ -74,6 +100,28 @@ class TestCutStats:
             edge_cut_stats(a, np.zeros(5, dtype=np.int64), 2)
         with pytest.raises(ValueError, match="part ids"):
             edge_cut_stats(a, np.full(6, 9, dtype=np.int64), 2)
+
+    def test_nparts_zero_rejected_explicitly(self):
+        """Satellite: nparts < 1 is an explicit ValueError, not a
+        confusing 'part ids outside [0, 0)' from assignment validation."""
+        a = ring_graph(6)
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="nparts must be >= 1"):
+                edge_cut_stats(a, np.zeros(6, dtype=np.int64), bad)
+            with pytest.raises(ValueError, match="nparts must be >= 1"):
+                ghost_rows_per_part(a, np.zeros(6, dtype=np.int64), bad)
+
+    def test_empty_parts_reported_explicitly(self):
+        """Empty parts (nparts > n) get explicit zero entries in every
+        per-part tuple rather than being dropped."""
+        a = ring_graph(4)
+        stats = edge_cut_stats(a, block_partition(4, 7), 7)
+        assert len(stats.per_part_cut_edges) == 7
+        assert len(stats.per_part_ghost_rows) == 7
+        assert stats.per_part_cut_edges[4:] == (0, 0, 0)
+        assert stats.per_part_ghost_rows[4:] == (0, 0, 0)
+        # Each singleton part needs its two ring neighbours.
+        assert stats.per_part_ghost_rows[:4] == (2, 2, 2, 2)
 
 
 class TestBounds:

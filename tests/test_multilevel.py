@@ -44,6 +44,18 @@ class TestBasics:
         assignment = multilevel_partition(a, 8)
         assert assignment.shape == (3,)
 
+    def test_trailing_empty_convention_matches_block(self):
+        """Satellite: nparts > n follows the shared trailing-empty
+        convention -- identical to block_partition, with the empty parts
+        explicit in partition_sizes."""
+        from repro.partition.random_part import block_partition
+
+        a = erdos_renyi(5, 1.5, seed=4)
+        assignment = multilevel_partition(a, 9)
+        np.testing.assert_array_equal(assignment, block_partition(5, 9))
+        sizes = partition_sizes(assignment, 9)
+        np.testing.assert_array_equal(sizes, [1, 1, 1, 1, 1, 0, 0, 0, 0])
+
     def test_nonsquare_rejected(self):
         from repro.sparse.csr import CSRMatrix
 
