@@ -78,6 +78,73 @@ def check_partition_epoch(path: str) -> List[str]:
     return problems
 
 
+def check_parallel_epoch(path: str) -> List[str]:
+    """Structural + perf guard on the ``parallel_epoch`` section.
+
+    Two gates, per ISSUE 6:
+
+    * **dispatch gate** (core-count independent, never skipped): the
+      resident hot path must stay O(1) driver dispatches per ``fit`` --
+      one fit dispatch for the whole timed run and well under one
+      dispatch per epoch.  A report showing per-epoch dispatches means
+      the driver round-trip crept back onto the hot path.
+    * **speedup gate** (timing, only meaningful with real cores): the
+      best process-backend configuration must clear 2x over the virtual
+      runtime -- enforced only when the report says ``host_cores >= 4``;
+      otherwise an explicit skip notice is printed, because on a starved
+      host every worker shares one core and the ratio measures the
+      scheduler, not the backend.
+
+    Returns a list of violation messages (empty = healthy or section
+    absent).
+    """
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("parallel_epoch")
+    if not isinstance(section, dict):
+        return []
+    problems = []
+    dispatch = section.get("dispatch")
+    if not isinstance(dispatch, dict):
+        problems.append("parallel_epoch: missing 'dispatch' subsection "
+                        "(fit dispatch counters not recorded)")
+    else:
+        epochs = dispatch.get("epochs", 0)
+        fit_dispatches = dispatch.get("fit_dispatches")
+        per_epoch = dispatch.get("dispatches_per_epoch")
+        if fit_dispatches is None or per_epoch is None:
+            problems.append("parallel_epoch.dispatch: missing "
+                            "fit_dispatches/dispatches_per_epoch")
+        elif epochs >= 2:
+            if fit_dispatches > 1:
+                problems.append(
+                    f"parallel_epoch: {fit_dispatches} fit dispatches "
+                    f"for one {epochs}-epoch fit (resident hot path "
+                    "must be ONE dispatch per fit)"
+                )
+            if per_epoch >= 1.0:
+                problems.append(
+                    f"parallel_epoch: {per_epoch:.2f} dispatches per "
+                    "epoch (>= 1 means the epoch loop round-trips "
+                    "through the driver again)"
+                )
+    host_cores = section.get("host_cores", 0)
+    best = section.get("best_speedup")
+    if host_cores >= 4 and not os.environ.get("REPRO_BENCH_SKIP"):
+        if best is None or best < 2.0:
+            problems.append(
+                f"parallel_epoch: best_speedup {best} below 2.0 on a "
+                f"{host_cores}-core host"
+            )
+    else:
+        why = (f"host_cores={host_cores} < 4"
+               if host_cores < 4 else "REPRO_BENCH_SKIP set")
+        print(f"parallel_epoch: speedup gate skipped ({why}); "
+              f"best_speedup={best} recorded for reference, dispatch "
+              "gate still enforced")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly generated bench JSON")
@@ -102,6 +169,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(msg, file=sys.stderr)
         print("partition_epoch invariant violated (multilevel must beat "
               "block); failing regardless of timings", file=sys.stderr)
+        return 1
+    # Likewise the parallel_epoch dispatch gate: dispatch counts are a
+    # structural property of the resident backend, not a timing, so
+    # REPRO_BENCH_SKIP does not silence it (the *speedup* gate inside
+    # already self-skips on starved hosts).
+    parallel_problems = check_parallel_epoch(args.fresh)
+    if parallel_problems:
+        for msg in parallel_problems:
+            print(msg, file=sys.stderr)
+        print("parallel_epoch gate violated; failing regardless of "
+              "timings", file=sys.stderr)
         return 1
 
     if os.environ.get("REPRO_BENCH_SKIP"):

@@ -149,7 +149,9 @@ def cmd_train(args: argparse.Namespace) -> int:
         algo = make_algorithm(
             args.algorithm, args.gpus, ds, hidden=args.hidden,
             seed=args.seed, optimizer=SGD(lr=args.lr),
-            backend=args.backend, workers=args.workers, **kwargs,
+            backend=args.backend, workers=args.workers,
+            transport=args.transport if args.backend == "process" else None,
+            **kwargs,
         )
     except ValueError as exc:
         return _usage_error(exc)
@@ -165,12 +167,15 @@ def cmd_train(args: argparse.Namespace) -> int:
         extras = f"variant={args.variant}  " if args.algorithm == "1d" else ""
         print(f"layout  : {extras}partition={args.partition} "
               "(part-major vertex relabelling)")
+    backend_stats = None
     try:
         import time as _time
 
         t0 = _time.perf_counter()
         history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
         elapsed = _time.perf_counter() - t0
+        if args.backend == "process":
+            backend_stats = algo.rt.backend_stats()
     finally:
         if args.backend == "process":
             algo.rt.close()
@@ -188,6 +193,14 @@ def cmd_train(args: argparse.Namespace) -> int:
     ))
     print(f"wall clock: {elapsed:.2f}s for {args.epochs} epochs "
           f"({args.backend} backend)")
+    if backend_stats is not None:
+        st = backend_stats
+        print(f"process backend [{st['transport']}]: "
+              f"{st['dispatches']} dispatches for {st['commands']} commands "
+              f"({st['fit_dispatches']} resident fits, "
+              f"{st['fused_batches']} fused batches), "
+              f"{st['digest_checks']} digest checks, "
+              f"{st['channel_bytes'] / 1e6:.2f} MB channel traffic")
     return 0
 
 
@@ -513,6 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes for --backend process "
                         "(default: one per rank)")
+    p.add_argument("--transport", default="shm",
+                   choices=("shm", "tcp"),
+                   help="peer fabric for --backend process: 'shm' "
+                        "(queues + shared memory, single host) or 'tcp' "
+                        "(length-prefixed socket frames; spans hosts via "
+                        "REPRO_PARALLEL_HOSTS)")
 
     def _sim_graph_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--dataset", choices=("reddit", "amazon", "protein"),

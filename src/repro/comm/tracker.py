@@ -18,6 +18,7 @@ supports that reduction via :meth:`CommTracker.step_scope`.
 
 from __future__ import annotations
 
+import struct
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
@@ -326,6 +327,28 @@ class CommTracker:
     def breakdown(self) -> Dict[str, float]:
         """Wall seconds per category -- one stacked bar of Fig. 3."""
         return {c: self.wall.get(c, 0.0) for c in Category.ALL}
+
+    def state_bytes(self) -> bytes:
+        """Canonical byte serialisation of the full ledger state.
+
+        Fixed little-endian layout -- per-rank ``(seconds, bytes,
+        messages, flops)`` in :data:`Category.ALL` order, then the wall
+        clock per category, then the step count.  Two trackers are
+        byte-identical here iff every number in their ledgers is equal,
+        which is what the process backend's digest checks hash.
+        """
+        pack = struct.pack
+        parts = []
+        for r in range(self.nranks):
+            totals = self.per_rank[r]
+            for c in Category.ALL:
+                t = totals[c]
+                parts.append(pack("<dqqq", t.seconds, t.bytes,
+                                  t.messages, t.flops))
+        for c in Category.ALL:
+            parts.append(pack("<d", self.wall.get(c, 0.0)))
+        parts.append(pack("<q", self._nsteps))
+        return b"".join(parts)
 
     def snapshot(self) -> "CommTracker":
         """Deep copy of the current ledger (for before/after deltas)."""

@@ -509,12 +509,22 @@ class DistAlgorithm:
         labels: np.ndarray,
         epochs: int,
         mask: Optional[np.ndarray] = None,
+        on_epoch=None,
     ) -> DistTrainHistory:
-        """Full-batch training for ``epochs`` epochs (sets up first)."""
+        """Full-batch training for ``epochs`` epochs (sets up first).
+
+        ``on_epoch``, when given, is called with each epoch's
+        :class:`EpochStats` as it completes -- the process backend's
+        resident workers use it to report liveness (and, under paranoid
+        mode, per-epoch ledger digests) from inside the loop.
+        """
         self.setup(features, labels, mask)
         history = DistTrainHistory()
         for epoch in range(epochs):
-            history.epochs.append(self.train_epoch(epoch))
+            stats = self.train_epoch(epoch)
+            history.epochs.append(stats)
+            if on_epoch is not None:
+                on_epoch(stats)
         return history
 
     def predict(self, features: Optional[np.ndarray] = None) -> np.ndarray:

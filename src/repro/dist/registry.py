@@ -51,6 +51,7 @@ def make_runtime_for(
     profile: Optional[MachineProfile] = None,
     backend: str = "virtual",
     workers: Optional[int] = None,
+    transport: Optional[str] = None,
 ):
     """The machine topology algorithm ``name`` runs on.
 
@@ -60,6 +61,9 @@ def make_runtime_for(
     :class:`repro.parallel.ParallelRuntime` whose ``p`` ranks execute as
     real OS processes (``workers`` of them, default one per rank);
     ``"virtual"`` (the default) is the single-process simulator.
+    ``transport`` picks the workers' peer fabric: ``"shm"`` (default,
+    queues + shared memory) or ``"tcp"`` (sockets; multi-host via
+    ``REPRO_PARALLEL_HOSTS``).
     """
     name = name.lower()
     if name not in ALGORITHMS:
@@ -71,9 +75,13 @@ def make_runtime_for(
     if backend == "process":
         from repro.parallel import ParallelRuntime as cls
         kw = {"workers": workers}
+        if transport is not None:
+            kw["transport"] = transport
     else:
         if workers is not None:
             raise ValueError("workers= only applies to backend='process'")
+        if transport is not None:
+            raise ValueError("transport= only applies to backend='process'")
         cls, kw = VirtualRuntime, {}
     if name in ("1d", "1.5d"):
         if grid is not None:
@@ -124,6 +132,7 @@ def make_algorithm(
     grid: Optional[Tuple[int, int]] = None,
     backend: str = "virtual",
     workers: Optional[int] = None,
+    transport: Optional[str] = None,
     partition=None,
     **kwargs,
 ) -> DistAlgorithm:
@@ -131,7 +140,8 @@ def make_algorithm(
 
     ``dataset`` is a :class:`repro.graph.datasets.Dataset` (or anything
     with ``adjacency`` and ``layer_widths``).  ``backend="process"``
-    executes the ranks as real OS processes (``workers`` of them) and
+    executes the ranks as real OS processes (``workers`` of them, over
+    the ``transport`` peer fabric -- ``"shm"`` or ``"tcp"``) and
     returns a :class:`repro.parallel.ParallelAlgorithm` proxy with the
     same ``fit``/``train_epoch``/``predict`` surface; close it with
     ``algo.rt.close()`` when done.  ``partition`` selects a
@@ -146,7 +156,8 @@ def make_algorithm(
     if name not in ALGORITHMS:
         raise _unknown(name)
     rt = make_runtime_for(name, p, grid=grid, profile=profile,
-                          backend=backend, workers=workers)
+                          backend=backend, workers=workers,
+                          transport=transport)
     widths = dataset.layer_widths(hidden=hidden, layers=layers)
     distribution = make_distribution(partition, dataset.adjacency, p,
                                      seed=seed)

@@ -3,24 +3,32 @@
 Where :class:`repro.comm.runtime.VirtualRuntime` executes P ranks
 sequentially inside one process, this package runs them as **real OS
 processes** whose collectives cross process boundaries through POSIX
-shared memory -- wall clock drops with cores, while the virtual runtime's
-ledger and losses remain the built-in correctness oracle (byte-identical
-ledger, bit-identical losses under frozen seeds).
+shared memory or TCP sockets -- wall clock drops with cores, while the
+virtual runtime's ledger and losses remain the built-in correctness
+oracle (byte-identical ledger, bit-identical losses under frozen seeds).
+
+The workers are **resident**: ``fit`` ships the whole training program
+in one dispatch and the epoch loop runs worker-side with zero driver
+round-trips; remaining driver paths can fuse N commands into one
+pickle/wakeup with one batched ledger-digest check.
 
 Architecture map (driver process on the left, P-rank workers right)::
 
     ParallelRuntime ── ParallelAlgorithm        driver-side proxies
-          │ commands / results (mp.Queue)
-    ProcessBackend ──spawns──> _worker_main x W  backend.py
-                                   │
-                               WorkerRuntime     runtime.py -- Runtime
-                                   │             protocol, local_ranks
-                            ProcessCollectives   collectives.py -- SPMD
-                                   │             data plane + full-world
-                                   │             alpha-beta charging
-                               PeerChannel       channel.py -- tagged
-                                   │             exchange, acks, stash
-                               Arena / codec     shm.py -- shared-memory
+          │ programs / results (mp.Queue)       fit = ONE dispatch
+    ProcessBackend ──spawns──> _worker_main x W  backend.py -- resident
+          │ heartbeat (shared counters)          command loop, fused
+          │                                      batches, stats()
+          │                    WorkerRuntime     runtime.py -- Runtime
+          │                        │             protocol, local_ranks
+          │                 ProcessCollectives   collectives.py -- SPMD
+          │                        │             data plane + full-world
+          │                        │             alpha-beta charging
+          │              PeerChannel | TcpChannel
+          │               channel.py | tcp.py -- same tagged (group,
+          │                        │             seq) exchange; shm
+          │                        │             descs vs pickle frames
+          └─────────────── Arena / codec         shm.py -- shared-memory
                                                  payload transport
 
 Layer responsibilities:
@@ -28,15 +36,21 @@ Layer responsibilities:
 * ``shm.py``        -- encode/decode dense and CSR payloads into
   per-worker shared-memory arenas (+ ephemeral overflow segments);
 * ``channel.py``    -- the one rendezvous primitive (post, collect,
-  ack, reclaim) with deterministic ``(group, seq)`` tags;
+  ack, reclaim) with deterministic ``(group, seq)`` tags and the
+  shared no-progress timeout machinery (:class:`ChannelBase`);
+* ``tcp.py``        -- the same exchange over length-prefixed socket
+  frames, one sender thread per connection, loopback or
+  ``REPRO_PARALLEL_HOSTS`` rendezvous -- ranks can span machines;
 * ``collectives.py``-- the :class:`~repro.comm.collectives.Collectives`
   API for a rank-local worker: reductions fold in group-rank order (a
-  fixed tree) so results match the virtual runtime bit for bit;
+  fixed tree) so results match the virtual runtime bit for bit on
+  either transport;
 * ``runtime.py``    -- :class:`WorkerRuntime` (the rank-local
   :class:`~repro.comm.runtime.Runtime`), :class:`ParallelRuntime` and
   :class:`ParallelAlgorithm` (driver-side, VirtualRuntime-shaped);
-* ``backend.py``    -- process lifecycle: spawn-context workers, command
-  fan-out, error propagation, timeouts, shutdown.
+* ``backend.py``    -- process lifecycle: spawn-context workers, the
+  resident command loop (``fit`` / ``batch`` / ``stats``), heartbeat
+  liveness, error propagation, shutdown.
 
 Entry points::
 
@@ -44,12 +58,15 @@ Entry points::
     algo = make_algorithm("1d", p=4, dataset=ds,
                           backend="process", workers=4)
     history = algo.fit(ds.features, ds.labels, epochs=10)
+    algo.rt.backend_stats()   # dispatches, fused batches, channel bytes
     algo.rt.close()
 
-or the CLI: ``repro train --backend process --workers 4``.
+or the CLI: ``repro train --backend process --workers 4
+[--transport tcp]``.
 """
 
 from repro.parallel.backend import ProcessBackend, WorkerError
+from repro.parallel.channel import ChannelTimeout, PeerChannel
 from repro.parallel.collectives import ProcessCollectives
 from repro.parallel.runtime import (
     ParallelAlgorithm,
@@ -58,12 +75,16 @@ from repro.parallel.runtime import (
     ledger_digest,
     owner_map,
 )
+from repro.parallel.tcp import TcpChannel
 
 __all__ = [
     "ProcessBackend",
     "ProcessCollectives",
     "ParallelAlgorithm",
     "ParallelRuntime",
+    "PeerChannel",
+    "TcpChannel",
+    "ChannelTimeout",
     "WorkerRuntime",
     "WorkerError",
     "ledger_digest",

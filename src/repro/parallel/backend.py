@@ -4,17 +4,27 @@
 processes (a ``multiprocessing`` **spawn** context -- no inherited
 interpreter state, the same start method ``torch.distributed`` defaults
 to on CUDA), one command queue per worker, one shared result queue, one
-inbox queue per worker for peer traffic, and one shared-memory arena per
-worker.  The driver broadcasts a command to every worker; workers execute
-it in lock-step (collectives rendezvous through
-:mod:`repro.parallel.channel`) and each reports success or a traceback.
-Any worker error terminates the pool rather than leaving peers blocked on
-a dead rendezvous.  Deadlock detection is layered: peer-to-peer waits
-inside the workers carry the ``REPRO_PARALLEL_TIMEOUT`` (a rank blocked
-on a silent peer errors out instead of hanging a CI runner), while the
-driver watches worker *liveness* -- a crashed worker fails the command
-within a fraction of a second, but a long-running healthy command is
-never killed by a clock.
+inbox queue per worker for peer traffic, and -- for the default ``shm``
+transport -- one shared-memory arena per worker.  The ``tcp`` transport
+replaces the arenas with a full mesh of sockets
+(:mod:`repro.parallel.tcp`) so the ranks can span machines.
+
+The workers are **resident**: the driver ships whole programs, not
+individual steps.  ``fit`` is one dispatch -- the epoch loop runs
+worker-side with zero driver round-trips on the hot path, and the driver
+collects the final history/ledger.  Remaining driver-initiated paths can
+batch N commands into one pickle/wakeup (``batch``).  Ledger-digest
+checks are likewise batched: one digest per fit / per fused batch by
+default, with full per-epoch and per-command digests behind
+``REPRO_PARALLEL_PARANOID=1``.
+
+Liveness is watched through a shared **heartbeat** array: every worker
+bumps its slot on each channel exchange and each resident-fit epoch.
+Blocking waits (driver command collection and worker channel receives)
+time out only when no progress has been observed for
+``REPRO_PARALLEL_TIMEOUT`` seconds -- a slow epoch is never mistaken for
+a hang -- and a crashed worker fails the command within a fraction of a
+second with an error naming the dead worker and the mesh ranks it owned.
 
 Worker processes pin their BLAS pools to one thread
 (``OMP_NUM_THREADS=1`` etc. at spawn): the backend's parallelism comes
@@ -28,6 +38,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue
+import time
 import traceback
 import weakref
 from multiprocessing import shared_memory
@@ -39,15 +50,27 @@ from repro.comm.mesh import ProcessMesh
 from repro.config import MachineProfile
 from repro.parallel.channel import PeerChannel, default_timeout
 from repro.parallel.runtime import WorkerRuntime, ledger_digest, owner_map
+from repro.parallel.tcp import TcpChannel, parse_hosts
 
-__all__ = ["ProcessBackend", "WorkerError"]
+__all__ = ["ProcessBackend", "WorkerError", "TRANSPORTS"]
 
 #: Default per-worker arena size; payloads beyond this spill to
 #: per-payload ephemeral segments (correct, just slower).
 DEFAULT_ARENA_BYTES = 32 * 1024 * 1024
 
+#: Selectable peer-payload transports.
+TRANSPORTS = ("shm", "tcp")
+
 _THREAD_PIN_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
                     "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+#: Commands whose results carry a ledger digest when issued standalone.
+_LEDGERED_OPS = frozenset({"train_epoch", "predict", "evaluate"})
+
+
+def paranoid_mode() -> bool:
+    """Full per-command/per-epoch digest checking (default: batched)."""
+    return os.environ.get("REPRO_PARALLEL_PARANOID", "") not in ("", "0")
 
 
 class WorkerError(RuntimeError):
@@ -76,16 +99,30 @@ class ProcessBackend:
 
     def __init__(self, mesh: ProcessMesh, profile: MachineProfile,
                  nworkers: int, arena_bytes: Optional[int] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None, transport: str = "shm"):
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; available: {TRANSPORTS}"
+            )
         self.mesh = mesh
         self.profile = profile
         self.nworkers = nworkers
         self.owners = owner_map(mesh.size, nworkers)
         self.arena_bytes = arena_bytes or DEFAULT_ARENA_BYTES
         self.timeout = default_timeout() if timeout is None else timeout
+        self.transport = transport
         self._started = False
         self._finalizer = None
         self.procs = []
+        self.arenas = []
+        #: driver-side dispatch accounting (see :meth:`stats`)
+        self.counters = {
+            "dispatches": 0,       # command-queue wakeups
+            "commands": 0,         # logical commands (batch members count)
+            "fused_batches": 0,    # batch dispatches
+            "fit_dispatches": 0,   # resident whole-fit dispatches
+            "digest_checks": 0,    # cross-worker digest comparisons
+        }
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -96,17 +133,31 @@ class ProcessBackend:
         self.inboxes = [ctx.Queue() for _ in range(w)]
         self.cmd_queues = [ctx.Queue() for _ in range(w)]
         self.result_queue = ctx.Queue()
-        self.arenas = [
-            shared_memory.SharedMemory(create=True, size=self.arena_bytes)
-            for _ in range(w)
-        ]
-        arena_names = [shm.name for shm in self.arenas]
+        #: per-worker progress counters; each worker writes only its own
+        #: slot (no lock needed), the driver and peer channels read all.
+        self.heartbeat = ctx.RawArray("Q", w)
+        hosts = None
+        if self.transport == "tcp":
+            env_hosts = os.environ.get("REPRO_PARALLEL_HOSTS")
+            if env_hosts:
+                hosts = parse_hosts(env_hosts)
+            arena_names = None
+        else:
+            self.arenas = [
+                shared_memory.SharedMemory(create=True,
+                                           size=self.arena_bytes)
+                for _ in range(w)
+            ]
+            arena_names = [shm.name for shm in self.arenas]
         spec = {
             "mesh": self.mesh,
             "profile": self.profile,
             "owners": self.owners,
             "arena_names": arena_names,
             "timeout": self.timeout,
+            "transport": self.transport,
+            "hosts": hosts,
+            "heartbeat": self.heartbeat,
         }
         saved = {v: os.environ.get(v) for v in _THREAD_PIN_VARS}
         try:
@@ -135,39 +186,89 @@ class ProcessBackend:
         self._started = True
 
     # ------------------------------------------------------------------ #
+    def _owned_ranks(self, wid: int) -> list:
+        return [r for r, w in enumerate(self.owners) if w == wid]
+
     def command(self, op: str, payload) -> list:
         """Broadcast one command; return per-worker results (by id)."""
         if not self._started:
             raise RuntimeError("backend not started")
+        self.counters["dispatches"] += 1
+        self.counters["commands"] += 1
+        if op == "fit":
+            self.counters["fit_dispatches"] += 1
         for q in self.cmd_queues:
             q.put((op, payload))
+        return self._collect(op)
+
+    def command_batch(self, commands) -> list:
+        """Fuse N commands into one pickle/wakeup per worker.
+
+        ``commands`` is a list of ``(op, payload)`` pairs; each worker
+        executes them in order and replies once with
+        ``(values, digest, tracker)`` -- one batched ledger digest for
+        the whole stream (per-command digests under paranoid mode).
+        Returns the per-worker triples.
+        """
+        if not self._started:
+            raise RuntimeError("backend not started")
+        commands = list(commands)
+        self.counters["dispatches"] += 1
+        self.counters["commands"] += len(commands)
+        self.counters["fused_batches"] += 1
+        for q in self.cmd_queues:
+            q.put(("batch", commands))
+        return self._collect("batch")
+
+    def _collect(self, op: str) -> list:
+        """Gather one result per worker under the no-progress timeout."""
         results = {}
+        hb_last = list(self.heartbeat)
+        last_progress = time.monotonic()
         while len(results) < self.nworkers:
             try:
                 wid, status, value = self.result_queue.get(timeout=0.25)
             except queue.Empty:
-                # No fixed command deadline: a long-running *healthy*
-                # command (one epoch on a big graph) must not be killed
-                # as a false deadlock.  Genuine deadlocks surface
-                # through the workers themselves -- a rank blocked on a
-                # dead/absent peer raises ChannelTimeout after
-                # REPRO_PARALLEL_TIMEOUT and reports 'err' here.  What
-                # the driver does watch for is worker death: workers
-                # only exit on 'close', so an earlier exit is a crash
-                # (e.g. spawn re-importing a broken __main__) whose
-                # peers would otherwise block until their channel
-                # timeouts -- fail the command immediately instead.
-                dead = [p.name for p in self.procs
+                # Workers only exit on 'close', so an earlier exit is a
+                # crash (e.g. spawn re-importing a broken __main__)
+                # whose peers would otherwise block until their channel
+                # timeouts -- fail the command immediately, naming the
+                # dead workers and the mesh ranks they owned.
+                dead = [w for w, p in enumerate(self.procs)
                         if p.exitcode is not None]
                 if dead:
+                    names = ", ".join(
+                        f"worker {w} (ranks {self._owned_ranks(w)})"
+                        for w in dead
+                    )
                     self.terminate()
                     raise WorkerError(
-                        f"worker process(es) died during {op!r}: {dead}. "
+                        f"worker process(es) died during {op!r}: {names}. "
                         "Note the spawn start method re-imports the "
                         "driver's __main__: interactive/stdin sessions "
                         "must guard driver code with "
                         "`if __name__ == '__main__':` (scripts, pytest, "
                         "and the CLI are unaffected)"
+                    ) from None
+                # Progress-based deadline: a long-running *healthy*
+                # command (a whole resident fit) keeps the heartbeat
+                # moving and is never killed by a clock; only a pool
+                # making no progress at all for the whole window fails.
+                hb_now = list(self.heartbeat)
+                now = time.monotonic()
+                if hb_now != hb_last:
+                    hb_last, last_progress = hb_now, now
+                elif (self.nworkers > 1 and self.timeout
+                        and now - last_progress > self.timeout):
+                    stuck = sorted(set(range(self.nworkers)) - set(results))
+                    names = ", ".join(
+                        f"worker {w} (ranks {self._owned_ranks(w)})"
+                        for w in stuck
+                    )
+                    self.terminate()
+                    raise WorkerError(
+                        f"no progress for {self.timeout}s during {op!r}; "
+                        f"unresponsive: {names}"
                     ) from None
                 continue
             if status == "err":
@@ -177,6 +278,28 @@ class ProcessBackend:
                 )
             results[wid] = value
         return [results[wid] for wid in range(self.nworkers)]
+
+    # ------------------------------------------------------------------ #
+    def stats(self, workers: bool = True) -> dict:
+        """Dispatch/traffic counters for this pool.
+
+        Driver-side counts (dispatches, logical commands, fused batches,
+        fit dispatches, digest checks) plus -- when ``workers`` is true
+        and the pool is live -- worker-side channel totals (payload
+        bytes posted, exchanges, digests computed), gathered with one
+        extra dispatch that is *not* included in the snapshot.
+        """
+        out = dict(self.counters)
+        out["transport"] = self.transport
+        out["workers"] = self.nworkers
+        if workers and self._started:
+            per = self.command("stats", None)
+            out["channel_bytes"] = sum(d["channel_bytes"] for d in per)
+            out["exchanges"] = sum(d["exchanges"] for d in per)
+            out["digests_computed"] = sum(d["digests_computed"]
+                                          for d in per)
+            out["per_worker"] = per
+        return out
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
@@ -201,6 +324,16 @@ class ProcessBackend:
 # ---------------------------------------------------------------------- #
 # the worker process
 # ---------------------------------------------------------------------- #
+class _WorkerState:
+    """Mutable per-worker slots the command loop threads through."""
+
+    __slots__ = ("algo", "ndigests")
+
+    def __init__(self):
+        self.algo = None
+        self.ndigests = 0
+
+
 def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
                  result_queue) -> None:
     """One SPMD worker: build a rank-local runtime, execute commands.
@@ -210,21 +343,26 @@ def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
     failures on one worker surface as timeouts on its peers, which the
     driver converts into pool termination.
     """
-    channel = PeerChannel(worker_id, inboxes, spec["arena_names"],
-                          timeout=spec["timeout"])
+    heartbeat = spec["heartbeat"]
+    if spec["transport"] == "tcp":
+        channel = TcpChannel(worker_id, len(inboxes), inboxes=inboxes,
+                             hosts=spec["hosts"], timeout=spec["timeout"],
+                             heartbeat=heartbeat)
+    else:
+        channel = PeerChannel(worker_id, inboxes, spec["arena_names"],
+                              timeout=spec["timeout"], heartbeat=heartbeat)
     rt = WorkerRuntime(spec["mesh"], spec["profile"], channel,
                        spec["owners"])
-    algo = None
+    state = _WorkerState()
+    paranoid = paranoid_mode()
     try:
         while True:
             op, payload = cmd_queue.get()
             if op == "close":
                 break
             try:
-                value = _dispatch(rt, worker_id, op, payload,
-                                  lambda: algo)
-                if op == "make_algo":
-                    algo, value = value, None
+                value = _handle(rt, worker_id, op, payload, state, channel,
+                                paranoid)
                 result_queue.put((worker_id, "ok", value))
             except Exception:
                 result_queue.put((worker_id, "err",
@@ -233,48 +371,117 @@ def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
         channel.close()
 
 
-def _with_ledger(rt, worker_id: int, value, *extra_floats):
-    """Standard command result: (value-or-None, digest, w0's tracker)."""
-    digest = ledger_digest(rt.tracker, *extra_floats)
+def _digest_result(rt, worker_id: int, value, extras, item_digests,
+                   state: _WorkerState):
+    """Digest-carrying reply: ``(value-or-None, digest, w0's tracker)``.
+
+    ``digest`` is the batched ledger digest (covering ``extras`` --
+    the stream's check scalars), or, under paranoid mode, a
+    ``(final, per_item_digests)`` pair so a divergence names the exact
+    epoch / sub-command.
+    """
+    state.ndigests += 1
+    final = ledger_digest(rt.tracker, *extras)
+    digest = final if item_digests is None else (final, tuple(item_digests))
     tracker = rt.tracker if worker_id == 0 else None
     return (value if worker_id == 0 else None, digest, tracker)
 
 
-def _dispatch(rt, worker_id: int, op: str, payload, get_algo):
-    algo = get_algo()
+def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
+            channel, paranoid: bool):
+    """Execute one top-level command, wrapping digests as appropriate."""
+    if op == "fit":
+        # The resident hot path: the whole training program runs here,
+        # with zero driver round-trips between epochs.
+        features, labels, mask, epochs = payload
+        algo = _require_algo(state, op)
+        extras = []
+        epoch_digests = [] if paranoid else None
+
+        def on_epoch(stats):
+            channel.touch()
+            extras.extend((stats.loss, stats.train_accuracy))
+            if epoch_digests is not None:
+                state.ndigests += 1
+                epoch_digests.append(
+                    ledger_digest(rt.tracker, stats.loss,
+                                  stats.train_accuracy))
+
+        history = algo.fit(features, labels, epochs, mask=mask,
+                           on_epoch=on_epoch)
+        return _digest_result(rt, worker_id, history.epochs, extras,
+                              epoch_digests, state)
+    if op == "batch":
+        values, extras = [], []
+        item_digests = [] if paranoid else None
+        for sub_op, sub_payload in payload:
+            value, sub_extras = _dispatch(rt, worker_id, sub_op,
+                                          sub_payload, state)
+            values.append(value)
+            extras.extend(sub_extras)
+            if item_digests is not None:
+                state.ndigests += 1
+                item_digests.append(
+                    ledger_digest(rt.tracker, *sub_extras))
+        return _digest_result(rt, worker_id, values, extras, item_digests,
+                              state)
+    if op == "stats":
+        return {
+            "channel_bytes": channel.bytes_sent,
+            "exchanges": channel.nexchanges,
+            "digests_computed": state.ndigests,
+        }
+    value, extras = _dispatch(rt, worker_id, op, payload, state)
+    if op in _LEDGERED_OPS:
+        return _digest_result(rt, worker_id, value, extras, None, state)
+    return value
+
+
+def _require_algo(state: _WorkerState, op: str):
+    if state.algo is None:
+        raise RuntimeError(f"no algorithm constructed before {op!r}")
+    return state.algo
+
+
+def _dispatch(rt, worker_id: int, op: str, payload, state: _WorkerState):
+    """Execute one logical command; returns ``(value, check_scalars)``.
+
+    ``check_scalars`` feed the stream's ledger digest so numeric
+    divergence (not just structural) trips the cross-worker check.
+    """
     if op == "make_algo":
         from repro.dist.registry import ALGORITHMS
 
         name, a_t, widths, seed, optimizer, kwargs = payload
-        return ALGORITHMS[name](rt, a_t, widths, seed=seed,
-                                optimizer=optimizer, **kwargs)
-    if algo is None:
-        raise RuntimeError(f"no algorithm constructed before {op!r}")
+        state.algo = ALGORITHMS[name](rt, a_t, widths, seed=seed,
+                                      optimizer=optimizer, **kwargs)
+        return None, ()
+    algo = _require_algo(state, op)
     if op == "setup":
         features, labels, mask = payload
         algo.setup(features, labels, mask)
-        return None
+        return None, ()
     if op == "train_epoch":
         stats = algo.train_epoch(payload)
-        return _with_ledger(rt, worker_id, stats, stats.loss,
-                            stats.train_accuracy)
+        return (stats if worker_id == 0 else None,
+                (stats.loss, stats.train_accuracy))
     if op == "predict":
         log_probs = algo.predict(payload)
-        return _with_ledger(rt, worker_id, log_probs,
-                            float(np.sum(log_probs)))
+        return (log_probs if worker_id == 0 else None,
+                (float(np.sum(log_probs)),))
     if op == "evaluate":
         labels, mask = payload
         loss, acc = algo.evaluate(labels, mask)
-        return _with_ledger(rt, worker_id, (loss, acc), loss, acc)
+        return ((loss, acc) if worker_id == 0 else None, (loss, acc))
     if op == "log_probs":
         # Every worker participates: the lazy assembly inside
         # gather_log_probs is a collective (rt.gather_blocks).
         log_probs = algo.gather_log_probs()
-        return log_probs if worker_id == 0 else None
+        return (log_probs if worker_id == 0 else None, ())
     if op == "weights":
         if worker_id != 0:
-            return None
-        return [w.copy() for w in algo.model.weights]
+            return None, ()
+        return [w.copy() for w in algo.model.weights], ()
     if op == "reset_model":
         from repro.dist.base import clone_optimizer
         from repro.nn.model import GCN
@@ -283,7 +490,7 @@ def _dispatch(rt, worker_id: int, op: str, payload, get_algo):
         algo.model = GCN(algo.widths, seed=seed)
         algo.optimizer = clone_optimizer(algo.optimizer)
         if worker_id != 0:
-            return None
+            return None, ()
         return {
             "seed": seed,
             "optimizer": clone_optimizer(algo.optimizer),
@@ -293,8 +500,23 @@ def _dispatch(rt, worker_id: int, op: str, payload, get_algo):
             # the driver must relabel the serial reference's inputs the
             # same way (None when no distribution is set).
             "distribution": algo.distribution,
-        }
+        }, ()
     if op == "reset_stats":
         rt.reset_stats()
-        return None
+        return None, ()
+    if op == "debug_skew":
+        # Test-only fault injection: charge one worker's ledger so the
+        # cross-worker digest check must trip on the next command.
+        from repro.comm.tracker import Category
+
+        if worker_id == payload:
+            rt.tracker.charge(0, Category.MISC, 0.0, nbytes=1)
+        return None, ()
+    if op == "debug_hang":
+        # Test-only: one worker stops making progress (never touches
+        # the heartbeat) so timeout paths can be exercised quickly.
+        if worker_id == payload:
+            while True:
+                time.sleep(0.05)
+        return None, ()
     raise ValueError(f"unknown worker command {op!r}")

@@ -13,11 +13,17 @@ are ``(group_key, sequence)`` pairs where the per-``group_key`` sequence
 counter advances identically on every participant; messages arriving
 early (a peer racing ahead on an unrelated group) are stashed until their
 tag is wanted.  Within one exchange a worker posts **all** outgoing
-messages before blocking on receives, so cyclic waits cannot form.
+messages before blocking on receives, so cyclic waits cannot form.  The
+tag/stash machinery lives in :class:`ChannelBase` so the TCP transport
+(:mod:`repro.parallel.tcp`) shares the exact same exchange semantics.
 
-Every blocking receive carries a timeout (``REPRO_PARALLEL_TIMEOUT``
-seconds, default 120): a deadlocked or dead peer surfaces as a
-``ChannelTimeout`` instead of a hung run.
+Blocking receives are governed by a **no-progress** timeout
+(``REPRO_PARALLEL_TIMEOUT`` seconds, default 120): each worker bumps a
+shared heartbeat counter on every exchange (and once per resident-fit
+epoch), and a receive only raises :class:`ChannelTimeout` when the
+awaited peer's counter has not advanced for the whole window.  A slow but
+healthy epoch keeps its peers patient; a dead or deadlocked peer
+surfaces within one window instead of hanging the run.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from __future__ import annotations
 import os
 import queue
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.parallel.shm import (
     Arena,
@@ -35,47 +41,89 @@ from repro.parallel.shm import (
     encode_payload,
 )
 
-__all__ = ["PeerChannel", "ChannelTimeout", "default_timeout"]
+__all__ = ["ChannelBase", "PeerChannel", "ChannelTimeout", "default_timeout"]
 
 
 class ChannelTimeout(RuntimeError):
-    """A peer did not respond in time (deadlock or dead worker)."""
+    """A peer made no progress in time (deadlock or dead worker)."""
 
 
 def default_timeout() -> float:
     return float(os.environ.get("REPRO_PARALLEL_TIMEOUT", "120"))
 
 
-class PeerChannel:
-    """One worker's endpoint of the all-pairs exchange fabric."""
+#: Granularity of blocking waits: receives poll in slices this long so
+#: they can consult the peer heartbeat between slices.
+WAIT_SLICE = 0.25
+
+
+class ChannelBase:
+    """Tag sequencing, out-of-order stash, and heartbeat accounting.
+
+    Both transports (queues+shm and TCP sockets) subclass this: the
+    ``(group_key, sequence)`` tag discipline -- and therefore the fixed
+    fold order of every reduction built on top -- is identical, which is
+    what makes the transports bit-interchangeable.
+    """
+
+    def __init__(self, worker_id: int, timeout: Optional[float] = None,
+                 heartbeat=None):
+        self.wid = worker_id
+        self.timeout = default_timeout() if timeout is None else timeout
+        self.heartbeat = heartbeat
+        self._stash: Dict[Tuple, Any] = {}
+        self._seq: Dict[Any, int] = {}
+        #: transport-level traffic counters (reported by
+        #: :meth:`ProcessBackend.stats`)
+        self.bytes_sent = 0
+        self.nexchanges = 0
+
+    def _tag(self, gkey) -> Tuple:
+        n = self._seq.get(gkey, 0)
+        self._seq[gkey] = n + 1
+        return (gkey, n)
+
+    def touch(self) -> None:
+        """Advance this worker's shared progress counter (single writer)."""
+        hb = self.heartbeat
+        if hb is not None:
+            hb[self.wid] += 1
+
+    def _peer_progress(self, src: int) -> Optional[int]:
+        hb = self.heartbeat
+        return None if hb is None else hb[src]
+
+    def _timeout_error(self, src: int, what: str) -> ChannelTimeout:
+        return ChannelTimeout(
+            f"worker {self.wid} saw no progress from worker {src} for "
+            f"{self.timeout}s while waiting for {what} "
+            "(deadlocked or dead peer?)"
+        )
+
+
+class PeerChannel(ChannelBase):
+    """One worker's endpoint of the queue + shared-memory exchange fabric."""
 
     def __init__(
         self,
         worker_id: int,
         inboxes: Sequence,
         arena_names: Sequence[str],
-        timeout: float = None,
+        timeout: Optional[float] = None,
         inline_max: int = INLINE_MAX,
+        heartbeat=None,
     ):
-        self.wid = worker_id
+        super().__init__(worker_id, timeout=timeout, heartbeat=heartbeat)
         self.inboxes = list(inboxes)
-        self.timeout = default_timeout() if timeout is None else timeout
         self.inline_max = inline_max
         self.arena = Arena(shared_memory.SharedMemory(
             name=arena_names[worker_id]))
         self._arena_names = list(arena_names)
         self._peer_shms: Dict[int, shared_memory.SharedMemory] = {}
-        self._stash: Dict[Tuple, Any] = {}
-        self._seq: Dict[Any, int] = {}
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _tag(self, gkey) -> Tuple:
-        n = self._seq.get(gkey, 0)
-        self._seq[gkey] = n + 1
-        return (gkey, n)
-
     def _peer_buf(self, w: int):
         shm = self._peer_shms.get(w)
         if shm is None:
@@ -89,15 +137,22 @@ class PeerChannel:
         if hit is not None:
             return hit
         inbox = self.inboxes[self.wid]
+        slice_t = min(self.timeout, WAIT_SLICE) if self.timeout else WAIT_SLICE
+        waited = 0.0
+        last = self._peer_progress(src)
         while True:
             try:
-                msg = inbox.get(timeout=self.timeout)
+                msg = inbox.get(timeout=slice_t)
             except queue.Empty:
-                raise ChannelTimeout(
-                    f"worker {self.wid} timed out after {self.timeout}s "
-                    f"waiting for {kind!r} {tag} from worker {src} "
-                    "(deadlocked or dead peer?)"
-                ) from None
+                now = self._peer_progress(src)
+                if now is not None and now != last:
+                    last, waited = now, 0.0
+                    continue
+                waited += slice_t
+                if waited >= self.timeout:
+                    raise self._timeout_error(
+                        src, f"{kind!r} {tag}") from None
+                continue
             mkey = (msg[0], msg[1], msg[2])
             if mkey == key:
                 return msg
@@ -123,19 +178,24 @@ class PeerChannel:
         ephemeral segments used by ``items`` are reclaimed before
         returning (receivers acknowledge shared-memory receipts).
         """
+        self.touch()
+        self.nexchanges += 1
         tag = self._tag(gkey)
         ephemerals: List[shared_memory.SharedMemory] = []
         mark = self.arena.ptr
         need_ack = False
         if send_to:
             descs = []
+            sent = 0
             for key, obj in items:
                 desc = encode_payload(self.arena, obj, ephemerals,
                                       self.inline_max)
                 need_ack = need_ack or desc_needs_ack(desc)
                 descs.append((key, desc))
+                sent += _desc_nbytes(desc)
             for w in send_to:
                 self.inboxes[w].put(("d", tag, self.wid, descs))
+            self.bytes_sent += sent * len(send_to)
         out: Dict[int, List[Tuple[Any, Any]]] = {}
         for w in recv_from:
             msg = self._recv("d", tag, w)
@@ -164,3 +224,23 @@ class PeerChannel:
         for shm in self._peer_shms.values():
             shm.close()
         self._peer_shms.clear()
+
+
+def _desc_nbytes(desc: Tuple) -> int:
+    """Payload bytes a descriptor stands for (inline or in shm)."""
+    kind = desc[0]
+    if kind == "none":
+        return 0
+    if kind == "inl":
+        return int(desc[1].nbytes)
+    if kind == "arr":
+        import numpy as np
+
+        _, shape, dtype, _, _ = desc
+        n = 1
+        for s in shape:
+            n *= int(s)
+        return n * np.dtype(dtype).itemsize
+    if kind == "csr":
+        return sum(_desc_nbytes(sub) for sub in desc[2:5])
+    return 0

@@ -8,16 +8,20 @@ payloads through shared memory.  Each worker constructs the *same*
 weights) and runs the *same* epoch program; only the data loops narrow to
 the owned ranks.  Because charging is global and deterministic, every
 worker's tracker is a complete, bit-identical copy of the virtual
-runtime's ledger -- verified per command via :func:`ledger_digest`.
+runtime's ledger -- verified via :func:`ledger_digest` (one batched
+digest per fit / per fused command stream; full per-epoch and
+per-command digests under ``REPRO_PARALLEL_PARANOID=1``).
 
 :class:`ParallelRuntime` is the driver-side handle: it exposes the
 :class:`VirtualRuntime` surface (mesh, tracker, profile, describe,
 breakdowns) so CLI/benchmark code is backend-agnostic, spawns a
 :class:`~repro.parallel.backend.ProcessBackend` on first use, and mirrors
-worker 0's tracker after every command.  :class:`ParallelAlgorithm` is
-the matching driver-side proxy for one distributed algorithm: ``fit`` /
-``train_epoch`` / ``predict`` / ``evaluate`` forward to the lock-stepped
-workers and return worker 0's results.
+worker 0's tracker after every digest-checked dispatch.
+:class:`ParallelAlgorithm` is the matching driver-side proxy for one
+distributed algorithm: ``fit`` ships the whole training program in a
+single dispatch (the workers are resident -- the epoch loop runs
+worker-side); ``train_epoch`` / ``predict`` / ``evaluate`` forward to
+the lock-stepped workers and return worker 0's results.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ import numpy as np
 
 from repro.comm.mesh import Mesh1D, Mesh2D, Mesh3D, ProcessMesh
 from repro.comm.runtime import RuntimeBase
-from repro.comm.tracker import Category, CommTracker
+from repro.comm.tracker import CommTracker
 from repro.config import MachineProfile
 from repro.parallel.channel import PeerChannel
 from repro.parallel.collectives import ProcessCollectives
@@ -73,15 +77,7 @@ def ledger_digest(tracker: CommTracker, *extra_floats: float) -> str:
     h = hashlib.sha1()
     for x in extra_floats:
         h.update(struct.pack("<d", float(x)))
-    for r in range(tracker.nranks):
-        totals = tracker.per_rank[r]
-        for c in Category.ALL:
-            t = totals[c]
-            h.update(struct.pack("<dqqq", t.seconds, t.bytes, t.messages,
-                                 t.flops))
-    for c in Category.ALL:
-        h.update(struct.pack("<d", tracker.wall.get(c, 0.0)))
-    h.update(struct.pack("<q", tracker.nsteps))
+    h.update(tracker.state_bytes())
     return h.hexdigest()
 
 
@@ -169,13 +165,29 @@ class ParallelAlgorithm:
         stats = self.rt._adopt_and_check(results)
         return stats
 
-    def fit(self, features, labels, epochs: int, mask=None):
+    def fit(self, features, labels, epochs: int, mask=None, on_epoch=None):
+        """Train for ``epochs`` epochs in **one dispatch**.
+
+        The whole program (setup + epoch loop) ships to the resident
+        workers and runs with zero driver round-trips; the driver
+        collects the final per-epoch history and ledger, checks the
+        batched digest, and -- for API parity with
+        :meth:`DistAlgorithm.fit` -- replays ``on_epoch`` over the
+        returned stats.
+        """
         from repro.dist.base import DistTrainHistory
 
-        self.setup(features, labels, mask)
+        payload = (
+            np.asarray(features), np.asarray(labels),
+            None if mask is None else np.asarray(mask), int(epochs),
+        )
+        results = self.rt._command("fit", payload)
+        epoch_stats = self.rt._adopt_and_check(results)
         history = DistTrainHistory()
-        for epoch in range(epochs):
-            history.epochs.append(self.train_epoch(epoch))
+        history.epochs.extend(epoch_stats)
+        if on_epoch is not None:
+            for stats in epoch_stats:
+                on_epoch(stats)
         return history
 
     def predict(self, features=None) -> np.ndarray:
@@ -231,12 +243,17 @@ class ParallelAlgorithm:
         if dist is not None:
             s_lp = dist.unpermute_rows(s_lp)
         d_hist = self.fit(features, labels, epochs, mask=mask)
-        d_lp = self.predict()
+        # Verification read-out rides one fused command stream: the
+        # forward pass and the weight snapshot arrive in a single
+        # pickle/wakeup with one batched digest.
+        d_lp, d_weights = self.rt._command_batch(
+            [("predict", None), ("weights", None)]
+        )
         diff = max(
             abs(a - b)
             for a, b in zip(d_hist.losses, [e.loss for e in s_hist.epochs])
         )
-        for w_d, w_s in zip(self.model_weights(), serial.model.weights):
+        for w_d, w_s in zip(d_weights, serial.model.weights):
             diff = max(diff, float(np.max(np.abs(w_d - w_s))) if w_d.size
                        else 0.0)
         diff = max(diff, float(np.max(np.abs(d_lp - s_lp))))
@@ -259,7 +276,8 @@ class ParallelRuntime(RuntimeBase):
                  profile: Optional[MachineProfile] = None,
                  workers: Optional[int] = None,
                  arena_bytes: Optional[int] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 transport: str = "shm"):
         self._init_core(mesh, profile)
         self.coll = None  # collectives execute inside the workers
         if workers is None:
@@ -271,6 +289,7 @@ class ParallelRuntime(RuntimeBase):
             )
         self.workers = workers
         self.owners = owner_map(mesh.size, self.workers)
+        self.transport = transport
         self._backend = None
         self._algorithm_built = False
         self._arena_bytes = arena_bytes
@@ -310,6 +329,7 @@ class ParallelRuntime(RuntimeBase):
             self._backend = ProcessBackend(
                 self.mesh, self.profile, self.workers,
                 arena_bytes=self._arena_bytes, timeout=self._timeout,
+                transport=self.transport,
             )
             self._backend.start()
         return self._backend
@@ -317,14 +337,32 @@ class ParallelRuntime(RuntimeBase):
     def _command(self, op: str, payload) -> list:
         return self._ensure_started().command(op, payload)
 
+    def _command_batch(self, commands) -> list:
+        """Fuse a command stream into one dispatch; returns the ordered
+        sub-command values (worker 0's), digest-checked as one batch."""
+        results = self._ensure_started().command_batch(commands)
+        return self._adopt_and_check(results)
+
     def _adopt_and_check(self, results):
         """Adopt worker 0's tracker; insist every worker agrees bit for
-        bit.  Each result is ``(value, digest, tracker_or_None)``."""
+        bit.  Each result is ``(value, digest, tracker_or_None)`` where
+        ``digest`` is either the batched stream digest or, under
+        paranoid mode, ``(final, per_item_digests)`` -- in which case a
+        mismatch names the first diverging epoch / sub-command."""
+        self._backend.counters["digest_checks"] += 1
         digests = {d for _, d, _ in results}
         if len(digests) != 1:
+            detail = ""
+            per_item = [d[1] for _, d, _ in results
+                        if isinstance(d, tuple)]
+            if len(per_item) == len(results) and per_item:
+                for i in range(min(len(p) for p in per_item)):
+                    if len({p[i] for p in per_item}) > 1:
+                        detail = f" (first divergence at stream item {i})"
+                        break
             raise RuntimeError(
                 "process backend diverged: workers returned "
-                f"{len(digests)} distinct ledger digests {sorted(digests)}"
+                f"{len(digests)} distinct ledger digests{detail}"
             )
         value, _, tracker = results[0]
         if tracker is not None:
@@ -359,6 +397,13 @@ class ParallelRuntime(RuntimeBase):
         if self._backend is not None:
             self._command("reset_stats", None)
 
+    def backend_stats(self, workers: bool = True):
+        """Dispatch/traffic counters (:meth:`ProcessBackend.stats`), or
+        ``None`` before the pool has started."""
+        if self._backend is None:
+            return None
+        return self._backend.stats(workers=workers)
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._backend is not None:
@@ -374,4 +419,5 @@ class ParallelRuntime(RuntimeBase):
 
     def describe(self) -> str:
         return (f"ParallelRuntime({self._topology()}, "
-                f"{self.workers} workers, profile={self.profile.name})")
+                f"{self.workers} workers, {self.transport} transport, "
+                f"profile={self.profile.name})")

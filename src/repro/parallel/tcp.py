@@ -1,0 +1,302 @@
+"""Multi-host TCP transport for the process backend.
+
+:class:`TcpChannel` is a drop-in replacement for
+:class:`~repro.parallel.channel.PeerChannel`: the same tagged
+``(group_key, sequence)`` exchange semantics (inherited from
+:class:`~repro.parallel.channel.ChannelBase`), the same out-of-order
+stash, and therefore the same fixed fold order -- reductions are
+bit-reproducible across transports.  Only the wire changes: payloads
+travel as length-prefixed pickle frames over a full mesh of TCP sockets
+instead of queue descriptors plus shared memory, so the P ranks can span
+machines.
+
+Wire format: one frame per posted message, ``>Q`` byte length followed by
+``pickle(("d", tag, wid, items))``.  A frame is pickled **once** per
+exchange and the same bytes go to every destination.
+
+Deadlock freedom: raw sockets, unlike ``multiprocessing.Queue`` (whose
+feeder thread makes ``put`` non-blocking), can deadlock when all peers
+sit in ``sendall`` with full kernel buffers.  Each connection therefore
+gets a daemon **sender thread** fed by an unbounded queue -- posting is
+always non-blocking and the SPMD all-post-then-receive pattern stays
+cycle-free.
+
+Rendezvous: on one host (the default) each worker binds an ephemeral
+loopback port and advertises it to the peers over the driver's inbox
+queues.  Across hosts, set ``REPRO_PARALLEL_HOSTS`` to a comma-separated
+``host:port`` list (one entry per worker, in worker order); worker ``w``
+binds entry ``w`` and dials the others.  Connection direction is
+deterministic -- worker ``w`` connects to every lower id and accepts from
+every higher id -- and each dialled connection opens with an 8-byte hello
+carrying the caller's worker id.
+
+Receives honour the same no-progress timeout as the shm transport: waits
+poll in short slices and only raise :class:`ChannelTimeout` when the
+awaited peer's heartbeat counter stalls for ``REPRO_PARALLEL_TIMEOUT``
+seconds.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.channel import WAIT_SLICE, ChannelBase, ChannelTimeout
+
+__all__ = ["TcpChannel", "parse_hosts"]
+
+_HDR = struct.Struct(">Q")
+
+
+def parse_hosts(spec: str) -> List[Tuple[str, int]]:
+    """Parse ``REPRO_PARALLEL_HOSTS``: ``"host:port,host:port,..."``.
+
+    One entry per worker, in worker-id order.  IPv6 literals may be
+    bracketed (``[::1]:9000``).
+    """
+    out: List[Tuple[str, int]] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        host, sep, port = token.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"bad REPRO_PARALLEL_HOSTS entry {token!r}: expected "
+                "host:port"
+            )
+        out.append((host.strip("[]"), int(port)))
+    if not out:
+        raise ValueError("REPRO_PARALLEL_HOSTS is set but empty")
+    return out
+
+
+def _sender_loop(sock: socket.socket, frames: "queue.Queue") -> None:
+    """Drain one connection's outgoing frames (daemon thread)."""
+    while True:
+        frame = frames.get()
+        if frame is None:
+            break
+        try:
+            sock.sendall(frame)
+        except OSError:
+            break
+
+
+class TcpChannel(ChannelBase):
+    """One worker's endpoint of the socket exchange fabric."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        nworkers: int,
+        inboxes: Optional[Sequence] = None,
+        hosts: Optional[Sequence[Tuple[str, int]]] = None,
+        timeout: Optional[float] = None,
+        heartbeat=None,
+    ):
+        super().__init__(worker_id, timeout=timeout, heartbeat=heartbeat)
+        self.nworkers = nworkers
+        self._socks: Dict[int, socket.socket] = {}
+        self._sendqs: Dict[int, "queue.Queue"] = {}
+        self._senders: List[threading.Thread] = []
+        self._listener: Optional[socket.socket] = None
+        if nworkers == 1:
+            return
+        if hosts is not None:
+            if len(hosts) < nworkers:
+                raise ValueError(
+                    f"REPRO_PARALLEL_HOSTS lists {len(hosts)} endpoints "
+                    f"for {nworkers} workers"
+                )
+            addrs = {w: tuple(hosts[w]) for w in range(nworkers)}
+            self._listener = socket.create_server(
+                hosts[worker_id], backlog=nworkers)
+        else:
+            if inboxes is None:
+                raise ValueError(
+                    "TcpChannel needs inbox queues for the loopback "
+                    "rendezvous when no host list is given"
+                )
+            self._listener = socket.create_server(
+                ("127.0.0.1", 0), backlog=nworkers)
+            mine = ("127.0.0.1", self._listener.getsockname()[1])
+            for w in range(nworkers):
+                if w != worker_id:
+                    inboxes[w].put(("tcp-addr", worker_id, mine))
+            addrs = {worker_id: mine}
+            while len(addrs) < nworkers:
+                try:
+                    kind, w, addr = inboxes[worker_id].get(
+                        timeout=self.timeout)
+                except queue.Empty:
+                    raise ChannelTimeout(
+                        f"worker {worker_id} timed out during the TCP "
+                        "address rendezvous"
+                    ) from None
+                assert kind == "tcp-addr", kind
+                addrs[w] = tuple(addr)
+        # Deterministic handshake: connect to every lower id, accept
+        # from every higher id.
+        for w in range(worker_id):
+            self._socks[w] = self._dial(addrs[w])
+        self._listener.settimeout(self.timeout or None)
+        for _ in range(nworkers - 1 - worker_id):
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                raise ChannelTimeout(
+                    f"worker {worker_id} timed out accepting TCP peers"
+                ) from None
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            (peer,) = _HDR.unpack(self._read_exact_from(conn, _HDR.size))
+            self._socks[peer] = conn
+        for w, sock in self._socks.items():
+            frames: "queue.Queue" = queue.Queue()
+            t = threading.Thread(target=_sender_loop, args=(sock, frames),
+                                 daemon=True,
+                                 name=f"tcp-send-{worker_id}-to-{w}")
+            t.start()
+            self._sendqs[w] = frames
+            self._senders.append(t)
+
+    # ------------------------------------------------------------------ #
+    # connection plumbing
+    # ------------------------------------------------------------------ #
+    def _dial(self, addr: Tuple[str, int]) -> socket.socket:
+        """Connect with retries -- across hosts the peer's listener may
+        come up later than ours."""
+        deadline = time.monotonic() + max(self.timeout or 0.0, 5.0)
+        delay = 0.02
+        while True:
+            try:
+                sock = socket.create_connection(addr, timeout=self.timeout
+                                                or None)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ChannelTimeout(
+                        f"worker {self.wid} could not reach TCP peer at "
+                        f"{addr[0]}:{addr[1]}"
+                    ) from None
+                time.sleep(delay)
+                delay = min(delay * 2, 0.5)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(_HDR.pack(self.wid))
+        return sock
+
+    @staticmethod
+    def _read_exact_from(sock: socket.socket, n: int) -> bytes:
+        """Blocking exact read used only during the handshake."""
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            k = sock.recv_into(view[got:], n - got)
+            if k == 0:
+                raise ChannelTimeout("TCP peer closed during handshake")
+            got += k
+        return bytes(buf)
+
+    def _recv_exact(self, src: int, n: int) -> bytes:
+        """Exact read from peer ``src`` under the no-progress timeout.
+
+        A slow peer that keeps its heartbeat moving extends the wait;
+        partial bytes received also count as progress.
+        """
+        sock = self._socks[src]
+        slice_t = min(self.timeout, WAIT_SLICE) if self.timeout else WAIT_SLICE
+        sock.settimeout(slice_t)
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        waited = 0.0
+        last = self._peer_progress(src)
+        while got < n:
+            try:
+                k = sock.recv_into(view[got:], n - got)
+            except socket.timeout:
+                now = self._peer_progress(src)
+                if now is not None and now != last:
+                    last, waited = now, 0.0
+                    continue
+                waited += slice_t
+                if waited >= self.timeout:
+                    raise self._timeout_error(src, "a tcp frame") from None
+                continue
+            if k == 0:
+                raise ChannelTimeout(
+                    f"worker {self.wid}: TCP peer {src} closed the "
+                    "connection (crashed worker?)"
+                )
+            got += k
+            waited = 0.0
+        return bytes(buf)
+
+    def _read_msg(self, src: int):
+        (length,) = _HDR.unpack(self._recv_exact(src, _HDR.size))
+        return pickle.loads(self._recv_exact(src, length))
+
+    def _recv(self, kind: str, tag, src: int):
+        key = (kind, tag, src)
+        hit = self._stash.pop(key, None)
+        if hit is not None:
+            return hit
+        while True:
+            msg = self._read_msg(src)
+            mkey = (msg[0], msg[1], msg[2])
+            if mkey == key:
+                return msg
+            self._stash[mkey] = msg
+
+    # ------------------------------------------------------------------ #
+    # the one primitive
+    # ------------------------------------------------------------------ #
+    def exchange(
+        self,
+        gkey,
+        items: Sequence[Tuple[Any, Any]],
+        send_to: Sequence[int],
+        recv_from: Sequence[int],
+    ) -> Dict[int, List[Tuple[Any, Any]]]:
+        """Same contract as :meth:`PeerChannel.exchange`; payloads are
+        pickled whole (numpy arrays round-trip bit-exactly) so receivers
+        always hold private copies."""
+        self.touch()
+        self.nexchanges += 1
+        tag = self._tag(gkey)
+        if send_to:
+            blob = pickle.dumps(("d", tag, self.wid, list(items)),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            frame = _HDR.pack(len(blob)) + blob
+            for w in send_to:
+                self._sendqs[w].put(frame)
+            self.bytes_sent += len(frame) * len(send_to)
+        out: Dict[int, List[Tuple[Any, Any]]] = {}
+        for w in recv_from:
+            msg = self._recv("d", tag, w)
+            out[w] = msg[3]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        for frames in self._sendqs.values():
+            frames.put(None)
+        for t in self._senders:
+            t.join(timeout=1.0)
+        for sock in self._socks.values():
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._listener is not None:
+            self._listener.close()
+        self._socks.clear()
+        self._sendqs.clear()

@@ -183,3 +183,173 @@ class TestRegistryValidation:
         b.charge(0, Category.DCOMM, 1.0, nbytes=8)
         assert ledger_digest(a) == ledger_digest(b)
         assert ledger_digest(a, 1.5) != ledger_digest(a, 2.5)
+
+
+class TestResidentDispatch:
+    """ISSUE 6's tentpole contract: the hot path is one dispatch per
+    ``fit`` -- independent of epochs and collective count -- and the
+    remaining driver paths can fuse into single wakeups."""
+
+    def test_fit_is_one_dispatch_regardless_of_epochs(self, ds):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            c0 = algo.rt.backend_stats(workers=False)
+            algo.fit(ds.features, ds.labels, epochs=2)
+            c1 = algo.rt.backend_stats(workers=False)
+            algo.fit(ds.features, ds.labels, epochs=6)
+            c2 = algo.rt.backend_stats(workers=False)
+        finally:
+            algo.rt.close()
+        # O(1) in epochs: tripling the epochs adds exactly the same
+        # single dispatch (and single digest check).
+        assert c1["dispatches"] - c0["dispatches"] == 1
+        assert c2["dispatches"] - c1["dispatches"] == 1
+        assert c1["fit_dispatches"] - c0["fit_dispatches"] == 1
+        assert c2["fit_dispatches"] - c1["fit_dispatches"] == 1
+        assert c1["digest_checks"] - c0["digest_checks"] == 1
+        assert c2["digest_checks"] - c1["digest_checks"] == 1
+
+    def test_resident_fit_matches_per_epoch_commands(self, ds):
+        """The resident loop and the legacy per-epoch command path are
+        the same program: identical losses and ledger digests."""
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            hist = algo.fit(ds.features, ds.labels, epochs=EPOCHS)
+            resident_digest = ledger_digest(algo.rt.tracker)
+        finally:
+            algo.rt.close()
+        algo2 = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                               backend="process", workers=2)
+        try:
+            algo2.setup(ds.features, ds.labels)
+            losses = [algo2.train_epoch(e).loss for e in range(EPOCHS)]
+            stepped_digest = ledger_digest(algo2.rt.tracker)
+        finally:
+            algo2.rt.close()
+        assert [e.loss for e in hist.epochs] == losses
+        assert resident_digest == stepped_digest
+
+    def test_fused_batch_is_one_dispatch(self, ds):
+        algo = make_algorithm("1d", 2, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.fit(ds.features, ds.labels, epochs=1)
+            c0 = algo.rt.backend_stats(workers=False)
+            lp, weights = algo.rt._command_batch(
+                [("predict", None), ("weights", None)]
+            )
+            c1 = algo.rt.backend_stats(workers=False)
+            np.testing.assert_allclose(lp, algo.predict(), rtol=0,
+                                       atol=0)
+            assert len(weights) == len(algo.widths) - 1
+        finally:
+            algo.rt.close()
+        assert c1["dispatches"] - c0["dispatches"] == 1
+        assert c1["commands"] - c0["commands"] == 2
+        assert c1["fused_batches"] - c0["fused_batches"] == 1
+        assert c1["digest_checks"] - c0["digest_checks"] == 1
+
+    def test_stats_surface(self, ds):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.fit(ds.features, ds.labels, epochs=2)
+            stats = algo.rt.backend_stats()
+        finally:
+            algo.rt.close()
+        assert stats["transport"] == "shm"
+        assert stats["workers"] == 2
+        assert stats["channel_bytes"] > 0
+        assert stats["exchanges"] > 0
+        assert stats["digests_computed"] >= 2  # one per worker per fit
+        assert len(stats["per_worker"]) == 2
+        # Workers run the same SPMD program: same exchange count.
+        assert len({d["exchanges"] for d in stats["per_worker"]}) == 1
+
+
+class TestDigestModes:
+    def test_paranoid_mismatch_names_first_diverging_item(self, ds,
+                                                          monkeypatch):
+        """Fault injection: skew one worker's ledger, then fit under
+        REPRO_PARALLEL_PARANOID=1 -- the per-epoch digests must trip and
+        name the first diverging epoch."""
+        monkeypatch.setenv("REPRO_PARALLEL_PARANOID", "1")
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.rt._command("debug_skew", 0)  # worker 0 only
+            with pytest.raises(RuntimeError,
+                               match=r"diverged.*stream item 0"):
+                algo.fit(ds.features, ds.labels, epochs=2)
+        finally:
+            algo.rt.close()
+
+    def test_default_mode_still_catches_divergence(self, ds):
+        """Without paranoid mode the check is batched (one digest per
+        fit) but a diverged ledger still fails the dispatch."""
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.rt._command("debug_skew", 1)  # worker 1 only
+            with pytest.raises(RuntimeError, match="diverged"):
+                algo.fit(ds.features, ds.labels, epochs=2)
+        finally:
+            algo.rt.close()
+
+    def test_paranoid_computes_per_epoch_digests(self, ds, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_PARANOID", "1")
+        algo = make_algorithm("1d", 2, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.fit(ds.features, ds.labels, epochs=3)
+            stats = algo.rt.backend_stats()
+        finally:
+            algo.rt.close()
+        # 3 per-epoch digests + 1 batched final, per worker.
+        assert stats["digests_computed"] >= 8
+
+
+class TestLiveness:
+    def test_dead_worker_names_worker_and_ranks(self, ds):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            algo.setup(ds.features, ds.labels)
+            algo.rt._backend.procs[1].kill()
+            with pytest.raises(WorkerError,
+                               match=r"died.*worker 1 \(ranks \[2, 3\]\)"):
+                algo.train_epoch(0)
+        finally:
+            algo.rt.close()
+
+    def test_no_progress_timeout_names_stuck_worker(self, ds):
+        """A worker that stops touching the heartbeat fails the command
+        after the no-progress window, naming the stuck worker."""
+        rt = ParallelRuntime.make_1d(4, workers=2, timeout=1.5)
+        algo = rt.make_algorithm("1d", ds.adjacency,
+                                 ds.layer_widths(hidden=HIDDEN), seed=0)
+        try:
+            with pytest.raises(WorkerError,
+                               match=r"no progress.*worker 1 "
+                                     r"\(ranks \[2, 3\]\)"):
+                rt._command("debug_hang", 1)
+        finally:
+            rt.close()
+
+    def test_slow_but_alive_worker_is_not_killed(self, ds):
+        """Progress-based semantics: a fit whose wall clock exceeds the
+        window survives as long as the heartbeat keeps moving (each
+        epoch and each exchange touches it)."""
+        rt = ParallelRuntime.make_1d(4, workers=2, timeout=1.5)
+        algo = rt.make_algorithm("1d", ds.adjacency,
+                                 ds.layer_widths(hidden=HIDDEN), seed=0)
+        try:
+            # ~60 epochs of real work: comfortably longer than 1.5s on
+            # the CI host is not guaranteed, but the point is the
+            # command completes regardless of its wall clock.
+            hist = algo.fit(ds.features, ds.labels, epochs=60)
+            assert len(hist.epochs) == 60
+        finally:
+            rt.close()
