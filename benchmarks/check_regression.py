@@ -145,6 +145,43 @@ def check_parallel_epoch(path: str) -> List[str]:
     return problems
 
 
+def check_obs(path: str) -> List[str]:
+    """Overhead guard on the ``obs`` section (ISSUE 7).
+
+    Span tracing is an observer: a traced resident ``fit`` must cost at
+    most 10 % more wall time than an untraced one.  Wall ratios are only
+    meaningful when the workers have real cores to run on, so the gate
+    is enforced only when the report says ``host_cores >= 4``; on a
+    starved host an explicit skip notice is printed and the recorded
+    ratio stands as documentation.  Returns a list of violation messages
+    (empty = healthy or section absent).
+    """
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("obs")
+    if not isinstance(section, dict):
+        return []
+    problems = []
+    ratio = section.get("overhead_ratio")
+    host_cores = section.get("host_cores", 0)
+    if ratio is None:
+        problems.append("obs: missing overhead_ratio (tracing cost not "
+                        "recorded)")
+    elif host_cores >= 4 and not os.environ.get("REPRO_BENCH_SKIP"):
+        if ratio > 1.10:
+            problems.append(
+                f"obs: tracing overhead ratio {ratio:.3f} above 1.10 on "
+                f"a {host_cores}-core host (span recording must stay "
+                "under 10% of untraced wall)"
+            )
+    else:
+        why = (f"host_cores={host_cores} < 4"
+               if host_cores < 4 else "REPRO_BENCH_SKIP set")
+        print(f"obs: overhead gate skipped ({why}); "
+              f"overhead_ratio={ratio} recorded for reference")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly generated bench JSON")
@@ -179,6 +216,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         for msg in parallel_problems:
             print(msg, file=sys.stderr)
         print("parallel_epoch gate violated; failing regardless of "
+              "timings", file=sys.stderr)
+        return 1
+    # The obs overhead gate self-skips on starved hosts (wall ratios
+    # need real cores) but a violation on a capable host is a hard fail:
+    # tracing that costs > 10% is no longer an observer.
+    obs_problems = check_obs(args.fresh)
+    if obs_problems:
+        for msg in obs_problems:
+            print(msg, file=sys.stderr)
+        print("obs overhead gate violated; failing regardless of other "
               "timings", file=sys.stderr)
         return 1
 

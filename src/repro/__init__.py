@@ -26,7 +26,10 @@ runtime:
   ranks as OS processes, collectives over shared memory, the virtual
   runtime's ledger and losses as the correctness oracle;
 * :mod:`repro.analysis` -- the Section IV closed-form communication
-  costs and the Fig. 2 / Fig. 3 reproductions at published dataset sizes.
+  costs and the Fig. 2 / Fig. 3 reproductions at published dataset sizes;
+* :mod:`repro.obs` -- wall-clock observability: span tracing across
+  driver and workers, Chrome/Perfetto trace export, Prometheus metrics,
+  and the model-vs-measured drift report.
 
 Quickstart::
 
@@ -84,6 +87,14 @@ _EXPORTS = {
     "evaluate_schedule": "repro.simulate",
     "get_machine": "repro.simulate",
     "list_machines": "repro.simulate",
+    "MergedTrace": "repro.obs",
+    "SpanRecorder": "repro.obs",
+    "traced_fit": "repro.obs",
+    "export_chrome_trace": "repro.obs",
+    "validate_chrome_trace": "repro.obs",
+    "metrics_from_trace": "repro.obs",
+    "drift_report": "repro.obs",
+    "format_drift_report": "repro.obs",
     "Model2DEpoch": "repro.analysis",
     "figure2_throughput": "repro.analysis",
     "figure3_breakdown": "repro.analysis",
@@ -96,7 +107,7 @@ _EXPORTS = {
 #: Sub-packages reachable as attributes (``import repro; repro.comm``),
 #: matching the behaviour the eager imports used to provide.
 _SUBPACKAGES = (
-    "analysis", "cli", "comm", "config", "dist", "graph", "nn",
+    "analysis", "cli", "comm", "config", "dist", "graph", "nn", "obs",
     "parallel", "partition", "sampling", "simulate", "sparse",
 )
 

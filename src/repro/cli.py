@@ -17,7 +17,11 @@ code:
 * ``bench``       -- run the benchmark harness (executed epochs, SpMM
   kernels, figures) and optionally the perf guard against a committed
   baseline (``--against BENCH_dist.json``);
-* ``explosion``   -- measure the neighbourhood explosion on a stand-in.
+* ``explosion``   -- measure the neighbourhood explosion on a stand-in;
+* ``report``      -- the model-vs-measured drift tables from a trace
+  file written by ``train --trace`` (per-category seconds: modeled
+  ledger vs simulator prediction vs measured wall clock, plus phases
+  and stragglers).
 
 Examples::
 
@@ -161,46 +165,144 @@ def cmd_train(args: argparse.Namespace) -> int:
         # parity with the virtual backend's usage errors.
         print(str(exc).strip().splitlines()[-1], file=sys.stderr)
         return 2
-    print(f"dataset : {ds.name}  {ds.summary()}")
-    print(f"machine : {algo.rt.describe()}")
-    if args.partition:
-        extras = f"variant={args.variant}  " if args.algorithm == "1d" else ""
-        print(f"layout  : {extras}partition={args.partition} "
-              "(part-major vertex relabelling)")
+    quiet = bool(args.json)
+    tracing = bool(args.trace or args.metrics)
+    if not quiet:
+        print(f"dataset : {ds.name}  {ds.summary()}")
+        print(f"machine : {algo.rt.describe()}")
+        if args.partition:
+            extras = (f"variant={args.variant}  "
+                      if args.algorithm == "1d" else "")
+            print(f"layout  : {extras}partition={args.partition} "
+                  "(part-major vertex relabelling)")
     backend_stats = None
+    trace = None
+    machine = algo.rt.profile.name
     try:
         import time as _time
 
         t0 = _time.perf_counter()
-        history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
+        if tracing:
+            from repro.obs import traced_fit
+
+            history, trace = traced_fit(algo, ds.features, ds.labels,
+                                        args.epochs)
+        else:
+            history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
         elapsed = _time.perf_counter() - t0
         if args.backend == "process":
             backend_stats = algo.rt.backend_stats()
     finally:
         if args.backend == "process":
             algo.rt.close()
-    print(f"\n{'epoch':>5s} {'loss':>9s} {'acc':>6s}")
-    step = max(1, args.epochs // 10)
-    for e in history.epochs[::step] + history.epochs[-1:]:
-        print(f"{e.epoch:5d} {e.loss:9.4f} {e.train_accuracy:6.3f}")
     last = history.epochs[-1]
-    print(f"\nper-epoch communication: dcomm {last.dcomm_bytes} B, "
-          f"scomm {last.scomm_bytes} B, max/rank {last.max_rank_comm_bytes} B")
     bd = history.mean_breakdown(skip_first=True)
-    total = sum(bd.values()) or 1.0
-    print("modeled epoch breakdown: " + ", ".join(
-        f"{k} {v / total:.0%}" for k, v in sorted(bd.items(), key=lambda kv: -kv[1])
-    ))
-    print(f"wall clock: {elapsed:.2f}s for {args.epochs} epochs "
-          f"({args.backend} backend)")
-    if backend_stats is not None:
-        st = backend_stats
-        print(f"process backend [{st['transport']}]: "
-              f"{st['dispatches']} dispatches for {st['commands']} commands "
-              f"({st['fit_dispatches']} resident fits, "
-              f"{st['fused_batches']} fused batches), "
-              f"{st['digest_checks']} digest checks, "
-              f"{st['channel_bytes'] / 1e6:.2f} MB channel traffic")
+    if not quiet:
+        print(f"\n{'epoch':>5s} {'loss':>9s} {'acc':>6s}")
+        step = max(1, args.epochs // 10)
+        for e in history.epochs[::step] + history.epochs[-1:]:
+            print(f"{e.epoch:5d} {e.loss:9.4f} {e.train_accuracy:6.3f}")
+        print(f"\nper-epoch communication: dcomm {last.dcomm_bytes} B, "
+              f"scomm {last.scomm_bytes} B, "
+              f"max/rank {last.max_rank_comm_bytes} B")
+        total = sum(bd.values()) or 1.0
+        print("modeled epoch breakdown: " + ", ".join(
+            f"{k} {v / total:.0%}"
+            for k, v in sorted(bd.items(), key=lambda kv: -kv[1])
+        ))
+        print(f"wall clock: {elapsed:.2f}s for {args.epochs} epochs "
+              f"({args.backend} backend)")
+        if backend_stats is not None:
+            st = backend_stats
+            print(f"process backend [{st['transport']}]: "
+                  f"{st['dispatches']} dispatches for "
+                  f"{st['commands']} commands "
+                  f"({st['fit_dispatches']} resident fits, "
+                  f"{st['fused_batches']} fused batches), "
+                  f"{st['digest_checks']} digest checks, "
+                  f"{st['channel_bytes'] / 1e6:.2f} MB channel traffic")
+    if trace is not None:
+        from repro.obs import (build_trace_meta, export_chrome_trace,
+                               metrics_from_trace, write_metrics)
+
+        config = {
+            "algorithm": args.algorithm, "gpus": args.gpus,
+            "hidden": args.hidden, "epochs": args.epochs,
+            "seed": args.seed, "lr": args.lr,
+            "variant": args.variant if args.algorithm == "1d" else None,
+            "replication": (args.replication
+                            if args.algorithm == "1.5d" else None),
+            "partition": args.partition, "dataset": args.dataset,
+            "scale": args.scale, "vertices": args.vertices,
+            "degree": args.degree, "features": args.features,
+            "classes": args.classes, "backend": args.backend,
+            "transport": (args.transport
+                          if args.backend == "process" else None),
+            "workers": args.workers, "machine": machine,
+        }
+        if args.trace:
+            meta = build_trace_meta(config, history, trace, elapsed)
+            export_chrome_trace(trace, args.trace, extra=meta)
+            if not quiet:
+                print(f"wrote trace {args.trace} "
+                      f"({len(trace.spans)} spans; open in "
+                      "ui.perfetto.dev or chrome://tracing)")
+        if args.metrics:
+            write_metrics(metrics_from_trace(trace, history), args.metrics)
+            if not quiet:
+                print(f"wrote metrics {args.metrics}")
+    if args.json:
+        import json
+
+        doc = {
+            "schema": "repro-train/1",
+            "dataset": ds.name,
+            "algorithm": args.algorithm,
+            "gpus": args.gpus,
+            "backend": args.backend,
+            "transport": (args.transport
+                          if args.backend == "process" else None),
+            "workers": args.workers,
+            "machine": machine,
+            "epochs": args.epochs,
+            "final_loss": last.loss,
+            "final_accuracy": last.train_accuracy,
+            "losses": history.losses,
+            "wall_seconds": elapsed,
+            "modeled_epoch_breakdown": bd,
+            "per_epoch_comm_bytes": {
+                "dcomm": last.dcomm_bytes,
+                "scomm": last.scomm_bytes,
+                "max_rank": last.max_rank_comm_bytes,
+            },
+            "backend_stats": backend_stats,
+            "trace": None if trace is None else trace.summary(),
+            "trace_path": args.trace or None,
+            "metrics_path": args.metrics or None,
+        }
+        print(json.dumps(doc, indent=2))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (drift_report, format_drift_report,
+                           validate_chrome_trace)
+
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for p in problems[:20]:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"... and {len(problems) - 20} more problems",
+                  file=sys.stderr)
+        return 1
+    report = drift_report(payload)
+    print(format_drift_report(report))
+    _write_json(report, args.json)
     return 0
 
 
@@ -532,6 +634,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(queues + shared memory, single host) or 'tcp' "
                         "(length-prefixed socket frames; spans hosts via "
                         "REPRO_PARALLEL_HOSTS)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record wall-clock spans and write a Chrome/"
+                        "Perfetto trace-event JSON here (losses and "
+                        "ledger stay bit-identical)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write Prometheus text-format metrics of the "
+                        "traced run here")
+    p.add_argument("--json", action="store_true",
+                   help="print one machine-readable JSON document "
+                        "instead of the human tables")
 
     def _sim_graph_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--dataset", choices=("reddit", "amazon", "protein"),
@@ -605,6 +717,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hops", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "report",
+        help="model-vs-measured drift report from a --trace file",
+    )
+    p.add_argument("trace", help="Chrome-trace JSON written by "
+                                 "'repro train --trace'")
+    p.add_argument("--json", help="also write the report as JSON here")
+
     return parser
 
 
@@ -619,6 +739,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "bench": cmd_bench,
     "explosion": cmd_explosion,
+    "report": cmd_report,
 }
 
 

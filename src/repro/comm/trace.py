@@ -35,7 +35,9 @@ class StepEvent:
     ``slowest_rank`` is ``-1`` for balanced steps (the slowest rank is
     within 1 % of the mean pace) -- collectives charge every participant
     identically, so pure communication steps are balanced by
-    construction; genuine stragglers come from skewed local compute.
+    construction, and a single-rank run is always balanced (there is no
+    one to straggle against); genuine stragglers come from skewed local
+    compute.
     """
 
     index: int
@@ -130,8 +132,10 @@ class StepTracer:
         mean = sum(totals) / len(totals)
         # Balanced: the slowest rank is within 1% of the mean pace
         # (collectives charge every participant identically, so pure
-        # communication steps land here by construction).
-        if tracker.nranks > 1 and worst <= mean * 1.01:
+        # communication steps land here by construction).  At nranks == 1
+        # worst == mean always, so a single rank -- with no one to
+        # straggle against -- reports the sentinel too.
+        if worst <= mean * 1.01:
             slowest = -1
         self.events.append(
             StepEvent(

@@ -33,6 +33,7 @@ from repro.comm.runtime import VirtualRuntime
 from repro.comm.tracker import Category
 from repro.dist.base import BlockRowAlgorithm
 from repro.nn.optim import Optimizer
+from repro.obs import spans as _spans
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.distribute import block_ranges
 from repro.sparse.spmm import spmm
@@ -234,6 +235,8 @@ class DistGCN15D(BlockRowAlgorithm):
             ])
             self._cache[("farch", f)] = charges
         self.rt.tracker.charge_many(Category.DCOMM, charges)
+        rec = _spans.ACTIVE
+        t0 = rec.clock() if rec is not None else 0.0
         out: Dict[int, np.ndarray] = {}
         for g in range(self.q):
             fiber = self._fiber_groups[g]
@@ -242,6 +245,8 @@ class DistGCN15D(BlockRowAlgorithm):
                 out.update(self.rt.coll.allreduce_data(
                     fiber, contribs, donate_first=True,
                 ))
+        if rec is not None:
+            rec.record("allreduce", Category.DCOMM, t0, rec.clock())
         return out
 
     def _replicated_allreduce(
@@ -261,12 +266,16 @@ class DistGCN15D(BlockRowAlgorithm):
             ])
             self._cache[key] = charges
         self.rt.tracker.charge_many(Category.DCOMM, charges)
+        rec = _spans.ACTIVE
+        t0 = rec.clock() if rec is not None else 0.0
         out: Dict[int, np.ndarray] = {}
         for j in range(self.c):
             group = self._column_groups[j]
             contribs = {r: values[r] for r in group if r in values}
             if contribs:
                 out.update(self.rt.coll.allreduce_data(group, contribs))
+        if rec is not None:
+            rec.record("allreduce", Category.DCOMM, t0, rec.clock())
         return out
 
     def _stored_dense_rows(self) -> int:

@@ -195,8 +195,10 @@ class DistGCN1D(BlockRowAlgorithm):
     def _replicated_allreduce(
         self, values: Dict[int, np.ndarray]
     ) -> Dict[int, np.ndarray]:
-        return self.rt.coll.allreduce(self.world, values,
-                                      category=Category.DCOMM)
+        return self._obs_call(
+            "allreduce", Category.DCOMM, self.rt.coll.allreduce,
+            self.world, values, category=Category.DCOMM,
+        )
 
     def _allgather_rows(
         self, blocks: Dict[int, np.ndarray]
@@ -208,8 +210,9 @@ class DistGCN1D(BlockRowAlgorithm):
         -- P identical concatenations collapsed into one; the all-gather
         charge is untouched.
         """
-        received = self.rt.coll.allgather(
-            self.world, blocks, category=Category.DCOMM
+        received = self._obs_call(
+            "allgather", Category.DCOMM, self.rt.coll.allgather,
+            self.world, blocks, category=Category.DCOMM,
         )
         parts = next(iter(received.values()))
         f = parts[0].shape[1]
@@ -241,7 +244,10 @@ class DistGCN1D(BlockRowAlgorithm):
             )
             self._cache[("gch", f)] = charges
         self.rt.tracker.charge_many(Category.DCOMM, charges)
-        received = self.rt.coll.gather_rows_data(g.pairs, blocks)
+        received = self._obs_call(
+            "gather_rows", Category.DCOMM, self.rt.coll.gather_rows_data,
+            g.pairs, blocks,
+        )
         out: Dict[int, np.ndarray] = {}
         for r in self._local(self.world):
             buf = self._ws(("ghost", r, f), (g.width[r], f))
@@ -332,11 +338,14 @@ class DistGCN1D(BlockRowAlgorithm):
             ),
         )
         if self.variant == "outer_sparse":
-            return self.rt.coll.sparse_reduce_scatter(
+            return self._obs_call(
+                "reduce_scatter", Category.DCOMM,
+                self.rt.coll.sparse_reduce_scatter,
                 self.world, partials, category=Category.DCOMM, axis=0,
                 bounds=self.row_ranges,
             )
-        return self.rt.coll.reduce_scatter(
+        return self._obs_call(
+            "reduce_scatter", Category.DCOMM, self.rt.coll.reduce_scatter,
             self.world, partials, category=Category.DCOMM, axis=0,
             bounds=self.row_ranges,
         )

@@ -36,6 +36,7 @@ from repro.comm.runtime import VirtualRuntime
 from repro.comm.tracker import Category
 from repro.dist.base import GridAlgorithm
 from repro.nn.optim import Optimizer
+from repro.obs import spans as _spans
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.distribute import (
     block_ranges,
@@ -265,6 +266,8 @@ class DistGCN3D(GridAlgorithm):
             ])
             self._cache[("rsc3", f)] = charges
         self.rt.tracker.charge_many(Category.DCOMM, charges)
+        rec = _spans.ACTIVE
+        t0 = rec.clock() if rec is not None else 0.0
         shards: Dict[int, np.ndarray] = {}
         for i in range(s):
             for j in range(s):
@@ -285,6 +288,8 @@ class DistGCN3D(GridAlgorithm):
                     shards.update(self.rt.coll.reduce_scatter_data(
                         fiber, contribs, axis=0,
                     ))
+        if rec is not None:
+            rec.record("reduce_scatter", Category.DCOMM, t0, rec.clock())
         # 3. Fiber-plane exchange: shard (i, j, k) is the input-layout
         # block of rank (k, j, i).
         row_splits = [self._plan().split(rows_of[i], s) for i in range(s)]

@@ -43,6 +43,7 @@ from repro.nn.layers import forward_gemm, hidden_gradient, weight_gradient
 from repro.nn.loss import accuracy, nll_loss
 from repro.nn.model import GCN, SerialTrainer
 from repro.nn.optim import SGD, Adam, Optimizer
+from repro.obs import spans as _spans
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.perfmodel import SpmmPerfModel
 
@@ -327,6 +328,25 @@ class DistAlgorithm:
             self.workspace[wkey] = buf
         return buf
 
+    @staticmethod
+    def _obs_call(_obs_name, _obs_cat, _obs_fn, *args, **kwargs):
+        """Run ``_obs_fn`` under a wall-clock span when tracing is enabled.
+
+        With tracing off (the default) this is a plain call -- one global
+        read and one ``is None`` test of overhead.  The span wraps only
+        the *data-plane* call, never the ledger charges, so traced runs
+        stay bit-identical.  The positional parameters carry an ``_obs``
+        prefix so they cannot collide with keyword arguments forwarded to
+        the wrapped call (several collectives take ``category=``).
+        """
+        rec = _spans.ACTIVE
+        if rec is None:
+            return _obs_fn(*args, **kwargs)
+        t0 = rec.clock()
+        out = _obs_fn(*args, **kwargs)
+        rec.record(_obs_name, _obs_cat, t0, rec.clock())
+        return out
+
     def _broadcast_routed(self, key, routes, blocks, category: str,
                           pipelined: bool = True, nbytes=None) -> list:
         """Concurrent broadcasts along precomputed ``(group, root)``
@@ -354,7 +374,10 @@ class DistAlgorithm:
             )
             self._cache[key] = charges
         self.rt.tracker.charge_many(category, charges)
-        return self.rt.coll.routed_broadcast_data(routes, blocks)
+        return self._obs_call(
+            "bcast", category, self.rt.coll.routed_broadcast_data,
+            routes, blocks,
+        )
 
     def _sendrecv_routed(self, key, pairs, payloads, category: str,
                          nbytes=None) -> list:
@@ -373,7 +396,10 @@ class DistAlgorithm:
             )
             self._cache[key] = charges
         self.rt.tracker.charge_many(category, charges)
-        return self.rt.coll.routed_sendrecv_data(pairs, payloads)
+        return self._obs_call(
+            "sendrecv", category, self.rt.coll.routed_sendrecv_data,
+            pairs, payloads,
+        )
 
     @staticmethod
     def _map_blocks(blocks: Dict[int, np.ndarray],
@@ -520,8 +546,14 @@ class DistAlgorithm:
         """
         self.setup(features, labels, mask)
         history = DistTrainHistory()
+        rec = _spans.ACTIVE
         for epoch in range(epochs):
-            stats = self.train_epoch(epoch)
+            if rec is None:
+                stats = self.train_epoch(epoch)
+            else:
+                t0 = rec.clock()
+                stats = self.train_epoch(epoch)
+                rec.record("epoch", "epoch", t0, rec.clock(), (epoch,))
             history.epochs.append(stats)
             if on_epoch is not None:
                 on_epoch(stats)
@@ -927,7 +959,9 @@ class BlockRowAlgorithm(DistAlgorithm):
         for l, layer in enumerate(self.model.layers):
             f_in, f_out = layer.f_in, layer.f_out
             weight = layer.weight
-            t_blocks = self._forward_spmm(h_blocks, f_in)
+            t_blocks = self._obs_call(
+                "spmm.fwd", "spmm", self._forward_spmm, h_blocks, f_in
+            )
             z_blocks = self._map_blocks(
                 t_blocks, lambda t: forward_gemm(t, weight)
             )
@@ -979,7 +1013,9 @@ class BlockRowAlgorithm(DistAlgorithm):
             # l = 0 where grad_h is unused -- mirroring the serial layer
             # kernel and the Model1D/Model2D charge patterns, which
             # follow the paper's AG^l-reuse implementation.
-            ag_blocks = self._backward_spmm(g_blocks, f_out)
+            ag_blocks = self._obs_call(
+                "spmm.bwd", "spmm", self._backward_spmm, g_blocks, f_out
+            )
             # Y^l = sum_i T_i^T G_i, all-reduced so W's update is replicated.
             t_l = caches[l]["t"]
             partials = self._dedup(
@@ -1272,8 +1308,10 @@ class GridAlgorithm(DistAlgorithm):
                 ("wgch", f_in, f_out, t),
                 lambda lo=lo, hi=hi: stage_charges(lo, hi),
             )
-        y = self.rt.coll.allreduce(self.world_group, partials,
-                                   category=Category.DCOMM)
+        y = self._obs_call(
+            "allreduce", Category.DCOMM, self.rt.coll.allreduce,
+            self.world_group, partials, category=Category.DCOMM,
+        )
         return next(iter(y.values()))
 
     def _row_allgather(self, blocks, f: int):
@@ -1293,6 +1331,8 @@ class GridAlgorithm(DistAlgorithm):
             ])
             self._cache[key] = charges
         self.rt.tracker.charge_many(Category.DCOMM, charges)
+        rec = _spans.ACTIVE
+        t0 = rec.clock() if rec is not None else 0.0
         full = {}
         for gi, group, members, span in self._local_group_info:
             got = self.rt.coll.allgather_data(
@@ -1302,6 +1342,8 @@ class GridAlgorithm(DistAlgorithm):
             joined.flags.writeable = False
             for r in got:
                 full[r] = joined
+        if rec is not None:
+            rec.record("row_allgather", Category.DCOMM, t0, rec.clock())
         return full
 
     # ------------------------------------------------------------------ #
@@ -1336,8 +1378,10 @@ class GridAlgorithm(DistAlgorithm):
         last = self.model.num_layers - 1
         for l, layer in enumerate(self.model.layers):
             f_in, f_out = layer.f_in, layer.f_out
-            t_blocks = self._grid_spmm(self.a_t_blocks, h_blocks, f_in,
-                                       ws_key=("t", l))
+            t_blocks = self._obs_call(
+                "spmm.fwd", "spmm", self._grid_spmm,
+                self.a_t_blocks, h_blocks, f_in, ws_key=("t", l),
+            )
             z_blocks = self._matmul_w(t_blocks, layer.weight, f_in, f_out,
                                       ws_key=("z", l))
             cache = {"t": t_blocks, "z": z_blocks}
@@ -1381,8 +1425,10 @@ class GridAlgorithm(DistAlgorithm):
                                                out_full[r])
                        if self._out_col(r) == 0 else zeros2),
         )
-        totals = self.rt.coll.allreduce(self.world_group, terms,
-                                        category=Category.DCOMM)
+        totals = self._obs_call(
+            "allreduce", Category.DCOMM, self.rt.coll.allreduce,
+            self.world_group, terms, category=Category.DCOMM,
+        )
         loss, acc = self._finish_loss(next(iter(totals.values())))
 
         # ---- backward ----
@@ -1410,8 +1456,10 @@ class GridAlgorithm(DistAlgorithm):
             f_in, f_out = layer.f_in, layer.f_out
             # A G^l is charged at every layer (incl. l = 0), mirroring
             # the serial kernel and the analytic models.
-            ag_blocks = self._grid_spmm(self.a_blocks, g_blocks, f_out,
-                                        ws_key=("ag",))
+            ag_blocks = self._obs_call(
+                "spmm.bwd", "spmm", self._grid_spmm,
+                self.a_blocks, g_blocks, f_out, ws_key=("ag",),
+            )
             grads[l] = self._weight_grad(caches[l]["t"], g_blocks, f_in, f_out)
             if l > 0:
                 gh_blocks = self._matmul_w(

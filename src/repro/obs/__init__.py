@@ -1,0 +1,79 @@
+"""repro.obs -- wall-clock observability for the training runtimes.
+
+Four layers, each usable alone:
+
+* :mod:`repro.obs.spans` -- the in-process span recorder instrumentation
+  sites consult (~zero cost when disabled);
+* :mod:`repro.obs.tracing` -- merging worker span streams onto the
+  driver's clock and analysing them (breakdowns, stragglers, exchanges);
+* :mod:`repro.obs.chrome` -- Chrome/Perfetto trace-event export,
+  validation, and re-import;
+* :mod:`repro.obs.metrics` -- Prometheus text-format counters, gauges,
+  and quantile summaries;
+* :mod:`repro.obs.report` -- the model-vs-measured drift report behind
+  ``repro report``.
+
+Everything here is observational: spans never touch the ledger, so
+traced runs stay bit-identical to untraced ones in losses and ledger
+bytes.
+"""
+
+from repro.obs.chrome import (
+    chrome_events,
+    export_chrome_trace,
+    trace_from_chrome,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Summary,
+    metrics_from_trace,
+    write_metrics,
+)
+from repro.obs.report import (
+    build_trace_meta,
+    drift_report,
+    format_drift_report,
+)
+from repro.obs.spans import (
+    DEFAULT_CAPACITY,
+    SPAN_CATEGORIES,
+    SpanRecorder,
+    disable,
+    enable,
+    is_enabled,
+)
+from repro.obs.tracing import (
+    MergedTrace,
+    TraceSpan,
+    merge_worker_obs,
+    traced_fit,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "Gauge",
+    "MergedTrace",
+    "MetricsRegistry",
+    "SPAN_CATEGORIES",
+    "SpanRecorder",
+    "Summary",
+    "TraceSpan",
+    "build_trace_meta",
+    "chrome_events",
+    "disable",
+    "drift_report",
+    "enable",
+    "export_chrome_trace",
+    "format_drift_report",
+    "is_enabled",
+    "merge_worker_obs",
+    "metrics_from_trace",
+    "trace_from_chrome",
+    "traced_fit",
+    "validate_chrome_trace",
+    "write_metrics",
+]

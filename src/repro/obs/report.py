@@ -1,0 +1,271 @@
+"""The model-vs-measured drift report behind ``repro report``.
+
+The repo has three answers to "how long is an epoch":
+
+* **modeled** -- the executed ledger's seconds (``CommTracker`` charges
+  replayed during the real run, Fig. 3's per-category bars);
+* **simulated** -- ``repro.simulate.predict_epoch`` pricing the symbolic
+  comm schedule on the same machine profile, without running anything;
+* **measured** -- the wall clock, from merged spans.
+
+This module lines the three up per category (and per algorithm phase)
+and reports the drift ratio measured/modeled.  A trace file written by
+``repro train --trace`` embeds the run config and the modeled
+breakdown in its ``"repro"`` object, so a report needs nothing but the
+file: the simulated column is recomputed from the recorded config
+(dataset regenerated from the recorded seed).
+
+Reading the drift honestly: modeled/simulated seconds price a *virtual*
+machine profile (GPU-rate GEMMs, network alpha-beta), while measured
+seconds are numpy on the host, so the interesting signal is the
+*shape* -- which categories dominate and how that differs.  ``trpose``
+is charge-only (2D/3D transposes move no data in this implementation),
+so its measured column is ~0 by design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.chrome import trace_from_chrome
+from repro.obs.tracing import MergedTrace
+
+__all__ = [
+    "build_trace_meta",
+    "drift_report",
+    "format_drift_report",
+]
+
+#: Config keys forwarded to ``predict_epoch`` as algorithm kwargs.
+_ALGO_KWARG_KEYS = ("variant", "replication")
+
+
+def build_trace_meta(config: dict, history, trace: MergedTrace,
+                     wall_seconds: float) -> dict:
+    """The ``"repro"`` object ``repro train --trace`` embeds.
+
+    ``config`` records how the run was invoked (enough to regenerate
+    the dataset and re-simulate); ``history`` supplies the modeled
+    ledger side; ``trace`` the measured side.
+    """
+    modeled: Dict[str, object] = {"epochs": len(history.epochs)}
+    if history.losses:
+        modeled["final_loss"] = float(history.losses[-1])
+    try:
+        modeled["epoch_breakdown"] = {
+            str(k): float(v)
+            for k, v in history.mean_breakdown(skip_first=True).items()
+        }
+    except (ValueError, ZeroDivisionError):
+        pass
+    return {
+        "schema": "repro-trace/1",
+        "config": dict(config),
+        "modeled": modeled,
+        "measured": trace.summary(),
+        "wall_seconds": float(wall_seconds),
+    }
+
+
+def _simulated_breakdown(config: dict
+                         ) -> Tuple[Optional[Dict[str, float]], str]:
+    """Re-run the simulator from a recorded config.
+
+    Returns ``(per-category seconds, note)``; the breakdown is ``None``
+    with the reason in ``note`` when the config is missing pieces or the
+    simulator rejects it (e.g. a trace from an older schema).
+    """
+    algorithm = config.get("algorithm")
+    gpus = config.get("gpus")
+    if not algorithm or not gpus:
+        return None, "config lacks algorithm/gpus; cannot simulate"
+    try:
+        from repro.graph import make_standin, make_synthetic
+        from repro.simulate import predict_epoch
+
+        if config.get("dataset"):
+            ds = make_standin(
+                config["dataset"],
+                scale_divisor=int(config.get("scale", 1024)),
+                seed=int(config.get("seed", 0)),
+            )
+        else:
+            ds = make_synthetic(
+                n=int(config.get("vertices", 256)),
+                avg_degree=float(config.get("degree", 8.0)),
+                f=int(config.get("features", 32)),
+                n_classes=int(config.get("classes", 4)),
+                seed=int(config.get("seed", 0)),
+            )
+        kwargs = {}
+        for key in _ALGO_KWARG_KEYS:
+            if config.get(key) is not None:
+                kwargs[key] = config[key]
+        if config.get("partition") and str(algorithm) == "1d":
+            from repro.dist import Distribution
+
+            kwargs["distribution"] = Distribution.build(
+                config["partition"], ds.adjacency, int(gpus),
+                seed=int(config.get("seed", 0)),
+            )
+        point = predict_epoch(
+            str(algorithm), ds, int(gpus),
+            machine=config.get("machine"),
+            hidden=int(config.get("hidden", 16)),
+            **kwargs,
+        )
+    except Exception as exc:  # simulator rejection is a note, not a crash
+        return None, f"simulation unavailable: {exc}"
+    return (
+        {str(k): float(v) for k, v in point.seconds_by_category.items()},
+        "",
+    )
+
+
+def drift_report(payload: dict) -> dict:
+    """Build the drift tables from an exported trace document.
+
+    Returns a JSON-able dict with ``categories`` (modeled vs simulated
+    vs measured seconds per ledger category plus measured/modeled drift
+    ratio), ``phases`` (measured self seconds per span name),
+    ``stragglers`` (pacesetter counts per worker), ``exchange`` totals,
+    and ``notes`` explaining any missing column.
+    """
+    meta = payload.get("repro") or {}
+    config = dict(meta.get("config") or {})
+    modeled = {
+        str(k): float(v)
+        for k, v in (meta.get("modeled", {}).get("epoch_breakdown")
+                     or {}).items()
+    }
+    trace = trace_from_chrome(payload)
+    measured = trace.measured_epoch_breakdown()
+    notes: List[str] = []
+    if not modeled:
+        notes.append("trace carries no modeled breakdown "
+                     "(written without --trace via repro train?)")
+    simulated, sim_note = _simulated_breakdown(config)
+    if sim_note:
+        notes.append(sim_note)
+    ledger_cats = sorted(
+        set(modeled) | set(simulated or {})
+        | {c for c in measured if c not in ("epoch", "xchg")}
+    )
+    rows = []
+    for cat in ledger_cats:
+        m = modeled.get(cat)
+        s = (simulated or {}).get(cat)
+        w = measured.get(cat, 0.0)
+        drift = (w / m) if m else None
+        rows.append({
+            "category": cat,
+            "modeled_s": m,
+            "simulated_s": s,
+            "measured_s": w,
+            "drift": drift,
+        })
+    total_modeled = sum(v for v in modeled.values()) or None
+    total_measured = sum(measured.values())
+    return {
+        "schema": "repro-report/1",
+        "config": config,
+        "categories": rows,
+        "totals": {
+            "modeled_s": total_modeled,
+            "simulated_s": (sum(simulated.values()) if simulated else None),
+            "measured_s": total_measured,
+            "drift": (total_measured / total_modeled
+                      if total_modeled else None),
+        },
+        "phases": trace.phase_breakdown(),
+        "stragglers": {str(k): v
+                       for k, v in trace.straggler_counts().items()},
+        "epochs": trace.epoch_stats(),
+        "exchange": trace.exchange_summary(),
+        "notes": notes,
+    }
+
+
+def _num(value: Optional[float], unit: str = "s") -> str:
+    if value is None:
+        return "-"
+    if unit == "x":
+        return f"{value:8.2f}x"
+    return f"{value:.6f}"
+
+
+def format_drift_report(report: dict) -> str:
+    """Render the drift report as aligned text tables."""
+    lines: List[str] = []
+    config = report.get("config") or {}
+    if config:
+        lines.append(
+            "run: algorithm={algorithm} P={gpus} backend={backend} "
+            "epochs={epochs}".format(
+                algorithm=config.get("algorithm", "?"),
+                gpus=config.get("gpus", "?"),
+                backend=config.get("backend", "?"),
+                epochs=config.get("epochs", "?"),
+            )
+        )
+        lines.append("")
+    lines.append("per-category epoch seconds "
+                 "(drift = measured / modeled):")
+    header = ("category", "modeled", "simulated", "measured", "drift")
+    rows = [
+        (r["category"], _num(r["modeled_s"]), _num(r["simulated_s"]),
+         _num(r["measured_s"]),
+         _num(r["drift"], "x") if r["drift"] is not None else "-")
+        for r in report.get("categories", [])
+    ]
+    totals = report.get("totals") or {}
+    rows.append((
+        "total", _num(totals.get("modeled_s")),
+        _num(totals.get("simulated_s")), _num(totals.get("measured_s")),
+        _num(totals.get("drift"), "x")
+        if totals.get("drift") is not None else "-",
+    ))
+    lines.extend(_table(header, rows))
+    phases = report.get("phases") or {}
+    if phases:
+        lines.append("")
+        lines.append("measured phases (self seconds, nested work "
+                     "excluded):")
+        lines.extend(_table(
+            ("phase", "category", "count", "seconds"),
+            [(name, d["category"], str(d["count"]),
+              _num(d["seconds"]))
+             for name, d in sorted(phases.items(),
+                                   key=lambda kv: -kv[1]["seconds"])],
+        ))
+    stragglers = report.get("stragglers") or {}
+    if stragglers:
+        lines.append("")
+        lines.append("pacesetters (worker that ended each epoch last; "
+                     "-1 = single recorder):")
+        lines.extend(_table(
+            ("worker", "epochs paced"),
+            [(k, str(v)) for k, v in sorted(stragglers.items())],
+        ))
+    xchg = report.get("exchange") or {}
+    if xchg.get("count"):
+        lines.append("")
+        lines.append(
+            "exchanges: {count} totalling {seconds:.6f}s "
+            "(serialize {serialize_s:.6f}s, wait {wait_s:.6f}s, "
+            "copy {copy_s:.6f}s, {bytes_sent} B sent)".format(**xchg)
+        )
+    for note in report.get("notes") or []:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _table(header, rows) -> List[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        widths = [max(w, len(str(c))) for w, c in zip(widths, row)]
+    fmt = "  ".join(f"{{:>{w}s}}" for w in widths)
+    out = [fmt.format(*header)]
+    out.append(fmt.format(*("-" * w for w in widths)))
+    out.extend(fmt.format(*(str(c) for c in row)) for row in rows)
+    return out

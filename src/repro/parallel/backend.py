@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.comm.mesh import ProcessMesh
 from repro.config import MachineProfile
+from repro.obs import spans as _spans
 from repro.parallel.channel import PeerChannel, default_timeout
 from repro.parallel.runtime import WorkerRuntime, ledger_digest, owner_map
 from repro.parallel.tcp import TcpChannel, parse_hosts
@@ -206,9 +207,9 @@ class ProcessBackend:
 
         ``commands`` is a list of ``(op, payload)`` pairs; each worker
         executes them in order and replies once with
-        ``(values, digest, tracker)`` -- one batched ledger digest for
-        the whole stream (per-command digests under paranoid mode).
-        Returns the per-worker triples.
+        ``(values, digest, tracker, obs)`` -- one batched ledger digest
+        for the whole stream (per-command digests under paranoid mode).
+        Returns the per-worker tuples.
         """
         if not self._started:
             raise RuntimeError("backend not started")
@@ -372,19 +373,22 @@ def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
 
 
 def _digest_result(rt, worker_id: int, value, extras, item_digests,
-                   state: _WorkerState):
-    """Digest-carrying reply: ``(value-or-None, digest, w0's tracker)``.
+                   state: _WorkerState, obs=None):
+    """Digest-carrying reply:
+    ``(value-or-None, digest, w0's tracker, obs-or-None)``.
 
     ``digest`` is the batched ledger digest (covering ``extras`` --
     the stream's check scalars), or, under paranoid mode, a
     ``(final, per_item_digests)`` pair so a divergence names the exact
-    epoch / sub-command.
+    epoch / sub-command.  ``obs`` is the worker's span blob when the fit
+    ran traced -- it rides on the same reply and never enters the
+    digest (wall clocks differ per worker; the ledger must not).
     """
     state.ndigests += 1
     final = ledger_digest(rt.tracker, *extras)
     digest = final if item_digests is None else (final, tuple(item_digests))
     tracker = rt.tracker if worker_id == 0 else None
-    return (value if worker_id == 0 else None, digest, tracker)
+    return (value if worker_id == 0 else None, digest, tracker, obs)
 
 
 def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
@@ -393,7 +397,7 @@ def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
     if op == "fit":
         # The resident hot path: the whole training program runs here,
         # with zero driver round-trips between epochs.
-        features, labels, mask, epochs = payload
+        features, labels, mask, epochs, trace_opts = payload
         algo = _require_algo(state, op)
         extras = []
         epoch_digests = [] if paranoid else None
@@ -407,10 +411,32 @@ def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
                     ledger_digest(rt.tracker, stats.loss,
                                   stats.train_accuracy))
 
-        history = algo.fit(features, labels, epochs, mask=mask,
-                           on_epoch=on_epoch)
+        obs = None
+        if trace_opts is None:
+            history = algo.fit(features, labels, epochs, mask=mask,
+                               on_epoch=on_epoch)
+        else:
+            # Traced fit: record locally, ship the drained spans on this
+            # same reply (the O(1)-dispatches invariant holds).  "align"
+            # is this worker's clock at fit start, letting the driver
+            # offset-align streams from other hosts.
+            rec = _spans.enable(
+                int(trace_opts.get("capacity", _spans.DEFAULT_CAPACITY)))
+            align = rec.clock()
+            try:
+                history = algo.fit(features, labels, epochs, mask=mask,
+                                   on_epoch=on_epoch)
+            finally:
+                _spans.disable()
+            obs = {
+                "worker": worker_id,
+                "ranks": list(rt._local_ranks),
+                "align": align,
+                "spans": rec.drain(),
+                "dropped": rec.dropped,
+            }
         return _digest_result(rt, worker_id, history.epochs, extras,
-                              epoch_digests, state)
+                              epoch_digests, state, obs=obs)
     if op == "batch":
         values, extras = [], []
         item_digests = [] if paranoid else None

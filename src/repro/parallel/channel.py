@@ -33,6 +33,7 @@ import queue
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import spans as _spans
 from repro.parallel.shm import (
     Arena,
     INLINE_MAX,
@@ -99,6 +100,13 @@ class ChannelBase:
             f"{self.timeout}s while waiting for {what} "
             "(deadlocked or dead peer?)"
         )
+
+    @staticmethod
+    def _span_label(gkey) -> str:
+        """A short human label for an exchange span (the group kind)."""
+        if isinstance(gkey, tuple) and gkey:
+            return str(gkey[0])
+        return str(gkey)
 
 
 class PeerChannel(ChannelBase):
@@ -180,40 +188,66 @@ class PeerChannel(ChannelBase):
         """
         self.touch()
         self.nexchanges += 1
+        # When tracing, the one span per exchange carries the phase split
+        # (serialize / wait / copy seconds) in its meta; the clock reads
+        # wrap whole blocks, not per-item work, to keep overhead flat.
+        rec = _spans.ACTIVE
+        t_start = rec.clock() if rec is not None else 0.0
+        ser_s = wait_s = copy_s = 0.0
+        sent = 0
         tag = self._tag(gkey)
         ephemerals: List[shared_memory.SharedMemory] = []
         mark = self.arena.ptr
         need_ack = False
         if send_to:
             descs = []
-            sent = 0
+            t0 = rec.clock() if rec is not None else 0.0
             for key, obj in items:
                 desc = encode_payload(self.arena, obj, ephemerals,
                                       self.inline_max)
                 need_ack = need_ack or desc_needs_ack(desc)
                 descs.append((key, desc))
                 sent += _desc_nbytes(desc)
+            if rec is not None:
+                ser_s = rec.clock() - t0
             for w in send_to:
                 self.inboxes[w].put(("d", tag, self.wid, descs))
             self.bytes_sent += sent * len(send_to)
         out: Dict[int, List[Tuple[Any, Any]]] = {}
         for w in recv_from:
-            msg = self._recv("d", tag, w)
+            if rec is None:
+                msg = self._recv("d", tag, w)
+            else:
+                t0 = rec.clock()
+                msg = self._recv("d", tag, w)
+                wait_s += rec.clock() - t0
             descs_w = msg[3]
+            t0 = rec.clock() if rec is not None else 0.0
             decoded = [
                 (key, decode_payload(desc, self._peer_buf(w)))
                 for key, desc in descs_w
             ]
+            if rec is not None:
+                copy_s += rec.clock() - t0
             out[w] = decoded
             if any(desc_needs_ack(desc) for _, desc in descs_w):
                 self.inboxes[w].put(("a", tag, self.wid))
         if need_ack:
+            t0 = rec.clock() if rec is not None else 0.0
             for w in send_to:
                 self._recv("a", tag, w)
+            if rec is not None:
+                wait_s += rec.clock() - t0
         self.arena.ptr = mark
         for seg in ephemerals:
             seg.close()
             seg.unlink()
+        if rec is not None:
+            rec.record(
+                "exchange", "xchg", t_start, rec.clock(),
+                (self._span_label(gkey), ser_s, wait_s, copy_s,
+                 sent * len(send_to)),
+            )
         return out
 
     # ------------------------------------------------------------------ #

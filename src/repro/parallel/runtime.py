@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -151,6 +152,9 @@ class ParallelAlgorithm:
         self.name = name
         self.n = a_t.nrows
         self.widths = tuple(int(w) for w in widths)
+        #: the :class:`~repro.obs.tracing.MergedTrace` of the last traced
+        #: ``fit`` (``None`` until ``fit(trace=...)`` runs)
+        self.last_trace = None
         rt._ensure_started()
         rt._command("make_algo", (name, a_t, self.widths, seed, optimizer,
                                   kwargs))
@@ -165,7 +169,8 @@ class ParallelAlgorithm:
         stats = self.rt._adopt_and_check(results)
         return stats
 
-    def fit(self, features, labels, epochs: int, mask=None, on_epoch=None):
+    def fit(self, features, labels, epochs: int, mask=None, on_epoch=None,
+            trace=None):
         """Train for ``epochs`` epochs in **one dispatch**.
 
         The whole program (setup + epoch loop) ships to the resident
@@ -174,15 +179,37 @@ class ParallelAlgorithm:
         batched digest, and -- for API parity with
         :meth:`DistAlgorithm.fit` -- replays ``on_epoch`` over the
         returned stats.
+
+        ``trace`` turns on worker-side span recording for this fit:
+        ``True`` / a capacity int / an options dict (``{"capacity": n}``).
+        The drained spans ride back on the same single dispatch and the
+        merged result lands in :attr:`last_trace`; losses and ledger
+        stay bit-identical to an untraced fit.
         """
         from repro.dist.base import DistTrainHistory
 
+        trace_opts = None
+        if trace is not None and trace is not False:
+            if trace is True:
+                trace_opts = {}
+            elif isinstance(trace, int):
+                trace_opts = {"capacity": trace}
+            else:
+                trace_opts = dict(trace)
         payload = (
             np.asarray(features), np.asarray(labels),
             None if mask is None else np.asarray(mask), int(epochs),
+            trace_opts,
         )
+        t_dispatch = time.monotonic()
         results = self.rt._command("fit", payload)
         epoch_stats = self.rt._adopt_and_check(results)
+        if trace_opts is not None:
+            from repro.obs.tracing import merge_worker_obs
+
+            self.last_trace = merge_worker_obs(
+                self.rt.last_obs or [], t_dispatch
+            )
         history = DistTrainHistory()
         history.epochs.extend(epoch_stats)
         if on_epoch is not None:
@@ -290,6 +317,8 @@ class ParallelRuntime(RuntimeBase):
         self.workers = workers
         self.owners = owner_map(mesh.size, self.workers)
         self.transport = transport
+        #: per-worker span blobs from the last traced dispatch
+        self.last_obs = None
         self._backend = None
         self._algorithm_built = False
         self._arena_bytes = arena_bytes
@@ -345,16 +374,21 @@ class ParallelRuntime(RuntimeBase):
 
     def _adopt_and_check(self, results):
         """Adopt worker 0's tracker; insist every worker agrees bit for
-        bit.  Each result is ``(value, digest, tracker_or_None)`` where
-        ``digest`` is either the batched stream digest or, under
+        bit.  Each result is ``(value, digest, tracker_or_None, obs)``
+        where ``digest`` is either the batched stream digest or, under
         paranoid mode, ``(final, per_item_digests)`` -- in which case a
-        mismatch names the first diverging epoch / sub-command."""
+        mismatch names the first diverging epoch / sub-command.  ``obs``
+        (the per-worker span blobs of a traced fit) is stashed on
+        :attr:`last_obs` and never enters the digest comparison."""
         self._backend.counters["digest_checks"] += 1
-        digests = {d for _, d, _ in results}
+        obs = [r[3] for r in results]
+        if any(b is not None for b in obs):
+            self.last_obs = obs
+        digests = {r[1] for r in results}
         if len(digests) != 1:
             detail = ""
-            per_item = [d[1] for _, d, _ in results
-                        if isinstance(d, tuple)]
+            per_item = [r[1][1] for r in results
+                        if isinstance(r[1], tuple)]
             if len(per_item) == len(results) and per_item:
                 for i in range(min(len(p) for p in per_item)):
                     if len({p[i] for p in per_item}) > 1:
@@ -364,7 +398,7 @@ class ParallelRuntime(RuntimeBase):
                 "process backend diverged: workers returned "
                 f"{len(digests)} distinct ledger digests{detail}"
             )
-        value, _, tracker = results[0]
+        value, _, tracker = results[0][:3]
         if tracker is not None:
             mine = self.tracker
             mine.per_rank = tracker.per_rank

@@ -46,6 +46,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import spans as _spans
 from repro.parallel.channel import WAIT_SLICE, ChannelBase, ChannelTimeout
 
 __all__ = ["TcpChannel", "parse_hosts"]
@@ -102,6 +103,11 @@ class TcpChannel(ChannelBase):
     ):
         super().__init__(worker_id, timeout=timeout, heartbeat=heartbeat)
         self.nworkers = nworkers
+        # Per-exchange tracing accumulators: frame reads happen inside
+        # _recv/_read_msg, so they bank their wait/deserialize seconds
+        # here and exchange() folds them into its span meta.
+        self._wait_s = 0.0
+        self._copy_s = 0.0
         self._socks: Dict[int, socket.socket] = {}
         self._sendqs: Dict[int, "queue.Queue"] = {}
         self._senders: List[threading.Thread] = []
@@ -239,8 +245,22 @@ class TcpChannel(ChannelBase):
         return bytes(buf)
 
     def _read_msg(self, src: int):
+        rec = _spans.ACTIVE
+        if rec is None:
+            (length,) = _HDR.unpack(self._recv_exact(src, _HDR.size))
+            return pickle.loads(self._recv_exact(src, length))
+        # Wait covers the socket reads; copy the unpickle.  A frame read
+        # here on behalf of a later tag (stash fill) is charged to the
+        # exchange that performed the read -- that is where the wall
+        # clock actually went.
+        t0 = rec.clock()
         (length,) = _HDR.unpack(self._recv_exact(src, _HDR.size))
-        return pickle.loads(self._recv_exact(src, length))
+        blob = self._recv_exact(src, length)
+        t1 = rec.clock()
+        msg = pickle.loads(blob)
+        self._wait_s += t1 - t0
+        self._copy_s += rec.clock() - t1
+        return msg
 
     def _recv(self, kind: str, tag, src: int):
         key = (kind, tag, src)
@@ -269,18 +289,34 @@ class TcpChannel(ChannelBase):
         always hold private copies."""
         self.touch()
         self.nexchanges += 1
+        rec = _spans.ACTIVE
+        t_start = rec.clock() if rec is not None else 0.0
+        if rec is not None:
+            self._wait_s = self._copy_s = 0.0
+        ser_s = 0.0
+        sent = 0
         tag = self._tag(gkey)
         if send_to:
+            t0 = rec.clock() if rec is not None else 0.0
             blob = pickle.dumps(("d", tag, self.wid, list(items)),
                                 protocol=pickle.HIGHEST_PROTOCOL)
             frame = _HDR.pack(len(blob)) + blob
+            if rec is not None:
+                ser_s = rec.clock() - t0
             for w in send_to:
                 self._sendqs[w].put(frame)
-            self.bytes_sent += len(frame) * len(send_to)
+            sent = len(frame) * len(send_to)
+            self.bytes_sent += sent
         out: Dict[int, List[Tuple[Any, Any]]] = {}
         for w in recv_from:
             msg = self._recv("d", tag, w)
             out[w] = msg[3]
+        if rec is not None:
+            rec.record(
+                "exchange", "xchg", t_start, rec.clock(),
+                (self._span_label(gkey), ser_s, self._wait_s,
+                 self._copy_s, sent),
+            )
         return out
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,466 @@
+"""repro.obs: span recording, trace merging, exports, and neutrality.
+
+The tentpole contract under test (ISSUE 7): tracing is an *observer* --
+a fit with span recording enabled produces bit-equal losses and a
+byte-identical ledger digest versus an untraced fit, on the virtual
+runtime and on the process backend (shm and tcp), while still costing
+exactly one driver dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dist import make_algorithm
+from repro.graph import make_synthetic
+from repro.obs import (
+    MergedTrace,
+    MetricsRegistry,
+    SPAN_CATEGORIES,
+    SpanRecorder,
+    TraceSpan,
+    build_trace_meta,
+    drift_report,
+    export_chrome_trace,
+    format_drift_report,
+    merge_worker_obs,
+    metrics_from_trace,
+    trace_from_chrome,
+    traced_fit,
+    validate_chrome_trace,
+)
+from repro.obs import spans as spans_mod
+from repro.obs.metrics import Counter, Gauge, Summary
+from repro.parallel.runtime import ledger_digest
+
+EPOCHS = 3
+HIDDEN = 8
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_synthetic(n=80, avg_degree=5, f=10, n_classes=3, seed=7)
+
+
+# --------------------------------------------------------------------- #
+# span recorder
+# --------------------------------------------------------------------- #
+class TestSpanRecorder:
+    def test_record_and_drain(self):
+        rec = SpanRecorder(capacity=8)
+        rec.record("a", "spmm", 0.0, 1.0)
+        rec.record("b", "dcomm", 1.0, 2.0, ("meta",))
+        out = rec.drain()
+        assert [s[0] for s in out] == ["a", "b"]
+        assert out[1][4] == ("meta",)
+        assert rec.dropped == 0
+
+    def test_ring_overwrites_oldest(self):
+        rec = SpanRecorder(capacity=3)
+        for i in range(5):
+            rec.record(f"s{i}", "misc", float(i), float(i) + 0.5)
+        out = rec.drain()
+        # Oldest two were overwritten; survivors stay in record order.
+        assert [s[0] for s in out] == ["s2", "s3", "s4"]
+        assert rec.dropped == 2
+
+    def test_enable_disable_toggle_active(self):
+        assert spans_mod.ACTIVE is None
+        rec = spans_mod.enable(16)
+        try:
+            assert spans_mod.ACTIVE is rec
+            assert spans_mod.is_enabled()
+        finally:
+            spans_mod.disable()
+        assert spans_mod.ACTIVE is None
+        assert not spans_mod.is_enabled()
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+
+# --------------------------------------------------------------------- #
+# merging + self-time accounting (synthetic spans, exact arithmetic)
+# --------------------------------------------------------------------- #
+def _blob(worker, ranks, spans, align=0.0):
+    return {"worker": worker, "ranks": list(ranks), "align": align,
+            "spans": spans, "dropped": 0}
+
+
+class TestMergeWorkerObs:
+    def test_same_host_offset_not_applied(self):
+        # Same-host monotonic clocks share an epoch: the raw offset
+        # (dispatch-to-align latency) must NOT shift the spans.
+        blob = _blob(0, [0], [("epoch", "epoch", 10.0, 11.0, (0,))],
+                     align=10.0)
+        tr = merge_worker_obs([blob], t_dispatch=10.0005)
+        assert tr.spans[0].t0 == pytest.approx(10.0)
+
+    def test_large_skew_offset_applied(self):
+        # A worker whose monotonic epoch differs by +1000s (another host)
+        # is realigned onto the driver clock.
+        blob = _blob(0, [0], [("epoch", "epoch", 1010.0, 1011.0, (0,))],
+                     align=1010.0)
+        tr = merge_worker_obs([blob], t_dispatch=10.0)
+        assert tr.spans[0].t0 == pytest.approx(10.0)
+
+    def test_pid_tid_and_workers_map(self):
+        blobs = [
+            _blob(0, [0, 1], [("epoch", "epoch", 0.0, 1.0, (0,))]),
+            _blob(1, [2, 3], [("epoch", "epoch", 0.0, 1.2, (0,))]),
+            None,
+        ]
+        tr = merge_worker_obs(blobs)
+        assert sorted(tr.workers) == [0, 1]
+        assert tr.workers[1]["ranks"] == [2, 3]
+        assert sorted({s.pid for s in tr.spans}) == [0, 1]
+        assert {s.tid for s in tr.spans} == {0, 2}  # min rank per worker
+
+
+class TestSelfTimeTree:
+    def _trace(self):
+        # worker 0: epoch [0,10] containing a dcomm span [1,4] which
+        # itself contains an xchg [2,3] (transparent: its time stays in
+        # the dcomm span), plus an spmm leaf [5,8].
+        spans = [
+            TraceSpan("epoch", "epoch", 0.0, 10.0, 0, 0, (0,)),
+            TraceSpan("bcast", "dcomm", 1.0, 4.0, 0, 0, None),
+            TraceSpan("exchange", "xchg", 2.0, 3.0, 0, 0,
+                      ("g", 0.1, 0.6, 0.3, 64)),
+            TraceSpan("spmm.fwd", "spmm", 5.0, 8.0, 0, 0, None),
+        ]
+        return MergedTrace(spans, {0: {"ranks": [0], "dropped": 0}})
+
+    def test_category_self_seconds(self):
+        tr = self._trace()
+        by_cat = tr.per_worker_breakdown(skip_first=False)[0]
+        # epoch self = 10 - (3 dcomm + 3 spmm) = 4 -> misc; xchg is
+        # transparent so dcomm keeps its full 3s.
+        assert by_cat["dcomm"] == pytest.approx(3.0)
+        assert by_cat["spmm"] == pytest.approx(3.0)
+        assert by_cat["misc"] == pytest.approx(4.0)
+        assert "xchg" not in by_cat
+
+    def test_phase_breakdown_names(self):
+        phases = self._trace().phase_breakdown(skip_first=False)
+        assert phases["bcast"]["seconds"] == pytest.approx(3.0)
+        assert phases["bcast"]["category"] == "dcomm"
+        assert phases["spmm.fwd"]["count"] == 1
+        assert "epoch" not in phases
+
+    def test_exchange_summary(self):
+        xs = self._trace().exchange_summary()
+        assert xs["count"] == 1
+        assert xs["wait_s"] == pytest.approx(0.6)
+        assert xs["bytes_sent"] == 64
+
+    def test_single_recorder_pacesetter_sentinel(self):
+        # One recorder has no one to race: pacesetter is the -1
+        # sentinel, mirroring StepTracer's single-rank convention.
+        stats = self._trace().epoch_stats()
+        assert [e["pacesetter"] for e in stats] == [-1]
+        assert self._trace().straggler_counts() == {-1: 1}
+
+    def test_two_worker_pacesetter(self):
+        spans = [
+            TraceSpan("epoch", "epoch", 0.0, 1.0, 0, 0, (0,)),
+            TraceSpan("epoch", "epoch", 0.0, 2.0, 1, 2, (0,)),
+        ]
+        tr = MergedTrace(spans, {0: {"ranks": [0], "dropped": 0}, 1: {"ranks": [2], "dropped": 0}})
+        assert tr.epoch_stats()[0]["pacesetter"] == 1
+        assert tr.straggler_counts() == {1: 1}
+
+    def test_skip_first_epoch(self):
+        spans = [
+            TraceSpan("epoch", "epoch", 0.0, 5.0, 0, 0, (0,)),
+            TraceSpan("spmm.x", "spmm", 1.0, 4.0, 0, 0, None),
+            TraceSpan("epoch", "epoch", 5.0, 6.0, 0, 0, (1,)),
+            TraceSpan("spmm.x", "spmm", 5.2, 5.4, 0, 0, None),
+        ]
+        tr = MergedTrace(spans, {0: {"ranks": [0], "dropped": 0}})
+        warm = tr.measured_epoch_breakdown(skip_first=True)
+        assert warm["spmm"] == pytest.approx(0.2)
+        cold = tr.measured_epoch_breakdown(skip_first=False)
+        assert cold["spmm"] == pytest.approx((3.0 + 0.2) / 2)
+
+
+# --------------------------------------------------------------------- #
+# chrome export / validation round-trip
+# --------------------------------------------------------------------- #
+class TestChromeTrace:
+    def _export(self, ds, tmp_path):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS)
+        config = {"algorithm": "1d", "gpus": 4, "hidden": HIDDEN,
+                  "epochs": EPOCHS, "seed": 7, "vertices": ds.adjacency.nrows,
+                  "degree": 5.0, "features": 10, "classes": 3,
+                  "backend": "virtual",
+                  "machine": algo.rt.profile.name}
+        path = str(tmp_path / "trace.json")
+        doc = export_chrome_trace(
+            tr, path, extra=build_trace_meta(config, hist, tr, 0.25))
+        return path, doc, tr
+
+    def test_export_is_valid_and_loadable(self, ds, tmp_path):
+        path, doc, _ = self._export(ds, tmp_path)
+        assert validate_chrome_trace(doc) == []
+        with open(path) as fh:
+            on_disk = json.load(fh)
+        assert validate_chrome_trace(on_disk) == []
+        assert on_disk["repro"]["schema"] == "repro-trace/1"
+        cats = {e["cat"] for e in on_disk["traceEvents"] if e["ph"] == "X"}
+        assert cats <= set(SPAN_CATEGORIES)
+        assert "epoch" in cats
+
+    def test_ts_strictly_increasing_per_track(self, ds, tmp_path):
+        _, doc, _ = self._export(ds, tmp_path)
+        seen = {}
+        for e in doc["traceEvents"]:
+            if e.get("ph") != "X":
+                continue
+            key = (e["pid"], e["tid"])
+            assert key not in seen or e["ts"] > seen[key]
+            seen[key] = e["ts"]
+
+    def test_tampered_traces_rejected(self, ds, tmp_path):
+        _, doc, _ = self._export(ds, tmp_path)
+        bad_cat = json.loads(json.dumps(doc))
+        next(e for e in bad_cat["traceEvents"]
+             if e["ph"] == "X")["cat"] = "gpu"
+        assert any("category" in p for p in validate_chrome_trace(bad_cat))
+
+        neg_dur = json.loads(json.dumps(doc))
+        next(e for e in neg_dur["traceEvents"]
+             if e["ph"] == "X")["dur"] = -1.0
+        assert validate_chrome_trace(neg_dur)
+
+        not_obj = {"traceEvents": "nope"}
+        assert validate_chrome_trace(not_obj)
+
+    def test_round_trip_preserves_summary(self, ds, tmp_path):
+        _, doc, tr = self._export(ds, tmp_path)
+        back = trace_from_chrome(doc)
+        assert len(back.spans) == len(tr.spans)
+        a, b = tr.summary(), back.summary()
+        assert b["epochs"] == a["epochs"]
+        for cat, sec in a["measured_epoch_breakdown"].items():
+            assert b["measured_epoch_breakdown"][cat] == \
+                pytest.approx(sec, rel=1e-6)
+        assert back.exchange_summary()["count"] == \
+            tr.exchange_summary()["count"]
+
+
+# --------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_rejects_negative(self):
+        c = Counter()
+        c.inc(2)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 2
+
+    def test_summary_nearest_rank(self):
+        s = Summary()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            s.observe(v)
+        assert s.quantile(0.5) == 3.0   # nearest-rank round(0.5 * 3) = 2
+        assert s.quantile(0.99) == 4.0
+        assert s.quantile(0.0) == 1.0
+
+    def test_render_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_widgets_total", "Widgets seen.",
+                    {"kind": "a"}).inc(3)
+        reg.gauge("repro_level", "Current level.").set(1.5)
+        sm = reg.summary("repro_lat_seconds", "Latency.")
+        sm.observe(0.5)
+        text = reg.render()
+        assert "# HELP repro_widgets_total Widgets seen." in text
+        assert "# TYPE repro_widgets_total counter" in text
+        assert 'repro_widgets_total{kind="a"} 3' in text
+        assert "repro_level 1.5" in text
+        assert 'repro_lat_seconds{quantile="0.5"} 0.5' in text
+        assert "repro_lat_seconds_sum 0.5" in text
+        assert "repro_lat_seconds_count 1" in text
+
+    def test_metrics_from_trace(self, ds):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS)
+        text = metrics_from_trace(tr, hist).render()
+        assert "repro_epoch_seconds_count 3" in text
+        assert 'repro_span_seconds{category="spmm"' in text
+        assert "repro_final_loss" in text
+        assert "repro_dropped_spans_total 0" in text
+
+
+# --------------------------------------------------------------------- #
+# traced_fit on the virtual runtime
+# --------------------------------------------------------------------- #
+class TestTracedFitVirtual:
+    @pytest.mark.parametrize("name,p,kw", [
+        ("1d", 4, {"variant": "ghost", "partition": "multilevel"}),
+        ("2d", 4, {}),
+    ])
+    def test_neutral_and_complete(self, ds, name, p, kw):
+        plain = make_algorithm(name, p, ds, hidden=HIDDEN, seed=0, **kw)
+        hist0 = plain.fit(ds.features, ds.labels, EPOCHS)
+        digest0 = ledger_digest(plain.rt.tracker)
+
+        algo = make_algorithm(name, p, ds, hidden=HIDDEN, seed=0, **kw)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS)
+
+        assert list(hist.losses) == list(hist0.losses)
+        assert ledger_digest(algo.rt.tracker) == digest0
+        epochs = [s for s in tr.spans if s.cat == "epoch"]
+        assert len(epochs) == EPOCHS
+        assert [s.meta[0] for s in sorted(epochs, key=lambda s: s.t0)] == \
+            list(range(EPOCHS))
+        assert spans_mod.ACTIVE is None  # recorder torn down
+
+    def test_disabled_by_default(self, ds):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        algo.fit(ds.features, ds.labels, 1)
+        assert spans_mod.ACTIVE is None
+
+
+# --------------------------------------------------------------------- #
+# trace-neutrality on the process backend (the ISSUE 7 satellite)
+# --------------------------------------------------------------------- #
+def _run_process(ds, name, p, workers, transport, trace, kw):
+    algo = make_algorithm(name, p, ds, hidden=HIDDEN, seed=0,
+                          backend="process", workers=workers,
+                          transport=transport, **kw)
+    try:
+        hist = algo.fit(ds.features, ds.labels, EPOCHS,
+                        trace=True if trace else None)
+        digest = ledger_digest(algo.rt.tracker)
+        stats = algo.rt.backend_stats(workers=False)
+        return list(hist.losses), digest, algo.last_trace, stats
+    finally:
+        algo.rt.close()
+
+
+class TestProcessBackendNeutrality:
+    @pytest.mark.parametrize("name,transport,kw", [
+        ("1d", "shm", {"variant": "ghost", "partition": "multilevel"}),
+        ("2d", "shm", {}),
+        ("1d", "tcp", {"variant": "ghost", "partition": "multilevel"}),
+        ("2d", "tcp", {}),
+    ])
+    def test_traced_fit_bit_identical(self, ds, name, transport, kw):
+        losses0, digest0, trace0, _ = _run_process(
+            ds, name, 4, 2, transport, False, kw)
+        losses, digest, tr, stats = _run_process(
+            ds, name, 4, 2, transport, True, kw)
+
+        assert trace0 is None
+        assert losses == losses0          # bit-equal, not approx
+        assert digest == digest0          # byte-identical ledger
+        assert stats["fit_dispatches"] == 1
+
+        # Every worker contributed: an epoch span per epoch per worker,
+        # and the channel recorded its exchanges.
+        assert sorted(tr.workers) == [0, 1]
+        for pid in (0, 1):
+            eps = [s for s in tr.spans
+                   if s.pid == pid and s.cat == "epoch"]
+            assert len(eps) == EPOCHS
+        assert any(s.cat == "xchg" for s in tr.spans)
+        xs = tr.exchange_summary()
+        assert xs["count"] > 0 and xs["bytes_sent"] > 0
+
+
+# --------------------------------------------------------------------- #
+# drift report
+# --------------------------------------------------------------------- #
+class TestDriftReport:
+    def _payload(self, ds, tmp_path):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS)
+        config = {"algorithm": "1d", "gpus": 4, "hidden": HIDDEN,
+                  "epochs": EPOCHS, "seed": 7, "vertices": ds.adjacency.nrows,
+                  "degree": 5.0, "features": 10, "classes": 3,
+                  "backend": "virtual",
+                  "machine": algo.rt.profile.name}
+        return export_chrome_trace(
+            tr, str(tmp_path / "t.json"),
+            extra=build_trace_meta(config, hist, tr, 0.25))
+
+    def test_report_structure(self, ds, tmp_path):
+        rep = drift_report(self._payload(ds, tmp_path))
+        assert rep["schema"] == "repro-report/1"
+        cats = {r["category"] for r in rep["categories"]}
+        assert {"dcomm", "spmm", "misc"} <= cats
+        for row in rep["categories"]:
+            assert row["modeled_s"] is not None
+            if row["modeled_s"] > 0:
+                assert row["drift"] == pytest.approx(
+                    row["measured_s"] / row["modeled_s"])
+        assert rep["totals"]["measured_s"] > 0
+        assert rep["phases"]
+
+    def test_report_formats(self, ds, tmp_path):
+        text = format_drift_report(drift_report(self._payload(ds, tmp_path)))
+        assert "drift" in text
+        assert "dcomm" in text
+        assert "pacesetter" in text.lower()
+
+    def test_report_without_meta_degrades(self, ds, tmp_path):
+        payload = self._payload(ds, tmp_path)
+        payload["repro"].pop("config")
+        rep = drift_report(payload)
+        assert any("config" in n or "model" in n for n in rep["notes"])
+
+
+# --------------------------------------------------------------------- #
+# CLI wiring: --trace/--metrics/--json and `repro report`
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_train_trace_metrics_json(self, tmp_path, capsys):
+        from repro.cli import main
+        trace_path = str(tmp_path / "t.json")
+        prom_path = str(tmp_path / "m.prom")
+        rc = main(["train", "--algorithm", "1d", "--gpus", "4",
+                   "--epochs", "2", "--hidden", "8",
+                   "--vertices", "96", "--degree", "5",
+                   "--trace", trace_path, "--metrics", prom_path, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-train/1"
+        assert len(doc["losses"]) == 2
+        assert doc["trace_path"] == trace_path
+        with open(trace_path) as fh:
+            payload = json.load(fh)
+        assert validate_chrome_trace(payload) == []
+        prom = open(prom_path).read()
+        assert "repro_epoch_seconds" in prom
+
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+        trace_path = str(tmp_path / "t.json")
+        assert main(["train", "--algorithm", "1d", "--gpus", "4",
+                     "--epochs", "2", "--hidden", "8",
+                     "--vertices", "96", "--degree", "5",
+                     "--trace", trace_path,
+                     "--json"]) == 0
+        capsys.readouterr()
+        rep_json = str(tmp_path / "report.json")
+        assert main(["report", trace_path, "--json", rep_json]) == 0
+        out = capsys.readouterr().out
+        assert "drift" in out
+        rep = json.load(open(rep_json))
+        assert rep["schema"] == "repro-report/1"
+
+    def test_report_rejects_invalid(self, tmp_path, capsys):
+        from repro.cli import main
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [
+            {"ph": "X", "name": "a", "cat": "gpu", "ts": 0, "dur": 1,
+             "pid": 0, "tid": 0}]}))
+        assert main(["report", str(bad)]) == 1

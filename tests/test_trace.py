@@ -151,6 +151,17 @@ class TestEdgeCases:
         assert tracer.straggler_counts() == {0: 1}
         assert tracer.events[0].dominant_category == Category.SPMM
 
+    def test_single_rank_steps_report_balanced_sentinel(self):
+        # With one rank there is no one to straggle against: every step
+        # must report -1, not rank 0.
+        t = CommTracker(1)
+        tracer = StepTracer(t).install()
+        with t.step_scope():
+            t.charge(0, Category.SPMM, 2.5e-6)
+        tracer.uninstall()
+        assert tracer.straggler_counts() == {-1: 1}
+        assert tracer.events[0].balanced
+
     def test_timeline_rejects_degenerate_dimensions(self):
         tracer = self._one_step_tracer()
         with pytest.raises(ValueError, match="width"):
