@@ -1,0 +1,135 @@
+"""Checkpoint overhead on the resident process backend.
+
+ISSUE 8's perf contract: epoch-boundary checkpointing is *insurance*,
+not a tax.  This benchmark times the same resident ``fit`` with and
+without ``checkpoint_every=1`` (losses and ledger digest asserted
+bit-equal first -- writing a checkpoint must not move the training
+math), and records the overhead ratio plus the workers' own
+``checkpoint_seconds`` accounting.  Results land in ``BENCH_dist.json``
+under a top-level ``checkpoint`` section; the <= 5 % overhead gate in
+``check_regression.py`` only fires on hosts with >= 4 real cores -- on
+a starved box the workers time-share one core and scheduler noise
+swamps the write cost, so the numbers are recorded but the gate reports
+a skip.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from benchmarks.helpers import attach, print_table
+
+#: Same shape as bench_obs_overhead: compute-heavy enough that epochs
+#: dominate IPC, small enough to stay quick on CI.
+GRAPH = dict(n=2048, avg_degree=16, f=64, n_classes=8, seed=0)
+HIDDEN = 32
+EPOCHS = 4  # timed epochs per fit (after one warm-up fit)
+CONFIG = dict(algorithm="1d", p=4, workers=2, transport="shm",
+              variant="ghost")
+
+
+def _fit(ds, checkpoint_path):
+    from repro.dist import make_algorithm
+    from repro.parallel.runtime import ledger_digest
+
+    algo = make_algorithm(
+        CONFIG["algorithm"], CONFIG["p"], ds, hidden=HIDDEN, seed=0,
+        backend="process", workers=CONFIG["workers"],
+        transport=CONFIG["transport"], variant=CONFIG["variant"])
+    try:
+        algo.fit(ds.features, ds.labels, epochs=1)  # warm-up fit
+        kw = {}
+        if checkpoint_path is not None:
+            kw = dict(checkpoint_path=checkpoint_path, checkpoint_every=1)
+        t0 = time.perf_counter()
+        hist = algo.fit(ds.features, ds.labels, epochs=EPOCHS, **kw)
+        wall = time.perf_counter() - t0
+        losses = [e.loss for e in hist.epochs]
+        digest = ledger_digest(algo.rt.tracker)
+        stats = algo.rt.backend_stats()
+        return wall, losses, digest, stats
+    finally:
+        algo.rt.close()
+
+
+def bench_checkpoint(benchmark):
+    from repro.graph import make_synthetic
+
+    cores = os.cpu_count() or 1
+    ds = make_synthetic(**GRAPH)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ck = os.path.join(tmp, "bench.npz")
+        plain_s, losses0, digest0, _ = _fit(ds, checkpoint_path=None)
+        ckpt_s, losses1, digest1, stats = _fit(ds, checkpoint_path=ck)
+        ck_bytes = os.path.getsize(ck)
+
+    # Neutrality before any timing is reported: writing checkpoints must
+    # not move a single bit of the training math or the ledger.
+    assert losses1 == losses0, "checkpointing changed the losses"
+    assert digest1 == digest0, "checkpointing changed the ledger digest"
+    assert stats["checkpoints_written"] == EPOCHS
+
+    overhead = ckpt_s / plain_s
+    write_s = stats["checkpoint_seconds"]
+    print_table(
+        f"checkpoint overhead (host: {cores} cores, "
+        f"{CONFIG['algorithm']} P={CONFIG['p']} "
+        f"W={CONFIG['workers']} [{CONFIG['transport']}])",
+        ("metric", "value"),
+        [
+            ("plain fit", f"{plain_s * 1e3:.1f} ms"),
+            ("checkpointed fit", f"{ckpt_s * 1e3:.1f} ms"),
+            ("overhead ratio", f"{overhead:.3f}"),
+            ("writes", f"{stats['checkpoints_written']}"),
+            ("write wall (worker 0)", f"{write_s * 1e3:.1f} ms"),
+            ("checkpoint size", f"{ck_bytes / 1024:.1f} KiB"),
+        ],
+    )
+
+    # Harness timing: one checkpointed epoch on the resident backend.
+    from repro.dist import make_algorithm
+
+    algo = make_algorithm(
+        CONFIG["algorithm"], CONFIG["p"], ds, hidden=HIDDEN, seed=0,
+        backend="process", workers=CONFIG["workers"],
+        transport=CONFIG["transport"], variant=CONFIG["variant"])
+    tmpdir = tempfile.TemporaryDirectory()
+    try:
+        algo.fit(ds.features, ds.labels, epochs=1)  # warm-up
+        path = os.path.join(tmpdir.name, "epoch.npz")
+
+        def checkpointed_fit_once():
+            return algo.fit(ds.features, ds.labels, epochs=1,
+                            checkpoint_path=path, checkpoint_every=1)
+
+        benchmark(checkpointed_fit_once)
+    finally:
+        algo.rt.close()
+        tmpdir.cleanup()
+
+    attach(
+        benchmark,
+        bench_section="checkpoint",
+        host_cores=cores,
+        graph=GRAPH,
+        hidden=HIDDEN,
+        epochs_timed=EPOCHS,
+        config=CONFIG,
+        plain_s=plain_s,
+        checkpointed_s=ckpt_s,
+        overhead_ratio=overhead,
+        checkpoints_written=stats["checkpoints_written"],
+        checkpoint_write_s=write_s,
+        checkpoint_bytes=ck_bytes,
+        note=(
+            "overhead_ratio = checkpointed_s / plain_s through fit() "
+            "with checkpoint_every=1 (every epoch -- the worst case; "
+            "real runs checkpoint far less often) on the resident "
+            "process backend; the <= 1.05 gate in check_regression.py "
+            "applies only when host_cores >= 4 (time-shared workers on "
+            "starved hosts make wall ratios scheduler noise)"
+        ),
+    )

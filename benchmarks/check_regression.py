@@ -182,6 +182,44 @@ def check_obs(path: str) -> List[str]:
     return problems
 
 
+def check_checkpoint(path: str) -> List[str]:
+    """Overhead guard on the ``checkpoint`` section (ISSUE 8).
+
+    Epoch-boundary checkpointing is insurance, not a tax: a resident
+    ``fit`` with ``checkpoint_every=1`` (the worst case) must cost at
+    most 5 % more wall time than one without.  Like the obs gate, wall
+    ratios are only meaningful with real cores under the workers, so
+    the gate is enforced only when the report says ``host_cores >= 4``;
+    otherwise an explicit skip notice is printed and the recorded ratio
+    stands as documentation.  Returns a list of violation messages
+    (empty = healthy or section absent).
+    """
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("checkpoint")
+    if not isinstance(section, dict):
+        return []
+    problems = []
+    ratio = section.get("overhead_ratio")
+    host_cores = section.get("host_cores", 0)
+    if ratio is None:
+        problems.append("checkpoint: missing overhead_ratio (write cost "
+                        "not recorded)")
+    elif host_cores >= 4 and not os.environ.get("REPRO_BENCH_SKIP"):
+        if ratio > 1.05:
+            problems.append(
+                f"checkpoint: overhead ratio {ratio:.3f} above 1.05 on "
+                f"a {host_cores}-core host (atomic epoch-boundary "
+                "writes must stay under 5% of plain fit wall)"
+            )
+    else:
+        why = (f"host_cores={host_cores} < 4"
+               if host_cores < 4 else "REPRO_BENCH_SKIP set")
+        print(f"checkpoint: overhead gate skipped ({why}); "
+              f"overhead_ratio={ratio} recorded for reference")
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", help="freshly generated bench JSON")
@@ -227,6 +265,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(msg, file=sys.stderr)
         print("obs overhead gate violated; failing regardless of other "
               "timings", file=sys.stderr)
+        return 1
+    # Same shape for checkpoint writes: self-skips on starved hosts,
+    # hard-fails on capable ones -- fault-tolerance insurance that costs
+    # > 5% of fit wall is a tax.
+    checkpoint_problems = check_checkpoint(args.fresh)
+    if checkpoint_problems:
+        for msg in checkpoint_problems:
+            print(msg, file=sys.stderr)
+        print("checkpoint overhead gate violated; failing regardless of "
+              "other timings", file=sys.stderr)
         return 1
 
     if os.environ.get("REPRO_BENCH_SKIP"):

@@ -155,6 +155,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             seed=args.seed, optimizer=SGD(lr=args.lr),
             backend=args.backend, workers=args.workers,
             transport=args.transport if args.backend == "process" else None,
+            faults=args.faults, max_restarts=args.max_restarts,
             **kwargs,
         )
     except ValueError as exc:
@@ -182,13 +183,18 @@ def cmd_train(args: argparse.Namespace) -> int:
         import time as _time
 
         t0 = _time.perf_counter()
+        fit_kwargs = {}
+        if args.checkpoint:
+            fit_kwargs["checkpoint_path"] = args.checkpoint
+            fit_kwargs["checkpoint_every"] = args.checkpoint_every
         if tracing:
             from repro.obs import traced_fit
 
             history, trace = traced_fit(algo, ds.features, ds.labels,
-                                        args.epochs)
+                                        args.epochs, **fit_kwargs)
         else:
-            history = algo.fit(ds.features, ds.labels, epochs=args.epochs)
+            history = algo.fit(ds.features, ds.labels, epochs=args.epochs,
+                               **fit_kwargs)
         elapsed = _time.perf_counter() - t0
         if args.backend == "process":
             backend_stats = algo.rt.backend_stats()
@@ -221,6 +227,14 @@ def cmd_train(args: argparse.Namespace) -> int:
                   f"{st['fused_batches']} fused batches), "
                   f"{st['digest_checks']} digest checks, "
                   f"{st['channel_bytes'] / 1e6:.2f} MB channel traffic")
+            if st.get("restarts"):
+                print(f"elastic recovery: {st['restarts']} restart(s), "
+                      f"{st['recovery_dispatches']} recovery "
+                      f"dispatches, failure detection "
+                      f"{st['detect_seconds']:.2f}s total")
+            if st.get("checkpoints_written"):
+                print(f"checkpoints: {st['checkpoints_written']} written "
+                      f"in {st['checkpoint_seconds']:.3f}s")
     if trace is not None:
         from repro.obs import (build_trace_meta, export_chrome_trace,
                                metrics_from_trace, write_metrics)
@@ -248,7 +262,10 @@ def cmd_train(args: argparse.Namespace) -> int:
                       f"({len(trace.spans)} spans; open in "
                       "ui.perfetto.dev or chrome://tracing)")
         if args.metrics:
-            write_metrics(metrics_from_trace(trace, history), args.metrics)
+            write_metrics(
+                metrics_from_trace(trace, history,
+                                   backend_stats=backend_stats),
+                args.metrics)
             if not quiet:
                 print(f"wrote metrics {args.metrics}")
     if args.json:
@@ -634,6 +651,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "(queues + shared memory, single host) or 'tcp' "
                         "(length-prefixed socket frames; spans hosts via "
                         "REPRO_PARALLEL_HOSTS)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write the full training state (weights, "
+                        "optimizer moments, epoch counter, ledger) "
+                        "atomically to this .npz at epoch boundaries; "
+                        "elastic recovery resumes from it")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   metavar="N",
+                   help="checkpoint cadence in epochs for --checkpoint "
+                        "(default 1)")
+    p.add_argument("--max-restarts", type=int, default=None, metavar="N",
+                   help="pool-restart budget for --backend process: on "
+                        "a dead/stalled worker or transport failure, "
+                        "respawn, reload the last checkpoint, and "
+                        "resume, up to N times (default: "
+                        "REPRO_PARALLEL_MAX_RESTARTS or 0 = fail fast)")
+    p.add_argument("--faults", default=None, metavar="PLAN",
+                   help="deterministic fault-injection plan for "
+                        "--backend process, e.g. "
+                        "'kill:worker=1,epoch=2' (see "
+                        "repro.parallel.faults; also "
+                        "REPRO_PARALLEL_FAULTS)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record wall-clock spans and write a Chrome/"
                         "Perfetto trace-event JSON here (losses and "

@@ -350,6 +350,43 @@ class CommTracker:
         parts.append(pack("<q", self._nsteps))
         return b"".join(parts)
 
+    def restore_state_bytes(self, data: bytes) -> None:
+        """Install a ledger serialised by :meth:`state_bytes`.
+
+        The inverse of :meth:`state_bytes` for checkpoint/resume:
+        overwrites every total so a resumed run's ledger continues
+        byte-for-byte from where the saved run stopped.  The blob's
+        length is validated against this tracker's rank count -- a
+        checkpoint from a different ``P`` fails loudly here instead of
+        silently misattributing ranks.
+        """
+        ncat = len(Category.ALL)
+        expected = self.nranks * ncat * 32 + ncat * 8 + 8
+        if len(data) != expected:
+            raise ValueError(
+                f"ledger state is {len(data)} bytes but a {self.nranks}"
+                f"-rank tracker serialises to {expected}; checkpoint "
+                f"was written for a different configuration")
+        unpack = struct.unpack_from
+        off = 0
+        per_rank: List[Dict[str, CategoryTotals]] = []
+        for _ in range(self.nranks):
+            totals: Dict[str, CategoryTotals] = defaultdict(CategoryTotals)
+            for c in Category.ALL:
+                seconds, nbytes, messages, flops = unpack("<dqqq", data, off)
+                off += 32
+                totals[c] = CategoryTotals(seconds, nbytes, messages, flops)
+            per_rank.append(totals)
+        wall: Dict[str, float] = defaultdict(float)
+        for c in Category.ALL:
+            (wall[c],) = unpack("<d", data, off)
+            off += 8
+        (nsteps,) = unpack("<q", data, off)
+        self.per_rank = per_rank
+        self.wall = wall
+        self._nsteps = int(nsteps)
+        self._step = None
+
     def snapshot(self) -> "CommTracker":
         """Deep copy of the current ledger (for before/after deltas)."""
         clone = CommTracker(self.nranks)

@@ -27,6 +27,8 @@ verification (`verify_against_serial`) possible.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +45,7 @@ from repro.nn.layers import forward_gemm, hidden_gradient, weight_gradient
 from repro.nn.loss import accuracy, nll_loss
 from repro.nn.model import GCN, SerialTrainer
 from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import serialize as _serialize
 from repro.obs import spans as _spans
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.perfmodel import SpmmPerfModel
@@ -228,6 +231,11 @@ class DistAlgorithm:
         # (labels, mask, row ranges), fixed between setup() calls.
         self._loss_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._grad_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        #: fault-tolerance accounting, read back through the process
+        #: backend's ``stats`` op: checkpoints this instance has written
+        #: and the wall seconds they cost.
+        self.checkpoints_written = 0
+        self.checkpoint_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # hooks for subclasses
@@ -536,6 +544,10 @@ class DistAlgorithm:
         epochs: int,
         mask: Optional[np.ndarray] = None,
         on_epoch=None,
+        checkpoint_path=None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+        checkpoint_writer: bool = True,
     ) -> DistTrainHistory:
         """Full-batch training for ``epochs`` epochs (sets up first).
 
@@ -543,11 +555,30 @@ class DistAlgorithm:
         :class:`EpochStats` as it completes -- the process backend's
         resident workers use it to report liveness (and, under paranoid
         mode, per-epoch ledger digests) from inside the loop.
+
+        With ``checkpoint_path`` and ``checkpoint_every=k``, the full
+        training state -- weights, optimizer moments, completed-epoch
+        counter, ledger state, and per-epoch history -- is written
+        atomically every ``k`` epochs (SPMD pools set
+        ``checkpoint_writer`` on exactly one worker so only one process
+        writes the shared file).  ``resume=True`` restores that state
+        before the loop: the already-completed epochs are replayed from
+        the checkpoint's history (``on_epoch`` still fires for them, so
+        callbacks see the full epoch stream) and live training
+        continues from the next epoch with a ledger that proceeds
+        byte-for-byte as if the run had never stopped.
         """
         self.setup(features, labels, mask)
         history = DistTrainHistory()
+        start = 0
+        if (resume and checkpoint_path is not None
+                and os.path.exists(checkpoint_path)):
+            start = self._restore_checkpoint(checkpoint_path, history)
+            if on_epoch is not None:
+                for stats in history.epochs:
+                    on_epoch(stats)
         rec = _spans.ACTIVE
-        for epoch in range(epochs):
+        for epoch in range(start, epochs):
             if rec is None:
                 stats = self.train_epoch(epoch)
             else:
@@ -555,9 +586,91 @@ class DistAlgorithm:
                 stats = self.train_epoch(epoch)
                 rec.record("epoch", "epoch", t0, rec.clock(), (epoch,))
             history.epochs.append(stats)
+            # Checkpoint before on_epoch so injected faults that fire at
+            # the epoch-boundary callback happen strictly after the save
+            # -- the state a recovery reloads is exactly this boundary.
+            if (checkpoint_writer and checkpoint_every > 0
+                    and checkpoint_path is not None
+                    and (epoch + 1) % checkpoint_every == 0):
+                self._write_checkpoint(checkpoint_path, history)
             if on_epoch is not None:
                 on_epoch(stats)
         return history
+
+    def _write_checkpoint(self, path, history: DistTrainHistory) -> None:
+        """Atomically persist full training state at an epoch boundary."""
+        rec = _spans.ACTIVE
+        t0c = rec.clock() if rec is not None else None
+        t_start = time.monotonic()
+        stats = history.epochs
+        ncat = len(Category.ALL)
+        hist = {
+            "loss": np.asarray([s.loss for s in stats], dtype=np.float64),
+            "acc": np.asarray([s.train_accuracy for s in stats],
+                              dtype=np.float64),
+            "seconds": np.asarray(
+                [[s.seconds_by_category[c] for c in Category.ALL]
+                 for s in stats], dtype=np.float64
+            ).reshape(len(stats), ncat),
+            "bytes": np.asarray(
+                [[s.bytes_by_category[c] for c in Category.ALL]
+                 for s in stats], dtype=np.int64
+            ).reshape(len(stats), ncat),
+            "maxrank": np.asarray([s.max_rank_comm_bytes for s in stats],
+                                  dtype=np.int64),
+            "epoch": np.asarray([s.epoch for s in stats], dtype=np.int64),
+        }
+        _serialize.save_checkpoint(
+            path,
+            weights=self.model.weights,
+            optimizer=self.optimizer,
+            epoch=len(stats),
+            tracker_state=self.rt.tracker.state_bytes(),
+            categories=Category.ALL,
+            history=hist,
+        )
+        self.checkpoints_written += 1
+        self.checkpoint_seconds += time.monotonic() - t_start
+        if rec is not None:
+            rec.record("checkpoint", "misc", t0c, rec.clock(),
+                       (len(stats),))
+
+    def _restore_checkpoint(self, path,
+                            history: DistTrainHistory) -> int:
+        """Install a checkpoint's state; returns the epochs completed.
+
+        Runs after :meth:`setup` (which re-charges the distribution
+        cost), so the ledger is *overwritten* with the saved state: the
+        resumed run's ledger continues from the checkpoint and the
+        final digest matches a never-interrupted run's byte for byte.
+        """
+        state = _serialize.load_checkpoint(path)
+        if tuple(state["categories"]) != tuple(Category.ALL):
+            raise ValueError(
+                f"checkpoint {path} was written with ledger categories "
+                f"{state['categories']}, this build uses "
+                f"{list(Category.ALL)}")
+        self.model.set_weights(
+            [np.array(w, copy=True) for w in state["weights"]])
+        _serialize.restore_optimizer(
+            self.optimizer, state["optimizer"], state["opt_arrays"])
+        if state["tracker_state"] is not None:
+            self.rt.tracker.restore_state_bytes(state["tracker_state"])
+        hist = state["history"]
+        for i in range(state["epoch"]):
+            seconds = {c: float(hist["seconds"][i, j])
+                       for j, c in enumerate(Category.ALL)}
+            nbytes = {c: int(hist["bytes"][i, j])
+                      for j, c in enumerate(Category.ALL)}
+            history.epochs.append(EpochStats(
+                epoch=int(hist["epoch"][i]),
+                loss=float(hist["loss"][i]),
+                train_accuracy=float(hist["acc"][i]),
+                seconds_by_category=seconds,
+                bytes_by_category=nbytes,
+                max_rank_comm_bytes=int(hist["maxrank"][i]),
+            ))
+        return int(state["epoch"])
 
     def predict(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         """Distributed inference: log-probabilities for every vertex.

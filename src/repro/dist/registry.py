@@ -52,6 +52,8 @@ def make_runtime_for(
     backend: str = "virtual",
     workers: Optional[int] = None,
     transport: Optional[str] = None,
+    faults: Optional[str] = None,
+    max_restarts: Optional[int] = None,
 ):
     """The machine topology algorithm ``name`` runs on.
 
@@ -63,7 +65,10 @@ def make_runtime_for(
     ``"virtual"`` (the default) is the single-process simulator.
     ``transport`` picks the workers' peer fabric: ``"shm"`` (default,
     queues + shared memory) or ``"tcp"`` (sockets; multi-host via
-    ``REPRO_PARALLEL_HOSTS``).
+    ``REPRO_PARALLEL_HOSTS``).  ``faults`` is a deterministic
+    fault-injection plan (:mod:`repro.parallel.faults`) and
+    ``max_restarts`` the elastic-recovery budget; both apply only to
+    the process backend.
     """
     name = name.lower()
     if name not in ALGORITHMS:
@@ -77,11 +82,20 @@ def make_runtime_for(
         kw = {"workers": workers}
         if transport is not None:
             kw["transport"] = transport
+        if faults is not None:
+            kw["faults"] = faults
+        if max_restarts is not None:
+            kw["max_restarts"] = max_restarts
     else:
         if workers is not None:
             raise ValueError("workers= only applies to backend='process'")
         if transport is not None:
             raise ValueError("transport= only applies to backend='process'")
+        if faults is not None:
+            raise ValueError("faults= only applies to backend='process'")
+        if max_restarts is not None:
+            raise ValueError(
+                "max_restarts= only applies to backend='process'")
         cls, kw = VirtualRuntime, {}
     if name in ("1d", "1.5d"):
         if grid is not None:
@@ -133,6 +147,8 @@ def make_algorithm(
     backend: str = "virtual",
     workers: Optional[int] = None,
     transport: Optional[str] = None,
+    faults: Optional[str] = None,
+    max_restarts: Optional[int] = None,
     partition=None,
     **kwargs,
 ) -> DistAlgorithm:
@@ -157,7 +173,8 @@ def make_algorithm(
         raise _unknown(name)
     rt = make_runtime_for(name, p, grid=grid, profile=profile,
                           backend=backend, workers=workers,
-                          transport=transport)
+                          transport=transport, faults=faults,
+                          max_restarts=max_restarts)
     widths = dataset.layer_widths(hidden=hidden, layers=layers)
     distribution = make_distribution(partition, dataset.adjacency, p,
                                      seed=seed)

@@ -6,13 +6,29 @@ production library needs restartable state.  Checkpoints are plain
 pickled code).  Weight round-trips are bit-exact, so a resumed run
 continues the exact trajectory -- an extension of the determinism the
 verification story relies on.
+
+Every write here is atomic (tmp file + ``os.replace``): a crash mid
+checkpoint can truncate the tmp file, never the published one, so a
+recovery either sees the previous complete checkpoint or none at all.
+Full training checkpoints (:func:`save_checkpoint`) additionally carry
+a SHA-1 content digest that :func:`load_checkpoint` verifies, and they
+persist optimizer state -- Adam's ``m``/``v``/step and SGD's momentum
+buffers -- because weights alone silently change the optimization
+trajectory on resume.
+
+This module deliberately does not import ``repro.comm`` or
+``repro.dist``: the checkpoint stores the ledger as opaque bytes plus
+category names in the metadata, and the training layer reconstructs
+its own types from them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,9 +39,34 @@ __all__ = [
     "load_weights",
     "save_csr",
     "load_csr",
+    "optimizer_state",
+    "restore_optimizer",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_epochs",
 ]
 
 _META_KEY = "__repro_meta__"
+_DIGEST_KEY = "digest"
+
+
+def _atomic_savez(path: Path, arrays: dict) -> None:
+    """Write an .npz atomically: tmp file in the same dir + rename.
+
+    ``np.savez`` appends ``.npz`` when handed a bare path, so the tmp
+    file is written through an open handle, which it uses as-is.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def save_weights(
@@ -42,7 +83,7 @@ def save_weights(
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    _atomic_savez(path, arrays)
 
 
 def load_weights(path: Union[str, Path]) -> Tuple[List[np.ndarray], dict]:
@@ -59,12 +100,14 @@ def load_weights(path: Union[str, Path]) -> Tuple[List[np.ndarray], dict]:
 
 def save_csr(path: Union[str, Path], matrix: CSRMatrix) -> None:
     """Persist a CSR matrix (e.g. a normalised adjacency) to .npz."""
-    np.savez(
+    _atomic_savez(
         Path(path),
-        indptr=matrix.indptr,
-        indices=matrix.indices,
-        data=matrix.data,
-        shape=np.asarray(matrix.shape, dtype=np.int64),
+        {
+            "indptr": matrix.indptr,
+            "indices": matrix.indices,
+            "data": matrix.data,
+            "shape": np.asarray(matrix.shape, dtype=np.int64),
+        },
     )
 
 
@@ -81,3 +124,214 @@ def load_csr(path: Union[str, Path]) -> CSRMatrix:
             archive["data"].copy(),
             shape,
         )
+
+
+# ---------------------------------------------------------------------------
+# Optimizer state
+# ---------------------------------------------------------------------------
+
+def optimizer_state(optimizer) -> Tuple[dict, List[np.ndarray]]:
+    """Extract (JSON-able meta, state arrays) from an optimizer.
+
+    Supports the library's two optimizers by duck type: SGD (``lr``,
+    ``momentum``, lazy ``_velocity`` buffers) and Adam (``lr``,
+    ``beta1``/``beta2``/``eps``, lazy ``_m``/``_v`` moments and step
+    counter ``_t``).  The arrays come back in a flat list whose layout
+    is recorded in the meta, so the pair round-trips through an .npz.
+    """
+    arrays: List[np.ndarray] = []
+    if hasattr(optimizer, "_m"):  # Adam
+        meta = {
+            "kind": "adam",
+            "lr": optimizer.lr,
+            "beta1": optimizer.beta1,
+            "beta2": optimizer.beta2,
+            "eps": optimizer.eps,
+            "t": int(optimizer._t),
+            "num_moments": 0,
+        }
+        if optimizer._m is not None:
+            meta["num_moments"] = len(optimizer._m)
+            arrays.extend(optimizer._m)
+            arrays.extend(optimizer._v)
+    elif hasattr(optimizer, "_velocity"):  # SGD
+        meta = {
+            "kind": "sgd",
+            "lr": optimizer.lr,
+            "momentum": optimizer.momentum,
+            "num_moments": 0,
+        }
+        if optimizer._velocity is not None:
+            meta["num_moments"] = len(optimizer._velocity)
+            arrays.extend(optimizer._velocity)
+    else:
+        raise TypeError(
+            f"cannot serialize optimizer of type "
+            f"{type(optimizer).__name__}: expected SGD or Adam")
+    return meta, [np.asarray(a) for a in arrays]
+
+
+def restore_optimizer(optimizer, meta: dict,
+                      arrays: Sequence[np.ndarray]) -> None:
+    """Install saved state into an optimizer of the matching kind."""
+    kind = meta.get("kind")
+    n = int(meta.get("num_moments", 0))
+    if kind == "adam":
+        if not hasattr(optimizer, "_m"):
+            raise ValueError(
+                f"checkpoint holds adam state but the optimizer is "
+                f"{type(optimizer).__name__}")
+        optimizer._t = int(meta["t"])
+        if n:
+            optimizer._m = [np.array(a, copy=True) for a in arrays[:n]]
+            optimizer._v = [np.array(a, copy=True) for a in arrays[n:2 * n]]
+        else:
+            optimizer._m = None
+            optimizer._v = None
+    elif kind == "sgd":
+        if not hasattr(optimizer, "_velocity"):
+            raise ValueError(
+                f"checkpoint holds sgd state but the optimizer is "
+                f"{type(optimizer).__name__}")
+        if n:
+            optimizer._velocity = [np.array(a, copy=True)
+                                   for a in arrays[:n]]
+        else:
+            optimizer._velocity = None
+    else:
+        raise ValueError(f"unknown optimizer kind {kind!r} in checkpoint")
+
+
+# ---------------------------------------------------------------------------
+# Full training checkpoints
+# ---------------------------------------------------------------------------
+
+def _content_digest(arrays: dict, meta: dict) -> str:
+    """SHA-1 over array bytes + meta (minus the digest field itself)."""
+    h = hashlib.sha1()
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[key])
+        h.update(key.encode("utf-8"))
+        h.update(str(arr.dtype).encode("utf-8"))
+        h.update(str(arr.shape).encode("utf-8"))
+        h.update(arr.tobytes())
+    clean = {k: v for k, v in meta.items() if k != _DIGEST_KEY}
+    h.update(json.dumps(clean, sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    *,
+    weights: Sequence[np.ndarray],
+    optimizer,
+    epoch: int,
+    tracker_state: Optional[bytes] = None,
+    categories: Sequence[str] = (),
+    history: Optional[dict] = None,
+    metadata: Optional[dict] = None,
+) -> None:
+    """Atomically write a full training checkpoint.
+
+    ``epoch`` is the number of *completed* epochs; ``tracker_state`` is
+    the opaque ``CommTracker.state_bytes()`` blob with ``categories``
+    naming its per-category layout; ``history`` maps array names (e.g.
+    ``hist_loss``) to per-epoch arrays so a resume can rebuild the
+    epoch stats already emitted.  The archive self-verifies via a SHA-1
+    content digest checked on load.
+    """
+    path = Path(path)
+    arrays = {f"weight_{i}": np.asarray(w) for i, w in enumerate(weights)}
+    opt_meta, opt_arrays = optimizer_state(optimizer)
+    for i, a in enumerate(opt_arrays):
+        arrays[f"opt_{i}"] = a
+    if tracker_state is not None:
+        arrays["tracker_state"] = np.frombuffer(
+            tracker_state, dtype=np.uint8)
+    for name, arr in (history or {}).items():
+        arrays[f"hist_{name}"] = np.asarray(arr)
+    meta = {
+        "format": "repro-checkpoint/1",
+        "num_weights": len(weights),
+        "epoch": int(epoch),
+        "optimizer": opt_meta,
+        "num_opt_arrays": len(opt_arrays),
+        "categories": list(categories),
+        "history_keys": sorted((history or {}).keys()),
+    }
+    if metadata:
+        meta.update(metadata)
+    meta[_DIGEST_KEY] = _content_digest(arrays, meta)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    _atomic_savez(path, arrays)
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict:
+    """Load + digest-verify a checkpoint written by :func:`save_checkpoint`.
+
+    Returns a dict with ``weights``, ``optimizer`` (meta),
+    ``opt_arrays``, ``epoch``, ``tracker_state`` (bytes or None),
+    ``categories``, ``history`` (dict of arrays), and ``meta`` (the
+    full metadata).
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        if meta.get("format") != "repro-checkpoint/1":
+            raise ValueError(
+                f"{path} is not a repro training checkpoint "
+                f"(format={meta.get('format')!r})")
+        arrays = {k: archive[k].copy() for k in archive.files
+                  if k != _META_KEY}
+    expected = meta.get(_DIGEST_KEY)
+    actual = _content_digest(arrays, meta)
+    if expected != actual:
+        raise ValueError(
+            f"{path} failed its content-digest check "
+            f"(expected {expected}, computed {actual}); the file is "
+            f"corrupt")
+    nw = int(meta["num_weights"])
+    weights = [arrays[f"weight_{i}"] for i in range(nw)]
+    nopt = int(meta.get("num_opt_arrays", 0))
+    opt_arrays = [arrays[f"opt_{i}"] for i in range(nopt)]
+    tracker_state = None
+    if "tracker_state" in arrays:
+        tracker_state = arrays["tracker_state"].tobytes()
+    history = {
+        name: arrays[f"hist_{name}"]
+        for name in meta.get("history_keys", [])
+    }
+    return {
+        "weights": weights,
+        "optimizer": meta["optimizer"],
+        "opt_arrays": opt_arrays,
+        "epoch": int(meta["epoch"]),
+        "tracker_state": tracker_state,
+        "categories": tuple(meta.get("categories", ())),
+        "history": history,
+        "meta": meta,
+    }
+
+
+def checkpoint_epochs(path: Union[str, Path]) -> int:
+    """Peek the completed-epoch counter of a checkpoint (0 if absent).
+
+    Cheap relative to :func:`load_checkpoint`: reads only the metadata
+    member, no digest verification -- used to decide which epochs are
+    *live* (vs replayed) before a resume.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    if meta.get("format") != "repro-checkpoint/1":
+        raise ValueError(
+            f"{path} is not a repro training checkpoint "
+            f"(format={meta.get('format')!r})")
+    return int(meta["epoch"])

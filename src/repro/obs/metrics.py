@@ -152,13 +152,17 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
 
-def metrics_from_trace(trace, history=None) -> MetricsRegistry:
+def metrics_from_trace(trace, history=None,
+                       backend_stats=None) -> MetricsRegistry:
     """Populate a registry from a merged trace (and optional history).
 
     ``trace`` is a :class:`~repro.obs.tracing.MergedTrace`; ``history``
     the :class:`~repro.dist.base.FitHistory`-like object ``fit`` returns
     (used for the final loss and the modeled ledger breakdown, so the
     scrape carries both sides of the drift comparison).
+    ``backend_stats`` (a :meth:`ProcessBackend.stats` snapshot) adds the
+    elastic fault-tolerance counters: restarts, recovery dispatches,
+    failure-detection seconds, and checkpoint count/seconds.
     """
     reg = MetricsRegistry()
     span_count = {}
@@ -213,6 +217,22 @@ def metrics_from_trace(trace, history=None) -> MetricsRegistry:
                     "Modeled ledger seconds per epoch",
                     labels={"category": str(cat)},
                 ).set(sec)
+    if backend_stats:
+        reg.counter("repro_restarts_total",
+                    "Elastic pool restarts").inc(
+            int(backend_stats.get("restarts", 0)))
+        reg.counter("repro_recovery_dispatches_total",
+                    "Dispatches issued by the recovery loop").inc(
+            int(backend_stats.get("recovery_dispatches", 0)))
+        reg.counter("repro_failure_detect_seconds_total",
+                    "Seconds from last progress to failure detection"
+                    ).inc(float(backend_stats.get("detect_seconds", 0.0)))
+        reg.counter("repro_checkpoints_written_total",
+                    "Training checkpoints written").inc(
+            int(backend_stats.get("checkpoints_written", 0)))
+        reg.counter("repro_checkpoint_seconds_total",
+                    "Wall seconds spent writing checkpoints").inc(
+            float(backend_stats.get("checkpoint_seconds", 0.0)))
     return reg
 
 

@@ -301,7 +301,7 @@ def merge_worker_obs(blobs: Sequence[Optional[dict]],
 
 
 def traced_fit(algo, features, labels, epochs: int, mask=None,
-               capacity: int = _spans.DEFAULT_CAPACITY):
+               capacity: int = _spans.DEFAULT_CAPACITY, **fit_kwargs):
     """Run ``algo.fit`` under span tracing; returns ``(history, trace)``.
 
     Works on both backends: a :class:`~repro.parallel.ParallelAlgorithm`
@@ -309,6 +309,9 @@ def traced_fit(algo, features, labels, epochs: int, mask=None,
     other algorithm (virtual runtime) records driver-side spans around
     the same instrumented epoch loop.  Tracing never touches the ledger,
     so the returned history is bit-identical to an untraced fit.
+
+    Extra keyword arguments (e.g. ``checkpoint_path`` /
+    ``checkpoint_every``) pass straight through to ``algo.fit``.
     """
     try:
         from repro.parallel.runtime import ParallelAlgorithm
@@ -316,12 +319,14 @@ def traced_fit(algo, features, labels, epochs: int, mask=None,
         ParallelAlgorithm = None
     if ParallelAlgorithm is not None and isinstance(algo, ParallelAlgorithm):
         history = algo.fit(features, labels, epochs, mask=mask,
-                           trace={"capacity": int(capacity)})
+                           trace={"capacity": int(capacity)},
+                           **fit_kwargs)
         return history, algo.last_trace
     rec = _spans.enable(capacity)
     align = rec.clock()
     try:
-        history = algo.fit(features, labels, epochs, mask=mask)
+        history = algo.fit(features, labels, epochs, mask=mask,
+                           **fit_kwargs)
     finally:
         _spans.disable()
     rt = getattr(algo, "rt", None)

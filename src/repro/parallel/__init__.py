@@ -65,9 +65,17 @@ or the CLI: ``repro train --backend process --workers 4
 [--transport tcp]``.
 """
 
-from repro.parallel.backend import ProcessBackend, WorkerError
+from repro.parallel.backend import (
+    RECOVERABLE_ERRORS,
+    ProcessBackend,
+    TransportError,
+    WorkerDead,
+    WorkerError,
+    WorkerStalled,
+)
 from repro.parallel.channel import ChannelTimeout, PeerChannel
 from repro.parallel.collectives import ProcessCollectives
+from repro.parallel.faults import FaultPlan, FaultSpec
 from repro.parallel.runtime import (
     ParallelAlgorithm,
     ParallelRuntime,
@@ -87,6 +95,12 @@ __all__ = [
     "ChannelTimeout",
     "WorkerRuntime",
     "WorkerError",
+    "WorkerDead",
+    "WorkerStalled",
+    "TransportError",
+    "RECOVERABLE_ERRORS",
+    "FaultPlan",
+    "FaultSpec",
     "ledger_digest",
     "owner_map",
 ]

@@ -49,11 +49,24 @@ import numpy as np
 from repro.comm.mesh import ProcessMesh
 from repro.config import MachineProfile
 from repro.obs import spans as _spans
-from repro.parallel.channel import PeerChannel, default_timeout
+from repro.parallel.channel import (
+    PeerChannel,
+    default_backoff,
+    default_timeout,
+)
+from repro.parallel.faults import FaultPlan, parse_plan
 from repro.parallel.runtime import WorkerRuntime, ledger_digest, owner_map
 from repro.parallel.tcp import TcpChannel, parse_hosts
 
-__all__ = ["ProcessBackend", "WorkerError", "TRANSPORTS"]
+__all__ = [
+    "ProcessBackend",
+    "WorkerError",
+    "WorkerDead",
+    "WorkerStalled",
+    "TransportError",
+    "RECOVERABLE_ERRORS",
+    "TRANSPORTS",
+]
 
 #: Default per-worker arena size; payloads beyond this spill to
 #: per-payload ephemeral segments (correct, just slower).
@@ -74,8 +87,43 @@ def paranoid_mode() -> bool:
     return os.environ.get("REPRO_PARALLEL_PARANOID", "") not in ("", "0")
 
 
+def default_max_restarts() -> int:
+    """Pool-restart budget (``REPRO_PARALLEL_MAX_RESTARTS``, default 0).
+
+    Zero keeps the historical behaviour: any failure tears the pool
+    down and propagates.  A positive budget makes recoverable failures
+    (see :data:`RECOVERABLE_ERRORS`) trigger respawn + checkpoint
+    resume in :meth:`~repro.parallel.runtime.ParallelAlgorithm.fit`.
+    """
+    return int(os.environ.get("REPRO_PARALLEL_MAX_RESTARTS", "0"))
+
+
 class WorkerError(RuntimeError):
     """A worker process raised; carries its formatted traceback."""
+
+
+class WorkerDead(WorkerError):
+    """A worker process exited (crash, kill, OOM) mid-command."""
+
+
+class WorkerStalled(WorkerError):
+    """The pool made no heartbeat progress for the whole timeout window."""
+
+
+class TransportError(WorkerError):
+    """A worker's channel failed (peer timeout, closed socket, or a
+    corrupt frame) rather than the worker's own computation."""
+
+
+#: Failure classes the elastic recovery loop may respond to with a pool
+#: restart + checkpoint resume; plain :class:`WorkerError` (a genuine
+#: worker exception) always propagates.
+RECOVERABLE_ERRORS = (WorkerDead, WorkerStalled, TransportError)
+
+#: Traceback markers that identify a worker-reported error as a
+#: transport failure rather than an algorithmic one.
+_TRANSPORT_MARKERS = ("ChannelTimeout", "UnpicklingError",
+                      "ConnectionResetError", "BrokenPipeError")
 
 
 def _cleanup(procs, arenas, queues):
@@ -100,7 +148,10 @@ class ProcessBackend:
 
     def __init__(self, mesh: ProcessMesh, profile: MachineProfile,
                  nworkers: int, arena_bytes: Optional[int] = None,
-                 timeout: Optional[float] = None, transport: str = "shm"):
+                 timeout: Optional[float] = None, transport: str = "shm",
+                 faults: Optional[str] = None,
+                 max_restarts: Optional[int] = None,
+                 backoff: Optional[float] = None):
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {transport!r}; available: {TRANSPORTS}"
@@ -112,6 +163,16 @@ class ProcessBackend:
         self.arena_bytes = arena_bytes or DEFAULT_ARENA_BYTES
         self.timeout = default_timeout() if timeout is None else timeout
         self.transport = transport
+        #: declarative fault plan (see :mod:`repro.parallel.faults`);
+        #: parsed driver-side so a typo fails before any spawn, then
+        #: shipped verbatim for each worker to arm its own share.
+        self.faults = (os.environ.get("REPRO_PARALLEL_FAULTS") or None
+                       if faults is None else faults)
+        if self.faults:
+            parse_plan(self.faults)
+        self.max_restarts = (default_max_restarts() if max_restarts is None
+                             else int(max_restarts))
+        self.backoff = default_backoff() if backoff is None else float(backoff)
         self._started = False
         self._finalizer = None
         self.procs = []
@@ -123,12 +184,22 @@ class ProcessBackend:
             "fused_batches": 0,    # batch dispatches
             "fit_dispatches": 0,   # resident whole-fit dispatches
             "digest_checks": 0,    # cross-worker digest comparisons
+            "restarts": 0,         # pool respawns by the recovery loop
+            "recovery_dispatches": 0,  # dispatches issued for recovery
+            "detect_seconds": 0.0,     # failure-detection latency, summed
         }
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
+        """Spawn the pool (idempotent while live; restartable after
+        :meth:`terminate`, which the elastic recovery loop relies on)."""
         if self._started:
             return
+        # A restart leaves the dead pool's handles behind; drop them so
+        # the fresh pool gets fresh queues and heartbeat slots (stale
+        # result-queue entries from a killed run must never be read).
+        self.procs = []
+        self.arenas = []
         ctx = mp.get_context("spawn")
         w = self.nworkers
         self.inboxes = [ctx.Queue() for _ in range(w)]
@@ -141,7 +212,7 @@ class ProcessBackend:
         if self.transport == "tcp":
             env_hosts = os.environ.get("REPRO_PARALLEL_HOSTS")
             if env_hosts:
-                hosts = parse_hosts(env_hosts)
+                hosts = parse_hosts(env_hosts, self.nworkers)
             arena_names = None
         else:
             self.arenas = [
@@ -159,6 +230,7 @@ class ProcessBackend:
             "transport": self.transport,
             "hosts": hosts,
             "heartbeat": self.heartbeat,
+            "faults": self.faults,
         }
         saved = {v: os.environ.get(v) for v in _THREAD_PIN_VARS}
         try:
@@ -190,14 +262,24 @@ class ProcessBackend:
     def _owned_ranks(self, wid: int) -> list:
         return [r for r, w in enumerate(self.owners) if w == wid]
 
-    def command(self, op: str, payload) -> list:
-        """Broadcast one command; return per-worker results (by id)."""
+    def command(self, op: str, payload, recovery: bool = False) -> list:
+        """Broadcast one command; return per-worker results (by id).
+
+        ``recovery=True`` marks a dispatch issued by the elastic
+        recovery loop (re-construction / resumed fit after a respawn):
+        it is counted under ``recovery_dispatches`` only, so the
+        O(1)-dispatches-per-fit invariant stays checkable on the normal
+        counters.
+        """
         if not self._started:
             raise RuntimeError("backend not started")
-        self.counters["dispatches"] += 1
-        self.counters["commands"] += 1
-        if op == "fit":
-            self.counters["fit_dispatches"] += 1
+        if recovery:
+            self.counters["recovery_dispatches"] += 1
+        else:
+            self.counters["dispatches"] += 1
+            self.counters["commands"] += 1
+            if op == "fit":
+                self.counters["fit_dispatches"] += 1
         for q in self.cmd_queues:
             q.put((op, payload))
         return self._collect(op)
@@ -242,8 +324,10 @@ class ProcessBackend:
                         f"worker {w} (ranks {self._owned_ranks(w)})"
                         for w in dead
                     )
+                    self.counters["detect_seconds"] += (
+                        time.monotonic() - last_progress)
                     self.terminate()
-                    raise WorkerError(
+                    raise WorkerDead(
                         f"worker process(es) died during {op!r}: {names}. "
                         "Note the spawn start method re-imports the "
                         "driver's __main__: interactive/stdin sessions "
@@ -266,15 +350,25 @@ class ProcessBackend:
                         f"worker {w} (ranks {self._owned_ranks(w)})"
                         for w in stuck
                     )
+                    self.counters["detect_seconds"] += now - last_progress
                     self.terminate()
-                    raise WorkerError(
+                    raise WorkerStalled(
                         f"no progress for {self.timeout}s during {op!r}; "
                         f"unresponsive: {names}"
                     ) from None
                 continue
             if status == "err":
+                self.counters["detect_seconds"] += (
+                    time.monotonic() - last_progress)
                 self.terminate()
-                raise WorkerError(
+                # A channel timeout / torn frame is the *transport*
+                # failing (usually because a peer died or dropped a
+                # message), not the worker's own computation -- classify
+                # it so the recovery loop can respond.
+                cls = (TransportError
+                       if any(m in value for m in _TRANSPORT_MARKERS)
+                       else WorkerError)
+                raise cls(
                     f"worker {wid} failed during {op!r}:\n{value}"
                 )
             results[wid] = value
@@ -299,6 +393,10 @@ class ProcessBackend:
             out["exchanges"] = sum(d["exchanges"] for d in per)
             out["digests_computed"] = sum(d["digests_computed"]
                                           for d in per)
+            out["checkpoints_written"] = sum(
+                d.get("checkpoints_written", 0) for d in per)
+            out["checkpoint_seconds"] = sum(
+                d.get("checkpoint_seconds", 0.0) for d in per)
             out["per_worker"] = per
         return out
 
@@ -352,6 +450,9 @@ def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
     else:
         channel = PeerChannel(worker_id, inboxes, spec["arena_names"],
                               timeout=spec["timeout"], heartbeat=heartbeat)
+    # Arm this worker's share of the fault plan (None when no spec
+    # targets it); a fresh process starts with every spec re-armed.
+    channel.faults = FaultPlan.for_worker(worker_id, spec.get("faults"))
     rt = WorkerRuntime(spec["mesh"], spec["profile"], channel,
                        spec["owners"])
     state = _WorkerState()
@@ -397,10 +498,24 @@ def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
     if op == "fit":
         # The resident hot path: the whole training program runs here,
         # with zero driver round-trips between epochs.
-        features, labels, mask, epochs, trace_opts = payload
+        features, labels, mask, epochs, trace_opts, ckpt = payload
         algo = _require_algo(state, op)
         extras = []
         epoch_digests = [] if paranoid else None
+        ckpt = ckpt or {}
+        ckpt_path = ckpt.get("path")
+        resume = bool(ckpt.get("resume"))
+        plan = channel.faults
+        if plan is not None:
+            plan.attempt = int(ckpt.get("attempt", 1))
+        # Epoch-pinned faults must fire only on *live* epochs: a resume
+        # replays the checkpointed epochs through on_epoch, and
+        # re-firing a kill there would loop the recovery forever.
+        live_start = 0
+        if resume and ckpt_path:
+            from repro.nn.serialize import checkpoint_epochs
+
+            live_start = checkpoint_epochs(ckpt_path)
 
         def on_epoch(stats):
             channel.touch()
@@ -410,11 +525,22 @@ def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
                 epoch_digests.append(
                     ledger_digest(rt.tracker, stats.loss,
                                   stats.train_accuracy))
+            if plan is not None and stats.epoch >= live_start:
+                plan.on_epoch(stats.epoch)
 
+        fit_kwargs = dict(
+            mask=mask,
+            on_epoch=on_epoch,
+            checkpoint_path=ckpt_path,
+            checkpoint_every=int(ckpt.get("every", 0)),
+            resume=resume,
+            # One writer per pool: the checkpoint is a single shared
+            # file and every worker holds identical replicated state.
+            checkpoint_writer=(worker_id == 0),
+        )
         obs = None
         if trace_opts is None:
-            history = algo.fit(features, labels, epochs, mask=mask,
-                               on_epoch=on_epoch)
+            history = algo.fit(features, labels, epochs, **fit_kwargs)
         else:
             # Traced fit: record locally, ship the drained spans on this
             # same reply (the O(1)-dispatches invariant holds).  "align"
@@ -424,8 +550,7 @@ def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
                 int(trace_opts.get("capacity", _spans.DEFAULT_CAPACITY)))
             align = rec.clock()
             try:
-                history = algo.fit(features, labels, epochs, mask=mask,
-                                   on_epoch=on_epoch)
+                history = algo.fit(features, labels, epochs, **fit_kwargs)
             finally:
                 _spans.disable()
             obs = {
@@ -452,10 +577,15 @@ def _handle(rt, worker_id: int, op: str, payload, state: _WorkerState,
         return _digest_result(rt, worker_id, values, extras, item_digests,
                               state)
     if op == "stats":
+        algo = state.algo
         return {
             "channel_bytes": channel.bytes_sent,
             "exchanges": channel.nexchanges,
             "digests_computed": state.ndigests,
+            "checkpoints_written": (0 if algo is None
+                                    else algo.checkpoints_written),
+            "checkpoint_seconds": (0.0 if algo is None
+                                   else algo.checkpoint_seconds),
         }
     value, extras = _dispatch(rt, worker_id, op, payload, state)
     if op in _LEDGERED_OPS:

@@ -42,7 +42,8 @@ from repro.parallel.shm import (
     encode_payload,
 )
 
-__all__ = ["ChannelBase", "PeerChannel", "ChannelTimeout", "default_timeout"]
+__all__ = ["ChannelBase", "PeerChannel", "ChannelTimeout",
+           "default_timeout", "default_backoff"]
 
 
 class ChannelTimeout(RuntimeError):
@@ -51,6 +52,12 @@ class ChannelTimeout(RuntimeError):
 
 def default_timeout() -> float:
     return float(os.environ.get("REPRO_PARALLEL_TIMEOUT", "120"))
+
+
+def default_backoff() -> float:
+    """Base seconds for exponential backoff (TCP dial retries and the
+    driver's restart delays), via ``REPRO_PARALLEL_BACKOFF``."""
+    return float(os.environ.get("REPRO_PARALLEL_BACKOFF", "0.05"))
 
 
 #: Granularity of blocking waits: receives poll in slices this long so
@@ -78,6 +85,25 @@ class ChannelBase:
         #: :meth:`ProcessBackend.stats`)
         self.bytes_sent = 0
         self.nexchanges = 0
+        #: the worker's :class:`repro.parallel.faults.FaultPlan`, when a
+        #: fault plan is active (set by ``_worker_main``); consulted at
+        #: the exchange injection point by both transports.
+        self.faults = None
+
+    def _inject_exchange_fault(self) -> int:
+        """Named injection point: start of every exchange.
+
+        Returns the 0-based index of the exchange about to run (the
+        pre-increment ``nexchanges``) and executes any inline fault --
+        kill/hang/delay -- pinned to it.  Frame-level faults
+        (drop/corrupt) are *not* executed here; the TCP transport asks
+        ``faults.frame_fault(index)`` for those when it builds the
+        outbound frame.
+        """
+        xi = self.nexchanges
+        if self.faults is not None:
+            self.faults.on_exchange(xi)
+        return xi
 
     def _tag(self, gkey) -> Tuple:
         n = self._seq.get(gkey, 0)
@@ -186,6 +212,7 @@ class PeerChannel(ChannelBase):
         ephemeral segments used by ``items`` are reclaimed before
         returning (receivers acknowledge shared-memory receipts).
         """
+        self._inject_exchange_fault()
         self.touch()
         self.nexchanges += 1
         # When tracing, the one span per exchange carries the phase split

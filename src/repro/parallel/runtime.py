@@ -155,9 +155,12 @@ class ParallelAlgorithm:
         #: the :class:`~repro.obs.tracing.MergedTrace` of the last traced
         #: ``fit`` (``None`` until ``fit(trace=...)`` runs)
         self.last_trace = None
+        #: the exact make_algo payload, kept so the recovery loop can
+        #: rebuild the same algorithm on a respawned pool.
+        self._ctor_payload = (name, a_t, self.widths, seed, optimizer,
+                              kwargs)
         rt._ensure_started()
-        rt._command("make_algo", (name, a_t, self.widths, seed, optimizer,
-                                  kwargs))
+        rt._command("make_algo", self._ctor_payload)
 
     # ------------------------------------------------------------------ #
     def setup(self, features, labels, mask=None) -> None:
@@ -170,7 +173,7 @@ class ParallelAlgorithm:
         return stats
 
     def fit(self, features, labels, epochs: int, mask=None, on_epoch=None,
-            trace=None):
+            trace=None, checkpoint_path=None, checkpoint_every: int = 0):
         """Train for ``epochs`` epochs in **one dispatch**.
 
         The whole program (setup + epoch loop) ships to the resident
@@ -185,8 +188,24 @@ class ParallelAlgorithm:
         The drained spans ride back on the same single dispatch and the
         merged result lands in :attr:`last_trace`; losses and ledger
         stay bit-identical to an untraced fit.
+
+        ``checkpoint_path`` + ``checkpoint_every=k`` make worker 0 write
+        the full training state atomically every ``k`` epochs.  When the
+        backend has a restart budget (``max_restarts`` /
+        ``REPRO_PARALLEL_MAX_RESTARTS``), a recoverable failure -- dead
+        worker, stalled pool, transport error -- triggers the elastic
+        recovery loop: back off, respawn the pool, rebuild the
+        algorithm, and re-dispatch the fit with ``resume=True`` so the
+        workers reload the last checkpoint and continue.  The resumed
+        trajectory is deterministic, so final losses and the ledger
+        digest are bit-identical to a fault-free run.  Recovery
+        dispatches are counted separately (``recovery_dispatches`` in
+        :meth:`ParallelRuntime.backend_stats`), preserving the
+        O(1)-dispatches-per-fit invariant.
         """
         from repro.dist.base import DistTrainHistory
+        from repro.obs import spans as _spans
+        from repro.parallel.backend import RECOVERABLE_ERRORS
 
         trace_opts = None
         if trace is not None and trace is not False:
@@ -196,13 +215,47 @@ class ParallelAlgorithm:
                 trace_opts = {"capacity": trace}
             else:
                 trace_opts = dict(trace)
-        payload = (
+        ckpt = {
+            "path": None if checkpoint_path is None else str(checkpoint_path),
+            "every": int(checkpoint_every),
+            "resume": False,
+            "attempt": 1,
+        }
+        base = (
             np.asarray(features), np.asarray(labels),
             None if mask is None else np.asarray(mask), int(epochs),
             trace_opts,
         )
         t_dispatch = time.monotonic()
-        results = self.rt._command("fit", payload)
+        backend = self.rt._ensure_started()
+        attempt = 1
+        while True:
+            try:
+                if attempt == 1:
+                    results = self.rt._command("fit", base + (ckpt,))
+                else:
+                    results = backend.command(
+                        "fit", base + (dict(ckpt, resume=True,
+                                            attempt=attempt),),
+                        recovery=True)
+                break
+            except RECOVERABLE_ERRORS:
+                # attempt - 1 restarts are already behind us; reraise
+                # once the budget is spent (terminate() already ran in
+                # the failure path, so nothing leaks).
+                if attempt > backend.max_restarts:
+                    raise
+                rec = _spans.ACTIVE
+                t0 = rec.clock() if rec is not None else 0.0
+                time.sleep(backend.backoff * (2 ** (attempt - 1)))
+                backend.counters["restarts"] += 1
+                backend.start()
+                backend.command("make_algo", self._ctor_payload,
+                                recovery=True)
+                if rec is not None:
+                    rec.record("recover", "misc", t0, rec.clock(),
+                               (attempt,))
+                attempt += 1
         epoch_stats = self.rt._adopt_and_check(results)
         if trace_opts is not None:
             from repro.obs.tracing import merge_worker_obs
@@ -304,7 +357,10 @@ class ParallelRuntime(RuntimeBase):
                  workers: Optional[int] = None,
                  arena_bytes: Optional[int] = None,
                  timeout: Optional[float] = None,
-                 transport: str = "shm"):
+                 transport: str = "shm",
+                 faults: Optional[str] = None,
+                 max_restarts: Optional[int] = None,
+                 backoff: Optional[float] = None):
         self._init_core(mesh, profile)
         self.coll = None  # collectives execute inside the workers
         if workers is None:
@@ -323,6 +379,9 @@ class ParallelRuntime(RuntimeBase):
         self._algorithm_built = False
         self._arena_bytes = arena_bytes
         self._timeout = timeout
+        self._faults = faults
+        self._max_restarts = max_restarts
+        self._backoff = backoff
 
     # ------------------------------------------------------------------ #
     # constructors (mirroring VirtualRuntime)
@@ -358,7 +417,8 @@ class ParallelRuntime(RuntimeBase):
             self._backend = ProcessBackend(
                 self.mesh, self.profile, self.workers,
                 arena_bytes=self._arena_bytes, timeout=self._timeout,
-                transport=self.transport,
+                transport=self.transport, faults=self._faults,
+                max_restarts=self._max_restarts, backoff=self._backoff,
             )
             self._backend.start()
         return self._backend

@@ -47,20 +47,31 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import spans as _spans
-from repro.parallel.channel import WAIT_SLICE, ChannelBase, ChannelTimeout
+from repro.parallel.channel import (
+    WAIT_SLICE,
+    ChannelBase,
+    ChannelTimeout,
+    default_backoff,
+)
 
 __all__ = ["TcpChannel", "parse_hosts"]
 
 _HDR = struct.Struct(">Q")
 
 
-def parse_hosts(spec: str) -> List[Tuple[str, int]]:
+def parse_hosts(spec: str,
+                nworkers: Optional[int] = None) -> List[Tuple[str, int]]:
     """Parse ``REPRO_PARALLEL_HOSTS``: ``"host:port,host:port,..."``.
 
     One entry per worker, in worker-id order.  IPv6 literals may be
-    bracketed (``[::1]:9000``).
+    bracketed (``[::1]:9000``).  Validation is strict -- a malformed
+    endpoint, an out-of-range port, a duplicate endpoint, or (when
+    ``nworkers`` is given) a count mismatch each fail with their own
+    clear message, because a bad host map otherwise surfaces as an
+    opaque rendezvous hang on some remote machine.
     """
     out: List[Tuple[str, int]] = []
+    seen: Dict[Tuple[str, int], str] = {}
     for token in spec.split(","):
         token = token.strip()
         if not token:
@@ -71,9 +82,29 @@ def parse_hosts(spec: str) -> List[Tuple[str, int]]:
                 f"bad REPRO_PARALLEL_HOSTS entry {token!r}: expected "
                 "host:port"
             )
-        out.append((host.strip("[]"), int(port)))
+        portno = int(port)
+        if not 1 <= portno <= 65535:
+            raise ValueError(
+                f"bad REPRO_PARALLEL_HOSTS entry {token!r}: port "
+                f"{portno} is out of range 1-65535"
+            )
+        endpoint = (host.strip("[]"), portno)
+        if endpoint in seen:
+            raise ValueError(
+                f"duplicate REPRO_PARALLEL_HOSTS entry {token!r} "
+                f"(already used by {seen[endpoint]!r}): every worker "
+                "needs its own endpoint"
+            )
+        seen[endpoint] = token
+        out.append(endpoint)
     if not out:
         raise ValueError("REPRO_PARALLEL_HOSTS is set but empty")
+    if nworkers is not None and len(out) != nworkers:
+        raise ValueError(
+            f"REPRO_PARALLEL_HOSTS lists {len(out)} endpoints for "
+            f"{nworkers} workers: need exactly one per worker, in "
+            "worker-id order"
+        )
     return out
 
 
@@ -178,7 +209,10 @@ class TcpChannel(ChannelBase):
         """Connect with retries -- across hosts the peer's listener may
         come up later than ours."""
         deadline = time.monotonic() + max(self.timeout or 0.0, 5.0)
-        delay = 0.02
+        # Deterministic exponential backoff from REPRO_PARALLEL_BACKOFF:
+        # reconnects after a worker respawn retry on the same schedule
+        # every run.
+        delay = default_backoff()
         while True:
             try:
                 sock = socket.create_connection(addr, timeout=self.timeout
@@ -235,6 +269,14 @@ class TcpChannel(ChannelBase):
                 if waited >= self.timeout:
                     raise self._timeout_error(src, "a tcp frame") from None
                 continue
+            except OSError as exc:
+                # A peer dying mid-read surfaces as ECONNRESET/EPIPE
+                # rather than a clean close; either way it is the same
+                # transport failure as the k == 0 branch below.
+                raise ChannelTimeout(
+                    f"worker {self.wid}: TCP peer {src} dropped the "
+                    f"connection ({type(exc).__name__}; crashed worker?)"
+                ) from None
             if k == 0:
                 raise ChannelTimeout(
                     f"worker {self.wid}: TCP peer {src} closed the "
@@ -287,8 +329,13 @@ class TcpChannel(ChannelBase):
         """Same contract as :meth:`PeerChannel.exchange`; payloads are
         pickled whole (numpy arrays round-trip bit-exactly) so receivers
         always hold private copies."""
+        xi = self._inject_exchange_fault()
         self.touch()
         self.nexchanges += 1
+        # Frame faults only make sense when a frame goes on the wire:
+        # an exchange with no outbound peers leaves the fault armed.
+        frame_fault = (self.faults.frame_fault(xi)
+                       if self.faults is not None and send_to else None)
         rec = _spans.ACTIVE
         t_start = rec.clock() if rec is not None else 0.0
         if rec is not None:
@@ -300,13 +347,24 @@ class TcpChannel(ChannelBase):
             t0 = rec.clock() if rec is not None else 0.0
             blob = pickle.dumps(("d", tag, self.wid, list(items)),
                                 protocol=pickle.HIGHEST_PROTOCOL)
+            if frame_fault is not None and frame_fault.action == "corrupt":
+                # Same length, mangled first opcode: the receiver's
+                # unpickle raises, modeling on-the-wire corruption.
+                mangled = bytearray(blob)
+                mangled[0] ^= 0xFF
+                blob = bytes(mangled)
             frame = _HDR.pack(len(blob)) + blob
             if rec is not None:
                 ser_s = rec.clock() - t0
-            for w in send_to:
-                self._sendqs[w].put(frame)
-            sent = len(frame) * len(send_to)
-            self.bytes_sent += sent
+            if frame_fault is not None and frame_fault.action == "drop":
+                # The frame is never posted: the receiving peers' waits
+                # expire into ChannelTimeout (a transport error).
+                pass
+            else:
+                for w in send_to:
+                    self._sendqs[w].put(frame)
+                sent = len(frame) * len(send_to)
+                self.bytes_sent += sent
         out: Dict[int, List[Tuple[Any, Any]]] = {}
         for w in recv_from:
             msg = self._recv("d", tag, w)

@@ -226,6 +226,27 @@ class TestHostsParsing:
         with pytest.raises(ValueError, match="empty"):
             parse_hosts(" , ")
 
+    def test_parse_hosts_rejects_bad_ports(self):
+        with pytest.raises(ValueError, match="port"):
+            parse_hosts("a:0")
+        with pytest.raises(ValueError, match="port"):
+            parse_hosts("a:70000")
+        with pytest.raises(ValueError, match="host:port"):
+            parse_hosts("a:http")
+
+    def test_parse_hosts_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_hosts("10.0.0.1:9000,10.0.0.1:9000")
+        # Same host, different ports: fine (single-machine layouts).
+        assert parse_hosts("h:1,h:2") == [("h", 1), ("h", 2)]
+
+    def test_parse_hosts_enforces_worker_count(self):
+        assert parse_hosts("h:1,h:2", nworkers=2) == [("h", 1), ("h", 2)]
+        with pytest.raises(ValueError, match="need exactly one per worker"):
+            parse_hosts("h:1,h:2", nworkers=3)
+        with pytest.raises(ValueError, match="need exactly one per worker"):
+            parse_hosts("h:1,h:2,h:3", nworkers=2)
+
     def test_hosts_rendezvous_on_loopback(self, ds, monkeypatch):
         """The static REPRO_PARALLEL_HOSTS path (how multi-host runs
         rendezvous), exercised with both endpoints on loopback."""

@@ -5,7 +5,18 @@ import pytest
 
 from repro.graph import make_synthetic
 from repro.nn import GCN, SGD, SerialTrainer
-from repro.nn.serialize import load_csr, load_weights, save_csr, save_weights
+from repro.nn.optim import Adam
+from repro.nn.serialize import (
+    checkpoint_epochs,
+    load_checkpoint,
+    load_csr,
+    load_weights,
+    optimizer_state,
+    restore_optimizer,
+    save_checkpoint,
+    save_csr,
+    save_weights,
+)
 
 
 class TestWeightCheckpoints:
@@ -74,3 +85,122 @@ class TestCsrCheckpoints:
         )
         with pytest.raises(ValueError):
             load_csr(path)
+
+
+def _stepped(opt, steps=2, seed=7):
+    rng = np.random.default_rng(seed)
+    params = [rng.standard_normal((5, 4)), rng.standard_normal((4, 3))]
+    for _ in range(steps):
+        grads = [rng.standard_normal(p.shape) for p in params]
+        opt.step(params, grads)
+    return params
+
+
+class TestOptimizerState:
+    def test_adam_roundtrip_bit_exact(self):
+        opt = Adam(lr=0.01, beta1=0.9, beta2=0.995, eps=1e-9)
+        params = _stepped(opt)
+        meta, arrays = optimizer_state(opt)
+        assert meta["kind"] == "adam" and meta["t"] == 2
+        clone = Adam(lr=0.01, beta1=0.9, beta2=0.995, eps=1e-9)
+        restore_optimizer(clone, meta, arrays)
+        assert clone._t == opt._t
+        for a, b in zip(clone._m + clone._v, opt._m + opt._v):
+            np.testing.assert_array_equal(a, b)
+        # ...and the restored optimizer takes an identical next step.
+        rng = np.random.default_rng(1)
+        grads = [rng.standard_normal(p.shape) for p in params]
+        p1 = [p.copy() for p in params]
+        p2 = [p.copy() for p in params]
+        opt.step(p1, [g.copy() for g in grads])
+        clone.step(p2, [g.copy() for g in grads])
+        for a, b in zip(p1, p2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_sgd_momentum_roundtrip(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        _stepped(opt)
+        meta, arrays = optimizer_state(opt)
+        assert meta["kind"] == "sgd"
+        clone = SGD(lr=0.1, momentum=0.9)
+        restore_optimizer(clone, meta, arrays)
+        for a, b in zip(clone._velocity, opt._velocity):
+            np.testing.assert_array_equal(a, b)
+
+    def test_fresh_optimizer_has_empty_state(self):
+        meta, arrays = optimizer_state(SGD(lr=0.1))
+        assert arrays == []
+        clone = SGD(lr=0.1)
+        restore_optimizer(clone, meta, arrays)
+
+    def test_kind_mismatch_rejected(self):
+        meta, arrays = optimizer_state(Adam(lr=0.01))
+        with pytest.raises(ValueError, match="adam"):
+            restore_optimizer(SGD(lr=0.1), meta, arrays)
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(TypeError):
+            optimizer_state(object())
+
+
+class TestFullCheckpoints:
+    def _write(self, path, epoch=4):
+        opt = Adam(lr=0.02)
+        weights = _stepped(opt)
+        save_checkpoint(path, weights=weights, optimizer=opt, epoch=epoch,
+                        tracker_state=b"\x01\x02ledger",
+                        categories=("scomm", "dcomm"),
+                        history={"loss": np.array([0.9, 0.7])})
+        return weights, opt
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "full.npz"
+        weights, opt = self._write(path)
+        state = load_checkpoint(path)
+        assert state["epoch"] == 4
+        assert state["tracker_state"] == b"\x01\x02ledger"
+        assert state["categories"] == ("scomm", "dcomm")
+        for a, b in zip(state["weights"], weights):
+            np.testing.assert_array_equal(a, b)
+        clone = Adam(lr=0.02)
+        restore_optimizer(clone, state["optimizer"], state["opt_arrays"])
+        assert clone._t == opt._t
+        np.testing.assert_array_equal(state["history"]["loss"], [0.9, 0.7])
+        assert checkpoint_epochs(path) == 4
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "full.npz"
+        self._write(path)
+        self._write(path, epoch=9)        # overwrite in place
+        assert checkpoint_epochs(path) == 9
+        leftovers = [p.name for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_missing_file_means_epoch_zero(self, tmp_path):
+        assert checkpoint_epochs(tmp_path / "absent.npz") == 0
+
+    def test_bit_flip_fails_digest_check(self, tmp_path):
+        path = tmp_path / "full.npz"
+        self._write(path)
+        state = load_checkpoint(path)
+        # Re-save with a flipped weight but the original meta digest.
+        bad = [w.copy() for w in state["weights"]]
+        bad[0][0, 0] += 1.0
+        arrays = {f"weight_{i}": w for i, w in enumerate(bad)}
+        for i, a in enumerate(state["opt_arrays"]):
+            arrays[f"opt_{i}"] = a
+        arrays["tracker_state"] = np.frombuffer(
+            state["tracker_state"], dtype=np.uint8)
+        arrays["hist_loss"] = state["history"]["loss"]
+        import json
+        arrays["__repro_meta__"] = np.frombuffer(
+            json.dumps(state["meta"]).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="content-digest"):
+            load_checkpoint(path)
+
+    def test_non_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_checkpoint(path)
