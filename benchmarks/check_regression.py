@@ -182,6 +182,85 @@ def check_obs(path: str) -> List[str]:
     return problems
 
 
+def check_obs_profile(path: str) -> List[str]:
+    """Overhead guard on the ``obs_profile`` section (ISSUE 9).
+
+    Kernel profiling (flop/byte counters on SpMM, the GEMM funnels and
+    reduction folds) rides on top of span tracing, and the *combined*
+    cost must still look like an observer: a traced+profiled resident
+    ``fit`` must cost at most 10 % more wall time than an untraced one.
+    Same skip discipline as the ``obs`` gate -- wall ratios only mean
+    something with real cores under the workers, so the gate is enforced
+    only when the report says ``host_cores >= 4``.  Returns a list of
+    violation messages (empty = healthy or section absent).
+    """
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    section = payload.get("obs_profile")
+    if not isinstance(section, dict):
+        return []
+    problems = []
+    ratio = section.get("overhead_ratio")
+    host_cores = section.get("host_cores", 0)
+    if ratio is None:
+        problems.append("obs_profile: missing overhead_ratio (kernel "
+                        "profiling cost not recorded)")
+    elif host_cores >= 4 and not os.environ.get("REPRO_BENCH_SKIP"):
+        if ratio > 1.10:
+            problems.append(
+                f"obs_profile: trace+profile overhead ratio {ratio:.3f} "
+                f"above 1.10 on a {host_cores}-core host (kernel "
+                "counters must stay under 10% of untraced wall)"
+            )
+    else:
+        why = (f"host_cores={host_cores} < 4"
+               if host_cores < 4 else "REPRO_BENCH_SKIP set")
+        print(f"obs_profile: overhead gate skipped ({why}); "
+              f"overhead_ratio={ratio} recorded for reference")
+    if not section.get("kernels"):
+        problems.append("obs_profile: no kernels recorded (profiled fit "
+                        "produced an empty counter table)")
+    return problems
+
+
+def check_trace_diff(fresh_trace: str, baseline_trace: str,
+                     threshold: float) -> List[str]:
+    """Per-phase trace regression via ``repro.obs.diff``.
+
+    Optional extra gate (``--trace-a``/``--trace-b``): runs the same
+    machinery as ``repro obs diff`` between a fresh trace summary JSON
+    and a committed baseline and fails on a ``regression`` verdict.
+    Timing-based, so ``REPRO_BENCH_SKIP`` silences it.
+    """
+    if os.environ.get("REPRO_BENCH_SKIP"):
+        print("trace diff gate skipped (REPRO_BENCH_SKIP set)")
+        return []
+    try:
+        from repro.obs.diff import diff_traces, format_trace_diff
+    except ModuleNotFoundError:
+        # Fresh clone without `pip install -e .`: src layout fallback.
+        sys.path.insert(0, os.path.join(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))), "src"))
+        from repro.obs.diff import diff_traces, format_trace_diff
+    with open(baseline_trace, encoding="utf-8") as fh:
+        a = json.load(fh)
+    with open(fresh_trace, encoding="utf-8") as fh:
+        b = json.load(fh)
+    try:
+        verdict = diff_traces(a, b, threshold=threshold,
+                              a_name=baseline_trace, b_name=fresh_trace)
+    except ValueError as exc:
+        return [f"trace diff: {exc}"]
+    print(format_trace_diff(verdict))
+    if verdict.get("verdict") == "regression":
+        return [
+            f"trace diff: {fresh_trace} regressed vs {baseline_trace} "
+            f"beyond {threshold:.2f}x "
+            f"(max drift {verdict.get('max_drift', 0.0) * 100:.1f}%)"
+        ]
+    return []
+
+
 def check_checkpoint(path: str) -> List[str]:
     """Overhead guard on the ``checkpoint`` section (ISSUE 8).
 
@@ -231,7 +310,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="after printing the comparison, overwrite "
                              "the baseline with the fresh report and "
                              "exit 0 (refreshes the committed guard)")
+    parser.add_argument("--trace-a", metavar="BASELINE_TRACE",
+                        help="baseline Chrome-trace JSON for the "
+                             "per-phase trace-diff gate (with --trace-b)")
+    parser.add_argument("--trace-b", metavar="FRESH_TRACE",
+                        help="fresh Chrome-trace JSON for the per-phase "
+                             "trace-diff gate (with --trace-a)")
+    parser.add_argument("--trace-threshold", type=float, default=1.25,
+                        help="per-phase ratio above which the trace diff "
+                             "counts as a regression (default 1.25)")
     args = parser.parse_args(argv)
+    if bool(args.trace_a) != bool(args.trace_b):
+        print("--trace-a and --trace-b must be given together",
+              file=sys.stderr)
+        return 2
     if args.threshold <= 0:
         print("--threshold must be positive", file=sys.stderr)
         return 2
@@ -266,6 +358,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("obs overhead gate violated; failing regardless of other "
               "timings", file=sys.stderr)
         return 1
+    # Kernel profiling shares the observer contract: the combined
+    # trace+profile ratio gets the same 10% ceiling (plus a structural
+    # check that the counter table is non-empty, which no skip silences).
+    obs_profile_problems = check_obs_profile(args.fresh)
+    if obs_profile_problems:
+        for msg in obs_profile_problems:
+            print(msg, file=sys.stderr)
+        print("obs_profile gate violated; failing regardless of other "
+              "timings", file=sys.stderr)
+        return 1
+    # Optional per-phase trace diff between a fresh trace export and a
+    # committed baseline (same machinery as `repro obs diff`).
+    if args.trace_a and args.trace_b:
+        trace_problems = check_trace_diff(
+            args.trace_b, args.trace_a, args.trace_threshold)
+        if trace_problems:
+            for msg in trace_problems:
+                print(msg, file=sys.stderr)
+            print("trace diff gate violated; failing regardless of other "
+                  "timings", file=sys.stderr)
+            return 1
     # Same shape for checkpoint writes: self-skips on starved hosts,
     # hard-fails on capable ones -- fault-tolerance insurance that costs
     # > 5% of fit wall is a tax.

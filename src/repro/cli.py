@@ -21,7 +21,10 @@ code:
 * ``report``      -- the model-vs-measured drift tables from a trace
   file written by ``train --trace`` (per-category seconds: modeled
   ledger vs simulator prediction vs measured wall clock, plus phases
-  and stragglers).
+  and stragglers);
+* ``obs``         -- observability utilities: ``obs diff a.json b.json``
+  flags per-category/per-phase regressions between two traces;
+  ``obs validate-events log.jsonl`` checks an event log's hash chain.
 
 Examples::
 
@@ -167,7 +170,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         print(str(exc).strip().splitlines()[-1], file=sys.stderr)
         return 2
     quiet = bool(args.json)
-    tracing = bool(args.trace or args.metrics)
+    tracing = bool(args.trace or args.metrics or args.profile)
     if not quiet:
         print(f"dataset : {ds.name}  {ds.summary()}")
         print(f"machine : {algo.rt.describe()}")
@@ -179,6 +182,32 @@ def cmd_train(args: argparse.Namespace) -> int:
     backend_stats = None
     trace = None
     machine = algo.rt.profile.name
+    config = {
+        "algorithm": args.algorithm, "gpus": args.gpus,
+        "hidden": args.hidden, "epochs": args.epochs,
+        "seed": args.seed, "lr": args.lr,
+        "variant": args.variant if args.algorithm == "1d" else None,
+        "replication": (args.replication
+                        if args.algorithm == "1.5d" else None),
+        "partition": args.partition, "dataset": args.dataset,
+        "scale": args.scale, "vertices": args.vertices,
+        "degree": args.degree, "features": args.features,
+        "classes": args.classes, "backend": args.backend,
+        "transport": (args.transport
+                      if args.backend == "process" else None),
+        "workers": args.workers, "machine": machine,
+    }
+    live_server = None
+    live_state = {}
+    events_on = bool(args.events)
+    if events_on:
+        from repro.obs import events as _events
+
+        _events.enable(args.events)
+        _events.emit("run_start", config=config)
+        if args.faults:
+            _events.emit("fault_plan", plan=args.faults)
+    status = "failed"
     try:
         import time as _time
 
@@ -187,20 +216,63 @@ def cmd_train(args: argparse.Namespace) -> int:
         if args.checkpoint:
             fit_kwargs["checkpoint_path"] = args.checkpoint
             fit_kwargs["checkpoint_every"] = args.checkpoint_every
+        if args.metrics_port is not None:
+            from repro.obs import LiveServer
+
+            if args.backend == "process":
+                # Zero extra dispatches: the sampler reads only the
+                # backend's shared state while the driver blocks in
+                # the single fit dispatch.
+                sampler = algo.rt.live_sample
+            else:
+                def _live_on_epoch(stats):
+                    live_state["epoch"] = stats.epoch + 1
+                    live_state["loss"] = float(stats.loss)
+
+                def sampler():
+                    sample = dict(live_state)
+                    sample["workers"] = 1
+                    sample["checkpoints"] = getattr(
+                        algo, "checkpoints_written", 0)
+                    return sample
+
+                fit_kwargs["on_epoch"] = _live_on_epoch
+            live_server = LiveServer(sampler, port=args.metrics_port)
+            if not quiet:
+                print(f"live metrics: {live_server.url}")
         if tracing:
             from repro.obs import traced_fit
 
             history, trace = traced_fit(algo, ds.features, ds.labels,
-                                        args.epochs, **fit_kwargs)
+                                        args.epochs,
+                                        profile=bool(args.profile),
+                                        **fit_kwargs)
         else:
             history = algo.fit(ds.features, ds.labels, epochs=args.epochs,
                                **fit_kwargs)
         elapsed = _time.perf_counter() - t0
+        status = "ok"
         if args.backend == "process":
             backend_stats = algo.rt.backend_stats()
     finally:
+        if live_server is not None:
+            live_server.close()
         if args.backend == "process":
             algo.rt.close()
+        if events_on:
+            from repro.obs import events as _events
+
+            if status == "ok":
+                _events.emit("run_end", status=status,
+                             epochs=len(history.epochs),
+                             final_loss=float(history.losses[-1])
+                             if history.losses else None,
+                             wall_seconds=elapsed)
+            else:
+                _events.emit("run_end", status=status)
+            _events.disable()
+            if not quiet:
+                print(f"wrote event log {args.events}")
     last = history.epochs[-1]
     bd = history.mean_breakdown(skip_first=True)
     if not quiet:
@@ -239,21 +311,6 @@ def cmd_train(args: argparse.Namespace) -> int:
         from repro.obs import (build_trace_meta, export_chrome_trace,
                                metrics_from_trace, write_metrics)
 
-        config = {
-            "algorithm": args.algorithm, "gpus": args.gpus,
-            "hidden": args.hidden, "epochs": args.epochs,
-            "seed": args.seed, "lr": args.lr,
-            "variant": args.variant if args.algorithm == "1d" else None,
-            "replication": (args.replication
-                            if args.algorithm == "1.5d" else None),
-            "partition": args.partition, "dataset": args.dataset,
-            "scale": args.scale, "vertices": args.vertices,
-            "degree": args.degree, "features": args.features,
-            "classes": args.classes, "backend": args.backend,
-            "transport": (args.transport
-                          if args.backend == "process" else None),
-            "workers": args.workers, "machine": machine,
-        }
         if args.trace:
             meta = build_trace_meta(config, history, trace, elapsed)
             export_chrome_trace(trace, args.trace, extra=meta)
@@ -296,6 +353,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             "trace": None if trace is None else trace.summary(),
             "trace_path": args.trace or None,
             "metrics_path": args.metrics or None,
+            "events_path": args.events or None,
         }
         print(json.dumps(doc, indent=2))
     return 0
@@ -321,6 +379,54 @@ def cmd_report(args: argparse.Namespace) -> int:
     print(format_drift_report(report))
     _write_json(report, args.json)
     return 0
+
+
+def _obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import diff_traces, format_trace_diff
+
+    payloads = []
+    for path in (args.trace_a, args.trace_b):
+        with open(path, "r", encoding="utf-8") as fh:
+            payloads.append(json.load(fh))
+    try:
+        report = diff_traces(payloads[0], payloads[1],
+                             threshold=args.threshold,
+                             min_seconds=args.min_seconds,
+                             a_name=args.trace_a, b_name=args.trace_b)
+    except ValueError as exc:
+        return _usage_error(exc)
+    print(format_trace_diff(report))
+    _write_json(report, args.json)
+    return 1 if report["verdict"] == "regression" else 0
+
+
+def _obs_validate_events(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.obs import read_event_log, validate_event_log
+
+    problems = validate_event_log(args.log)
+    if problems:
+        for p in problems[:20]:
+            print(f"invalid event log: {p}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"... and {len(problems) - 20} more problems",
+                  file=sys.stderr)
+        return 1
+    events = read_event_log(args.log)
+    counts = Counter(e["type"] for e in events)
+    print(f"{args.log}: {len(events)} event(s), chain intact")
+    _print_table(("type", "count"),
+                 [(t, str(n)) for t, n in sorted(counts.items())])
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "diff":
+        return _obs_diff(args)
+    return _obs_validate_events(args)
 
 
 def cmd_memory(_args: argparse.Namespace) -> int:
@@ -679,6 +785,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write Prometheus text-format metrics of the "
                         "traced run here")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                   help="serve live Prometheus metrics on "
+                        "127.0.0.1:N/metrics *while* fit runs (0 = "
+                        "ephemeral port); zero extra dispatches on the "
+                        "process backend")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="append a hash-chained JSON-lines event log "
+                        "(run lifecycle, epochs, checkpoints, recovery "
+                        "taxonomy) here; validate with "
+                        "'repro obs validate-events'")
+    p.add_argument("--profile", action="store_true",
+                   help="per-kernel flop/byte/second counters (SpMM, "
+                        "GEMMs, reduction folds) plus memory gauges; "
+                        "rides the trace and feeds the drift report's "
+                        "compute table")
     p.add_argument("--json", action="store_true",
                    help="print one machine-readable JSON document "
                         "instead of the human tables")
@@ -763,6 +884,29 @@ def build_parser() -> argparse.ArgumentParser:
                                  "'repro train --trace'")
     p.add_argument("--json", help="also write the report as JSON here")
 
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    d = obs_sub.add_parser(
+        "diff",
+        help="per-category/per-phase regression diff of two trace files "
+             "(exit 1 on regression verdict)",
+    )
+    d.add_argument("trace_a", help="reference trace JSON")
+    d.add_argument("trace_b", help="candidate trace JSON")
+    d.add_argument("--threshold", type=float, default=1.25,
+                   help="B/A per-epoch-seconds ratio above which a row "
+                        "regresses (default 1.25)")
+    d.add_argument("--min-seconds", type=float, default=1e-4,
+                   help="absolute per-epoch growth noise floor "
+                        "(default 1e-4 s)")
+    d.add_argument("--json", help="also write the diff document here")
+    v = obs_sub.add_parser(
+        "validate-events",
+        help="verify an event log's schema, sequence, and hash chain",
+    )
+    v.add_argument("log", help="JSON-lines event log written by "
+                               "'repro train --events'")
+
     return parser
 
 
@@ -778,6 +922,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "explosion": cmd_explosion,
     "report": cmd_report,
+    "obs": cmd_obs,
 }
 
 

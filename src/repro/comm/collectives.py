@@ -46,6 +46,7 @@ from repro.comm import cost_model as cm
 from repro.comm.plan import CommPlan
 from repro.comm.tracker import Category, CommTracker
 from repro.config import INDEX_BYTES, MachineProfile
+from repro.obs import profile as _profile
 
 __all__ = ["Collectives", "payload_nbytes"]
 
@@ -883,6 +884,8 @@ class Collectives:
         assert exclusive ownership of the leading contribution, letting
         it serve as the accumulator directly.
         """
+        prof = _profile.ACTIVE
+        t0 = prof.clock() if prof is not None else 0.0
         first = self._require_dense(values[group[0]], "reduction")
         if donate_first and first.flags.writeable:
             acc = first
@@ -899,4 +902,9 @@ class Collectives:
                 op(acc, arr, out=acc)
             else:
                 acc = op(acc, arr)
+        if prof is not None:
+            folds = max(0, len(group) - 1)
+            prof.add("reduce.fold", prof.clock() - t0,
+                     folds * acc.size,
+                     (folds + 1) * acc.nbytes + acc.nbytes)
         return acc

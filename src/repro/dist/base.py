@@ -46,6 +46,7 @@ from repro.nn.loss import accuracy, nll_loss
 from repro.nn.model import GCN, SerialTrainer
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn import serialize as _serialize
+from repro.obs import events as _events
 from repro.obs import spans as _spans
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.perfmodel import SpmmPerfModel
@@ -58,6 +59,19 @@ __all__ = [
     "GridAlgorithm",
     "clone_optimizer",
 ]
+
+
+def _emit_epoch_event(stats, replayed: bool = False) -> None:
+    """Append one ``epoch`` event to the active event log (no-op when
+    no log is enabled -- i.e. always inside SPMD workers, where the
+    driver owns the log)."""
+    if _events.ACTIVE is None:
+        return
+    data = {"epoch": int(stats.epoch), "loss": float(stats.loss),
+            "train_accuracy": float(stats.train_accuracy)}
+    if replayed:
+        data["replayed"] = True
+    _events.emit("epoch", **data)
 
 
 def clone_optimizer(opt: Optimizer) -> Optimizer:
@@ -574,8 +588,9 @@ class DistAlgorithm:
         if (resume and checkpoint_path is not None
                 and os.path.exists(checkpoint_path)):
             start = self._restore_checkpoint(checkpoint_path, history)
-            if on_epoch is not None:
-                for stats in history.epochs:
+            for stats in history.epochs:
+                _emit_epoch_event(stats, replayed=True)
+                if on_epoch is not None:
                     on_epoch(stats)
         rec = _spans.ACTIVE
         for epoch in range(start, epochs):
@@ -586,6 +601,7 @@ class DistAlgorithm:
                 stats = self.train_epoch(epoch)
                 rec.record("epoch", "epoch", t0, rec.clock(), (epoch,))
             history.epochs.append(stats)
+            _emit_epoch_event(stats)
             # Checkpoint before on_epoch so injected faults that fire at
             # the epoch-boundary callback happen strictly after the save
             # -- the state a recovery reloads is exactly this boundary.
@@ -631,6 +647,7 @@ class DistAlgorithm:
         )
         self.checkpoints_written += 1
         self.checkpoint_seconds += time.monotonic() - t_start
+        _events.emit("checkpoint", path=str(path), epochs=len(stats))
         if rec is not None:
             rec.record("checkpoint", "misc", t0c, rec.clock(),
                        (len(stats),))

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn.activations import Activation, ReLU
+from repro.obs import profile as _profile
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.spmm import spmm
 
@@ -46,7 +47,16 @@ def forward_gemm(t: np.ndarray, weight: np.ndarray) -> np.ndarray:
     paths run the identical kernel -- the precondition for the paper's
     bit-close serial-vs-parallel verification.
     """
-    return t @ weight
+    prof = _profile.ACTIVE
+    if prof is None:
+        return t @ weight
+    t0 = prof.clock()
+    z = t @ weight
+    m, k = t.shape
+    prof.add("gemm.forward", prof.clock() - t0,
+             2 * m * k * weight.shape[1],
+             t.nbytes + weight.nbytes + z.nbytes)
+    return z
 
 
 def weight_gradient(t: np.ndarray, g: np.ndarray) -> np.ndarray:
@@ -55,12 +65,28 @@ def weight_gradient(t: np.ndarray, g: np.ndarray) -> np.ndarray:
     Distributed algorithms apply it to row blocks and sum the partial
     products with an all-reduce.
     """
-    return t.T @ g
+    prof = _profile.ACTIVE
+    if prof is None:
+        return t.T @ g
+    t0 = prof.clock()
+    y = t.T @ g
+    m, k = t.shape
+    prof.add("gemm.wgrad", prof.clock() - t0, 2 * m * k * g.shape[1],
+             t.nbytes + g.nbytes + y.nbytes)
+    return y
 
 
 def hidden_gradient(ag: np.ndarray, weight: np.ndarray) -> np.ndarray:
     """``A G^l (W^l)^T`` (Equation 2, before the sigma' Hadamard)."""
-    return ag @ weight.T
+    prof = _profile.ACTIVE
+    if prof is None:
+        return ag @ weight.T
+    t0 = prof.clock()
+    h = ag @ weight.T
+    m, n = ag.shape
+    prof.add("gemm.hgrad", prof.clock() - t0, 2 * m * n * weight.shape[0],
+             ag.nbytes + weight.nbytes + h.nbytes)
+    return h
 
 
 @dataclass

@@ -11,7 +11,15 @@ Four layers, each usable alone:
 * :mod:`repro.obs.metrics` -- Prometheus text-format counters, gauges,
   and quantile summaries;
 * :mod:`repro.obs.report` -- the model-vs-measured drift report behind
-  ``repro report``.
+  ``repro report``;
+* :mod:`repro.obs.events` -- the hash-chained JSON-lines event log
+  (run lifecycle, epochs, checkpoints, recovery taxonomy);
+* :mod:`repro.obs.live` -- the in-flight Prometheus endpoint served
+  while ``fit`` runs;
+* :mod:`repro.obs.profile` -- per-kernel flop/byte/second counters and
+  memory gauges;
+* :mod:`repro.obs.diff` -- per-phase/per-category trace diffing with a
+  machine-readable verdict (``repro obs diff``).
 
 Everything here is observational: spans never touch the ledger, so
 traced runs stay bit-identical to untraced ones in losses and ledger
@@ -23,6 +31,27 @@ from repro.obs.chrome import (
     export_chrome_trace,
     trace_from_chrome,
     validate_chrome_trace,
+)
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    diff_traces,
+    format_trace_diff,
+)
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EVENT_TYPES,
+    EventLog,
+    read_event_log,
+    validate_event_log,
+)
+from repro.obs.live import (
+    LiveServer,
+    render_live_sample,
+)
+from repro.obs.profile import (
+    KernelProfiler,
+    merge_profiles,
+    peak_rss_bytes,
 )
 from repro.obs.metrics import (
     Counter,
@@ -55,7 +84,13 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_CAPACITY",
+    "DIFF_SCHEMA",
+    "EVENTS_SCHEMA",
+    "EVENT_TYPES",
+    "EventLog",
     "Gauge",
+    "KernelProfiler",
+    "LiveServer",
     "MergedTrace",
     "MetricsRegistry",
     "SPAN_CATEGORIES",
@@ -64,16 +99,23 @@ __all__ = [
     "TraceSpan",
     "build_trace_meta",
     "chrome_events",
+    "diff_traces",
     "disable",
     "drift_report",
     "enable",
     "export_chrome_trace",
     "format_drift_report",
+    "format_trace_diff",
     "is_enabled",
+    "merge_profiles",
     "merge_worker_obs",
     "metrics_from_trace",
+    "peak_rss_bytes",
+    "read_event_log",
+    "render_live_sample",
     "trace_from_chrome",
     "traced_fit",
     "validate_chrome_trace",
+    "validate_event_log",
     "write_metrics",
 ]

@@ -1,0 +1,221 @@
+"""Structured JSON-lines event log for live and post-mortem runs.
+
+Spans (:mod:`repro.obs.spans`) answer "where did the wall clock go";
+events answer "what *happened*, in order": run lifecycle, epoch
+completions, checkpoint writes, configured fault plans, and the full
+recovery taxonomy (``WorkerDead``/``WorkerStalled``/``TransportError``
+-> backoff -> respawn -> resume).  A multi-hour elastic fit leaves a
+line-per-event audit trail that is readable while the run is alive --
+each line is flushed as soon as it happens -- and verifiable after it
+is dead.
+
+Format (schema ``repro-events/1``)
+----------------------------------
+One compact JSON object per line::
+
+    {"schema": "repro-events/1", "seq": 3, "ts": 1754500000.1,
+     "type": "epoch", "link": "9f2c41d08a1b", "data": {"epoch": 2, ...}}
+
+* ``seq`` is contiguous from 0 -- a deleted line breaks the sequence;
+* ``link`` is the first 12 hex chars of the SHA-1 of the *previous raw
+  line* (the genesis line links to the schema string), so an edited
+  line breaks every link after it;
+* a crash mid-write can only truncate the final line, which then fails
+  to parse -- earlier lines are already durable (``flush`` per event).
+
+:func:`validate_event_log` checks all of the above plus that every
+``type`` is known, so a tampered or truncated log is rejected instead
+of silently trusted.
+
+Emission sites consult the module-global :data:`ACTIVE` sink with the
+same ``is None`` fast path as span recording, so runs without
+``--events`` pay nothing.  On the process backend the *driver* owns the
+log: worker-side epochs/checkpoints are journalled from the driver's
+replay of the adopted history (deterministic, same order), and the
+recovery loop journals failures live as it handles them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "ACTIVE",
+    "EVENTS_SCHEMA",
+    "EVENT_TYPES",
+    "EventLog",
+    "disable",
+    "emit",
+    "enable",
+    "read_event_log",
+    "validate_event_log",
+]
+
+EVENTS_SCHEMA = "repro-events/1"
+
+#: Every event type a ``repro-events/1`` log may carry.  The validator
+#: rejects unknown types, so extending the taxonomy means bumping this
+#: tuple (and the schema if the change is incompatible).
+EVENT_TYPES = (
+    "run_start",     # config snapshot; first event of a run
+    "run_end",       # wall seconds, final loss, restart count
+    "epoch",         # one completed training epoch (index, loss)
+    "checkpoint",    # atomic checkpoint published (path, epoch)
+    "fault_plan",    # configured fault-injection specs (chaos runs)
+    "failure",       # a recoverable failure was caught (kind, attempt)
+    "backoff",       # pre-respawn exponential-backoff sleep (seconds)
+    "respawn",       # worker pool respawned (attempt, workers)
+    "resume",        # fit re-dispatched with resume=True (from_epoch)
+    "error",         # a non-recoverable error surfaced
+)
+
+_LINK_CHARS = 12
+
+
+def _link_of(raw_line: str) -> str:
+    return hashlib.sha1(raw_line.encode("utf-8")).hexdigest()[:_LINK_CHARS]
+
+
+class EventLog:
+    """An append-only, hash-chained JSON-lines event sink.
+
+    Lines are written through one file handle opened in append mode and
+    flushed per event: every published line is durable and immediately
+    readable by a tail/follower, and a crash can only cost the line in
+    flight (which the validator then flags as truncated).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+        self._prev_link = _link_of(EVENTS_SCHEMA)
+        self.clock = time.time
+
+    def emit(self, type: str, **data: Any) -> Dict[str, Any]:
+        """Append one event; returns the event dict as written."""
+        if type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {type!r}; expected one of "
+                f"{', '.join(EVENT_TYPES)}")
+        event = {
+            "schema": EVENTS_SCHEMA,
+            "seq": self._seq,
+            "ts": self.clock(),
+            "type": type,
+            "link": self._prev_link,
+            "data": data,
+        }
+        raw = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        self._fh.write(raw + "\n")
+        self._fh.flush()
+        self._seq += 1
+        self._prev_link = _link_of(raw)
+        return event
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def validate_event_log(
+    source: Union[str, os.PathLike, Sequence[str]],
+) -> List[str]:
+    """Structural validation of an event log; returns problem strings.
+
+    ``source`` is a path or an iterable of raw lines.  Checks, in order
+    of how a log usually breaks: JSON parse per line (truncation),
+    schema tag, contiguous ``seq`` from 0 (deleted lines), the SHA-1
+    hash chain (edited lines), and known ``type`` values.  An empty log
+    is a problem too -- a run that wrote nothing has no audit trail.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(os.fspath(source), encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    else:
+        lines = list(source)
+    problems: List[str] = []
+    if not lines:
+        return ["event log is empty"]
+    prev_link = _link_of(EVENTS_SCHEMA)
+    for i, raw in enumerate(lines):
+        try:
+            event = json.loads(raw)
+        except (json.JSONDecodeError, ValueError):
+            problems.append(
+                f"line {i}: not valid JSON (truncated or corrupt)")
+            # Nothing after a broken line can be chain-verified.
+            break
+        if not isinstance(event, dict):
+            problems.append(f"line {i}: not a JSON object")
+            break
+        if event.get("schema") != EVENTS_SCHEMA:
+            problems.append(
+                f"line {i}: schema {event.get('schema')!r} != "
+                f"{EVENTS_SCHEMA!r}")
+        if event.get("seq") != i:
+            problems.append(
+                f"line {i}: seq {event.get('seq')!r} is not contiguous "
+                f"(expected {i}; a line was deleted or reordered)")
+        if event.get("link") != prev_link:
+            problems.append(
+                f"line {i}: hash chain broken (link "
+                f"{event.get('link')!r} != expected {prev_link!r}; "
+                "an earlier line was edited)")
+        if event.get("type") not in EVENT_TYPES:
+            problems.append(
+                f"line {i}: unknown event type {event.get('type')!r}")
+        if not isinstance(event.get("data"), dict):
+            problems.append(f"line {i}: data is not an object")
+        prev_link = _link_of(raw)
+    return problems
+
+
+def read_event_log(
+    path: Union[str, os.PathLike],
+) -> List[Dict[str, Any]]:
+    """Load and validate an event log; raises ``ValueError`` if bad."""
+    problems = validate_event_log(path)
+    if problems:
+        raise ValueError(
+            f"{os.fspath(path)} failed event-log validation: "
+            + "; ".join(problems[:5]))
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh.read().splitlines()]
+
+
+#: The process-wide event sink emission sites consult (``None`` = off).
+ACTIVE: Optional[EventLog] = None
+
+
+def enable(path: Union[str, os.PathLike]) -> EventLog:
+    """Install (and return) a fresh event log as the active sink."""
+    global ACTIVE
+    ACTIVE = EventLog(path)
+    return ACTIVE
+
+
+def disable() -> Optional[EventLog]:
+    """Deactivate (and close) the active sink; returns it."""
+    global ACTIVE
+    log, ACTIVE = ACTIVE, None
+    if log is not None:
+        log.close()
+    return log
+
+
+def emit(type: str, **data: Any) -> None:
+    """Emit through the active sink if one is installed (else no-op)."""
+    log = ACTIVE
+    if log is not None:
+        log.emit(type, **data)

@@ -1,0 +1,167 @@
+"""In-flight Prometheus endpoint: scrape a run *while* it trains.
+
+PR 7's metrics are post-hoc (``metrics_from_trace`` after ``fit``
+returns); a multi-hour elastic run needs to answer "what epoch are you
+on, is anything recovering, how stale is each worker's heartbeat"
+**now**.  :class:`LiveServer` is a stdlib ``http.server`` background
+thread serving Prometheus text exposition built fresh per scrape from a
+caller-supplied ``sampler()``.
+
+The sampler contract keeps the transport constraints honest: on the
+process backend the driver blocks inside the single fit dispatch, so
+the sampler may only read **driver-visible shared state** -- the
+backend's counters, the heartbeat array, and the per-epoch ``livestats``
+slots each worker updates from its ``on_epoch`` hook (one aligned-double
+write per field per epoch; no locks, single writer per slot block).
+``fit`` stays one dispatch and live sampling adds zero driver
+round-trips.  On the virtual backend the driver *is* the trainer, so an
+``on_epoch`` callback feeds the same sample dict.
+
+Serving is read-only and lock-free by construction: a sample is a
+snapshot dict, rendering never mutates trainer state, and a scrape that
+races a worker update sees a slightly stale float -- coherent text
+either way (asserted under an injected fault + recovery in the tests).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SPAN_CATEGORIES
+
+__all__ = ["LiveServer", "render_live_sample"]
+
+
+def render_live_sample(sample: Dict) -> str:
+    """Render one live sample dict as Prometheus text exposition.
+
+    Recognised keys (all optional -- a sparse sample renders what it
+    has): ``epoch``, ``loss``, ``workers``, ``restarts``,
+    ``fit_dispatches``, ``recovery_dispatches``, ``checkpoints``,
+    ``bytes_sent``, ``exchanges``, ``recovering``,
+    ``heartbeat_age_s`` (worker -> seconds), ``span_seconds``
+    (category -> seconds), ``worker_epoch`` (worker -> epochs done).
+    """
+    reg = MetricsRegistry()
+    reg.gauge("repro_up", "1 while the run is being served live.").set(1)
+    if "epoch" in sample:
+        reg.gauge("repro_live_epoch",
+                  "Completed training epochs (max across workers)."
+                  ).set(sample["epoch"])
+    if sample.get("loss") is not None:
+        reg.gauge("repro_live_loss",
+                  "Training loss of the most recent epoch."
+                  ).set(sample["loss"])
+    if "workers" in sample:
+        reg.gauge("repro_workers", "Worker processes in the pool."
+                  ).set(sample["workers"])
+    for key, name, help_ in (
+        ("restarts", "repro_restarts_total",
+         "Elastic pool respawns so far."),
+        ("fit_dispatches", "repro_fit_dispatches_total",
+         "Resident fit dispatches (one per fit)."),
+        ("recovery_dispatches", "repro_recovery_dispatches_total",
+         "Dispatches spent rebuilding state after a recovery."),
+        ("checkpoints", "repro_checkpoints_written_total",
+         "Atomic checkpoints published so far."),
+        ("exchanges", "repro_channel_exchanges_total",
+         "Channel exchanges across all workers."),
+    ):
+        if key in sample:
+            reg.counter(name, help_).inc(max(0, int(sample[key])))
+    if "bytes_sent" in sample:
+        reg.counter("repro_channel_bytes_total",
+                    "Payload bytes shipped through the channel, all "
+                    "workers.").inc(max(0.0, float(sample["bytes_sent"])))
+    if "recovering" in sample:
+        reg.gauge("repro_recovering",
+                  "1 while the driver is inside the recovery loop."
+                  ).set(1 if sample["recovering"] else 0)
+    for worker, age in sorted((sample.get("heartbeat_age_s") or {}).items()):
+        reg.gauge("repro_heartbeat_age_seconds",
+                  "Seconds since this worker's heartbeat last advanced.",
+                  {"worker": str(worker)}).set(max(0.0, float(age)))
+    for worker, ep in sorted((sample.get("worker_epoch") or {}).items()):
+        reg.gauge("repro_worker_epoch",
+                  "Completed epochs as reported by this worker.",
+                  {"worker": str(worker)}).set(float(ep))
+    span_seconds = sample.get("span_seconds") or {}
+    for cat in SPAN_CATEGORIES:
+        if cat in span_seconds:
+            reg.counter("repro_live_span_seconds_total",
+                        "Running wall seconds recorded in spans of this "
+                        "category (traced runs; 0 otherwise).",
+                        {"category": cat}
+                        ).inc(max(0.0, float(span_seconds[cat])))
+    return reg.render()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # quiet: per-scrape request logging would spam the training console
+    def log_message(self, *args) -> None:  # noqa: D102
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        try:
+            text = self.server.render()  # type: ignore[attr-defined]
+        except Exception as exc:  # noqa: BLE001 - a scrape must not kill fit
+            self.send_error(500, f"sampler failed: {exc}")
+            return
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class LiveServer:
+    """Background HTTP server exposing live run metrics on ``/metrics``.
+
+    ``sampler`` is called per scrape and must return a sample dict
+    (rendered via :func:`render_live_sample`) or a ready Prometheus
+    string.  ``port=0`` binds an ephemeral port (tests); the bound port
+    is readable as :attr:`port` after construction.
+    """
+
+    def __init__(self, sampler: Callable[[], object], port: int = 0,
+                 host: str = "127.0.0.1"):
+        self.sampler = sampler
+
+        def render() -> str:
+            sample = self.sampler()
+            if isinstance(sample, str):
+                return sample
+            return render_live_sample(sample or {})
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.render = render  # type: ignore[attr-defined]
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-live-metrics",
+            daemon=True)
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "LiveServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

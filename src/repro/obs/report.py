@@ -122,6 +122,63 @@ def _simulated_breakdown(config: dict
     )
 
 
+def _compute_section(trace: MergedTrace, config: dict
+                     ) -> Tuple[Optional[dict], str]:
+    """Per-kernel measured-vs-modeled compute table.
+
+    ``None`` when the trace carries no kernel profile (run without
+    ``--profile``).  Modeled seconds price each kernel with the same
+    machine rates the ledger charges: SpMM via
+    :class:`~repro.sparse.perfmodel.SpmmPerfModel` on the average
+    operand shape, GEMMs at ``gemm_flops``, reduction folds at
+    ``memory_bandwidth`` -- plus the per-call launch overhead.
+    """
+    prof = trace.profile_summary()
+    if prof is None:
+        return None, ""
+    try:
+        from repro.simulate.machines import get_machine
+        from repro.sparse.perfmodel import SpmmPerfModel
+
+        machine = get_machine(config.get("machine"))
+        spmm_model = SpmmPerfModel.from_profile(machine)
+    except Exception as exc:  # profile still shown measured-only
+        return None, f"kernel profile unusable: {exc}"
+    rows = []
+    for name, k in sorted(prof.get("kernels", {}).items()):
+        calls = int(k["calls"])
+        modeled = None
+        if calls:
+            launch = calls * machine.kernel_launch_overhead
+            extras = k.get("extras") or ()
+            if name == "spmm" and len(extras) >= 3:
+                nnz, nrows, ncols = (e / calls for e in extras[:3])
+                modeled = calls * spmm_model.seconds(nnz, nrows, ncols)
+            elif name.startswith("gemm."):
+                modeled = float(k["flops"]) / machine.gemm_flops + launch
+            elif name == "reduce.fold":
+                modeled = (float(k["bytes"]) / machine.memory_bandwidth
+                           + launch)
+        measured = float(k["seconds"])
+        rows.append({
+            "kernel": name,
+            "calls": calls,
+            "measured_s": measured,
+            "modeled_s": modeled,
+            "drift": (measured / modeled) if modeled else None,
+            "gflops": float(k["flops"]) / 1e9,
+            "intensity": k.get("intensity"),
+        })
+    section = {
+        "machine": machine.name,
+        "kernels": rows,
+        "peak_rss_bytes": prof.get("peak_rss_bytes"),
+    }
+    if prof.get("arena"):
+        section["arena"] = dict(prof["arena"])
+    return section, ""
+
+
 def drift_report(payload: dict) -> dict:
     """Build the drift tables from an exported trace document.
 
@@ -164,11 +221,23 @@ def drift_report(payload: dict) -> dict:
             "measured_s": w,
             "drift": drift,
         })
+    compute, compute_note = _compute_section(trace, config)
+    if compute_note:
+        notes.append(compute_note)
+    dropped = sum(int(info.get("dropped", 0))
+                  for info in trace.workers.values())
+    if dropped:
+        notes.append(
+            f"WARNING: {dropped} span(s) dropped (recorder ring filled); "
+            "measured columns undercount -- re-run with a larger trace "
+            "capacity")
     total_modeled = sum(v for v in modeled.values()) or None
     total_measured = sum(measured.values())
     return {
         "schema": "repro-report/1",
         "config": config,
+        "dropped_spans": dropped,
+        "compute": compute,
         "categories": rows,
         "totals": {
             "modeled_s": total_modeled,
@@ -226,6 +295,32 @@ def format_drift_report(report: dict) -> str:
         if totals.get("drift") is not None else "-",
     ))
     lines.extend(_table(header, rows))
+    compute = report.get("compute") or {}
+    if compute.get("kernels"):
+        lines.append("")
+        lines.append("kernel compute (measured vs modeled on "
+                     f"{compute.get('machine', '?')} rates):")
+        lines.extend(_table(
+            ("kernel", "calls", "measured", "modeled", "drift", "flop/B"),
+            [(r["kernel"], str(r["calls"]), _num(r["measured_s"]),
+              _num(r["modeled_s"]),
+              _num(r["drift"], "x") if r["drift"] is not None else "-",
+              (f"{r['intensity']:.2f}"
+               if r.get("intensity") is not None else "-"))
+             for r in compute["kernels"]],
+        ))
+        rss = compute.get("peak_rss_bytes")
+        if rss:
+            lines.append(f"peak RSS: {rss / 1e6:.1f} MB")
+        arena = compute.get("arena") or {}
+        if arena:
+            lines.append(
+                "shm arena: high water {hw} of {size} B ({occ:.0%}), "
+                "{spills} spill(s)".format(
+                    hw=arena.get("high_water_bytes", 0),
+                    size=arena.get("size_bytes", 0),
+                    occ=arena.get("occupancy", 0.0),
+                    spills=arena.get("spills", 0)))
     phases = report.get("phases") or {}
     if phases:
         lines.append("")

@@ -243,11 +243,24 @@ class MergedTrace:
         return {"count": n, "seconds": dur, "serialize_s": ser,
                 "wait_s": wait, "copy_s": copy, "bytes_sent": nbytes}
 
+    def profile_summary(self) -> Optional[dict]:
+        """Run-level kernel-profile summary (``None`` if unprofiled).
+
+        Folds the per-worker :mod:`repro.obs.profile` snapshots that
+        rode back on the fit dispatch (kernel counters sum; memory
+        gauges take the worst worker).
+        """
+        blobs = [info.get("profile") for info in self.workers.values()]
+        if not any(blobs):
+            return None
+        from repro.obs.profile import merge_profiles
+        return merge_profiles(blobs)
+
     # ------------------------------------------------------------------ #
     def summary(self) -> dict:
         """A JSON-able digest (the ``--json`` / drift-report input)."""
         epochs = self.epoch_stats()
-        return {
+        out = {
             "spans": len(self.spans),
             "epochs": len(epochs),
             "epoch_seconds": [round(r["seconds"], 9) for r in epochs],
@@ -260,6 +273,10 @@ class MergedTrace:
             "dropped": sum(int(info.get("dropped", 0))
                            for info in self.workers.values()),
         }
+        profile = self.profile_summary()
+        if profile is not None:
+            out["profile"] = profile
+        return out
 
 
 def merge_worker_obs(blobs: Sequence[Optional[dict]],
@@ -297,11 +314,14 @@ def merge_worker_obs(blobs: Sequence[Optional[dict]],
             "dropped": int(blob.get("dropped", 0)),
             "nspans": len(raw_spans),
         }
+        if blob.get("profile"):
+            workers[pid]["profile"] = blob["profile"]
     return MergedTrace(spans, workers)
 
 
 def traced_fit(algo, features, labels, epochs: int, mask=None,
-               capacity: int = _spans.DEFAULT_CAPACITY, **fit_kwargs):
+               capacity: int = _spans.DEFAULT_CAPACITY,
+               profile: bool = False, **fit_kwargs):
     """Run ``algo.fit`` under span tracing; returns ``(history, trace)``.
 
     Works on both backends: a :class:`~repro.parallel.ParallelAlgorithm`
@@ -309,6 +329,10 @@ def traced_fit(algo, features, labels, epochs: int, mask=None,
     other algorithm (virtual runtime) records driver-side spans around
     the same instrumented epoch loop.  Tracing never touches the ledger,
     so the returned history is bit-identical to an untraced fit.
+
+    ``profile=True`` additionally enables per-kernel compute/memory
+    profiling (:mod:`repro.obs.profile`); the per-worker snapshots land
+    in the trace's worker table and ``MergedTrace.profile_summary()``.
 
     Extra keyword arguments (e.g. ``checkpoint_path`` /
     ``checkpoint_every``) pass straight through to ``algo.fit``.
@@ -319,16 +343,21 @@ def traced_fit(algo, features, labels, epochs: int, mask=None,
         ParallelAlgorithm = None
     if ParallelAlgorithm is not None and isinstance(algo, ParallelAlgorithm):
         history = algo.fit(features, labels, epochs, mask=mask,
-                           trace={"capacity": int(capacity)},
+                           trace={"capacity": int(capacity),
+                                  "profile": bool(profile)},
                            **fit_kwargs)
         return history, algo.last_trace
+    from repro.obs import profile as _profile
     rec = _spans.enable(capacity)
+    prof = _profile.enable() if profile else None
     align = rec.clock()
     try:
         history = algo.fit(features, labels, epochs, mask=mask,
                            **fit_kwargs)
     finally:
         _spans.disable()
+        if profile:
+            _profile.disable()
     rt = getattr(algo, "rt", None)
     ranks = list(range(rt.size)) if rt is not None else [0]
     blob = {
@@ -338,4 +367,6 @@ def traced_fit(algo, features, labels, epochs: int, mask=None,
         "spans": rec.drain(),
         "dropped": rec.dropped,
     }
+    if prof is not None:
+        blob["profile"] = prof.snapshot()
     return history, merge_worker_obs([blob], align)

@@ -204,6 +204,7 @@ class ParallelAlgorithm:
         O(1)-dispatches-per-fit invariant.
         """
         from repro.dist.base import DistTrainHistory
+        from repro.obs import events as _events
         from repro.obs import spans as _spans
         from repro.parallel.backend import RECOVERABLE_ERRORS
 
@@ -239,24 +240,52 @@ class ParallelAlgorithm:
                                             attempt=attempt),),
                         recovery=True)
                 break
-            except RECOVERABLE_ERRORS:
+            except RECOVERABLE_ERRORS as exc:
                 # attempt - 1 restarts are already behind us; reraise
                 # once the budget is spent (terminate() already ran in
                 # the failure path, so nothing leaks).
+                backend.recovering = True
+                _events.emit("failure", kind=type(exc).__name__,
+                             attempt=attempt, error=str(exc)[:300])
                 if attempt > backend.max_restarts:
+                    backend.recovering = False
+                    _events.emit("error", kind=type(exc).__name__,
+                                 attempt=attempt,
+                                 reason="restart budget exhausted")
                     raise
                 rec = _spans.ACTIVE
                 t0 = rec.clock() if rec is not None else 0.0
-                time.sleep(backend.backoff * (2 ** (attempt - 1)))
+                delay = backend.backoff * (2 ** (attempt - 1))
+                _events.emit("backoff", seconds=delay, attempt=attempt)
+                time.sleep(delay)
                 backend.counters["restarts"] += 1
                 backend.start()
                 backend.command("make_algo", self._ctor_payload,
                                 recovery=True)
+                _events.emit("respawn", attempt=attempt,
+                             restarts=backend.counters["restarts"])
                 if rec is not None:
                     rec.record("recover", "misc", t0, rec.clock(),
                                (attempt,))
                 attempt += 1
+                _events.emit("resume", attempt=attempt,
+                             checkpoint=ckpt.get("path"))
+                backend.recovering = False
         epoch_stats = self.rt._adopt_and_check(results)
+        if _events.ACTIVE is not None:
+            # The driver owns the event log (workers never have one);
+            # replay the adopted history into it so the process backend
+            # emits the same epoch/checkpoint stream the virtual
+            # backend writes live.
+            every = int(checkpoint_every)
+            for stats in epoch_stats:
+                _events.emit("epoch", epoch=int(stats.epoch),
+                             loss=float(stats.loss),
+                             train_accuracy=float(stats.train_accuracy))
+                if (checkpoint_path is not None and every > 0
+                        and (stats.epoch + 1) % every == 0):
+                    _events.emit("checkpoint", path=str(checkpoint_path),
+                                 epochs=int(stats.epoch) + 1)
         if trace_opts is not None:
             from repro.obs.tracing import merge_worker_obs
 
@@ -497,6 +526,15 @@ class ParallelRuntime(RuntimeBase):
         if self._backend is None:
             return None
         return self._backend.stats(workers=workers)
+
+    def live_sample(self) -> dict:
+        """Zero-dispatch snapshot for the live metrics endpoint
+        (:meth:`ProcessBackend.live_sample`); a minimal sample before
+        the pool starts or after it closes."""
+        backend = self._backend
+        if backend is None:
+            return {"workers": self.workers, "recovering": False}
+        return backend.live_sample()
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

@@ -54,13 +54,22 @@ class Arena:
         self.shm = shm
         self.size = shm.size
         self.ptr = 0
+        # Occupancy gauges the kernel profiler reads: the deepest bump
+        # the arena ever reached and how many payloads spilled to
+        # ephemeral segments because the arena was full.  Plain int
+        # bookkeeping -- cheap enough to maintain unconditionally.
+        self.high_water = 0
+        self.spills = 0
 
     def alloc(self, nbytes: int) -> Optional[int]:
         """Offset of a fresh ``nbytes`` block, or ``None`` when full."""
         start = (self.ptr + _ALIGN - 1) // _ALIGN * _ALIGN
         if start + nbytes > self.size:
+            self.spills += 1
             return None
         self.ptr = start + nbytes
+        if self.ptr > self.high_water:
+            self.high_water = self.ptr
         return start
 
     def reset(self) -> None:

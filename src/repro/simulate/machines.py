@@ -58,6 +58,7 @@ CORI_GPU = MachineProfile(
     gpus_per_socket=4,
     gemm_flops=7.0e12,              # same V100 class as Summit
     spmm_base_flops=7.0e10,
+    memory_bandwidth=900.0e9,       # V100 HBM2 (roofline denominator)
     congestion_per_doubling=0.05,
 )
 
@@ -74,7 +75,8 @@ ETHERNET = MachineProfile(
     gpus_per_socket=2,
     gemm_flops=7.0e12,              # same GPUs, worse network: the
     spmm_base_flops=7.0e10,         # paper's "slower network" thought
-    congestion_per_doubling=0.25,   # experiment (Section VI)
+    memory_bandwidth=900.0e9,       # experiment (Section VI) keeps the
+    congestion_per_doubling=0.25,   # same V100 HBM2 local roofline
 )
 
 #: The simulator's named machine grid (registered with repro.config so

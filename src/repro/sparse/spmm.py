@@ -31,10 +31,12 @@ from typing import Literal
 
 import numpy as np
 
+from repro.obs import profile as _profile
 from repro.sparse.csr import CSRMatrix
 
 __all__ = [
     "spmm",
+    "spmm_bytes",
     "spmm_flops",
     "spmm_numpy",
     "spmm_numpy_cumsum",
@@ -47,6 +49,18 @@ Backend = Literal["auto", "numpy", "scipy"]
 def spmm_flops(a: CSRMatrix, ncols_dense: int) -> int:
     """Flop count of ``A @ B``: one multiply + one add per (nnz, column)."""
     return 2 * a.nnz * int(ncols_dense)
+
+
+def spmm_bytes(a: CSRMatrix, ncols_dense: int) -> int:
+    """Bytes a minimal ``A @ B`` kernel moves: CSR arrays + B read,
+    output written once.  The roofline denominator for the kernel
+    profiler's arithmetic-intensity summary (cache reuse of ``B`` makes
+    the true traffic lower; this is the standard model bound)."""
+    f = int(ncols_dense)
+    return (a.nnz * 12                     # data (8) + indices (4)
+            + (a.shape[0] + 1) * 4         # indptr
+            + a.shape[1] * f * 8           # B read
+            + a.shape[0] * f * 8)          # out write
 
 
 def _check_operand(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
@@ -163,6 +177,20 @@ def spmm(a: CSRMatrix, b: np.ndarray, backend: Backend = "auto",
     ``out`` supplies a preallocated result buffer (fully overwritten) so
     steady-state callers can reuse workspaces instead of allocating.
     """
+    prof = _profile.ACTIVE
+    if prof is None:
+        return _spmm_dispatch(a, b, backend, out)
+    t0 = prof.clock()
+    result = _spmm_dispatch(a, b, backend, out)
+    dt = prof.clock() - t0
+    f = result.shape[1]
+    prof.add("spmm", dt, spmm_flops(a, f), spmm_bytes(a, f),
+             a.nnz, a.shape[0], f)
+    return result
+
+
+def _spmm_dispatch(a: CSRMatrix, b: np.ndarray, backend: Backend,
+                   out: "np.ndarray | None") -> np.ndarray:
     if backend == "numpy":
         result = spmm_numpy(a, b)
         if out is None:

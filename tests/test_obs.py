@@ -464,3 +464,580 @@ class TestCli:
             {"ph": "X", "name": "a", "cat": "gpu", "ts": 0, "dur": 1,
              "pid": 0, "tid": 0}]}))
         assert main(["report", str(bad)]) == 1
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9: hash-chained event log
+# --------------------------------------------------------------------- #
+class TestEventLog:
+    def _write(self, tmp_path, n_epochs=3):
+        from repro.obs.events import EventLog
+        path = tmp_path / "ev.jsonl"
+        with EventLog(path) as log:
+            log.emit("run_start", config={"algorithm": "1d"})
+            for i in range(n_epochs):
+                log.emit("epoch", epoch=i, loss=1.0 / (i + 1))
+            log.emit("checkpoint", path="ck.npz", epochs=n_epochs)
+            log.emit("run_end", status="ok")
+        return path
+
+    def test_round_trip_validates(self, tmp_path):
+        from repro.obs.events import read_event_log, validate_event_log
+        path = self._write(tmp_path)
+        assert validate_event_log(path) == []
+        events = read_event_log(path)
+        assert [e["type"] for e in events] == \
+            ["run_start", "epoch", "epoch", "epoch", "checkpoint",
+             "run_end"]
+        assert [e["seq"] for e in events] == list(range(6))
+        assert [e["data"]["epoch"] for e in events
+                if e["type"] == "epoch"] == [0, 1, 2]
+
+    def test_unknown_type_rejected_at_emit(self, tmp_path):
+        from repro.obs.events import EventLog
+        with EventLog(tmp_path / "ev.jsonl") as log:
+            with pytest.raises(ValueError, match="unknown event type"):
+                log.emit("gpu_melted")
+
+    def test_edited_line_breaks_chain(self, tmp_path):
+        from repro.obs.events import validate_event_log
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        # Forge epoch 1's loss in place: the line still parses, its own
+        # link is intact, but every *later* link hashes the original
+        # bytes, so the chain breaks right after the edit.
+        lines[2] = lines[2].replace('"loss":0.5', '"loss":0.1')
+        problems = validate_event_log(lines)
+        assert any("hash chain broken" in p for p in problems)
+
+    def test_truncated_last_line_rejected(self, tmp_path):
+        from repro.obs.events import validate_event_log
+        path = self._write(tmp_path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])  # crash mid-write
+        problems = validate_event_log(path)
+        assert any("not valid JSON" in p for p in problems)
+
+    def test_deleted_line_breaks_sequence(self, tmp_path):
+        from repro.obs.events import validate_event_log
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        del lines[2]
+        problems = validate_event_log(lines)
+        assert any("not contiguous" in p for p in problems)
+
+    def test_empty_log_is_a_problem(self):
+        from repro.obs.events import validate_event_log
+        assert validate_event_log([]) == ["event log is empty"]
+
+    def test_read_raises_on_tampered(self, tmp_path):
+        from repro.obs.events import read_event_log
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:1] + lines[2:]) + "\n")
+        with pytest.raises(ValueError, match="failed event-log"):
+            read_event_log(path)
+
+    def test_virtual_fit_emits_epochs_and_checkpoints(self, ds, tmp_path):
+        from repro.obs import events as events_mod
+        from repro.obs.events import read_event_log
+        path = tmp_path / "fit.jsonl"
+        events_mod.enable(path)
+        try:
+            algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+            algo.fit(ds.features, ds.labels, EPOCHS,
+                     checkpoint_path=str(tmp_path / "ck.npz"),
+                     checkpoint_every=1)
+        finally:
+            events_mod.disable()
+        assert events_mod.ACTIVE is None
+        events = read_event_log(path)
+        epochs = [e["data"]["epoch"] for e in events
+                  if e["type"] == "epoch"]
+        assert epochs == list(range(EPOCHS))
+        assert sum(1 for e in events if e["type"] == "checkpoint") == EPOCHS
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9: live metrics endpoint
+# --------------------------------------------------------------------- #
+def _scrape(url):
+    from urllib.request import urlopen
+    with urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+class TestLiveServer:
+    def test_render_live_sample_fields(self):
+        from repro.obs.live import render_live_sample
+        text = render_live_sample({
+            "epoch": 3, "loss": 0.25, "workers": 2, "restarts": 1,
+            "fit_dispatches": 1, "recovering": True,
+            "heartbeat_age_s": {0: 0.1, 1: 0.2},
+            "span_seconds": {"spmm": 1.5},
+        })
+        assert "repro_up 1" in text
+        assert "repro_live_epoch 3" in text
+        assert "repro_live_loss 0.25" in text
+        assert "repro_restarts_total 1" in text
+        assert "repro_recovering 1" in text
+        assert 'repro_heartbeat_age_seconds{worker="1"} 0.2' in text
+        assert 'repro_live_span_seconds_total{category="spmm"} 1.5' in text
+
+    def test_serves_sample_dict(self):
+        from repro.obs.live import LiveServer
+        with LiveServer(lambda: {"epoch": 2, "workers": 1}) as srv:
+            status, text = _scrape(srv.url)
+            assert status == 200
+            assert "repro_live_epoch 2" in text
+            # "/" is an alias for /metrics
+            status, _ = _scrape(f"http://{srv.host}:{srv.port}/")
+            assert status == 200
+
+    def test_string_sampler_passthrough(self):
+        from repro.obs.live import LiveServer
+        with LiveServer(lambda: "custom_metric 42\n") as srv:
+            _, text = _scrape(srv.url)
+            assert text == "custom_metric 42\n"
+
+    def test_unknown_path_404(self):
+        from urllib.error import HTTPError
+        from repro.obs.live import LiveServer
+        with LiveServer(lambda: {}) as srv:
+            with pytest.raises(HTTPError) as exc:
+                _scrape(f"http://{srv.host}:{srv.port}/nope")
+            assert exc.value.code == 404
+
+    def test_sampler_exception_is_500_not_fatal(self):
+        from urllib.error import HTTPError
+        from repro.obs.live import LiveServer
+        boom = {"on": True}
+
+        def sampler():
+            if boom["on"]:
+                raise RuntimeError("sampler died")
+            return {"epoch": 1}
+
+        with LiveServer(sampler) as srv:
+            with pytest.raises(HTTPError) as exc:
+                _scrape(srv.url)
+            assert exc.value.code == 500
+            boom["on"] = False  # server survives a failed scrape
+            status, text = _scrape(srv.url)
+            assert status == 200 and "repro_live_epoch 1" in text
+
+
+class TestLiveEndpointDuringFaultedFit:
+    """The headline invariant: scrape a *recovering* run mid-flight.
+
+    The driver blocks inside the single fit dispatch while a planned
+    worker kill, backoff, respawn, and resume play out; the endpoint
+    must keep serving coherent exposition text the whole time with zero
+    extra dispatches, and the recovered run must stay bit-equal to the
+    fault-free one.
+    """
+
+    @pytest.mark.parametrize("transport", ["shm", "tcp"])
+    def test_scrape_mid_recovery_bit_equal(self, ds, tmp_path, transport):
+        import threading
+        from repro.obs.live import LiveServer
+
+        kw = {"variant": "ghost", "partition": "multilevel"}
+        losses0, digest0, _, _ = _run_process(
+            ds, "1d", 4, 2, transport, False, kw)
+
+        algo = make_algorithm(
+            "1d", 4, ds, hidden=HIDDEN, seed=0, backend="process",
+            workers=2, transport=transport,
+            faults="kill:worker=1,epoch=1,attempt=1", max_restarts=3, **kw)
+        scrapes = []
+        stop = threading.Event()
+
+        def scrape_loop(url):
+            while not stop.is_set():
+                try:
+                    scrapes.append(_scrape(url)[1])
+                except OSError:
+                    pass
+                stop.wait(0.01)
+
+        try:
+            with LiveServer(algo.rt.live_sample) as srv:
+                t = threading.Thread(target=scrape_loop, args=(srv.url,),
+                                     daemon=True)
+                t.start()
+                try:
+                    hist = algo.fit(
+                        ds.features, ds.labels, EPOCHS,
+                        checkpoint_path=str(tmp_path / "ck.npz"),
+                        checkpoint_every=1)
+                finally:
+                    stop.set()
+                    t.join(timeout=5)
+                final = _scrape(srv.url)[1]
+            digest = ledger_digest(algo.rt.tracker)
+            stats = algo.rt.backend_stats(workers=False)
+        finally:
+            algo.rt.close()
+
+        assert list(hist.losses) == losses0
+        assert digest == digest0
+        assert stats["restarts"] >= 1
+        assert stats["fit_dispatches"] == 1  # scraping added no dispatch
+        # Every in-flight scrape rendered coherent exposition text.
+        assert scrapes
+        for text in scrapes:
+            assert "repro_up 1" in text
+            assert "repro_workers 2" in text
+            assert "repro_recovering" in text
+        # The post-fit scrape reflects the completed, recovered run.
+        assert "repro_restarts_total 1" in final
+        assert "repro_recovering 0" in final
+        assert "repro_live_epoch 3" in final
+
+    def test_virtual_runtime_live_sample(self, ds):
+        # Before start() / on the virtual path there is still a sample:
+        # worker count and a recovering=False flag, so the endpoint can
+        # come up before the first dispatch.
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0,
+                              backend="process", workers=2)
+        try:
+            sample = algo.rt.live_sample()
+            assert sample["workers"] == 2
+            assert sample["recovering"] is False
+        finally:
+            algo.rt.close()
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9: per-kernel compute/memory profiling
+# --------------------------------------------------------------------- #
+PROFILED_KERNELS = {"spmm", "gemm.forward", "gemm.wgrad", "gemm.hgrad",
+                    "reduce.fold"}
+
+
+def _run_profiled(ds, name, transport, kw):
+    algo = make_algorithm(name, 4, ds, hidden=HIDDEN, seed=0,
+                          backend="process", workers=2,
+                          transport=transport, **kw)
+    try:
+        hist = algo.fit(ds.features, ds.labels, EPOCHS,
+                        trace={"profile": True})
+        digest = ledger_digest(algo.rt.tracker)
+        stats = algo.rt.backend_stats(workers=False)
+        return list(hist.losses), digest, algo.last_trace, stats
+    finally:
+        algo.rt.close()
+
+
+class TestKernelProfiling:
+    def test_profiler_unit_accumulates(self):
+        from repro.obs import profile as profile_mod
+        prof = profile_mod.KernelProfiler()
+        prof.add("spmm", 0.5, 100.0, 800.0, 10, 4, 8)
+        prof.add("spmm", 0.5, 100.0, 800.0, 10, 4, 8)
+        snap = prof.snapshot()
+        k = snap["kernels"]["spmm"]
+        assert k["calls"] == 2
+        assert k["flops"] == pytest.approx(200.0)
+        assert k["bytes"] == pytest.approx(1600.0)
+        assert k["intensity"] == pytest.approx(200.0 / 1600.0)
+        assert k["extras"] == [20, 8, 16]
+        assert snap["peak_rss_bytes"] >= 0
+
+    def test_virtual_profiled_bit_equal(self, ds):
+        from repro.obs import profile as profile_mod
+        plain = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist0 = plain.fit(ds.features, ds.labels, EPOCHS)
+        digest0 = ledger_digest(plain.rt.tracker)
+
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS,
+                              profile=True)
+        assert profile_mod.ACTIVE is None  # torn down
+        assert list(hist.losses) == list(hist0.losses)
+        assert ledger_digest(algo.rt.tracker) == digest0
+        prof = tr.profile_summary()
+        assert prof is not None
+        assert PROFILED_KERNELS <= set(prof["kernels"])
+        for k in prof["kernels"].values():
+            assert k["calls"] > 0 and k["seconds"] >= 0.0
+            assert k["flops"] >= 0.0 and k["bytes"] > 0.0
+
+    def test_unprofiled_trace_has_no_summary(self, ds):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        _, tr = traced_fit(algo, ds.features, ds.labels, 1)
+        assert tr.profile_summary() is None
+
+    @pytest.mark.parametrize("transport", ["shm", "tcp"])
+    def test_process_profiled_bit_equal(self, ds, transport):
+        kw = {"variant": "ghost", "partition": "multilevel"}
+        losses0, digest0, _, _ = _run_process(
+            ds, "1d", 4, 2, transport, False, kw)
+        losses, digest, tr, stats = _run_profiled(ds, "1d", transport, kw)
+
+        assert losses == losses0
+        assert digest == digest0
+        assert stats["fit_dispatches"] == 1
+        prof = tr.profile_summary()
+        assert prof is not None and prof["workers"] == 2
+        assert PROFILED_KERNELS <= set(prof["kernels"])
+        if transport == "shm":
+            # shm workers fold their payload-arena gauges in; the tcp
+            # channel has no arena, so the key must be absent.
+            arena = prof["arena"]
+            assert arena["size_bytes"] > 0
+            assert 0.0 <= arena["occupancy"] <= 1.0
+        else:
+            assert "arena" not in prof
+
+    def test_profile_survives_chrome_round_trip(self, ds, tmp_path):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS,
+                              profile=True)
+        config = {"algorithm": "1d", "gpus": 4, "hidden": HIDDEN,
+                  "epochs": EPOCHS, "seed": 7,
+                  "vertices": ds.adjacency.nrows, "degree": 5.0,
+                  "features": 10, "classes": 3, "backend": "virtual",
+                  "machine": algo.rt.profile.name}
+        doc = export_chrome_trace(
+            tr, str(tmp_path / "t.json"),
+            extra=build_trace_meta(config, hist, tr, 0.25))
+        assert validate_chrome_trace(doc) == []
+        back = trace_from_chrome(doc)
+        a, b = tr.profile_summary(), back.profile_summary()
+        assert b is not None
+        assert set(b["kernels"]) == set(a["kernels"])
+        for name in a["kernels"]:
+            assert b["kernels"][name]["calls"] == a["kernels"][name]["calls"]
+
+    def test_cat_seconds_running_totals(self):
+        rec = SpanRecorder(capacity=4)
+        rec.record("a", "spmm", 0.0, 1.5)
+        rec.record("b", "spmm", 2.0, 2.5)
+        rec.record("c", "dcomm", 0.0, 1.0)
+        rec.record("weird", "not-a-category", 0.0, 9.0)
+        totals = rec.category_seconds()
+        assert totals["spmm"] == pytest.approx(2.0)
+        assert totals["dcomm"] == pytest.approx(1.0)
+        assert "not-a-category" not in totals
+        # Running totals survive drain (livestats publishes mid-run).
+        rec.drain()
+        assert rec.category_seconds()["spmm"] == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9: drift report's compute column + dropped-span surfacing
+# --------------------------------------------------------------------- #
+class TestComputeReport:
+    def _payload(self, ds, tmp_path):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS,
+                              profile=True)
+        config = {"algorithm": "1d", "gpus": 4, "hidden": HIDDEN,
+                  "epochs": EPOCHS, "seed": 7,
+                  "vertices": ds.adjacency.nrows, "degree": 5.0,
+                  "features": 10, "classes": 3, "backend": "virtual",
+                  "machine": algo.rt.profile.name}
+        return export_chrome_trace(
+            tr, str(tmp_path / "t.json"),
+            extra=build_trace_meta(config, hist, tr, 0.25))
+
+    def test_compute_section_measured_vs_modeled(self, ds, tmp_path):
+        rep = drift_report(self._payload(ds, tmp_path))
+        compute = rep["compute"]
+        assert compute is not None
+        kernels = {row["kernel"] for row in compute["kernels"]}
+        assert PROFILED_KERNELS <= kernels
+        for row in compute["kernels"]:
+            assert row["calls"] > 0
+            assert row["measured_s"] >= 0.0
+            if row["modeled_s"] and row["measured_s"]:
+                assert row["drift"] == pytest.approx(
+                    row["measured_s"] / row["modeled_s"])
+        assert compute["peak_rss_bytes"] > 0
+        text = format_drift_report(rep)
+        assert "kernel compute" in text
+        assert "peak RSS" in text
+
+    def test_unprofiled_report_has_no_compute(self, ds, tmp_path):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS)
+        config = {"algorithm": "1d", "gpus": 4, "hidden": HIDDEN,
+                  "epochs": EPOCHS, "seed": 7,
+                  "vertices": ds.adjacency.nrows, "degree": 5.0,
+                  "features": 10, "classes": 3, "backend": "virtual",
+                  "machine": algo.rt.profile.name}
+        doc = export_chrome_trace(
+            tr, str(tmp_path / "t.json"),
+            extra=build_trace_meta(config, hist, tr, 0.25))
+        rep = drift_report(doc)
+        assert rep["compute"] is None
+        assert rep["dropped_spans"] == 0
+
+    def test_dropped_spans_surfaced_with_warning(self, ds, tmp_path):
+        payload = self._payload(ds, tmp_path)
+        payload["repro"]["workers"]["0"]["dropped"] = 5
+        rep = drift_report(payload)
+        assert rep["dropped_spans"] == 5
+        assert any("WARNING" in n and "dropped" in n for n in rep["notes"])
+        assert "WARNING" in format_drift_report(rep)
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9: trace diffing + CLI wiring
+# --------------------------------------------------------------------- #
+class TestTraceDiff:
+    def _payload(self, ds, tmp_path, name="t.json"):
+        algo = make_algorithm("1d", 4, ds, hidden=HIDDEN, seed=0)
+        hist, tr = traced_fit(algo, ds.features, ds.labels, EPOCHS)
+        config = {"algorithm": "1d", "gpus": 4, "hidden": HIDDEN,
+                  "epochs": EPOCHS, "seed": 7,
+                  "vertices": ds.adjacency.nrows, "degree": 5.0,
+                  "features": 10, "classes": 3, "backend": "virtual",
+                  "machine": algo.rt.profile.name}
+        path = tmp_path / name
+        export_chrome_trace(
+            tr, str(path), extra=build_trace_meta(config, hist, tr, 0.25))
+        return path
+
+    @staticmethod
+    def _scaled(path, out, factor):
+        """A copy of a trace with every timestamp dilated by ``factor``.
+
+        Scaling ts *and* dur preserves nesting/containment exactly, so
+        every category's per-epoch seconds grow by the same factor.
+        """
+        payload = json.load(open(path))
+        for ev in payload["traceEvents"]:
+            if "ts" in ev:
+                ev["ts"] = float(ev["ts"]) * factor
+            if "dur" in ev:
+                ev["dur"] = float(ev["dur"]) * factor
+        out.write_text(json.dumps(payload))
+        return out
+
+    def test_identical_traces_zero_drift(self, ds, tmp_path):
+        from repro.obs.diff import diff_traces
+        payload = json.load(open(self._payload(ds, tmp_path)))
+        rep = diff_traces(payload, payload)
+        assert rep["verdict"] == "ok"
+        assert rep["max_drift"] == 0.0
+        assert rep["regressions"] == []
+
+    def test_dilated_trace_flags_regression(self, ds, tmp_path):
+        from repro.obs.diff import diff_traces
+        a_path = self._payload(ds, tmp_path)
+        b_path = self._scaled(a_path, tmp_path / "slow.json", 3.0)
+        rep = diff_traces(json.load(open(a_path)), json.load(open(b_path)),
+                          min_seconds=0.0)
+        assert rep["verdict"] == "regression"
+        assert rep["regressions"]
+        for row in rep["categories"]:
+            if row.get("ratio") is not None:
+                assert row["ratio"] == pytest.approx(3.0, rel=1e-6)
+
+    def test_speedup_is_not_a_regression(self, ds, tmp_path):
+        from repro.obs.diff import diff_traces
+        a_path = self._payload(ds, tmp_path)
+        b_path = self._scaled(a_path, tmp_path / "fast.json", 0.25)
+        rep = diff_traces(json.load(open(a_path)), json.load(open(b_path)),
+                          min_seconds=0.0)
+        assert rep["verdict"] == "ok"  # only slowdowns fail the gate
+
+    def test_cli_self_diff_ok(self, ds, tmp_path, capsys):
+        from repro.cli import main
+        path = str(self._payload(ds, tmp_path))
+        out_json = str(tmp_path / "diff.json")
+        assert main(["obs", "diff", path, path, "--json", out_json]) == 0
+        assert "verdict OK" in capsys.readouterr().out
+        doc = json.load(open(out_json))
+        assert doc["verdict"] == "ok" and doc["max_drift"] == 0.0
+
+    def test_cli_diff_flags_regression(self, ds, tmp_path, capsys):
+        from repro.cli import main
+        a = self._payload(ds, tmp_path)
+        b = self._scaled(a, tmp_path / "slow.json", 3.0)
+        rc = main(["obs", "diff", str(a), str(b), "--min-seconds", "0"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_diff_rejects_invalid(self, tmp_path, capsys):
+        from repro.cli import main
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": "nope"}))
+        assert main(["obs", "diff", str(bad), str(bad)]) == 2
+
+
+class TestObsEventsCli:
+    def test_train_writes_chained_log(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.events import read_event_log
+        ev_path = str(tmp_path / "ev.jsonl")
+        rc = main(["train", "--algorithm", "1d", "--gpus", "4",
+                   "--epochs", "2", "--hidden", "8",
+                   "--vertices", "96", "--degree", "5",
+                   "--events", ev_path, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["events_path"] == ev_path
+        events = read_event_log(ev_path)
+        types = [e["type"] for e in events]
+        assert types[0] == "run_start"
+        assert types[-1] == "run_end"
+        assert types.count("epoch") == 2
+        assert events[-1]["data"]["status"] == "ok"
+
+    def test_validate_events_accepts_then_rejects(self, tmp_path, capsys):
+        from repro.cli import main
+        ev_path = tmp_path / "ev.jsonl"
+        assert main(["train", "--algorithm", "1d", "--gpus", "4",
+                     "--epochs", "2", "--hidden", "8",
+                     "--vertices", "96", "--degree", "5",
+                     "--events", str(ev_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate-events", str(ev_path)]) == 0
+        assert "chain intact" in capsys.readouterr().out
+
+        lines = ev_path.read_text().splitlines()
+        ev_path.write_text("\n".join(lines[:1] + lines[2:]) + "\n")
+        assert main(["obs", "validate-events", str(ev_path)]) == 1
+
+    def test_train_metrics_port_virtual(self, tmp_path, capsys):
+        # --metrics-port 0 binds an ephemeral port on the virtual path;
+        # the server must come up and tear down cleanly around fit.
+        from repro.cli import main
+        rc = main(["train", "--algorithm", "1d", "--gpus", "4",
+                   "--epochs", "2", "--hidden", "8",
+                   "--vertices", "96", "--degree", "5",
+                   "--metrics-port", "0", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["losses"]) == 2
+
+
+# --------------------------------------------------------------------- #
+# ISSUE 9 satellite: recovery counters through metrics_from_trace on tcp
+# --------------------------------------------------------------------- #
+class TestRecoveryMetricsTcp:
+    def test_faulted_tcp_run_exports_recovery_counters(self, ds, tmp_path):
+        kw = {"variant": "ghost", "partition": "multilevel"}
+        algo = make_algorithm(
+            "1d", 4, ds, hidden=HIDDEN, seed=0, backend="process",
+            workers=2, transport="tcp",
+            faults="kill:worker=1,epoch=1,attempt=1", max_restarts=3, **kw)
+        try:
+            hist = algo.fit(ds.features, ds.labels, EPOCHS,
+                            trace=True,
+                            checkpoint_path=str(tmp_path / "ck.npz"),
+                            checkpoint_every=1)
+            tr = algo.last_trace
+            stats = algo.rt.backend_stats(workers=False)
+        finally:
+            algo.rt.close()
+        assert stats["restarts"] >= 1
+        text = metrics_from_trace(tr, hist, backend_stats=stats).render()
+        assert "repro_restarts_total 1" in text
+        assert "repro_recovery_dispatches_total" in text
+        assert "repro_failure_detect_seconds_total" in text
+        assert "repro_checkpoints_written_total" in text
