@@ -1,70 +1,77 @@
-"""Analysis layer: the paper's cost formulas and figure reproductions."""
+"""Analysis layer: the paper's cost formulas, figure reproductions, and
+the invariant tooling (static lint rules + runtime sanitizers).
 
-from repro.analysis.figures import (
-    FIG2_GPU_COUNTS,
-    FigurePoint,
-    figure2_throughput,
-    figure3_breakdown,
-)
-from repro.analysis.formulas import (
-    CommEstimate,
-    comm_time,
-    crossover_p_2d_vs_1d,
-    ratio_1d_over_2d,
-    words_15d,
-    words_1d,
-    words_1d_symmetric,
-    words_1d_transpose,
-    words_2d,
-    words_3d,
-)
-from repro.analysis.memory import (
-    V100_BYTES,
-    MemoryEstimate,
-    feasibility_table,
-    memory_15d,
-    memory_1d,
-    memory_2d,
-    memory_3d,
-)
-from repro.analysis.model1d import Model1DEpoch
-from repro.analysis.model2d import EpochModelResult, Model2DEpoch
-from repro.analysis.scaling import (
-    CrossoverPoint,
-    crossover_points,
-    format_crossovers,
-    format_scaling_table,
-    scaling_table,
+Names resolve lazily (PEP 562, same mechanism as :mod:`repro`): the
+correctness-critical reason is that :mod:`repro.comm.collectives` hooks
+into :mod:`repro.analysis.sanitize`, and an eager ``__init__`` here
+would close an import cycle through ``scaling -> simulate -> dist ->
+comm``.
+"""
+
+from importlib import import_module
+
+#: Export -> providing module, checked against module contents by lint
+#: rule R6.
+_EXPORTS = {
+    "FIG2_GPU_COUNTS": "repro.analysis.figures",
+    "FigurePoint": "repro.analysis.figures",
+    "figure2_throughput": "repro.analysis.figures",
+    "figure3_breakdown": "repro.analysis.figures",
+    "CommEstimate": "repro.analysis.formulas",
+    "comm_time": "repro.analysis.formulas",
+    "crossover_p_2d_vs_1d": "repro.analysis.formulas",
+    "ratio_1d_over_2d": "repro.analysis.formulas",
+    "words_15d": "repro.analysis.formulas",
+    "words_1d": "repro.analysis.formulas",
+    "words_1d_symmetric": "repro.analysis.formulas",
+    "words_1d_transpose": "repro.analysis.formulas",
+    "words_2d": "repro.analysis.formulas",
+    "words_3d": "repro.analysis.formulas",
+    "V100_BYTES": "repro.analysis.memory",
+    "MemoryEstimate": "repro.analysis.memory",
+    "feasibility_table": "repro.analysis.memory",
+    "memory_15d": "repro.analysis.memory",
+    "memory_1d": "repro.analysis.memory",
+    "memory_2d": "repro.analysis.memory",
+    "memory_3d": "repro.analysis.memory",
+    "Model1DEpoch": "repro.analysis.model1d",
+    "EpochModelResult": "repro.analysis.model2d",
+    "Model2DEpoch": "repro.analysis.model2d",
+    "CrossoverPoint": "repro.analysis.scaling",
+    "crossover_points": "repro.analysis.scaling",
+    "format_crossovers": "repro.analysis.scaling",
+    "format_scaling_table": "repro.analysis.scaling",
+    "scaling_table": "repro.analysis.scaling",
+    "Sanitizer": "repro.analysis.sanitize",
+    "SanitizerError": "repro.analysis.sanitize",
+    "Violation": "repro.analysis.lint",
+    "default_rules": "repro.analysis.lint",
+    "format_violations": "repro.analysis.lint",
+    "lint_file": "repro.analysis.lint",
+    "run_lint": "repro.analysis.lint",
+}
+
+#: Modules reachable as attributes (``repro.analysis.sanitize``).
+_SUBPACKAGES = (
+    "figures", "formulas", "lint", "memory", "model1d", "model2d",
+    "sanitize", "scaling",
 )
 
-__all__ = [
-    "CommEstimate",
-    "words_1d",
-    "words_1d_symmetric",
-    "words_1d_transpose",
-    "words_15d",
-    "words_2d",
-    "words_3d",
-    "comm_time",
-    "ratio_1d_over_2d",
-    "crossover_p_2d_vs_1d",
-    "Model2DEpoch",
-    "Model1DEpoch",
-    "EpochModelResult",
-    "FigurePoint",
-    "FIG2_GPU_COUNTS",
-    "figure2_throughput",
-    "figure3_breakdown",
-    "MemoryEstimate",
-    "V100_BYTES",
-    "memory_1d",
-    "memory_15d",
-    "memory_2d",
-    "memory_3d",
-    "feasibility_table",
-    "CrossoverPoint",
-    "crossover_points",
-    "format_crossovers",
-    "format_scaling_table",
-    "scaling_table",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Lazy exports (PEP 562 module ``__getattr__``)."""
+    if name in _EXPORTS:
+        value = getattr(import_module(_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    if name in _SUBPACKAGES:
+        value = import_module(f"repro.analysis.{name}")
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | set(_SUBPACKAGES))

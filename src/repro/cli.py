@@ -24,7 +24,9 @@ code:
   and stragglers);
 * ``obs``         -- observability utilities: ``obs diff a.json b.json``
   flags per-category/per-phase regressions between two traces;
-  ``obs validate-events log.jsonl`` checks an event log's hash chain.
+  ``obs validate-events log.jsonl`` checks an event log's hash chain;
+* ``lint``        -- the repro-lint invariant checker: AST rules R1-R8
+  over a source tree (exit 1 on violations).
 
 Examples::
 
@@ -132,6 +134,15 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.graph import make_standin, make_synthetic
     from repro.nn import SGD
 
+    if args.sanitize:
+        import os
+
+        from repro.analysis import sanitize as _sanitize
+
+        # Env + in-process enable: the variable reaches spawned workers,
+        # the in-process sanitizer covers the virtual backend / driver.
+        os.environ[_sanitize.ENV_FLAG] = "1"
+        _sanitize.enable()
     if args.dataset:
         ds = make_standin(args.dataset, scale_divisor=args.scale, seed=args.seed)
     else:
@@ -290,6 +301,17 @@ def cmd_train(args: argparse.Namespace) -> int:
         ))
         print(f"wall clock: {elapsed:.2f}s for {args.epochs} epochs "
               f"({args.backend} backend)")
+        if args.sanitize:
+            from repro.analysis import sanitize as _sanitize
+
+            san = _sanitize.ACTIVE
+            if san is not None:
+                note = (" (driver-side; workers check their own shares "
+                        "in-process)" if args.backend == "process" else "")
+                print("sanitizers: "
+                      f"{san.stats['cow_verified']} COW receipts verified, "
+                      f"{san.stats['exchanges_checked']} exchange ledgers "
+                      f"checked{note}")
         if backend_stats is not None:
             st = backend_stats
             print(f"process backend [{st['transport']}]: "
@@ -427,6 +449,27 @@ def cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "diff":
         return _obs_diff(args)
     return _obs_validate_events(args)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.lint import default_rules, format_violations, run_lint
+
+    if args.list_rules:
+        _print_table(
+            ("id", "rule"),
+            [(rule.id, rule.title) for rule in default_rules()],
+        )
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    violations, nfiles = run_lint(paths)
+    print(format_violations(violations, nfiles))
+    return 1 if violations else 0
 
 
 def cmd_memory(_args: argparse.Namespace) -> int:
@@ -795,6 +838,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(run lifecycle, epochs, checkpoints, recovery "
                         "taxonomy) here; validate with "
                         "'repro obs validate-events'")
+    p.add_argument("--sanitize", action="store_true",
+                   help="arm the runtime sanitizers (COW receipts, exact "
+                        "exchange ledgers, tag ordering) in the driver "
+                        "and every worker; bit-equal to an unsanitized "
+                        "run (REPRO_SANITIZE=1 does the same)")
     p.add_argument("--profile", action="store_true",
                    help="per-kernel flop/byte/second counters (SpMM, "
                         "GEMMs, reduction folds) plus memory gauges; "
@@ -907,6 +955,17 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("log", help="JSON-lines event log written by "
                                "'repro train --events'")
 
+    p = sub.add_parser(
+        "lint",
+        help="repro-lint invariant checker (AST rules R1-R8; exit 1 on "
+             "violations)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to check (default: the "
+                        "installed repro package)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+
     return parser
 
 
@@ -923,6 +982,7 @@ COMMANDS = {
     "explosion": cmd_explosion,
     "report": cmd_report,
     "obs": cmd_obs,
+    "lint": cmd_lint,
 }
 
 

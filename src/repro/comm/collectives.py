@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.comm import cost_model as cm
 from repro.comm.plan import CommPlan
 from repro.comm.tracker import Category, CommTracker
@@ -93,7 +94,7 @@ def _axis_shards(acc: np.ndarray, bounds, axis: int) -> list:
     return shards
 
 
-def _readonly(payload: Any) -> Any:
+def _readonly(payload: Any, name: str = "collective") -> Any:
     """Copy-on-write receipt: a shared read-only view of the payload.
 
     Dense arrays come back as views with the writeable flag cleared, so
@@ -101,10 +102,19 @@ def _readonly(payload: Any) -> Any:
     peer that shares the buffer.  Sparse blocks and ``None`` pass through
     unchanged (CSR blocks are structurally immutable by convention --
     every operation returns a new matrix).
+
+    ``name`` labels the collective handing out the receipt: the
+    writeable flag cannot stop the *sender* from writing through the
+    original buffer, so under ``REPRO_SANITIZE=1`` the view is also
+    content-hashed and re-verified at epoch boundaries -- a drift raises
+    naming ``name``.
     """
     if isinstance(payload, np.ndarray):
         view = payload.view()
         view.flags.writeable = False
+        san = _sanitize.ACTIVE
+        if san is not None:
+            san.register_cow(name, view)
         return view
     return payload
 
@@ -209,7 +219,7 @@ class Collectives:
         self._charge_group(group, category, cost)
         if materialize:
             return {r: (value if r == root else _copy(value)) for r in group}
-        shared = _readonly(value)
+        shared = _readonly(value, "broadcast")
         return {r: shared for r in group}
 
     def broadcast_many(
@@ -242,7 +252,7 @@ class Collectives:
                     group, category, cost.seconds,
                     nbytes=cost.bytes_critical, messages=cost.messages,
                 )
-                out.append(_readonly(value))
+                out.append(_readonly(value, "broadcast_many"))
         return out
 
     def sendrecv(
@@ -265,7 +275,7 @@ class Collectives:
                                 messages=cost.messages)
             self.tracker.charge(dst, category, cost.seconds, nbytes=nbytes,
                                 messages=cost.messages)
-        return _copy(value) if materialize else _readonly(value)
+        return _copy(value) if materialize else _readonly(value, "sendrecv")
 
     def broadcast_charges(
         self,
@@ -424,7 +434,7 @@ class Collectives:
                                messages=cost.messages)
                 tracker.charge(dst, category, cost.seconds, nbytes=nbytes,
                                messages=cost.messages)
-                out.append(_readonly(value))
+                out.append(_readonly(value, "sendrecv_many"))
         return out
 
     def gather_rows_charges_sized(
@@ -534,7 +544,7 @@ class Collectives:
                 r: [values[s] if s == r else _copy(values[s]) for s in group]
                 for r in group
             }
-        shared = [_readonly(values[s]) for s in group]
+        shared = [_readonly(values[s], "allgather") for s in group]
         return {r: list(shared) for r in group}
 
     def gather(
@@ -555,7 +565,7 @@ class Collectives:
         self._charge_group(group, category, cost)
         if materialize:
             return [values[s] if s == root else _copy(values[s]) for s in group]
-        return [_readonly(values[s]) for s in group]
+        return [_readonly(values[s], "gather") for s in group]
 
     def scatter(
         self,
@@ -581,7 +591,7 @@ class Collectives:
                 r: (shards[i] if r == root else _copy(shards[i]))
                 for i, r in enumerate(group)
             }
-        return {r: _readonly(shards[i]) for i, r in enumerate(group)}
+        return {r: _readonly(shards[i], "scatter") for i, r in enumerate(group)}
 
     def allreduce(
         self,
@@ -612,7 +622,7 @@ class Collectives:
         self._charge_group(group, category, cost)
         if materialize:
             return {r: acc.copy() for r in group}
-        shared = _readonly(acc)
+        shared = _readonly(acc, "allreduce")
         return {r: shared for r in group}
 
     def reduce(
@@ -696,7 +706,7 @@ class Collectives:
                 r: np.ascontiguousarray(shards[i])
                 for i, r in enumerate(group)
             }
-        return {r: _readonly(shards[i]) for i, r in enumerate(group)}
+        return {r: _readonly(shards[i], "reduce_scatter") for i, r in enumerate(group)}
 
     def sparse_reduce_scatter(
         self,
@@ -767,7 +777,7 @@ class Collectives:
                     for src in group
                 ]
             else:
-                out[dst] = [_readonly(buckets[src][j]) for src in group]
+                out[dst] = [_readonly(buckets[src][j], "alltoall") for src in group]
         return out
 
     # ------------------------------------------------------------------ #
@@ -789,7 +799,7 @@ class Collectives:
     ) -> list:
         """Received payload per ``(group, root)`` route (one shared
         read-only view each), charging nothing."""
-        return [_readonly(blocks[root]) for _, root in routes]
+        return [_readonly(blocks[root], "routed_broadcast") for _, root in routes]
 
     def routed_sendrecv_data(
         self, pairs: Sequence[Tuple[int, int]], payloads: Mapping[int, Any]
@@ -797,7 +807,7 @@ class Collectives:
         """What each ``dst`` receives per ``(src, dst)`` pair (self-sends
         pass through), charging nothing."""
         return [
-            payloads[src] if src == dst else _readonly(payloads[src])
+            payloads[src] if src == dst else _readonly(payloads[src], "routed_sendrecv")
             for src, dst in pairs
         ]
 
@@ -807,7 +817,7 @@ class Collectives:
         """:meth:`allgather`'s data movement only (no charge)."""
         group = self._group(group)
         self._check_contributions(group, values)
-        shared = [_readonly(values[s]) for s in group]
+        shared = [_readonly(values[s], "allgather_data") for s in group]
         return {r: list(shared) for r in group}
 
     def allreduce_data(
@@ -822,7 +832,7 @@ class Collectives:
         self._check_contributions(group, values)
         acc = self._reduce_arrays(group, values, op,
                                   donate_first=donate_first)
-        shared = _readonly(acc)
+        shared = _readonly(acc, "allreduce_data")
         return {r: shared for r in group}
 
     def reduce_scatter_data(

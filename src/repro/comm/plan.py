@@ -24,7 +24,7 @@ pre-plan ledger constants and the PR 2 schedule oracle).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -110,8 +110,8 @@ class CommPlan:
     # ------------------------------------------------------------------ #
     # workspaces
     # ------------------------------------------------------------------ #
-    def workspace(self, key, shape: Tuple[int, ...],
-                  dtype=np.float64) -> np.ndarray:
+    def workspace(self, key: Any, shape: Tuple[int, ...],
+                  dtype: Any = np.float64) -> np.ndarray:
         """A reusable scratch array for a call-local buffer.
 
         The same ``(key, shape, dtype)`` returns the same array on every
@@ -140,7 +140,7 @@ class CommPlan:
     #: algorithm instances must not accumulate them without bound.
     MEMO_CAP = 64
 
-    def memo(self, key, builder):
+    def memo(self, key: Any, builder: Callable[[], Any]) -> Any:
         """An arbitrary derived *structure*, built once per key.
 
         For communication structures that do not fit the group/split

@@ -113,7 +113,7 @@ class StepTracer:
         tracker = self.tracker
         delta = {
             c: tracker.wall.get(c, 0.0) - wall_before.get(c, 0.0)
-            for c in set(tracker.wall) | set(wall_before)
+            for c in sorted(set(tracker.wall) | set(wall_before))
         }
         delta = {c: v for c, v in delta.items() if v > 0}
         if not delta:

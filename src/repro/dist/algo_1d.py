@@ -45,6 +45,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.comm.runtime import VirtualRuntime
 from repro.comm.tracker import Category
 from repro.dist.base import BlockRowAlgorithm
@@ -248,6 +249,16 @@ class DistGCN1D(BlockRowAlgorithm):
             "gather_rows", Category.DCOMM, self.rt.coll.gather_rows_data,
             g.pairs, blocks,
         )
+        san = _sanitize.ACTIVE
+        if san is not None:
+            # The ghost exchange is receive-side exact (`r_i * f * WB`
+            # per rank): the charged bytes for local ranks must equal
+            # the bytes of the rows that actually arrived.
+            san.check_exchange(
+                f"gather_rows:f={f}",
+                sum(c[2] for c in charges if self._is_local(c[0])),
+                sum(rows.nbytes for rows in received if rows is not None),
+            )
         out: Dict[int, np.ndarray] = {}
         for r in self._local(self.world):
             buf = self._ws(("ghost", r, f), (g.width[r], f))

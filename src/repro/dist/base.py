@@ -30,10 +30,12 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.comm.collectives import _readonly, payload_nbytes
 from repro.comm.plan import CommPlan
 from repro.comm.runtime import Runtime, VirtualRuntime
@@ -50,6 +52,9 @@ from repro.obs import events as _events
 from repro.obs import spans as _spans
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.perfmodel import SpmmPerfModel
+
+if TYPE_CHECKING:  # import would cycle: simulate -> dist -> simulate
+    from repro.simulate.schedule import CommSchedule
 
 __all__ = [
     "EpochStats",
@@ -279,8 +284,8 @@ class DistAlgorithm:
         return f
 
     @classmethod
-    def emit_comm_schedule(cls, graph, widths: Sequence[int], p: int,
-                           **kwargs):
+    def emit_comm_schedule(cls, graph: Any, widths: Sequence[int], p: int,
+                           **kwargs: Any) -> "CommSchedule":
         """Emit this family's symbolic per-epoch communication schedule.
 
         The scaling-simulator hook (:mod:`repro.simulate`): subclasses
@@ -418,10 +423,24 @@ class DistAlgorithm:
             )
             self._cache[key] = charges
         self.rt.tracker.charge_many(category, charges)
-        return self._obs_call(
+        out = self._obs_call(
             "sendrecv", category, self.rt.coll.routed_sendrecv_data,
             pairs, payloads,
         )
+        san = _sanitize.ACTIVE
+        if san is not None:
+            # Point-to-point routes are exact-accounting: the nbytes on
+            # the dst charge entries must equal the payload bytes the
+            # data plane actually delivered to local ranks (self-sends
+            # are uncharged and pass the payload through).
+            san.check_exchange(
+                f"sendrecv:{key!r}",
+                sum(c[2] for c in charges if self._is_local(c[0])),
+                sum(payload_nbytes(got)
+                    for (src, dst), got in zip(pairs, out)
+                    if src != dst and got is not None),
+            )
+        return out
 
     @staticmethod
     def _map_blocks(blocks: Dict[int, np.ndarray],
@@ -547,6 +566,12 @@ class DistAlgorithm:
             for rank in tracker.per_rank
         ]
         loss, acc = self._run_epoch()
+        san = _sanitize.ACTIVE
+        if san is not None:
+            # Re-hash the copy-on-write receipts handed out this epoch:
+            # the writeable flag stops receivers, this catches senders
+            # writing through a buffer their peers still alias.
+            san.verify_cow(f"end of epoch {epoch}")
         return self._stats_since_marks(
             before_wall, before_bytes, epoch, loss, acc
         )
@@ -557,8 +582,8 @@ class DistAlgorithm:
         labels: np.ndarray,
         epochs: int,
         mask: Optional[np.ndarray] = None,
-        on_epoch=None,
-        checkpoint_path=None,
+        on_epoch: Optional[Callable[["EpochStats"], None]] = None,
+        checkpoint_path: Optional[Union[str, "os.PathLike[str]"]] = None,
         checkpoint_every: int = 0,
         resume: bool = False,
         checkpoint_writer: bool = True,

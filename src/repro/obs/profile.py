@@ -60,7 +60,7 @@ def peak_rss_bytes() -> int:
         import sys
         rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         return int(rss) if sys.platform == "darwin" else int(rss) * 1024
-    except Exception:  # pragma: no cover - non-POSIX fallback
+    except (ImportError, OSError, ValueError):  # pragma: no cover - non-POSIX
         return 0
 
 

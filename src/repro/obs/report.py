@@ -114,7 +114,9 @@ def _simulated_breakdown(config: dict
             hidden=int(config.get("hidden", 16)),
             **kwargs,
         )
-    except Exception as exc:  # simulator rejection is a note, not a crash
+    except (KeyError, ValueError, TypeError) as exc:
+        # Simulator rejection (unknown machine, infeasible grid, odd
+        # config values) is a note in the report, not a crash.
         return None, f"simulation unavailable: {exc}"
     return (
         {str(k): float(v) for k, v in point.seconds_by_category.items()},
@@ -142,7 +144,9 @@ def _compute_section(trace: MergedTrace, config: dict
 
         machine = get_machine(config.get("machine"))
         spmm_model = SpmmPerfModel.from_profile(machine)
-    except Exception as exc:  # profile still shown measured-only
+    except (ImportError, KeyError, ValueError, TypeError) as exc:
+        # An unknown machine name or missing perf-model rates degrades
+        # to a measured-only profile table, never a crash.
         return None, f"kernel profile unusable: {exc}"
     rows = []
     for name, k in sorted(prof.get("kernels", {}).items()):

@@ -46,6 +46,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.comm.mesh import ProcessMesh
 from repro.config import MachineProfile
 from repro.obs import profile as _profile
@@ -518,6 +519,9 @@ def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
     failures on one worker surface as timeouts on its peers, which the
     driver converts into pool termination.
     """
+    # Workers inherit REPRO_SANITIZE through spawn: one driver-side
+    # setting arms the sanitizers in every process of the pool.
+    _sanitize.maybe_enable_from_env()
     heartbeat = spec["heartbeat"]
     if spec["transport"] == "tcp":
         channel = TcpChannel(worker_id, len(inboxes), inboxes=inboxes,
@@ -542,6 +546,10 @@ def _worker_main(worker_id: int, spec: dict, inboxes, cmd_queue,
                 value = _handle(rt, worker_id, op, payload, state, channel,
                                 paranoid, spec.get("livestats"))
                 result_queue.put((worker_id, "ok", value))
+            # The worker's one fault barrier: any command failure --
+            # taxonomy or not -- must reach the driver as an 'err'
+            # reply, never kill the command loop.
+            # repro-lint: disable=R8 -- top-level barrier: every failure must become an 'err' reply
             except Exception:
                 result_queue.put((worker_id, "err",
                                   traceback.format_exc()))

@@ -33,6 +33,7 @@ import queue
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.obs import spans as _spans
 from repro.parallel.shm import (
     Arena,
@@ -120,6 +121,13 @@ class ChannelBase:
         hb = self.heartbeat
         return None if hb is None else hb[src]
 
+    def _observe_arrival(self, msg) -> None:
+        """Sanitizer tap: every frame pulled off the transport, in
+        arrival order (stash hits were observed when first read)."""
+        san = _sanitize.ACTIVE
+        if san is not None:
+            san.observe_tag(self.wid, msg[2], msg[1], kind=msg[0])
+
     def _timeout_error(self, src: int, what: str) -> ChannelTimeout:
         return ChannelTimeout(
             f"worker {self.wid} saw no progress from worker {src} for "
@@ -187,6 +195,7 @@ class PeerChannel(ChannelBase):
                     raise self._timeout_error(
                         src, f"{kind!r} {tag}") from None
                 continue
+            self._observe_arrival(msg)
             mkey = (msg[0], msg[1], msg[2])
             if mkey == key:
                 return msg

@@ -29,7 +29,8 @@ from __future__ import annotations
 import hashlib
 import struct
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -37,8 +38,13 @@ from repro.comm.mesh import Mesh1D, Mesh2D, Mesh3D, ProcessMesh
 from repro.comm.runtime import RuntimeBase
 from repro.comm.tracker import CommTracker
 from repro.config import MachineProfile
+from repro.nn.optim import Optimizer
 from repro.parallel.channel import PeerChannel
 from repro.parallel.collectives import ProcessCollectives
+from repro.sparse.csr import CSRMatrix
+
+if TYPE_CHECKING:  # runtime imports dist lazily; annotate without the cycle
+    from repro.dist.base import DistTrainHistory, EpochStats
 
 __all__ = [
     "WorkerRuntime",
@@ -146,8 +152,9 @@ class ParallelAlgorithm:
     into :attr:`rt`, and returns worker 0's result.
     """
 
-    def __init__(self, rt: "ParallelRuntime", name: str, a_t, widths,
-                 seed: int = 0, optimizer=None, **kwargs):
+    def __init__(self, rt: "ParallelRuntime", name: str, a_t: CSRMatrix,
+                 widths: Sequence[int], seed: int = 0,
+                 optimizer: Optional[Optimizer] = None, **kwargs: Any):
         self.rt = rt
         self.name = name
         self.n = a_t.nrows
@@ -163,17 +170,22 @@ class ParallelAlgorithm:
         rt._command("make_algo", self._ctor_payload)
 
     # ------------------------------------------------------------------ #
-    def setup(self, features, labels, mask=None) -> None:
+    def setup(self, features: np.ndarray, labels: np.ndarray,
+              mask: Optional[np.ndarray] = None) -> None:
         self.rt._command("setup", (np.asarray(features), np.asarray(labels),
                                    None if mask is None else np.asarray(mask)))
 
-    def train_epoch(self, epoch: int = 0):
+    def train_epoch(self, epoch: int = 0) -> "EpochStats":
         results = self.rt._command("train_epoch", epoch)
         stats = self.rt._adopt_and_check(results)
         return stats
 
-    def fit(self, features, labels, epochs: int, mask=None, on_epoch=None,
-            trace=None, checkpoint_path=None, checkpoint_every: int = 0):
+    def fit(self, features: np.ndarray, labels: np.ndarray, epochs: int,
+            mask: Optional[np.ndarray] = None,
+            on_epoch: Optional[Callable[["EpochStats"], None]] = None,
+            trace: Union[bool, int, dict, None] = None,
+            checkpoint_path: Optional[str] = None,
+            checkpoint_every: int = 0) -> "DistTrainHistory":
         """Train for ``epochs`` epochs in **one dispatch**.
 
         The whole program (setup + epoch loop) ships to the resident
@@ -299,13 +311,14 @@ class ParallelAlgorithm:
                 on_epoch(stats)
         return history
 
-    def predict(self, features=None) -> np.ndarray:
+    def predict(self, features: Optional[np.ndarray] = None) -> np.ndarray:
         results = self.rt._command(
             "predict", None if features is None else np.asarray(features)
         )
         return self.rt._adopt_and_check(results)
 
-    def evaluate(self, labels, mask=None) -> Tuple[float, float]:
+    def evaluate(self, labels: np.ndarray,
+                 mask: Optional[np.ndarray] = None) -> Tuple[float, float]:
         results = self.rt._command(
             "evaluate",
             (np.asarray(labels), None if mask is None else np.asarray(mask)),
@@ -320,8 +333,9 @@ class ParallelAlgorithm:
         bit-identical -- the digest checks would have tripped otherwise)."""
         return self.rt._command("weights", None)[0]
 
-    def verify_against_serial(self, features, labels, epochs: int,
-                              seed: Optional[int] = None, mask=None) -> float:
+    def verify_against_serial(self, features: np.ndarray, labels: np.ndarray,
+                              epochs: int, seed: Optional[int] = None,
+                              mask: Optional[np.ndarray] = None) -> float:
         """Serial-vs-process divergence, mirroring
         :meth:`DistAlgorithm.verify_against_serial` (serial runs on the
         driver, distributed on the workers, both from fresh weights)."""
@@ -416,23 +430,28 @@ class ParallelRuntime(RuntimeBase):
     # constructors (mirroring VirtualRuntime)
     # ------------------------------------------------------------------ #
     @classmethod
-    def make_1d(cls, p: int, profile=None, workers=None, **kw
+    def make_1d(cls, p: int, profile: Optional[MachineProfile] = None,
+                workers: Optional[int] = None, **kw: Any
                 ) -> "ParallelRuntime":
         return cls(Mesh1D(size=p), profile, workers=workers, **kw)
 
     @classmethod
-    def make_2d(cls, p: int, profile=None, workers=None, **kw
+    def make_2d(cls, p: int, profile: Optional[MachineProfile] = None,
+                workers: Optional[int] = None, **kw: Any
                 ) -> "ParallelRuntime":
         return cls(Mesh2D.square(p), profile, workers=workers, **kw)
 
     @classmethod
-    def make_2d_rect(cls, rows: int, cols: int, profile=None, workers=None,
-                     **kw) -> "ParallelRuntime":
+    def make_2d_rect(cls, rows: int, cols: int,
+                     profile: Optional[MachineProfile] = None,
+                     workers: Optional[int] = None,
+                     **kw: Any) -> "ParallelRuntime":
         return cls(Mesh2D.rectangular(rows, cols), profile, workers=workers,
                    **kw)
 
     @classmethod
-    def make_3d(cls, p: int, profile=None, workers=None, **kw
+    def make_3d(cls, p: int, profile: Optional[MachineProfile] = None,
+                workers: Optional[int] = None, **kw: Any
                 ) -> "ParallelRuntime":
         return cls(Mesh3D.cubic(p), profile, workers=workers, **kw)
 
@@ -496,8 +515,10 @@ class ParallelRuntime(RuntimeBase):
             mine._step = None
         return value
 
-    def make_algorithm(self, name: str, a_t, widths, seed: int = 0,
-                       optimizer=None, **kwargs) -> ParallelAlgorithm:
+    def make_algorithm(self, name: str, a_t: CSRMatrix,
+                       widths: Sequence[int], seed: int = 0,
+                       optimizer: Optional[Optimizer] = None,
+                       **kwargs: Any) -> ParallelAlgorithm:
         """Build (on every worker) the named algorithm for this runtime.
 
         One live algorithm per pool: the workers hold a single algorithm
@@ -520,7 +541,7 @@ class ParallelRuntime(RuntimeBase):
         if self._backend is not None:
             self._command("reset_stats", None)
 
-    def backend_stats(self, workers: bool = True):
+    def backend_stats(self, workers: bool = True) -> Optional[dict]:
         """Dispatch/traffic counters (:meth:`ProcessBackend.stats`), or
         ``None`` before the pool has started."""
         if self._backend is None:

@@ -311,6 +311,7 @@ class TcpChannel(ChannelBase):
             return hit
         while True:
             msg = self._read_msg(src)
+            self._observe_arrival(msg)
             mkey = (msg[0], msg[1], msg[2])
             if mkey == key:
                 return msg

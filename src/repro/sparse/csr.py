@@ -14,7 +14,7 @@ indices + indptr) so the collectives layer can charge sparse communication
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -263,7 +263,7 @@ class CSRMatrix:
             out[row_ids, self.indices] = self.data
         return out
 
-    def to_scipy(self):
+    def to_scipy(self) -> Any:
         """``scipy.sparse.csr_matrix`` view of this matrix, built once.
 
         ``data`` is shared; scipy downcasts the int64 ``indices``/

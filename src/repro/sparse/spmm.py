@@ -119,7 +119,7 @@ try:  # the compiled kernel scipy's own __matmul__ dispatches to
     from scipy.sparse import _sparsetools as _st
 
     _csr_matvecs = _st.csr_matvecs
-except Exception:  # pragma: no cover - older/newer scipy layouts
+except (ImportError, AttributeError):  # pragma: no cover - older/newer scipy layouts
     _csr_matvecs = None
 
 

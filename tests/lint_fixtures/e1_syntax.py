@@ -1,0 +1,5 @@
+"""E1 fixture: an unparsable file reports, it does not raise."""
+
+
+def broken(:
+    pass

@@ -1,0 +1,7 @@
+"""R0 fixture: a reasonless suppression is itself a violation, but it
+still suppresses its target rule (one finding per problem)."""
+import pickle
+
+
+def load(buf):
+    return pickle.loads(buf)  # repro-lint: disable=R7

@@ -1,0 +1,10 @@
+"""R1 positive fixture: unseeded randomness in non-test code."""
+import numpy as np
+
+
+def legacy_draw():
+    return np.random.rand(4)
+
+
+def os_entropy():
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+"""R1 negative fixture: seeded generators are fine."""
+import numpy as np
+
+
+def seeded_draw(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=4)

@@ -1,0 +1,10 @@
+"""R4 positive fixture: instrumentation without the is-None guard."""
+
+
+def direct_chain(x):
+    _spans.ACTIVE.record("kernel", x)
+
+
+def unguarded_var(x):
+    rec = _spans.ACTIVE
+    rec.record("kernel", x)

@@ -1,0 +1,27 @@
+"""R4 negative fixture: every recognised guard shape."""
+
+
+def if_guard(x):
+    rec = _spans.ACTIVE
+    if rec is not None:
+        rec.record("kernel", x)
+
+
+def early_exit(x):
+    rec = _spans.ACTIVE
+    if rec is None:
+        return
+    rec.record("kernel", x)
+
+
+def orelse_guard(x):
+    rec = _spans.ACTIVE
+    if rec is None:
+        pass
+    else:
+        rec.record("kernel", x)
+
+
+def boolop_guard(x):
+    rec = _spans.ACTIVE
+    return rec is not None and rec.clock()

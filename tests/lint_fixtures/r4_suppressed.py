@@ -1,0 +1,6 @@
+"""R4 suppressed fixture."""
+
+
+def always_on(x):
+    # repro-lint: disable=R4 -- enable() ran on the line above, never None here
+    _spans.ACTIVE.record("kernel", x)

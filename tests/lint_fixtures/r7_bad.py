@@ -1,0 +1,6 @@
+"""R7 positive fixture: pickle.loads outside the framed TCP path."""
+import pickle
+
+
+def decode(buf):
+    return pickle.loads(buf)

@@ -1,0 +1,14 @@
+"""R2 positive fixture: salted iteration orders in comm scope."""
+
+
+def fold(items, table):
+    acc = 0.0
+    for x in set(items):
+        acc += x
+    for k in table.keys():
+        acc += table[k]
+    return acc
+
+
+def comprehended(items):
+    return [x + 1 for x in {i * 2 for i in items}]

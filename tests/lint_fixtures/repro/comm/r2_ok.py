@@ -1,0 +1,10 @@
+"""R2 negative fixture: sorted/list iteration keeps a fixed order."""
+
+
+def fold(items, table):
+    acc = 0.0
+    for x in sorted(set(items)):
+        acc += x
+    for k in sorted(table):
+        acc += table[k]
+    return acc

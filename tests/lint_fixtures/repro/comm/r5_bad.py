@@ -1,0 +1,6 @@
+"""R5 positive fixture: wall clock in ledger scope."""
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,6 @@
+"""R5 positive fixture: the from-import spelling."""
+from time import time
+
+
+def stamp():
+    return time()

@@ -1,0 +1,6 @@
+"""R5 negative fixture: monotonic clocks are the sanctioned ones."""
+import time
+
+
+def stamp():
+    return time.monotonic(), time.perf_counter()

@@ -1,0 +1,6 @@
+"""R5 suppressed fixture."""
+import time
+
+
+def log_stamp():
+    return time.time()  # repro-lint: disable=R5 -- log correlation only, never digested

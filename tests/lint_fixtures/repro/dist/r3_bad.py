@@ -1,0 +1,7 @@
+"""R3 positive fixture: a charge with no data-plane counterpart."""
+
+
+class Algo:
+    def exchange(self, coll, group, parts):
+        charges = coll.allgather_charges(group, parts)
+        return charges

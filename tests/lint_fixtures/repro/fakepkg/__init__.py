@@ -1,0 +1,11 @@
+"""R6 positive fixture: every way an export table can lie."""
+
+_EXPORTS = {
+    "real_thing": "repro.fakepkg.mod",
+    "ghost_thing": "repro.fakepkg.mod",
+    "orphan": "repro.fakepkg.nowhere",
+}
+
+_SUBPACKAGES = ("mod", "phantom")
+
+__all__ = ["real_thing", "unbound_name"]

@@ -1,0 +1,3 @@
+"""Target module for the R6 fixtures."""
+
+real_thing = 1

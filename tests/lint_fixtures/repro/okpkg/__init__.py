@@ -1,0 +1,7 @@
+"""R6 negative fixture: a truthful lazy-export table."""
+
+_EXPORTS = {"real_thing": "repro.okpkg.mod"}
+
+_SUBPACKAGES = ("mod",)
+
+__all__ = ["real_thing"]

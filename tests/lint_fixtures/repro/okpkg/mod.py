@@ -1,0 +1,3 @@
+"""Target module for the R6 negative fixture."""
+
+real_thing = 2

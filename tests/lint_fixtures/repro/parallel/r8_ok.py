@@ -1,0 +1,8 @@
+"""R8 negative fixture: named taxonomy catches."""
+
+
+def retry(op):
+    try:
+        return op()
+    except (ValueError, TimeoutError):
+        return None

@@ -1,0 +1,8 @@
+"""R8 suppressed fixture."""
+
+
+def top_level_barrier(op):
+    try:
+        return op()
+    except Exception:  # repro-lint: disable=R8 -- boundary: every failure becomes an err reply
+        return None

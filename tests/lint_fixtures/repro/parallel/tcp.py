@@ -1,0 +1,8 @@
+"""R7 negative fixture: the one sanctioned pickle.loads site."""
+import pickle
+
+
+class TcpChannel:
+    def _read_msg(self, src):
+        frame = self._frames[src]
+        return pickle.loads(frame)
